@@ -1,0 +1,86 @@
+// Ablation: ADMM hyper-parameter sensitivity — ρ (convergence speed),
+// β1 (smoothness), β2 (periodicity strength) — measured as iterations to
+// tolerance and intensity-recovery MSE on a periodic ground truth. Backs
+// the default choices baked into PipelineOptions.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rs/core/admm.hpp"
+#include "rs/stats/empirical.hpp"
+
+namespace {
+
+struct FitOutcome {
+  std::size_t iterations;
+  bool converged;
+  double mse;
+};
+
+FitOutcome FitWith(const std::vector<double>& counts,
+                   const std::vector<double>& truth, double dt, double rho,
+                   double beta1, double beta2, std::size_t period) {
+  rs::core::NhppConfig config;
+  config.dt = dt;
+  config.beta1 = beta1;
+  config.beta2 = beta2;
+  config.period = period;
+  rs::core::AdmmOptions options;
+  options.rho = rho;
+  options.max_iterations = 400;
+  rs::core::AdmmInfo info;
+  auto model = rs::core::FitNhpp(counts, config, options, &info);
+  RS_CHECK(model.ok()) << model.status().ToString();
+  return {info.iterations, info.converged,
+          rs::stats::MeanSquaredError(model->Intensity(), truth)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace rs::bench;
+  PrintHeader("Ablation — ADMM hyper-parameters (rho, beta1, beta2)");
+
+  // Periodic ground truth, one week of 10-min bins, daily period (144).
+  const std::size_t period = 144, t = 7 * period;
+  const double dt = 600.0;
+  std::vector<double> truth(t);
+  rs::stats::Rng rng(11);
+  std::vector<double> counts(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    const double phase = 2.0 * M_PI * static_cast<double>(i % period) /
+                         static_cast<double>(period);
+    truth[i] = 0.05 + 0.04 * std::sin(phase);
+    counts[i] =
+        static_cast<double>(rs::stats::SamplePoisson(&rng, truth[i] * dt));
+  }
+
+  std::printf("\nrho sweep (beta1=10, beta2=50):\n%8s %10s %10s %12s\n", "rho",
+              "iters", "converged", "mse");
+  for (double rho : {0.1, 0.5, 1.0, 5.0, 20.0}) {
+    const auto out = FitWith(counts, truth, dt, rho, 10.0, 50.0, period);
+    std::printf("%8.2f %10zu %10s %12.3e\n", rho, out.iterations,
+                out.converged ? "yes" : "no", out.mse);
+  }
+
+  std::printf("\nbeta1 sweep (rho=1, beta2=50):\n%8s %10s %12s\n", "beta1",
+              "iters", "mse");
+  for (double beta1 : {0.0, 1.0, 10.0, 100.0, 1000.0}) {
+    const auto out = FitWith(counts, truth, dt, 1.0, beta1, 50.0, period);
+    std::printf("%8.1f %10zu %12.3e\n", beta1, out.iterations, out.mse);
+  }
+
+  std::printf("\nbeta2 sweep (rho=1, beta1=10):\n%8s %10s %12s\n", "beta2",
+              "iters", "mse");
+  for (double beta2 : {0.0, 5.0, 50.0, 500.0, 5000.0}) {
+    const auto out =
+        FitWith(counts, truth, dt, 1.0, 10.0, beta2, beta2 > 0.0 ? period : 0);
+    std::printf("%8.1f %10zu %12.3e\n", beta2, out.iterations, out.mse);
+  }
+
+  std::printf("\nExpected: mid-range rho converges fastest; moderate beta1\n"
+              "and beta2 minimize MSE (beta2=0 reproduces the Table III\n"
+              "no-regularization penalty; huge values over-smooth).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: banded Cholesky vs matrix-free PCG for the ADMM r-subproblem
+// (the design choice called out in DESIGN.md). Reports wall time and final
+// loss for both paths across period lengths — Cholesky wins for short
+// periods, PCG for long ones where the O(T·L²) band factor dominates.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rs/common/stopwatch.hpp"
+#include "rs/core/admm.hpp"
+
+int main() {
+  using namespace rs::bench;
+  PrintHeader("Ablation — ADMM r-subproblem solver: banded Cholesky vs PCG");
+
+  rs::stats::Rng rng(7);
+  std::printf("%8s %8s | %14s %14s | %14s %14s\n", "T", "L", "chol_time_s",
+              "chol_loss", "pcg_time_s", "pcg_loss");
+
+  struct Case {
+    std::size_t t;
+    std::size_t period;
+  };
+  for (const Case c : {Case{1440, 48}, Case{2880, 288}, Case{4032, 1008}}) {
+    std::vector<double> counts(c.t);
+    for (std::size_t i = 0; i < c.t; ++i) {
+      const double phase = 2.0 * M_PI * static_cast<double>(i % c.period) /
+                           static_cast<double>(c.period);
+      const double rate = 2.0 + 1.5 * std::sin(phase);
+      counts[i] = static_cast<double>(rs::stats::SamplePoisson(&rng, rate));
+    }
+    rs::core::NhppConfig config;
+    config.dt = 60.0;
+    config.beta1 = 10.0;
+    config.beta2 = 50.0;
+    config.period = c.period;
+    rs::core::AdmmOptions options;
+    options.max_iterations = 40;
+
+    double times[2] = {0.0, 0.0};
+    double losses[2] = {0.0, 0.0};
+    int idx = 0;
+    for (auto solver : {rs::core::RSubproblemSolver::kBandedCholesky,
+                        rs::core::RSubproblemSolver::kPcg}) {
+      options.solver = solver;
+      rs::Stopwatch watch;
+      auto model = rs::core::FitNhpp(counts, config, options);
+      times[idx] = watch.ElapsedSeconds();
+      RS_CHECK(model.ok()) << model.status().ToString();
+      auto loss = model->Loss(counts);
+      RS_CHECK(loss.ok());
+      losses[idx] = *loss;
+      ++idx;
+    }
+    std::printf("%8zu %8zu | %14.3f %14.1f | %14.3f %14.1f\n", c.t, c.period,
+                times[0], losses[0], times[1], losses[1]);
+  }
+  std::printf("\nBoth solvers reach the same loss; the faster column flips\n"
+              "from Cholesky to PCG as the period (bandwidth) grows.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Ablation: the sequential scheme's two key ingredients, isolated.
+//
+//  * κ look-ahead (vs the Section VI-C naive batch strategy that replans
+//    only after a whole batch is consumed),
+//  * stochastic constraints (vs an uncertainty-blind mean-rate scheduler),
+//  * online refitting (vs a stale static forecast under traffic drift —
+//    the Section VII-B2 deployment guidance).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rs/core/extensions.hpp"
+#include "rs/workload/nhpp_sampler.hpp"
+
+namespace {
+
+rs::workload::PiecewiseConstantIntensity Constant(double rate, double horizon) {
+  return *rs::workload::PiecewiseConstantIntensity::Make(
+      std::vector<double>(100, rate), horizon / 100.0);
+}
+
+void Report(const char* name, const rs::sim::Metrics& m, double ref) {
+  std::printf("%-22s %10.3f %10.2f %10.3f\n", name, m.hit_rate, m.rt_avg,
+              rs::sim::RelativeCost(m, ref));
+}
+
+}  // namespace
+
+int main() {
+  using namespace rs::bench;
+  PrintHeader("Ablation — look-ahead, stochastic constraints, refitting");
+
+  const double rate = 0.5, horizon = 40000.0, tau = 13.0;
+  rs::stats::Rng rng(99);
+  auto intensity = Constant(rate, horizon);
+  auto trace = *rs::workload::MakeTraceFromIntensity(
+      &rng, intensity, rs::stats::DurationDistribution::Exponential(20.0));
+  auto pending = rs::stats::DurationDistribution::Deterministic(tau);
+  rs::sim::EngineOptions engine;
+  engine.pending = pending;
+
+  rs::baseline::BackupPool reactive(0);
+  const double ref =
+      MustMetrics(rs::sim::Simulate(trace, &reactive, engine)).total_cost;
+
+  std::printf("\nsteady Poisson traffic (rate %.1f QPS), HP target 0.9:\n",
+              rate);
+  std::printf("%-22s %10s %10s %10s\n", "strategy", "hit_rate", "rt_avg",
+              "rel_cost");
+
+  rs::core::SequentialScalerOptions hp;
+  hp.variant = rs::core::ScalerVariant::kHittingProbability;
+  hp.alpha = 0.1;
+  hp.planning_interval = 2.0;
+  rs::core::RobustScalerPolicy robust(intensity, pending, hp);
+  Report("RobustScaler-HP", MustMetrics(rs::sim::Simulate(trace, &robust, engine)),
+         ref);
+
+  rs::core::NaiveBatchOptions nopts;
+  nopts.alpha = 0.1;
+  nopts.batch = 20;
+  rs::core::NaiveBatchScaler naive(intensity, pending, nopts);
+  Report("NaiveBatch (K=20)",
+         MustMetrics(rs::sim::Simulate(trace, &naive, engine)), ref);
+
+  rs::core::MeanRateOptions mopts;
+  mopts.depth = 20;
+  mopts.planning_interval = 2.0;
+  rs::core::MeanRateScaler mean_rate(intensity, pending, mopts);
+  Report("MeanRate (no uncert.)",
+         MustMetrics(rs::sim::Simulate(trace, &mean_rate, engine)), ref);
+
+  // ---- Drift scenario: traffic doubles at test time. ----
+  std::printf("\ntraffic drift (train 0.2 QPS -> test 0.8 QPS), HP target 0.9:\n");
+  std::printf("%-22s %10s %10s %10s\n", "strategy", "hit_rate", "rt_avg",
+              "rel_cost");
+  rs::stats::Rng rng2(100);
+  auto train_trace = *rs::workload::MakeTraceFromIntensity(
+      &rng2, Constant(0.2, 40000.0),
+      rs::stats::DurationDistribution::Exponential(20.0));
+  auto test_trace = *rs::workload::MakeTraceFromIntensity(
+      &rng2, Constant(0.8, 20000.0),
+      rs::stats::DurationDistribution::Exponential(20.0));
+  const double drift_ref =
+      MustMetrics(rs::sim::Simulate(test_trace, &reactive, engine)).total_cost;
+
+  rs::core::RobustScalerPolicy stale(Constant(0.2, test_trace.horizon()),
+                                     pending, hp);
+  Report("static (stale model)",
+         MustMetrics(rs::sim::Simulate(test_trace, &stale, engine)), drift_ref);
+
+  rs::core::RefittingOptions ropts;
+  ropts.refit_interval = 1800.0;
+  ropts.pipeline.dt = 100.0;
+  ropts.pipeline.forecast_horizon = test_trace.horizon();
+  ropts.scaler = hp;
+  rs::core::RefittingPolicy refit(train_trace, pending, ropts);
+  Report("refit every 30 min",
+         MustMetrics(rs::sim::Simulate(test_trace, &refit, engine)), drift_ref);
+  std::printf("(refits performed: %zu)\n", refit.refit_count());
+
+  std::printf("\nExpected: RobustScaler-HP ~0.9 hits; NaiveBatch loses the\n"
+              "first queries of every batch; MeanRate lands near coin-flip\n"
+              "hits; refitting recovers the target under drift while the\n"
+              "stale static model under-provisions.\n");
+  return 0;
+}

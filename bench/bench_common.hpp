@@ -1,0 +1,179 @@
+/// \file bench_common.hpp
+/// \brief Shared scaffolding for the per-figure/per-table bench harnesses:
+///        the three paper trace scenarios with their train/test splits, a
+///        one-call "train pipeline and replay strategy" runner, and row
+///        printing. Every harness prints the same rows/series the paper's
+///        corresponding figure or table reports (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "rs/baselines/adaptive_backup_pool.hpp"
+#include "rs/common/logging.hpp"
+#include "rs/baselines/backup_pool.hpp"
+#include "rs/core/pipeline.hpp"
+#include "rs/simulator/engine.hpp"
+#include "rs/simulator/metrics.hpp"
+#include "rs/workload/synthetic.hpp"
+
+namespace rs::bench {
+
+/// One paper trace scenario: a train/test split plus its pipeline knobs.
+struct Scenario {
+  std::string name;
+  workload::Trace train;
+  workload::Trace test;
+  stats::DurationDistribution pending =
+      stats::DurationDistribution::Deterministic(13.0);
+  double dt = 60.0;                   ///< Model bin width for this trace.
+  std::size_t aggregate_factor = 1;   ///< Periodicity-detection aggregation.
+  double reactive_cost = 0.0;         ///< Total cost of BP(B=0) on `test`.
+};
+
+/// RobustScaler planning interval used by the trace replays. The paper uses
+/// Δ = 1 s; we default to 5 s to keep every bench binary in seconds (the
+/// Fig. 10(d) harness sweeps Δ explicitly). Documented in EXPERIMENTS.md.
+inline constexpr double kPlanningInterval = 5.0;
+
+/// Monte Carlo samples per decision in trace replays (paper: 1000 for the
+/// scalability study; decisions stabilize well before that).
+inline constexpr std::size_t kMcSamples = 300;
+
+inline sim::EngineOptions EngineFor(const Scenario& scenario,
+                                    std::uint64_t seed = 20220414) {
+  sim::EngineOptions opts;
+  opts.pending = scenario.pending;
+  opts.seed = seed;
+  return opts;
+}
+
+inline sim::Metrics MustMetrics(const Result<sim::SimulationResult>& result) {
+  RS_CHECK(result.ok()) << result.status().ToString();
+  auto metrics = sim::ComputeMetrics(*result);
+  RS_CHECK(metrics.ok()) << metrics.status().ToString();
+  return *metrics;
+}
+
+/// Replays `strategy` on the scenario's test trace.
+inline sim::Metrics RunStrategy(const Scenario& scenario,
+                                sim::Autoscaler* strategy,
+                                std::uint64_t seed = 20220414) {
+  return MustMetrics(sim::Simulate(scenario.test, strategy,
+                                   EngineFor(scenario, seed)));
+}
+
+/// Fills scenario.reactive_cost with the BP(B=0) reference (paper metric
+/// "relative cost").
+inline void ComputeReactiveReference(Scenario* scenario) {
+  baseline::BackupPool reactive(0);
+  scenario->reactive_cost = RunStrategy(*scenario, &reactive).total_cost;
+}
+
+inline Scenario MakeCrsScenario() {
+  auto synth = workload::MakeCrsLikeTrace();
+  RS_CHECK(synth.ok()) << synth.status().ToString();
+  Scenario s;
+  s.name = "CRS";
+  // Paper split: first 3 weeks train, last week test.
+  auto split = synth->trace.SplitAt(3.0 * 7.0 * 86400.0);
+  s.train = std::move(split.first);
+  s.test = std::move(split.second);
+  s.pending = synth->pending;
+  s.dt = 600.0;  // 10-min bins keep the weekly/daily band tractable.
+  s.aggregate_factor = 6;
+  ComputeReactiveReference(&s);
+  return s;
+}
+
+inline Scenario MakeGoogleScenario() {
+  auto synth = workload::MakeGoogleLikeTrace();
+  RS_CHECK(synth.ok()) << synth.status().ToString();
+  Scenario s;
+  s.name = "Google";
+  // Paper split: first 18 h train, last 6 h test.
+  auto split = synth->trace.SplitAt(18.0 * 3600.0);
+  s.train = std::move(split.first);
+  s.test = std::move(split.second);
+  s.pending = synth->pending;
+  s.dt = 60.0;
+  s.aggregate_factor = 5;
+  ComputeReactiveReference(&s);
+  return s;
+}
+
+inline Scenario MakeAlibabaScenario() {
+  auto synth = workload::MakeAlibabaLikeTrace();
+  RS_CHECK(synth.ok()) << synth.status().ToString();
+  Scenario s;
+  s.name = "Alibaba";
+  // Paper split: first 4 days train, last day test.
+  auto split = synth->trace.SplitAt(4.0 * 86400.0);
+  s.train = std::move(split.first);
+  s.test = std::move(split.second);
+  s.pending = synth->pending;
+  // 5-min bins: the daily period is 288 bins (sharp ACF peak) and the fit
+  // stays small (T = 1152 for the 4 training days).
+  s.dt = 300.0;
+  s.aggregate_factor = 1;
+  ComputeReactiveReference(&s);
+  return s;
+}
+
+/// Trains the RobustScaler pipeline on the scenario's training window.
+inline core::TrainedPipeline TrainOn(const Scenario& scenario) {
+  core::PipelineOptions options;
+  options.dt = scenario.dt;
+  options.periodicity.aggregate_factor = scenario.aggregate_factor;
+  options.forecast_horizon = scenario.test.horizon();
+  auto trained = core::TrainRobustScaler(scenario.train, options);
+  RS_CHECK(trained.ok()) << trained.status().ToString();
+  return std::move(trained).ValueOrDie();
+}
+
+/// Builds a RobustScaler policy from a trained pipeline for one variant and
+/// target. Target meaning: HP → target hitting probability (1−α), RT →
+/// waiting-time budget d − µs in seconds, cost → idle budget in seconds.
+inline std::unique_ptr<core::RobustScalerPolicy> MakeVariantPolicy(
+    const core::TrainedPipeline& trained, const Scenario& scenario,
+    core::ScalerVariant variant, double target,
+    double planning_interval = kPlanningInterval) {
+  core::SequentialScalerOptions opts;
+  opts.variant = variant;
+  opts.mc_samples = kMcSamples;
+  opts.planning_interval = planning_interval;
+  switch (variant) {
+    case core::ScalerVariant::kHittingProbability:
+      opts.alpha = 1.0 - target;
+      break;
+    case core::ScalerVariant::kResponseTime:
+      opts.rt_excess = target;
+      break;
+    case core::ScalerVariant::kCost:
+      opts.idle_budget = target;
+      break;
+  }
+  return core::MakeRobustScalerPolicy(trained, scenario.pending, opts);
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void PrintParetoHeader() {
+  std::printf("%-22s %12s %10s %10s %10s\n", "strategy", "parameter",
+              "hit_rate", "rt_avg", "rel_cost");
+}
+
+inline void PrintParetoRow(const std::string& strategy, double parameter,
+                           const sim::Metrics& m, double reactive_cost) {
+  std::printf("%-22s %12.4g %10.4f %10.2f %10.3f\n", strategy.c_str(),
+              parameter, m.hit_rate, m.rt_avg,
+              sim::RelativeCost(m, reactive_cost));
+}
+
+}  // namespace rs::bench

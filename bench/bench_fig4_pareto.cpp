@@ -1,0 +1,100 @@
+// Fig. 4(a-f): Pareto plots — hit_rate vs relative_cost and rt_avg vs
+// relative_cost for BP, AdapBP, RobustScaler-HP/RT/cost on each of the
+// three traces. Each printed row is one point of one line in the figure.
+//
+// Expected shape (paper): RobustScaler-HP/RT dominate BP everywhere and
+// AdapBP on Google/Alibaba; on CRS AdapBP is competitive at low cost but
+// RobustScaler catches up as cost grows; RobustScaler-cost wins except at
+// high-cost CRS operating points.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using rs::bench::Scenario;
+
+void RunScenario(Scenario&& scenario,
+                 const std::vector<double>& bp_sizes,
+                 const std::vector<double>& adap_multipliers,
+                 const std::vector<double>& hp_targets,
+                 const std::vector<double>& rt_targets,
+                 const std::vector<double>& cost_targets) {
+  using namespace rs::bench;
+  std::printf("\n---- trace: %s (%zu train / %zu test queries, reactive cost "
+              "%.0f s) ----\n",
+              scenario.name.c_str(), scenario.train.size(),
+              scenario.test.size(), scenario.reactive_cost);
+  PrintParetoHeader();
+
+  for (double b : bp_sizes) {
+    rs::baseline::BackupPool bp(static_cast<std::size_t>(b));
+    PrintParetoRow("BP", b, RunStrategy(scenario, &bp),
+                   scenario.reactive_cost);
+  }
+  for (double mult : adap_multipliers) {
+    rs::baseline::AdaptiveBackupPool adap(mult);
+    PrintParetoRow("AdapBP", mult, RunStrategy(scenario, &adap),
+                   scenario.reactive_cost);
+  }
+
+  const auto trained = TrainOn(scenario);
+  std::printf("# NHPP trained: period=%zu bins, admm_iters=%zu\n",
+              trained.period.period, trained.admm_info.iterations);
+  for (double target : hp_targets) {
+    auto policy = MakeVariantPolicy(trained, scenario,
+                                    rs::core::ScalerVariant::kHittingProbability,
+                                    target);
+    PrintParetoRow("RobustScaler-HP", target,
+                   RunStrategy(scenario, policy.get()), scenario.reactive_cost);
+  }
+  for (double target : rt_targets) {
+    auto policy = MakeVariantPolicy(trained, scenario,
+                                    rs::core::ScalerVariant::kResponseTime,
+                                    target);
+    PrintParetoRow("RobustScaler-RT", target,
+                   RunStrategy(scenario, policy.get()), scenario.reactive_cost);
+  }
+  for (double target : cost_targets) {
+    auto policy = MakeVariantPolicy(trained, scenario,
+                                    rs::core::ScalerVariant::kCost, target);
+    PrintParetoRow("RobustScaler-cost", target,
+                   RunStrategy(scenario, policy.get()), scenario.reactive_cost);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace rs::bench;
+  PrintHeader(
+      "Fig. 4 — Pareto fronts: hit_rate / rt_avg vs relative cost, 5 "
+      "autoscalers x 3 traces");
+
+  // CRS: paper sweeps B in 0..8.
+  RunScenario(MakeCrsScenario(),
+              /*bp_sizes=*/{0, 1, 2, 3, 5, 8},
+              /*adap_multipliers=*/{50, 150, 400, 800, 1600},
+              /*hp_targets=*/{0.5, 0.7, 0.8, 0.9, 0.95, 0.99},
+              /*rt_targets=*/{10.0, 6.0, 3.0, 1.0, 0.3},
+              /*cost_targets=*/{15.0, 60.0, 180.0, 400.0, 800.0});
+
+  // Google: paper sweeps B in 0..40.
+  RunScenario(MakeGoogleScenario(),
+              /*bp_sizes=*/{0, 2, 5, 10, 20, 40},
+              /*adap_multipliers=*/{10, 25, 60, 120, 250},
+              /*hp_targets=*/{0.5, 0.7, 0.8, 0.9, 0.95, 0.99},
+              /*rt_targets=*/{10.0, 6.0, 3.0, 1.0, 0.3},
+              /*cost_targets=*/{2.0, 8.0, 20.0, 60.0, 150.0});
+
+  // Alibaba: paper sweeps B in 0..450 (we run a scaled trace; the sweep is
+  // scaled accordingly).
+  RunScenario(MakeAlibabaScenario(),
+              /*bp_sizes=*/{0, 5, 15, 30, 60, 100},
+              /*adap_multipliers=*/{5, 15, 35, 80, 160},
+              /*hp_targets=*/{0.5, 0.7, 0.8, 0.9, 0.95, 0.99},
+              /*rt_targets=*/{10.0, 6.0, 3.0, 1.0, 0.3},
+              /*cost_targets=*/{2.0, 8.0, 20.0, 60.0, 150.0});
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Micro-benchmarks (google-benchmark) for the primitives whose complexity
+// the paper analyzes: banded Cholesky (O(T·L²)), one ADMM iteration,
+// sort-and-search decisions (O(R log R)), κ computation, FFT, and the
+// arrival-path sampler. Also covers the Section VII-B2 claim that one
+// decision update takes < 5 ms at trace-level QPS.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "rs/core/admm.hpp"
+#include "rs/core/arrival_predictor.hpp"
+#include "rs/core/decision.hpp"
+#include "rs/core/kappa.hpp"
+#include "rs/linalg/banded_cholesky.hpp"
+#include "rs/linalg/difference_ops.hpp"
+#include "rs/stats/distributions.hpp"
+#include "rs/stats/rng.hpp"
+#include "rs/timeseries/fft.hpp"
+
+namespace {
+
+using rs::linalg::Vec;
+
+void BM_BandedCholesky(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto bw = static_cast<std::size_t>(state.range(1));
+  rs::linalg::SymmetricBandedMatrix a(t, bw);
+  Vec w(t, 2.0);
+  a.AddDiagonal(w);
+  rs::linalg::AddGramD2(1.0, &a);
+  rs::linalg::AddGramDL(1.0, bw, &a);
+  Vec b(t, 1.0), x;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rs::linalg::BandedCholesky::FactorAndSolve(a, b, &x));
+  }
+  state.SetComplexityN(static_cast<long long>(t * bw * bw));
+}
+BENCHMARK(BM_BandedCholesky)
+    ->Args({1024, 16})
+    ->Args({4096, 64})
+    ->Args({8192, 144})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AdmmFit(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto period = static_cast<std::size_t>(state.range(1));
+  rs::stats::Rng rng(1);
+  std::vector<double> counts(t);
+  for (auto& c : counts) {
+    c = static_cast<double>(rs::stats::SamplePoisson(&rng, 30.0));
+  }
+  rs::core::NhppConfig config;
+  config.dt = 60.0;
+  config.beta1 = 10.0;
+  config.beta2 = 50.0;
+  config.period = period;
+  rs::core::AdmmOptions options;
+  options.max_iterations = 30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs::core::FitNhpp(counts, config, options));
+  }
+  state.SetLabel("30 ADMM iterations");
+}
+BENCHMARK(BM_AdmmFit)
+    ->Args({1440, 144})    // 1 day of 1-min bins, daily period at 10-min agg.
+    ->Args({4032, 1008})   // 4 weeks of 10-min bins, weekly period.
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SortAndSearchRt(benchmark::State& state) {
+  const auto r = static_cast<std::size_t>(state.range(0));
+  rs::stats::Rng rng(2);
+  rs::core::McSamples samples;
+  samples.xi.resize(r);
+  samples.tau.assign(r, 13.0);
+  for (auto& v : samples.xi) v = rs::stats::SampleExponential(&rng, 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs::core::SolveRtConstrained(samples, 1.0));
+  }
+  state.SetComplexityN(static_cast<long long>(r));
+}
+BENCHMARK(BM_SortAndSearchRt)->Range(128, 65536)->Complexity();
+
+void BM_HpQuantileDecision(benchmark::State& state) {
+  const auto r = static_cast<std::size_t>(state.range(0));
+  rs::stats::Rng rng(3);
+  rs::core::McSamples samples;
+  samples.xi.resize(r);
+  samples.tau.assign(r, 13.0);
+  for (auto& v : samples.xi) v = rs::stats::SampleExponential(&rng, 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs::core::SolveHpConstrained(samples, 0.1));
+  }
+}
+BENCHMARK(BM_HpQuantileDecision)->Arg(1000)->Arg(10000);
+
+void BM_KappaBinarySearch(benchmark::State& state) {
+  const double lambda = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rs::core::ComputeKappaBinarySearch(0.1, lambda, 13.0));
+  }
+}
+BENCHMARK(BM_KappaBinarySearch)->Arg(1)->Arg(100)->Arg(10000);
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rs::stats::Rng rng(4);
+  std::vector<rs::ts::Complex> data(n);
+  for (auto& c : data) c = rs::ts::Complex(rng.NextDouble(), 0.0);
+  for (auto _ : state) {
+    auto copy = data;
+    benchmark::DoNotOptimize(rs::ts::Fft(&copy, false));
+  }
+}
+BENCHMARK(BM_Fft)->Arg(4096)->Arg(4095)->Arg(10080);
+
+void BM_ArrivalPathSampling(benchmark::State& state) {
+  const auto paths = static_cast<std::size_t>(state.range(0));
+  const auto queries = static_cast<std::size_t>(state.range(1));
+  auto intensity = *rs::workload::PiecewiseConstantIntensity::Make(
+      std::vector<double>(1440, 1.0), 60.0);
+  auto pending = rs::stats::DurationDistribution::Deterministic(13.0);
+  rs::stats::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs::core::PredictUpcomingQueries(
+        intensity, 0.0, queries, paths, pending, &rng));
+  }
+}
+BENCHMARK(BM_ArrivalPathSampling)
+    ->Args({300, 10})
+    ->Args({1000, 10})
+    ->Args({1000, 100})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Table I: accuracy of the RobustScaler variants with Monte Carlo
+// approximation on simulated data.
+//
+// Paper setup: intensity λ(t) = peak · 4^40 u^40 (1-u)^40 + 0.001 with an
+// exact period of 3600 s over 7 h; pod pending 13 s fixed; processing
+// Exp(20 s); first 6 h train, last hour test; decisions every 5 s with
+// R = 1000. Targets: HP 0.9; RT (d − µs) 1 s; cost idle budget 2 s.
+//
+// We use peak = 400 instead of the paper's headline 10^4 so this harness
+// replays in seconds rather than hours — the achieved-vs-target comparison
+// is the result being reproduced, not the absolute traffic volume (the
+// scalability axis is covered by bench_fig8). Documented in EXPERIMENTS.md.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rs/core/forecast.hpp"
+#include "rs/workload/intensity.hpp"
+#include "rs/workload/nhpp_sampler.hpp"
+
+int main() {
+  using namespace rs::bench;
+  PrintHeader("Table I — target vs achieved QoS/cost with MC approximation");
+
+  const double peak = 400.0;
+  const double horizon = 7.0 * 3600.0;
+  auto analytic = rs::workload::MakeScalabilityIntensity(peak);
+  auto intensity = *rs::workload::Discretize(analytic, 5.0, horizon);
+
+  rs::stats::Rng rng(2022);
+  auto trace = *rs::workload::MakeTraceFromIntensity(
+      &rng, intensity, rs::stats::DurationDistribution::Exponential(20.0));
+  auto [train, test] = trace.SplitAt(6.0 * 3600.0);
+  std::printf("simulated trace: %zu train / %zu test queries (peak QPS %.0f)\n",
+              train.size(), test.size(), peak);
+
+  // Ground-truth forecast for the test hour (the paper evaluates the
+  // decision layer with the model already accurate; the NHPP-fit column is
+  // exercised by bench_table3).
+  std::vector<double> test_rates;
+  for (double t = 6.0 * 3600.0; t < horizon; t += 5.0) {
+    test_rates.push_back(analytic(t + 2.5));
+  }
+  auto forecast =
+      *rs::workload::PiecewiseConstantIntensity::Make(test_rates, 5.0);
+  const auto pending = rs::stats::DurationDistribution::Deterministic(13.0);
+
+  rs::sim::EngineOptions engine;
+  engine.pending = pending;
+
+  struct Row {
+    rs::core::ScalerVariant variant;
+    const char* name;
+    double target;
+  };
+  const Row rows[] = {
+      {rs::core::ScalerVariant::kHittingProbability, "RobustScaler-HP", 0.9},
+      {rs::core::ScalerVariant::kResponseTime, "RobustScaler-RT", 1.0},
+      {rs::core::ScalerVariant::kCost, "RobustScaler-cost", 2.0},
+  };
+  std::printf("\n%-20s %12s %15s\n", "variant", "target", "achieved");
+  for (const auto& row : rows) {
+    rs::core::SequentialScalerOptions opts;
+    opts.variant = row.variant;
+    opts.mc_samples = 1000;
+    opts.planning_interval = 5.0;
+    switch (row.variant) {
+      case rs::core::ScalerVariant::kHittingProbability:
+        opts.alpha = 1.0 - row.target;
+        break;
+      case rs::core::ScalerVariant::kResponseTime:
+        opts.rt_excess = row.target;
+        break;
+      case rs::core::ScalerVariant::kCost:
+        opts.idle_budget = row.target;
+        break;
+    }
+    rs::core::RobustScalerPolicy policy(forecast, pending, opts);
+    auto result = rs::sim::Simulate(test, &policy, engine);
+    RS_CHECK(result.ok());
+    auto metrics = rs::sim::ComputeMetrics(*result);
+    RS_CHECK(metrics.ok());
+
+    double achieved = 0.0;
+    switch (row.variant) {
+      case rs::core::ScalerVariant::kHittingProbability:
+        achieved = metrics->hit_rate;
+        break;
+      case rs::core::ScalerVariant::kResponseTime:
+        achieved = metrics->wait_avg;  // d − µs: the wait component.
+        break;
+      case rs::core::ScalerVariant::kCost: {
+        // Mean idle time per served instance: lifecycle − τ − s.
+        double idle_plus_s = 0.0;
+        std::size_t used = 0;
+        for (const auto& inst : result->instances) {
+          if (!inst.served_query) continue;
+          ++used;
+          idle_plus_s += std::max(0.0, inst.lifecycle_cost - 13.0);
+        }
+        achieved = used > 0
+                       ? idle_plus_s / static_cast<double>(used) - 20.0
+                       : 0.0;
+        break;
+      }
+    }
+    std::printf("%-20s %12.2f %15.3f\n", row.name, row.target, achieved);
+  }
+  std::printf("\nPaper Table I reports achieved (0.99, 0.51, 2.50) for targets\n"
+              "(0.9, 1, 2): same-order agreement with mild over-delivery on HP\n"
+              "is the expected pattern.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Table III: impact of the periodicity regularization on NHPP intensity
+// estimation error.
+//
+// Paper setup: ground truth λ(t) = 4^10 u^10 (1-u)^10 + 0.1 with
+// u = (t mod 86400)/86400 (daily period) over t ∈ [0, 604800] (one week);
+// fit Eq. (1) with and without the DL periodicity term; compare MSE/MAE of
+// the intensity estimates. The paper reports ~56% MSE / ~39% MAE
+// improvement from the regularization.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rs/core/admm.hpp"
+#include "rs/stats/empirical.hpp"
+#include "rs/workload/intensity.hpp"
+#include "rs/workload/nhpp_sampler.hpp"
+
+int main() {
+  using namespace rs::bench;
+  PrintHeader("Table III — periodicity regularization vs intensity error");
+
+  const double horizon = 604800.0;  // One week, period 86400 s.
+  const double dt = 600.0;          // 10-min bins: period L = 144 bins.
+  auto analytic = rs::workload::MakeRegularizationIntensity();
+  auto truth = *rs::workload::Discretize(analytic, dt, horizon);
+
+  rs::stats::Rng rng(414);
+  auto arrivals = rs::workload::SampleNhppTimeRescaling(&rng, truth);
+  RS_CHECK(arrivals.ok());
+  std::printf("simulated arrivals: %zu over one week\n", arrivals->size());
+
+  // Aggregate to counts.
+  std::vector<double> counts(truth.bins(), 0.0);
+  for (double t : *arrivals) {
+    const auto bin = static_cast<std::size_t>(t / dt);
+    if (bin < counts.size()) counts[bin] += 1.0;
+  }
+
+  rs::core::NhppConfig with_reg;
+  with_reg.dt = dt;
+  with_reg.beta1 = 10.0;
+  with_reg.beta2 = 50.0;
+  with_reg.period = 144;
+  rs::core::NhppConfig without_reg = with_reg;
+  without_reg.beta2 = 0.0;
+  without_reg.period = 0;
+
+  rs::core::AdmmOptions admm;
+  admm.max_iterations = 300;
+  auto model_with = rs::core::FitNhpp(counts, with_reg, admm);
+  auto model_without = rs::core::FitNhpp(counts, without_reg, admm);
+  RS_CHECK(model_with.ok() && model_without.ok());
+
+  const auto& true_rates = truth.rates();
+  const auto est_with = model_with->Intensity();
+  const auto est_without = model_without->Intensity();
+  const double mse_with = rs::stats::MeanSquaredError(est_with, true_rates);
+  const double mse_without =
+      rs::stats::MeanSquaredError(est_without, true_rates);
+  const double mae_with = rs::stats::MeanAbsoluteError(est_with, true_rates);
+  const double mae_without =
+      rs::stats::MeanAbsoluteError(est_without, true_rates);
+
+  std::printf("\n%-8s %16s %16s %14s\n", "metric", "NHPP w/o reg.",
+              "NHPP w/ reg.", "improvement");
+  std::printf("%-8s %16.3e %16.3e %13.0f%%\n", "MSE", mse_without, mse_with,
+              100.0 * (1.0 - mse_with / mse_without));
+  std::printf("%-8s %16.3e %16.3e %13.0f%%\n", "MAE", mae_without, mae_with,
+              100.0 * (1.0 - mae_with / mae_without));
+  std::printf("\nPaper Table III: MSE 5.08e-4 -> 2.24e-4 (56%%), MAE 1.53e-2\n"
+              "-> 9.30e-3 (39%%). The reproduced improvement should land in\n"
+              "the same tens-of-percent band.\n");
+  return 0;
+}

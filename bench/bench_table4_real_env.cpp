@@ -1,0 +1,42 @@
+// Table IV: RobustScaler-HP in the simulated vs the "real" environment.
+//
+// The real deployment (paper: Alibaba Serverless Kubernetes replaying the
+// CRS trace, HP target 0.9) differs from simulation in that decision
+// computation time delays scaling actions, pod creation has API latency,
+// and pod startup jitters. We reproduce the comparison with the engine's
+// realistic-environment preset (see simulator/environment.hpp):
+// wall-clock planning time is charged to the simulation clock.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "rs/simulator/environment.hpp"
+
+int main() {
+  using namespace rs::bench;
+  PrintHeader("Table IV — RobustScaler-HP: simulated vs real environment (CRS)");
+
+  auto scenario = MakeCrsScenario();
+  const auto trained = TrainOn(scenario);
+
+  std::printf("%-12s %10s %10s %12s\n", "environment", "HP", "RT",
+              "cost/query");
+  for (bool real : {false, true}) {
+    auto policy = MakeVariantPolicy(trained, scenario,
+                                    rs::core::ScalerVariant::kHittingProbability,
+                                    /*target=*/0.9);
+    const auto engine =
+        real ? rs::sim::MakeRealEnvironment(scenario.pending, 20220414)
+             : rs::sim::MakeIdealizedEnvironment(scenario.pending, 20220414);
+    auto result = rs::sim::Simulate(scenario.test, policy.get(), engine);
+    RS_CHECK(result.ok());
+    auto m = rs::sim::ComputeMetrics(*result);
+    RS_CHECK(m.ok());
+    std::printf("%-12s %10.2f %10.1f %12.1f\n", real ? "Real" : "Simulated",
+                m->hit_rate, m->rt_avg,
+                m->total_cost / static_cast<double>(m->num_queries));
+  }
+  std::printf("\nPaper Table IV: simulated (0.80, 181.0, 240.3) vs real\n"
+              "(0.83, 189.3, 228.7) — the rows should stay close, showing\n"
+              "decision-computation delay has minimal impact.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Section VII-B2 (text): training-time and decision-latency measurements.
+// The paper reports ~100 s to train modules 1-3 on three weeks of CRS data,
+// <= 7 s on four days of Alibaba data, and < 5 ms per scaling-decision
+// update on all traces. This harness times the same operations on the
+// synthetic stand-in traces.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "rs/common/stopwatch.hpp"
+
+namespace {
+
+void TimeScenario(rs::bench::Scenario&& scenario) {
+  using namespace rs::bench;
+  rs::Stopwatch train_watch;
+  const auto trained = TrainOn(scenario);
+  const double train_s = train_watch.ElapsedSeconds();
+
+  // Time one steady-state decision update (a planning round mid-test).
+  auto policy = MakeVariantPolicy(trained, scenario,
+                                  rs::core::ScalerVariant::kHittingProbability,
+                                  0.9);
+  rs::sim::SimContext ctx;
+  ctx.now = scenario.test.horizon() / 2.0;
+  std::vector<double> no_history;
+  ctx.arrival_history = &no_history;
+  // First call commits the look-ahead; the second measures steady re-planning.
+  (void)policy->OnPlanningTick(ctx);
+  ctx.scheduled_creations = 0;
+  rs::Stopwatch decide_watch;
+  (void)policy->OnPlanningTick(ctx);
+  const double decide_ms = decide_watch.ElapsedMillis();
+
+  std::printf("%-10s %10zu %14.2f %16.3f\n", scenario.name.c_str(),
+              scenario.train.size(), train_s, decide_ms);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rs::bench;
+  PrintHeader("Section VII-B2 — training time and decision latency");
+  std::printf("%-10s %10s %14s %16s\n", "trace", "queries", "train_time_s",
+              "decision_ms");
+  TimeScenario(MakeCrsScenario());
+  TimeScenario(MakeGoogleScenario());
+  TimeScenario(MakeAlibabaScenario());
+  std::printf("\nPaper reference: ~100 s (CRS, 3 weeks), <= 7 s (Alibaba,\n"
+              "4 days) training; < 5 ms per decision update. Training here is\n"
+              "faster because the synthetic stand-ins use coarser bins; the\n"
+              "ordering and the millisecond-scale decisions are the point.\n");
+  return 0;
+}

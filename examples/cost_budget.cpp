@@ -1,0 +1,64 @@
+// Cost-budget scenario: a team with a strict spend ceiling uses
+// RobustScaler-cost (Eq. 6/7) and verifies the achieved mean idle time per
+// instance tracks the budget knob — the accurate-cost-control property of
+// the paper's Fig. 10(c).
+//
+// Build & run:  ./build/examples/example_cost_budget
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "rs/core/pipeline.hpp"
+#include "rs/simulator/engine.hpp"
+#include "rs/simulator/metrics.hpp"
+#include "rs/stats/rng.hpp"
+#include "rs/workload/synthetic.hpp"
+
+int main() {
+  using namespace rs;
+
+  // Steady 0.5-QPS service with exponential processing (mean 20 s).
+  const double horizon = 36000.0;
+  auto intensity = *workload::PiecewiseConstantIntensity::Make(
+      std::vector<double>(100, 0.5), horizon / 100.0);
+  stats::Rng rng(21);
+  auto trace = *workload::MakeTraceFromIntensity(
+      &rng, intensity, stats::DurationDistribution::Exponential(20.0));
+  const auto pending = stats::DurationDistribution::Deterministic(13.0);
+  std::printf("steady trace: %zu queries over %.0f s\n", trace.size(), horizon);
+
+  sim::EngineOptions engine;
+  engine.pending = pending;
+
+  std::printf("\n%10s %14s %10s %10s\n", "budget (s)", "achieved idle",
+              "hit_rate", "rt_avg");
+  for (double budget : {0.5, 1.0, 2.0, 5.0, 10.0, 20.0}) {
+    core::SequentialScalerOptions opts;
+    opts.variant = core::ScalerVariant::kCost;
+    opts.idle_budget = budget;
+    opts.planning_interval = 2.0;
+    opts.mc_samples = 400;
+    core::RobustScalerPolicy policy(intensity, pending, opts);
+    auto result = sim::Simulate(trace, &policy, engine);
+    if (!result.ok()) {
+      std::fprintf(stderr, "simulation failed\n");
+      return 1;
+    }
+    auto metrics = *sim::ComputeMetrics(*result);
+    // Isolate idle: lifecycle = idle + tau + s for served instances.
+    double idle_plus_s = 0.0;
+    std::size_t used = 0;
+    for (const auto& inst : result->instances) {
+      if (!inst.served_query) continue;
+      ++used;
+      idle_plus_s += std::max(0.0, inst.lifecycle_cost - 13.0);
+    }
+    const double mean_idle =
+        used > 0 ? idle_plus_s / static_cast<double>(used) - 20.0 : 0.0;
+    std::printf("%10.1f %14.2f %10.3f %10.2f\n", budget, mean_idle,
+                metrics.hit_rate, metrics.rt_avg);
+  }
+  std::printf("\n'achieved idle' should track the budget column (Fig. 10(c) "
+              "accuracy), while hit_rate rises with the budget.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// FaaS burst scenario (the paper's Alibaba-trace experiment, Section
+// VII-B3): a cluster workload with recurrent submission waves plus one
+// *unexpected* burst on day 4 of training. Shows that the NHPP fit with
+// robust periodicity regularization shrugs the anomaly off: QoS before vs
+// after removing the burst is nearly identical.
+//
+// Build & run:  ./build/examples/example_faas_burst
+#include <cstdio>
+
+#include "rs/core/pipeline.hpp"
+#include "rs/simulator/engine.hpp"
+#include "rs/simulator/metrics.hpp"
+#include "rs/workload/perturbation.hpp"
+#include "rs/workload/synthetic.hpp"
+
+namespace {
+
+rs::sim::Metrics RunHp(const rs::workload::Trace& train,
+                       const rs::workload::Trace& test,
+                       const rs::stats::DurationDistribution& pending) {
+  using namespace rs;
+  core::PipelineOptions options;
+  options.dt = 60.0;
+  options.periodicity.aggregate_factor = 10;
+  options.forecast_horizon = test.horizon();
+  auto trained = core::TrainRobustScaler(train, options);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.status().ToString().c_str());
+    std::exit(1);
+  }
+  core::SequentialScalerOptions hp;
+  hp.variant = core::ScalerVariant::kHittingProbability;
+  hp.alpha = 0.1;
+  hp.planning_interval = 5.0;
+  hp.mc_samples = 200;
+  auto policy = core::MakeRobustScalerPolicy(*trained, pending, hp);
+  sim::EngineOptions engine;
+  engine.pending = pending;
+  return *sim::ComputeMetrics(*sim::Simulate(test, policy.get(), engine));
+}
+
+}  // namespace
+
+int main() {
+  using namespace rs;
+
+  workload::SyntheticTraceOptions topts;
+  topts.scale = 0.05;  // ≈ 25k queries: quick to replay.
+  auto synth = workload::MakeAlibabaLikeTrace(topts);
+  if (!synth.ok()) {
+    std::fprintf(stderr, "trace generation failed\n");
+    return 1;
+  }
+  // First 4 days train (burst lands mid-day-4), last day tests.
+  auto [train, test] = synth->trace.SplitAt(4.0 * 86400.0);
+  std::printf("Alibaba-like trace: %zu train / %zu test queries\n",
+              train.size(), test.size());
+
+  const auto burst = workload::AlibabaBurstWindow();
+  auto cleaned = workload::ThinWindow(train, burst.begin, burst.end,
+                                      /*keep_prob=*/0.08);
+  if (!cleaned.ok()) return 1;
+  std::printf("burst window [%.0f, %.0f): %zu queries with burst, %zu after "
+              "removal\n",
+              burst.begin, burst.end,
+              train.Slice(burst.begin, burst.end).size(),
+              cleaned->Slice(burst.begin, burst.end).size());
+
+  const auto with_burst = RunHp(train, test, synth->pending);
+  const auto without_burst = RunHp(*cleaned, test, synth->pending);
+
+  std::printf("\n%-26s %9s %9s %12s\n", "training data", "hit_rate", "rt_avg",
+              "total_cost");
+  std::printf("%-26s %9.3f %9.1f %12.0f\n", "with day-4 burst",
+              with_burst.hit_rate, with_burst.rt_avg, with_burst.total_cost);
+  std::printf("%-26s %9.3f %9.1f %12.0f\n", "burst removed",
+              without_burst.hit_rate, without_burst.rt_avg,
+              without_burst.total_cost);
+  std::printf("\nNearly identical rows = the anomaly did not poison the "
+              "model (the paper's Fig. 9 claim).\n");
+  return 0;
+}

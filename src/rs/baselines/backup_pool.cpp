@@ -1,0 +1,26 @@
+#include "rs/baselines/backup_pool.hpp"
+
+namespace rs::baseline {
+
+sim::ScalingAction BackupPool::Initialize(const sim::SimContext& ctx) {
+  sim::ScalingAction action;
+  action.creation_times.assign(pool_size_, ctx.now);
+  return action;
+}
+
+sim::ScalingAction BackupPool::OnQueryArrival(const sim::SimContext& ctx,
+                                              bool cold_start) {
+  sim::ScalingAction action;
+  // A pool instance was consumed: replenish. A cold start means the pool
+  // was empty (B = 0 or transiently drained) — the reactively-created
+  // instance already replaces the pool slot that never existed, so only
+  // top up to the target size.
+  const std::size_t outstanding = ctx.Outstanding();
+  if (outstanding < pool_size_) {
+    action.creation_times.assign(pool_size_ - outstanding, ctx.now);
+  }
+  (void)cold_start;
+  return action;
+}
+
+}  // namespace rs::baseline

@@ -1,0 +1,30 @@
+/// \file backup_pool.hpp
+/// \brief Backup Pool (BP) baseline: constantly maintains a pool of B
+///        instances; each consumed instance is replenished immediately.
+///        B = 0 is the pure reactive strategy (Section VII-A1).
+#pragma once
+
+#include <cstddef>
+
+#include "rs/simulator/autoscaler.hpp"
+
+namespace rs::baseline {
+
+class BackupPool : public sim::Autoscaler {
+ public:
+  /// \param pool_size B, the number of instances kept warm.
+  explicit BackupPool(std::size_t pool_size) : pool_size_(pool_size) {}
+
+  const char* name() const override { return "BP"; }
+
+  sim::ScalingAction Initialize(const sim::SimContext& ctx) override;
+  sim::ScalingAction OnQueryArrival(const sim::SimContext& ctx,
+                                    bool cold_start) override;
+
+  std::size_t pool_size() const { return pool_size_; }
+
+ private:
+  std::size_t pool_size_;
+};
+
+}  // namespace rs::baseline

@@ -1,0 +1,63 @@
+/// \file logging.hpp
+/// \brief Minimal leveled logger plus check macros (Arrow/GLog style).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rs
+
+#define RS_LOG(level)                                                      \
+  ::rs::internal::LogMessage(::rs::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Fatal invariant check: aborts with a message when `cond` is false.
+/// Used for programmer errors (bad indices, broken invariants), not for
+/// recoverable conditions — those return Status.
+#define RS_CHECK(cond)                                                        \
+  if (!(cond))                                                                \
+  ::rs::internal::LogMessage(::rs::LogLevel::kFatal, __FILE__, __LINE__)      \
+      << "Check failed: " #cond " "
+
+#define RS_CHECK_OK(expr)                                                  \
+  do {                                                                     \
+    ::rs::Status _rs_chk = (expr);                                         \
+    RS_CHECK(_rs_chk.ok()) << _rs_chk.ToString();                          \
+  } while (false)
+
+#ifndef NDEBUG
+#define RS_DCHECK(cond) RS_CHECK(cond)
+#else
+#define RS_DCHECK(cond) \
+  if (false) ::rs::internal::LogMessage(::rs::LogLevel::kDebug, __FILE__, __LINE__)
+#endif

@@ -1,0 +1,136 @@
+/// \file status.hpp
+/// \brief Arrow-style Status / Result<T> error propagation used by all
+///        fallible public APIs in the robustscaler library.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rs {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotImplemented,
+  kRuntimeError,
+  kIoError,
+  kNotConverged,
+  kInfeasible,
+};
+
+/// \brief Human-readable name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: either OK or a code + message.
+///
+/// Follows the Arrow/RocksDB convention: functions that can fail return
+/// Status (or Result<T>), and callers propagate with RS_RETURN_NOT_OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// \brief Value-or-error container, analogous to arrow::Result<T>.
+///
+/// Holds either a value of type T or a non-OK Status. Accessing the value
+/// of an errored Result aborts in debug builds (programmer error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (success).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit conversion from a non-OK status (failure).
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns the error status; OK if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& ValueOrDie() const& { return std::get<T>(data_); }
+  T& ValueOrDie() & { return std::get<T>(data_); }
+  T&& ValueOrDie() && { return std::move(std::get<T>(data_)); }
+
+  /// Moves the value out; result must be ok().
+  T MoveValueUnsafe() { return std::move(std::get<T>(data_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace rs
+
+/// Propagates a non-OK Status to the caller.
+#define RS_RETURN_NOT_OK(expr)                  \
+  do {                                          \
+    ::rs::Status _rs_st = (expr);               \
+    if (!_rs_st.ok()) return _rs_st;            \
+  } while (false)
+
+#define RS_CONCAT_IMPL(a, b) a##b
+#define RS_CONCAT(a, b) RS_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result<T> expression to `lhs`, or propagates the
+/// error. Usage: RS_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define RS_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto RS_CONCAT(_rs_result_, __LINE__) = (rexpr);                 \
+  if (!RS_CONCAT(_rs_result_, __LINE__).ok()) {                    \
+    return RS_CONCAT(_rs_result_, __LINE__).status();              \
+  }                                                                \
+  lhs = std::move(RS_CONCAT(_rs_result_, __LINE__)).ValueOrDie()

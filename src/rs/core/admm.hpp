@@ -1,0 +1,63 @@
+/// \file admm.hpp
+/// \brief The specialized quadratically-approximated ADMM of Algorithm 2
+///        that trains the regularized NHPP model (Eq. 1).
+///
+/// Splitting: y = D2 r (L1 block, soft-threshold prox), z = DL r (L2 block,
+/// closed-form shrink). The r-subproblem replaces the exponential likelihood
+/// term with its second-order Taylor expansion around r_k, reducing to the
+/// sparse banded SPD system A_k r = B_k solved by banded Cholesky or,
+/// matrix-free, by Jacobi-PCG.
+#pragma once
+
+#include <cstddef>
+
+#include "rs/common/status.hpp"
+#include "rs/core/nhpp_model.hpp"
+
+namespace rs::core {
+
+/// Which linear solver handles the r-subproblem.
+enum class RSubproblemSolver {
+  kAuto,            ///< Cholesky for short periods, PCG for long ones.
+  kBandedCholesky,  ///< Exact O(T·L²) factor per iteration.
+  kPcg,             ///< Matrix-free, O(T) per matvec; wins for large L.
+};
+
+/// Periods above this bandwidth make the O(T·L²) band factor slower than
+/// matrix-free PCG on typical series lengths; kAuto switches there
+/// (quantified by bench_ablation_solver).
+inline constexpr std::size_t kAutoSolverPeriodThreshold = 512;
+
+/// ADMM hyper-parameters and stopping rules.
+struct AdmmOptions {
+  double rho = 1.0;               ///< Augmented-Lagrangian penalty ρ.
+  std::size_t max_iterations = 200;
+  /// Stop when both primal residuals ‖y−D2r‖₂, ‖z−DLr‖₂ and the dual
+  /// residual (scaled iterate change) fall below these.
+  double primal_tolerance = 1e-6;
+  double dual_tolerance = 1e-6;
+  RSubproblemSolver solver = RSubproblemSolver::kAuto;
+  /// Log-intensity is clamped to ±`r_clamp` to keep exp() finite.
+  double r_clamp = 25.0;
+};
+
+/// Fit diagnostics.
+struct AdmmInfo {
+  std::size_t iterations = 0;
+  double primal_residual = 0.0;
+  double dual_residual = 0.0;
+  bool converged = false;
+};
+
+/// \brief Fits the NHPP log-intensity to a count series.
+///
+/// \param counts  Q_t — queries per Δt bin (length T >= 3).
+/// \param config  Δt, β1, β2 and the detected period L (0 = no DL term).
+/// \param options solver configuration.
+/// \param info    optional convergence diagnostics.
+Result<NhppModel> FitNhpp(const std::vector<double>& counts,
+                          const NhppConfig& config,
+                          const AdmmOptions& options = {},
+                          AdmmInfo* info = nullptr);
+
+}  // namespace rs::core

@@ -1,0 +1,61 @@
+#include "rs/core/arrival_predictor.hpp"
+
+#include <algorithm>
+
+#include "rs/common/logging.hpp"
+
+namespace rs::core {
+
+ArrivalPathSampler::ArrivalPathSampler(
+    const workload::PiecewiseConstantIntensity* intensity, double now,
+    std::size_t num_paths, stats::Rng* rng)
+    : intensity_(intensity), rng_(rng), now_(now), gamma_(num_paths, 0.0) {
+  RS_CHECK(intensity != nullptr && rng != nullptr && num_paths >= 1)
+      << "ArrivalPathSampler: invalid arguments";
+  base_ = intensity_->Cumulative(now);
+}
+
+void ArrivalPathSampler::Skip(std::size_t count) {
+  if (count == 0) return;
+  for (double& g : gamma_) {
+    g += stats::SampleGamma(rng_, static_cast<double>(count), 1.0);
+  }
+}
+
+Result<std::vector<double>> ArrivalPathSampler::NextQuery() {
+  std::vector<double> xi(gamma_.size());
+  for (std::size_t r = 0; r < gamma_.size(); ++r) {
+    gamma_[r] += stats::SampleExponential(rng_, 1.0);
+    RS_ASSIGN_OR_RETURN(const double t,
+                        intensity_->InverseCumulative(base_ + gamma_[r]));
+    xi[r] = std::max(0.0, t - now_);
+  }
+  return xi;
+}
+
+Result<std::vector<McSamples>> PredictUpcomingQueries(
+    const workload::PiecewiseConstantIntensity& intensity, double now,
+    std::size_t num_queries, std::size_t num_paths,
+    const stats::DurationDistribution& pending, stats::Rng* rng,
+    std::size_t skip) {
+  if (rng == nullptr) return Status::Invalid("PredictUpcomingQueries: null rng");
+  if (num_queries == 0 || num_paths == 0) {
+    return Status::Invalid("PredictUpcomingQueries: counts must be >= 1");
+  }
+  ArrivalPathSampler sampler(&intensity, now, num_paths, rng);
+  sampler.Skip(skip);
+  std::vector<McSamples> out;
+  out.reserve(num_queries);
+  for (std::size_t j = 0; j < num_queries; ++j) {
+    McSamples s;
+    RS_ASSIGN_OR_RETURN(s.xi, sampler.NextQuery());
+    s.tau.resize(num_paths);
+    for (std::size_t r = 0; r < num_paths; ++r) {
+      s.tau[r] = pending.Sample(rng);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,63 @@
+/// \file arrival_predictor.hpp
+/// \brief Monte Carlo prediction of upcoming arrival times from a forecast
+///        intensity — the sampling primitive behind the scaling decisions
+///        (time-rescaling: ξ_j = Λ⁻¹(Λ(now) + γ_j) − now).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rs/common/status.hpp"
+#include "rs/core/decision.hpp"
+#include "rs/stats/distributions.hpp"
+#include "rs/stats/rng.hpp"
+#include "rs/workload/intensity.hpp"
+
+namespace rs::core {
+
+/// \brief Incremental sampler of future arrival paths under a piecewise-
+///        constant intensity.
+///
+/// Construct at a given `now`; each NextQuery() call returns Monte Carlo
+/// samples (relative to now) of the next upcoming query's arrival time,
+/// advancing all R coupled paths by one arrival.
+class ArrivalPathSampler {
+ public:
+  /// \param intensity forecast λ(t) whose local time origin the `now`
+  ///                  argument refers to.
+  /// \param now       current time on the intensity's clock.
+  /// \param num_paths Monte Carlo path count R.
+  ArrivalPathSampler(const workload::PiecewiseConstantIntensity* intensity,
+                     double now, std::size_t num_paths, stats::Rng* rng);
+
+  /// Advances every path past `count` arrivals in one Gamma(count, 1) jump
+  /// (used to skip queries that already have instances).
+  void Skip(std::size_t count);
+
+  /// Samples the next query's arrival times across all paths, relative to
+  /// `now`. Output size is num_paths.
+  Result<std::vector<double>> NextQuery();
+
+  std::size_t num_paths() const { return gamma_.size(); }
+
+ private:
+  const workload::PiecewiseConstantIntensity* intensity_;
+  stats::Rng* rng_;
+  double now_;
+  double base_;
+  std::vector<double> gamma_;
+};
+
+/// \brief Samples a full R×J matrix of upcoming arrival times (row r =
+///        one path), plus matching pending-time draws, ready for the
+///        decision solvers. Convenience for benches and examples.
+///
+/// \return samples[j] holds the McSamples for the (skip + j + 1)-th
+///         upcoming query.
+Result<std::vector<McSamples>> PredictUpcomingQueries(
+    const workload::PiecewiseConstantIntensity& intensity, double now,
+    std::size_t num_queries, std::size_t num_paths,
+    const stats::DurationDistribution& pending, stats::Rng* rng,
+    std::size_t skip = 0);
+
+}  // namespace rs::core

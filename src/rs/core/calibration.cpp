@@ -1,0 +1,81 @@
+#include "rs/core/calibration.hpp"
+
+#include <algorithm>
+
+namespace rs::core {
+
+namespace {
+
+/// Pool-adjacent-violators: smallest-change non-decreasing fit.
+std::vector<double> Isotonize(std::vector<double> v) {
+  const std::size_t n = v.size();
+  std::vector<double> level(v);
+  std::vector<double> weight(n, 1.0);
+  std::vector<std::size_t> size(n, 1);
+  std::size_t blocks = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    level[blocks] = v[i];
+    weight[blocks] = 1.0;
+    size[blocks] = 1;
+    while (blocks > 0 && level[blocks - 1] > level[blocks]) {
+      const double merged_weight = weight[blocks - 1] + weight[blocks];
+      level[blocks - 1] =
+          (level[blocks - 1] * weight[blocks - 1] + level[blocks] * weight[blocks]) /
+          merged_weight;
+      weight[blocks - 1] = merged_weight;
+      size[blocks - 1] += size[blocks];
+      --blocks;
+    }
+    ++blocks;
+  }
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    out.insert(out.end(), size[b], level[b]);
+  }
+  return out;
+}
+
+double Interpolate(const std::vector<double>& xs, const std::vector<double>& ys,
+                   double x) {
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const auto hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double span = xs[hi] - xs[lo];
+  if (span <= 0.0) return ys[lo];
+  const double frac = (x - xs[lo]) / span;
+  return ys[lo] * (1.0 - frac) + ys[hi] * frac;
+}
+
+}  // namespace
+
+Result<CalibrationCurve> CalibrationCurve::Make(std::vector<double> nominal,
+                                                std::vector<double> actual) {
+  if (nominal.size() != actual.size() || nominal.size() < 2) {
+    return Status::Invalid(
+        "CalibrationCurve: need >= 2 equal-length nominal/actual points");
+  }
+  for (std::size_t i = 1; i < nominal.size(); ++i) {
+    if (!(nominal[i] > nominal[i - 1])) {
+      return Status::Invalid("CalibrationCurve: nominal must be ascending");
+    }
+  }
+  CalibrationCurve curve;
+  curve.nominal_ = std::move(nominal);
+  curve.actual_ = Isotonize(std::move(actual));
+  return curve;
+}
+
+double CalibrationCurve::PickNominal(double desired_actual) const {
+  // The isotonized actuals may contain flat stretches; Interpolate on the
+  // inverse handles them by returning the left edge.
+  return Interpolate(actual_, nominal_, desired_actual);
+}
+
+double CalibrationCurve::PredictActual(double nominal) const {
+  return Interpolate(nominal_, actual_, nominal);
+}
+
+}  // namespace rs::core

@@ -1,0 +1,39 @@
+/// \file calibration.hpp
+/// \brief Nominal→actual QoS calibration (Section VI-C practical
+///        guidelines): run the scaler at a grid of nominal levels on
+///        training data, record the achieved levels, and invert the map to
+///        pick the nominal level that attains a desired actual level.
+#pragma once
+
+#include <vector>
+
+#include "rs/common/status.hpp"
+
+namespace rs::core {
+
+/// A monotone nominal→actual mapping built from calibration runs.
+class CalibrationCurve {
+ public:
+  /// \param nominal ascending nominal levels p_1 < … < p_B.
+  /// \param actual  achieved levels p̂_b from running the scaler at p_b on
+  ///                training data; must be the same length. Non-monotone
+  ///                actuals are isotonized (pool-adjacent-violators).
+  static Result<CalibrationCurve> Make(std::vector<double> nominal,
+                                       std::vector<double> actual);
+
+  /// Nominal level whose calibrated actual equals `desired_actual`
+  /// (piecewise-linear inverse interpolation, clamped to the grid range).
+  double PickNominal(double desired_actual) const;
+
+  /// Calibrated actual level at a nominal value (forward interpolation).
+  double PredictActual(double nominal) const;
+
+  const std::vector<double>& nominal() const { return nominal_; }
+  const std::vector<double>& actual() const { return actual_; }
+
+ private:
+  std::vector<double> nominal_;
+  std::vector<double> actual_;
+};
+
+}  // namespace rs::core

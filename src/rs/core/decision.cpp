@@ -1,0 +1,162 @@
+#include "rs/core/decision.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "rs/stats/empirical.hpp"
+
+namespace rs::core {
+
+namespace {
+
+Status ValidateSamples(const McSamples& samples) {
+  if (samples.xi.empty() || samples.xi.size() != samples.tau.size()) {
+    return Status::Invalid("decision: xi/tau samples must be non-empty and equal-sized");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+double EstimateExpectedWait(const McSamples& samples, double x) {
+  double acc = 0.0;
+  for (std::size_t r = 0; r < samples.xi.size(); ++r) {
+    const double gap = std::max(samples.xi[r] - x, 0.0);
+    acc += std::max(samples.tau[r] - gap, 0.0);
+  }
+  return acc / static_cast<double>(samples.xi.size());
+}
+
+double EstimateExpectedIdle(const McSamples& samples, double x) {
+  double acc = 0.0;
+  for (std::size_t r = 0; r < samples.xi.size(); ++r) {
+    acc += std::max(samples.xi[r] - samples.tau[r] - x, 0.0);
+  }
+  return acc / static_cast<double>(samples.xi.size());
+}
+
+Result<Decision> SolveHpConstrained(const McSamples& samples, double alpha) {
+  RS_RETURN_NOT_OK(ValidateSamples(samples));
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    return Status::Invalid("SolveHpConstrained: alpha must lie in (0, 1)");
+  }
+  std::vector<double> slack(samples.xi.size());
+  for (std::size_t r = 0; r < slack.size(); ++r) {
+    slack[r] = samples.xi[r] - samples.tau[r];
+  }
+  RS_ASSIGN_OR_RETURN(const double x_star, stats::Quantile(std::move(slack), alpha));
+  Decision d;
+  d.feasible = x_star >= 0.0;
+  d.creation_time = std::max(x_star, 0.0);
+  return d;
+}
+
+Result<Decision> SolveRtConstrained(const McSamples& samples, double rt_excess) {
+  RS_RETURN_NOT_OK(ValidateSamples(samples));
+  if (rt_excess < 0.0) {
+    return Status::Invalid("SolveRtConstrained: rt_excess must be >= 0");
+  }
+  const std::size_t n = samples.xi.size();
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  // Ê(x) = (1/R) Σ_r (τ_r − (ξ_r − x)+)+ is non-decreasing piecewise linear:
+  // the slope gains 1/R when x passes ξ_r − τ_r (the instance starts waiting
+  // on sample r) and loses 1/R when x passes ξ_r (sample r's wait saturates
+  // at τ_r). Sweep the 2R breakpoints in ascending order, tracking slope and
+  // the accumulated value — the sort-and-search of Algorithm 3.
+  struct Breakpoint {
+    double x;
+    double slope_delta;
+  };
+  std::vector<Breakpoint> bps;
+  bps.reserve(2 * n);
+  double e_max = 0.0;  // Ê(+∞) = mean(τ).
+  for (std::size_t r = 0; r < n; ++r) {
+    bps.push_back({samples.xi[r] - samples.tau[r], inv_n});
+    bps.push_back({samples.xi[r], -inv_n});
+    e_max += samples.tau[r] * inv_n;
+  }
+  if (rt_excess >= e_max) {
+    // Constraint slack for all x: never need a proactive creation.
+    Decision d;
+    d.unbounded = true;
+    d.creation_time = std::numeric_limits<double>::infinity();
+    return d;
+  }
+  std::sort(bps.begin(), bps.end(),
+            [](const Breakpoint& a, const Breakpoint& b) { return a.x < b.x; });
+
+  double value = 0.0;  // Ê at the previous breakpoint.
+  double slope = 0.0;
+  double prev_x = bps.front().x;
+  for (const auto& bp : bps) {
+    const double next_value = value + slope * (bp.x - prev_x);
+    if (next_value >= rt_excess && slope > 0.0) {
+      Decision d;
+      d.creation_time = prev_x + (rt_excess - value) / slope;
+      d.feasible = d.creation_time >= 0.0;
+      d.creation_time = std::max(d.creation_time, 0.0);
+      return d;
+    }
+    value = next_value;
+    slope += bp.slope_delta;
+    prev_x = bp.x;
+  }
+  // rt_excess < e_max guarantees the sweep crosses the target; reaching
+  // here means only numerical ties — use the last breakpoint.
+  Decision d;
+  d.creation_time = std::max(prev_x, 0.0);
+  d.feasible = prev_x >= 0.0;
+  return d;
+}
+
+Result<Decision> SolveCostConstrained(const McSamples& samples,
+                                      double idle_budget) {
+  RS_RETURN_NOT_OK(ValidateSamples(samples));
+  if (idle_budget < 0.0) {
+    return Status::Invalid("SolveCostConstrained: idle_budget must be >= 0");
+  }
+  const std::size_t n = samples.xi.size();
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  // Ĝ(x) = (1/R) Σ_r (ξ_r − τ_r − x)+ is non-increasing piecewise linear
+  // with slope −(#{r : ξ_r − τ_r > x})/R; breakpoints at ξ_r − τ_r.
+  std::vector<double> slack(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    slack[r] = samples.xi[r] - samples.tau[r];
+  }
+  std::sort(slack.begin(), slack.end());
+
+  // Ĝ(0): the idle cost of creating immediately (Eq. 7 first case).
+  double g0 = 0.0;
+  for (double s : slack) g0 += std::max(s, 0.0) * inv_n;
+  Decision d;
+  if (g0 <= idle_budget) {
+    d.creation_time = 0.0;
+    return d;
+  }
+
+  // Sweep from the largest breakpoint down: Ĝ(slack[n-1]) = 0, and on
+  // [slack[k-1], slack[k]] the slope magnitude is (n-k)/n. Because
+  // Ĝ(0) = g0 > idle_budget, the crossing occurs at some x in (0, slack max)
+  // before the sweep reaches zero.
+  double value = 0.0;  // Ĝ at the current segment's upper end.
+  for (std::size_t k = n; k-- > 0;) {
+    const double seg_hi = slack[k];
+    if (seg_hi <= 0.0) break;  // Crossing can only be at x > 0.
+    const double seg_lo = std::max(k > 0 ? slack[k - 1] : 0.0, 0.0);
+    const double slope_mag = static_cast<double>(n - k) * inv_n;
+    const double value_lo = value + slope_mag * (seg_hi - seg_lo);
+    if (value_lo >= idle_budget) {
+      d.creation_time = seg_hi - (idle_budget - value) / slope_mag;
+      return d;
+    }
+    value = value_lo;
+  }
+  // Numerically unreachable (g0 > budget); fall back to immediate creation.
+  d.creation_time = 0.0;
+  return d;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,62 @@
+/// \file decision.hpp
+/// \brief The per-query scaling-decision solvers of Section VI-B:
+///        HP-constrained quantile rule (Eq. 3), RT-constrained
+///        sort-and-search (Eq. 5 / Algorithm 3), and the cost-constrained
+///        rule (Eq. 7). All operate on Monte Carlo samples of the upcoming
+///        arrival time ξ and pending time τ.
+#pragma once
+
+#include <vector>
+
+#include "rs/common/status.hpp"
+
+namespace rs::core {
+
+/// Monte Carlo samples for one upcoming query: xi[r] is the sampled arrival
+/// time (relative to "now"), tau[r] the sampled instance pending time.
+/// Sizes must match and be >= 1.
+struct McSamples {
+  std::vector<double> xi;
+  std::vector<double> tau;
+};
+
+/// Decision value for one query: when to create its instance, relative to
+/// now. `feasible == false` (HP variant only) means even immediate creation
+/// (x = 0) cannot reach the requested level — the caller should create
+/// immediately (the clamped decision is in `creation_time`, = 0).
+/// `unbounded == true` (RT/cost variants) means the constraint is slack for
+/// every x, so no proactive creation is needed at all.
+struct Decision {
+  double creation_time = 0.0;
+  bool feasible = true;
+  bool unbounded = false;
+};
+
+/// \brief HP-constrained rule (Eq. 3): x* = α-quantile of (ξ − τ).
+///
+/// \param alpha miss budget, α = 1 − target hitting probability, in (0, 1).
+Result<Decision> SolveHpConstrained(const McSamples& samples, double alpha);
+
+/// \brief RT-constrained rule (Eq. 5): the x with
+///        Ê[(τ − (ξ − x)+)+] = rt_excess, found by the O(R log R)
+///        sort-and-search sweep of Algorithm 3.
+///
+/// \param rt_excess the waiting-time budget d − µs (>= 0). If it exceeds
+///        E[τ] the constraint is slack everywhere → `unbounded`.
+Result<Decision> SolveRtConstrained(const McSamples& samples, double rt_excess);
+
+/// \brief Cost-constrained rule (Eq. 7): x* = 0 when Ê[(ξ−τ)+] <= idle
+///        budget, otherwise the x with Ê[(ξ − τ − x)+] = idle_budget.
+///
+/// \param idle_budget B − µτ − µs (>= 0): allowed mean idle time/instance.
+Result<Decision> SolveCostConstrained(const McSamples& samples,
+                                      double idle_budget);
+
+/// Ê[(τ − (ξ − x)+)+]: the Monte Carlo expected waiting time if the
+/// instance is created at x (exposed for tests/verification of Alg. 3).
+double EstimateExpectedWait(const McSamples& samples, double x);
+
+/// Ê[(ξ − τ − x)+]: the Monte Carlo expected idle time for creation at x.
+double EstimateExpectedIdle(const McSamples& samples, double x);
+
+}  // namespace rs::core

@@ -1,0 +1,137 @@
+#include "rs/core/extensions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/common/logging.hpp"
+#include "rs/core/arrival_predictor.hpp"
+#include "rs/core/decision.hpp"
+
+namespace rs::core {
+
+NaiveBatchScaler::NaiveBatchScaler(workload::PiecewiseConstantIntensity forecast,
+                                   stats::DurationDistribution pending,
+                                   NaiveBatchOptions options)
+    : forecast_(std::move(forecast)),
+      pending_(pending),
+      options_(options),
+      rng_(options.seed) {
+  RS_CHECK(options_.batch >= 1 && options_.mc_samples >= 1)
+      << "NaiveBatchScaler: batch and mc_samples must be >= 1";
+}
+
+sim::ScalingAction NaiveBatchScaler::Initialize(const sim::SimContext& ctx) {
+  return PlanBatch(ctx.now);
+}
+
+sim::ScalingAction NaiveBatchScaler::OnQueryArrival(const sim::SimContext& ctx,
+                                                    bool cold_start) {
+  (void)cold_start;
+  // The defining defect: replan only after the whole batch is consumed.
+  if (ctx.Outstanding() > 0) return {};
+  return PlanBatch(ctx.now);
+}
+
+sim::ScalingAction NaiveBatchScaler::PlanBatch(double now) {
+  sim::ScalingAction action;
+  auto samples = PredictUpcomingQueries(forecast_, now, options_.batch,
+                                        options_.mc_samples, pending_, &rng_);
+  if (!samples.ok()) {
+    RS_LOG(Warning) << "NaiveBatchScaler: prediction failed: "
+                    << samples.status().ToString();
+    return action;
+  }
+  for (const auto& s : *samples) {
+    auto decision = SolveHpConstrained(s, options_.alpha);
+    if (!decision.ok()) break;
+    action.creation_times.push_back(now + decision->creation_time);
+  }
+  return action;
+}
+
+MeanRateScaler::MeanRateScaler(workload::PiecewiseConstantIntensity forecast,
+                               stats::DurationDistribution pending,
+                               MeanRateOptions options)
+    : forecast_(std::move(forecast)), pending_(pending), options_(options) {
+  RS_CHECK(options_.planning_interval > 0.0 && options_.depth >= 1)
+      << "MeanRateScaler: invalid options";
+}
+
+sim::ScalingAction MeanRateScaler::OnPlanningTick(const sim::SimContext& ctx) {
+  sim::ScalingAction action;
+  const double now = ctx.now;
+  const std::size_t outstanding = ctx.Outstanding();
+  if (outstanding >= options_.depth) return action;
+  const double base = forecast_.Cumulative(now);
+  const double mean_pending = pending_.Mean();
+  for (std::size_t j = outstanding + 1; j <= options_.depth; ++j) {
+    // "Expected" arrival of the j-th upcoming query: the time by which the
+    // integrated intensity accumulates j — a mean estimate with no
+    // uncertainty quantification.
+    auto t = forecast_.InverseCumulative(base + static_cast<double>(j));
+    if (!t.ok()) break;
+    action.creation_times.push_back(
+        std::max(now, t.ValueOrDie() - mean_pending));
+  }
+  return action;
+}
+
+RefittingPolicy::RefittingPolicy(workload::Trace training,
+                                 stats::DurationDistribution pending,
+                                 RefittingOptions options)
+    : training_(std::move(training)), pending_(pending), options_(options) {
+  RS_CHECK(options_.refit_interval > 0.0)
+      << "RefittingPolicy: refit_interval must be > 0";
+}
+
+Status RefittingPolicy::Refit(double now,
+                              const std::vector<double>& observed_arrivals) {
+  // Extended history: the original training window plus everything observed
+  // since simulation start (shifted onto the training clock).
+  workload::Trace extended = training_;
+  const double offset = training_.horizon();
+  for (double t : observed_arrivals) {
+    extended.Append({t + offset, 0.0});
+  }
+  extended.set_horizon(offset + now);
+  extended.SortByArrival();
+
+  PipelineOptions pipeline = options_.pipeline;
+  // The forecast must cover the remaining replay; callers set
+  // pipeline.forecast_horizon to at least the test horizon and we keep it.
+  RS_ASSIGN_OR_RETURN(auto trained, TrainRobustScaler(extended, pipeline));
+
+  SequentialScalerOptions scaler = options_.scaler;
+  scaler.forecast_origin = now;  // Forecast local time 0 == sim time `now`.
+  delegate_ = std::make_unique<RobustScalerPolicy>(trained.forecast, pending_,
+                                                   scaler);
+  last_refit_ = now;
+  ++refit_count_;
+  return Status::OK();
+}
+
+sim::ScalingAction RefittingPolicy::Initialize(const sim::SimContext& ctx) {
+  const Status status = Refit(ctx.now, {});
+  if (!status.ok()) {
+    RS_LOG(Warning) << "RefittingPolicy: initial fit failed: "
+                    << status.ToString();
+    return {};
+  }
+  return delegate_->Initialize(ctx);
+}
+
+sim::ScalingAction RefittingPolicy::OnPlanningTick(const sim::SimContext& ctx) {
+  if (ctx.now - last_refit_ >= options_.refit_interval &&
+      ctx.arrival_history != nullptr) {
+    const Status status = Refit(ctx.now, *ctx.arrival_history);
+    if (!status.ok()) {
+      RS_LOG(Warning) << "RefittingPolicy: refit failed (keeping previous "
+                         "model): "
+                      << status.ToString();
+    }
+  }
+  if (delegate_ == nullptr) return {};
+  return delegate_->OnPlanningTick(ctx);
+}
+
+}  // namespace rs::core

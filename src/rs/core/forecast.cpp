@@ -1,0 +1,44 @@
+#include "rs/core/forecast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/stats/empirical.hpp"
+
+namespace rs::core {
+
+Result<workload::PiecewiseConstantIntensity> ForecastIntensityFromSeries(
+    const std::vector<double>& intensity, double dt, std::size_t period,
+    std::size_t horizon_bins, const ForecastOptions& options) {
+  const std::size_t t = intensity.size();
+  if (t == 0) return Status::Invalid("ForecastIntensity: empty history");
+  if (horizon_bins == 0) {
+    return Status::Invalid("ForecastIntensity: horizon_bins must be >= 1");
+  }
+  std::vector<double> future(horizon_bins);
+  if (period > 0 && period <= t) {
+    for (std::size_t h = 0; h < horizon_bins; ++h) {
+      // Index T + h wrapped back by whole periods into the final cycle.
+      std::size_t idx = (t - period) + (h % period);
+      future[h] = intensity[idx];
+    }
+  } else {
+    const std::size_t window = std::min(std::max<std::size_t>(options.level_window, 1), t);
+    std::vector<double> tail(intensity.end() - static_cast<std::ptrdiff_t>(window),
+                             intensity.end());
+    const double level = stats::Mean(tail);
+    std::fill(future.begin(), future.end(), level);
+  }
+  for (double& v : future) v = std::max(v, options.min_rate);
+  return workload::PiecewiseConstantIntensity::Make(std::move(future), dt);
+}
+
+Result<workload::PiecewiseConstantIntensity> ForecastIntensity(
+    const NhppModel& model, std::size_t horizon_bins,
+    const ForecastOptions& options) {
+  return ForecastIntensityFromSeries(model.Intensity(), model.config().dt,
+                                     model.config().period, horizon_bins,
+                                     options);
+}
+
+}  // namespace rs::core

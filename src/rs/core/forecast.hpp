@@ -1,0 +1,42 @@
+/// \file forecast.hpp
+/// \brief Module 3 of the framework (Fig. 2): extrapolates the fitted
+///        historical intensity into the future — periodic extension when a
+///        period was detected, local-level carry-forward otherwise.
+#pragma once
+
+#include <cstddef>
+
+#include "rs/common/status.hpp"
+#include "rs/core/nhpp_model.hpp"
+#include "rs/workload/intensity.hpp"
+
+namespace rs::core {
+
+/// Forecast configuration.
+struct ForecastOptions {
+  /// With no period, forecast the mean intensity of the trailing
+  /// `level_window` bins (a robust "local level").
+  std::size_t level_window = 60;
+  /// Intensity floor (per second) so cumulative-intensity inversion never
+  /// stalls on an exactly-zero tail.
+  double min_rate = 1e-8;
+};
+
+/// \brief Extends a fitted model `horizon_bins` bins past its training end.
+///
+/// Periodic case: bin T+h copies the intensity one (or more) whole periods
+/// back, λ̂_{T+h} = λ_{T+h−kL} for the smallest k putting the index in
+/// range. Aperiodic case: constant at the trailing-window mean.
+/// The returned intensity's local time 0 corresponds to the end of the
+/// training window.
+Result<workload::PiecewiseConstantIntensity> ForecastIntensity(
+    const NhppModel& model, std::size_t horizon_bins,
+    const ForecastOptions& options = {});
+
+/// Same, but starting from a raw per-bin intensity series (used by tests
+/// and by ablations that bypass the NHPP fit).
+Result<workload::PiecewiseConstantIntensity> ForecastIntensityFromSeries(
+    const std::vector<double>& intensity, double dt, std::size_t period,
+    std::size_t horizon_bins, const ForecastOptions& options = {});
+
+}  // namespace rs::core

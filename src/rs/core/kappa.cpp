@@ -1,0 +1,106 @@
+#include "rs/core/kappa.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "rs/stats/empirical.hpp"
+#include "rs/stats/special_functions.hpp"
+
+namespace rs::core {
+
+Result<std::size_t> ComputeKappaDeterministicTau(double alpha,
+                                                 double lambda_bar, double tau,
+                                                 std::size_t max_kappa) {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    return Status::Invalid("ComputeKappa: alpha must lie in (0, 1)");
+  }
+  if (!(lambda_bar > 0.0)) {
+    return Status::Invalid("ComputeKappa: lambda_bar must be > 0");
+  }
+  if (tau < 0.0) return Status::Invalid("ComputeKappa: tau must be >= 0");
+  const double threshold = lambda_bar * tau;
+  std::size_t kappa = 0;
+  for (std::size_t i = 1; i <= max_kappa; ++i) {
+    RS_ASSIGN_OR_RETURN(const double q,
+                        stats::GammaQuantile(static_cast<double>(i), 1.0, alpha));
+    if (q < threshold) {
+      kappa = i;
+    } else {
+      break;  // The quantile is increasing in i: no later i can qualify.
+    }
+  }
+  return kappa;
+}
+
+Result<std::size_t> ComputeKappaBinarySearch(double alpha, double lambda_bar,
+                                             double tau,
+                                             std::size_t max_kappa) {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    return Status::Invalid("ComputeKappa: alpha must lie in (0, 1)");
+  }
+  if (!(lambda_bar > 0.0)) {
+    return Status::Invalid("ComputeKappa: lambda_bar must be > 0");
+  }
+  if (tau < 0.0) return Status::Invalid("ComputeKappa: tau must be >= 0");
+  const double threshold = lambda_bar * tau;
+  auto below = [&](std::size_t i) -> Result<bool> {
+    RS_ASSIGN_OR_RETURN(const double q,
+                        stats::GammaQuantile(static_cast<double>(i), 1.0, alpha));
+    return q < threshold;
+  };
+  RS_ASSIGN_OR_RETURN(const bool first_below, below(1));
+  if (!first_below) return static_cast<std::size_t>(0);
+  // Invariant: quantile(lo) < threshold <= quantile(hi) (monotone in i).
+  std::size_t lo = 1, hi = 2;
+  for (;;) {
+    if (hi > max_kappa) return max_kappa;
+    RS_ASSIGN_OR_RETURN(const bool b, below(hi));
+    if (!b) break;
+    lo = hi;
+    hi *= 2;
+  }
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    RS_ASSIGN_OR_RETURN(const bool b, below(mid));
+    if (b) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Result<std::size_t> ComputeKappaMonteCarlo(
+    stats::Rng* rng, double alpha, double lambda_bar,
+    const stats::DurationDistribution& pending, std::size_t num_samples,
+    std::size_t max_kappa) {
+  if (rng == nullptr) return Status::Invalid("ComputeKappa: null rng");
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    return Status::Invalid("ComputeKappa: alpha must lie in (0, 1)");
+  }
+  if (!(lambda_bar > 0.0)) {
+    return Status::Invalid("ComputeKappa: lambda_bar must be > 0");
+  }
+  if (num_samples == 0) {
+    return Status::Invalid("ComputeKappa: num_samples must be >= 1");
+  }
+  std::vector<double> gamma(num_samples, 0.0);
+  std::vector<double> stat(num_samples);
+  std::size_t kappa = 0;
+  for (std::size_t i = 1; i <= max_kappa; ++i) {
+    for (std::size_t r = 0; r < num_samples; ++r) {
+      gamma[r] += stats::SampleExponential(rng, 1.0);
+      stat[r] = gamma[r] / lambda_bar - pending.Sample(rng);
+    }
+    RS_ASSIGN_OR_RETURN(const double q, stats::Quantile(stat, alpha));
+    if (q < 0.0) {
+      kappa = i;
+    } else {
+      break;
+    }
+  }
+  return kappa;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,44 @@
+/// \file kappa.hpp
+/// \brief The look-ahead threshold κ of Algorithm 4 (Eq. 8):
+///        κ = max{ i >= 1 : α-quantile of (γ_i / λ̄ − τ_i) < 0 }, with
+///        γ_i ~ Gamma(i, 1). Planning always stays at least κ+1 arrivals
+///        ahead so every query's instance can be ready in time.
+#pragma once
+
+#include <cstddef>
+
+#include "rs/common/status.hpp"
+#include "rs/stats/distributions.hpp"
+#include "rs/stats/rng.hpp"
+
+namespace rs::core {
+
+/// \brief Exact κ for deterministic pending time τ: the condition becomes
+///        GammaQuantile(i, 1, α) < λ̄·τ.
+///
+/// \param alpha       miss budget α in (0, 1).
+/// \param lambda_bar  intensity upper bound λ̄ (per second, > 0).
+/// \param tau         deterministic pending time (s, >= 0).
+/// \param max_kappa   safety cap for the scan.
+Result<std::size_t> ComputeKappaDeterministicTau(double alpha,
+                                                 double lambda_bar, double tau,
+                                                 std::size_t max_kappa = 100000);
+
+/// \brief Exact κ by binary search on the Gamma quantile (O(log max_kappa)
+///        quantile evaluations) — fast enough to recompute at every planning
+///        round with the local intensity, as Section VII-A1 prescribes.
+Result<std::size_t> ComputeKappaBinarySearch(double alpha, double lambda_bar,
+                                             double tau,
+                                             std::size_t max_kappa = 1000000);
+
+/// \brief Monte Carlo κ for a general pending-time distribution.
+///
+/// Maintains R coupled paths of γ_i (incremental Exp(1) sums) and per-i
+/// fresh τ draws; scans i upward until the empirical α-quantile of
+/// γ_i/λ̄ − τ_i turns non-negative.
+Result<std::size_t> ComputeKappaMonteCarlo(
+    stats::Rng* rng, double alpha, double lambda_bar,
+    const stats::DurationDistribution& pending, std::size_t num_samples = 2000,
+    std::size_t max_kappa = 100000);
+
+}  // namespace rs::core

@@ -1,0 +1,39 @@
+#include "rs/core/nhpp_model.hpp"
+
+#include <cmath>
+
+#include "rs/linalg/difference_ops.hpp"
+#include "rs/linalg/vector_ops.hpp"
+
+namespace rs::core {
+
+NhppModel::NhppModel(NhppConfig config, std::vector<double> log_intensity)
+    : config_(config), r_(std::move(log_intensity)) {}
+
+std::vector<double> NhppModel::Intensity() const { return linalg::Exp(r_); }
+
+Result<workload::PiecewiseConstantIntensity> NhppModel::ToIntensity() const {
+  if (r_.empty()) return Status::Invalid("NhppModel: empty model");
+  return workload::PiecewiseConstantIntensity::Make(Intensity(), config_.dt);
+}
+
+Result<double> NhppModel::Loss(const std::vector<double>& counts) const {
+  if (counts.size() != r_.size()) {
+    return Status::Invalid("NhppModel::Loss: counts/model size mismatch");
+  }
+  double loss = 0.0;
+  for (std::size_t t = 0; t < r_.size(); ++t) {
+    loss += -counts[t] * r_[t] + config_.dt * std::exp(r_[t]);
+  }
+  linalg::Vec d2r;
+  linalg::ApplyD2(r_, &d2r);
+  loss += config_.beta1 * linalg::Norm1(d2r);
+  if (config_.period > 0 && config_.period < r_.size()) {
+    linalg::Vec dlr;
+    linalg::ApplyDL(r_, config_.period, &dlr);
+    loss += 0.5 * config_.beta2 * linalg::Dot(dlr, dlr);
+  }
+  return loss;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,52 @@
+/// \file nhpp_model.hpp
+/// \brief The regularized NHPP arrival model of Section V: log-intensity
+///        r_t per Δt bin, Poisson likelihood with an L1 second-difference
+///        penalty and an L2 periodicity penalty (Eq. 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rs/common/status.hpp"
+#include "rs/workload/intensity.hpp"
+
+namespace rs::core {
+
+/// Hyper-parameters of the regularized loss (Eq. 1).
+struct NhppConfig {
+  double dt = 60.0;      ///< Bin width Δt (seconds).
+  double beta1 = 10.0;   ///< L1 weight on D2 r (trend smoothness).
+  double beta2 = 50.0;   ///< L2 weight on DL r (periodicity coupling).
+  std::size_t period = 0;  ///< Period L in bins; 0 disables the DL term.
+};
+
+/// \brief A fitted NHPP: r_t (natural log of the per-second intensity)
+///        for each of T training bins.
+class NhppModel {
+ public:
+  NhppModel() = default;
+  NhppModel(NhppConfig config, std::vector<double> log_intensity);
+
+  const NhppConfig& config() const { return config_; }
+  const std::vector<double>& log_intensity() const { return r_; }
+  std::size_t bins() const { return r_.size(); }
+
+  /// Per-second intensity λ_t = exp(r_t) for every bin.
+  std::vector<double> Intensity() const;
+
+  /// The fitted intensity as a piecewise-constant function over the
+  /// training window.
+  Result<workload::PiecewiseConstantIntensity> ToIntensity() const;
+
+  /// \brief Value of the regularized objective (Eq. 1) at this model given
+  ///        the training counts; used by convergence tests and ablations.
+  ///
+  /// loss = -Qᵀr + Δt·1ᵀexp(r) + β1‖D2 r‖₁ + (β2/2)‖DL r‖₂².
+  Result<double> Loss(const std::vector<double>& counts) const;
+
+ private:
+  NhppConfig config_;
+  std::vector<double> r_;
+};
+
+}  // namespace rs::core

@@ -1,0 +1,60 @@
+#include "rs/core/pipeline.hpp"
+
+#include <cmath>
+
+#include "rs/timeseries/aggregate.hpp"
+
+namespace rs::core {
+
+Result<TrainedPipeline> TrainRobustScaler(const workload::Trace& training,
+                                          const PipelineOptions& options) {
+  if (training.horizon() <= 0.0) {
+    return Status::Invalid("TrainRobustScaler: empty training horizon");
+  }
+  if (!(options.dt > 0.0)) {
+    return Status::Invalid("TrainRobustScaler: dt must be > 0");
+  }
+
+  // Module 1a: aggregate events into Q_t.
+  RS_ASSIGN_OR_RETURN(auto counts,
+                      ts::AggregateEvents(training.ArrivalTimes(), options.dt,
+                                          training.horizon()));
+
+  // Module 1b: robust periodicity detection.
+  RS_ASSIGN_OR_RETURN(auto period, ts::DetectPeriod(counts, options.periodicity));
+
+  // Module 2: regularized NHPP fit via ADMM.
+  NhppConfig config;
+  config.dt = options.dt;
+  config.beta1 = options.beta1;
+  config.beta2 = options.beta2;
+  config.period = period.period;
+  AdmmInfo info;
+  RS_ASSIGN_OR_RETURN(auto model,
+                      FitNhpp(counts.counts, config, options.admm, &info));
+
+  // Module 3: extrapolate the intensity past the training window.
+  const auto horizon_bins = static_cast<std::size_t>(
+      std::ceil(options.forecast_horizon / options.dt));
+  RS_ASSIGN_OR_RETURN(
+      auto forecast,
+      ForecastIntensity(model, std::max<std::size_t>(horizon_bins, 1),
+                        options.forecast));
+
+  TrainedPipeline out;
+  out.counts = std::move(counts);
+  out.period = period;
+  out.model = std::move(model);
+  out.admm_info = info;
+  out.forecast = std::move(forecast);
+  return out;
+}
+
+std::unique_ptr<RobustScalerPolicy> MakeRobustScalerPolicy(
+    const TrainedPipeline& trained, const stats::DurationDistribution& pending,
+    const SequentialScalerOptions& scaler_options) {
+  return std::make_unique<RobustScalerPolicy>(trained.forecast, pending,
+                                              scaler_options);
+}
+
+}  // namespace rs::core

@@ -1,0 +1,60 @@
+/// \file pipeline.hpp
+/// \brief End-to-end RobustScaler pipeline (Fig. 2): periodicity detection
+///        → NHPP fit (ADMM) → intensity forecast → scaling policy. This is
+///        the primary high-level entry point of the library.
+#pragma once
+
+#include <memory>
+
+#include "rs/common/status.hpp"
+#include "rs/core/admm.hpp"
+#include "rs/core/forecast.hpp"
+#include "rs/core/nhpp_model.hpp"
+#include "rs/core/sequential_scaler.hpp"
+#include "rs/timeseries/periodicity.hpp"
+#include "rs/workload/trace.hpp"
+
+namespace rs::core {
+
+/// Configuration of the full training pipeline.
+struct PipelineOptions {
+  /// Bin width Δt for the QPS series fed to the model (seconds).
+  double dt = 60.0;
+  /// Regularization weights of Eq. (1).
+  double beta1 = 10.0;
+  double beta2 = 50.0;
+  /// Periodicity detection configuration (module 1).
+  ts::PeriodicityOptions periodicity;
+  /// ADMM solver configuration (module 2).
+  AdmmOptions admm;
+  /// Forecast configuration (module 3).
+  ForecastOptions forecast;
+  /// How far past the training window the forecast must extend (seconds).
+  /// Set this to at least the test-trace horizon.
+  double forecast_horizon = 86400.0;
+};
+
+/// Everything the training phase produces.
+struct TrainedPipeline {
+  ts::CountSeries counts;           ///< Aggregated training counts.
+  ts::DetectedPeriod period;        ///< Detected periodicity (0 = none).
+  NhppModel model;                  ///< Fitted NHPP.
+  AdmmInfo admm_info;               ///< Trainer diagnostics.
+  /// Forecast intensity whose local time 0 is the *end* of training (=
+  /// start of the test trace).
+  workload::PiecewiseConstantIntensity forecast;
+};
+
+/// \brief Runs modules 1–3 on a training trace.
+///
+/// The training trace's horizon defines the training window; the returned
+/// forecast covers [0, forecast_horizon) of post-training time.
+Result<TrainedPipeline> TrainRobustScaler(const workload::Trace& training,
+                                          const PipelineOptions& options = {});
+
+/// Builds the scaling policy (module 4) from a trained pipeline.
+std::unique_ptr<RobustScalerPolicy> MakeRobustScalerPolicy(
+    const TrainedPipeline& trained, const stats::DurationDistribution& pending,
+    const SequentialScalerOptions& scaler_options);
+
+}  // namespace rs::core

@@ -1,0 +1,222 @@
+#include "rs/core/sequential_scaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/common/logging.hpp"
+#include "rs/core/kappa.hpp"
+
+namespace rs::core {
+
+RobustScalerPolicy::RobustScalerPolicy(
+    workload::PiecewiseConstantIntensity forecast,
+    stats::DurationDistribution pending, SequentialScalerOptions options)
+    : forecast_(std::move(forecast)),
+      pending_(pending),
+      options_(options),
+      rng_(options.seed) {
+  RS_CHECK(options_.mc_samples >= 1) << "mc_samples must be >= 1";
+  RS_CHECK(options_.planning_interval > 0.0) << "planning interval must be > 0";
+}
+
+const char* RobustScalerPolicy::name() const {
+  switch (options_.variant) {
+    case ScalerVariant::kHittingProbability:
+      return "RobustScaler-HP";
+    case ScalerVariant::kResponseTime:
+      return "RobustScaler-RT";
+    case ScalerVariant::kCost:
+      return "RobustScaler-cost";
+  }
+  return "RobustScaler";
+}
+
+Result<Decision> RobustScalerPolicy::SolveOne(const McSamples& samples) const {
+  switch (options_.variant) {
+    case ScalerVariant::kHittingProbability:
+      return SolveHpConstrained(samples, options_.alpha);
+    case ScalerVariant::kResponseTime:
+      return SolveRtConstrained(samples, options_.rt_excess);
+    case ScalerVariant::kCost:
+      return SolveCostConstrained(samples, options_.idle_budget);
+  }
+  return Status::Invalid("RobustScalerPolicy: unknown variant");
+}
+
+sim::ScalingAction RobustScalerPolicy::Initialize(const sim::SimContext& ctx) {
+  return PlanWindow(ctx);
+}
+
+sim::ScalingAction RobustScalerPolicy::OnPlanningTick(
+    const sim::SimContext& ctx) {
+  return PlanWindow(ctx);
+}
+
+std::size_t RobustScalerPolicy::CommitDepth(double now) {
+  // `now` is already on the forecast-local clock (PlanWindow converts).
+  // Section VII-A1: κ is time-dependent, computed from the local intensity.
+  // λ̄ = max forecast rate over [now, now + window] so an imminent spike is
+  // provisioned for.
+  double lambda_bar = forecast_.Rate(now);
+  const double step = std::max(forecast_.dt(), 1.0);
+  for (double t = now; t <= now + options_.local_intensity_window; t += step) {
+    lambda_bar = std::max(lambda_bar, forecast_.Rate(t));
+  }
+  lambda_bar = std::max(lambda_bar, 1e-9);
+
+  const double alpha = options_.variant == ScalerVariant::kHittingProbability
+                           ? options_.alpha
+                           : options_.kappa_alpha;
+  // κ depends on λ̄ through the smooth threshold λ̄·τ, so memoize on λ̄
+  // quantized to 2% steps — the planning loop calls this every Δ seconds
+  // and λ̄ drifts slowly between bins.
+  const double quantized =
+      std::exp(std::round(std::log(lambda_bar) * 50.0) / 50.0);
+  std::size_t kappa = 0;
+  if (kappa_cache_valid_ && quantized == kappa_cache_lambda_) {
+    kappa = kappa_cache_value_;
+  } else {
+    auto result = ComputeKappaBinarySearch(alpha, quantized, pending_.Mean(),
+                                           options_.max_creations_per_round);
+    if (result.ok()) {
+      kappa = result.ValueOrDie();
+      kappa_cache_lambda_ = quantized;
+      kappa_cache_value_ = kappa;
+      kappa_cache_valid_ = true;
+    } else {
+      RS_LOG(Warning) << "RobustScalerPolicy: kappa failed: "
+                      << result.status().ToString();
+    }
+  }
+  // m: expected arrivals within one planning interval, at least one.
+  const auto m = static_cast<std::size_t>(
+      std::ceil(lambda_bar * options_.planning_interval));
+  return std::min(kappa + std::max<std::size_t>(m, 1),
+                  options_.max_creations_per_round);
+}
+
+sim::ScalingAction RobustScalerPolicy::PlanWindow(const sim::SimContext& ctx) {
+  sim::ScalingAction action;
+  // Forecast queries run on the forecast-local clock; scheduled creation
+  // times stay on the simulation clock (the offset cancels in x_rel).
+  const double now = ctx.now - options_.forecast_origin;
+  const std::size_t outstanding = ctx.Outstanding();
+
+  // Decisions are committed once per upcoming-query index (the essence of
+  // Algorithm 4): the first `outstanding` upcoming queries already have
+  // instances scheduled or alive, so this round plans indices
+  // outstanding+1 … depth, where depth = κ(now) + m keeps the scheme the
+  // provably-sufficient κ+1 arrivals ahead.
+  const std::size_t depth = CommitDepth(now);
+  if (outstanding >= depth) return action;
+  const std::size_t r_count = options_.mc_samples;
+
+  // Monte Carlo paths of upcoming arrivals via time rescaling:
+  // ξ_j = Λ⁻¹(Λ(now) + γ_j) − now with γ_j a unit-rate Poisson path. The
+  // cumulative exposure of the already-covered queries is drawn in one shot
+  // as Gamma(outstanding, 1).
+  const double base = forecast_.Cumulative(now);
+  std::vector<double> gamma(r_count, 0.0);
+  if (outstanding > 0) {
+    for (std::size_t r = 0; r < r_count; ++r) {
+      gamma[r] = stats::SampleGamma(&rng_, static_cast<double>(outstanding), 1.0);
+    }
+  }
+  McSamples samples;
+  samples.xi.resize(r_count);
+  samples.tau.resize(r_count);
+
+  for (std::size_t k = outstanding; k < depth; ++k) {
+    for (std::size_t r = 0; r < r_count; ++r) {
+      gamma[r] += stats::SampleExponential(&rng_, 1.0);
+      auto inv = forecast_.InverseCumulative(base + gamma[r]);
+      if (!inv.ok()) {
+        RS_LOG(Warning) << "RobustScalerPolicy: arrival sampling failed: "
+                        << inv.status().ToString();
+        return action;
+      }
+      samples.xi[r] = std::max(0.0, inv.ValueOrDie() - now);
+      samples.tau[r] = pending_.Sample(&rng_);
+    }
+    auto decision = SolveOne(samples);
+    if (!decision.ok()) {
+      RS_LOG(Warning) << "RobustScalerPolicy: decision failed: "
+                      << decision.status().ToString();
+      return action;
+    }
+    if (decision->unbounded) break;  // Later queries are even more slack.
+    action.creation_times.push_back(ctx.now + decision->creation_time);
+  }
+  return action;
+}
+
+HpCountScaler::HpCountScaler(workload::PiecewiseConstantIntensity forecast,
+                             stats::DurationDistribution pending,
+                             HpCountScalerOptions options)
+    : forecast_(std::move(forecast)),
+      pending_(pending),
+      options_(options),
+      rng_(options.seed) {
+  RS_CHECK(options_.m >= 1) << "m must be >= 1";
+  RS_CHECK(options_.mc_samples >= 1) << "mc_samples must be >= 1";
+}
+
+sim::ScalingAction HpCountScaler::Initialize(const sim::SimContext& ctx) {
+  double lambda_bar = options_.lambda_bar;
+  if (!(lambda_bar > 0.0)) lambda_bar = forecast_.MaxRate();
+  auto kappa = ComputeKappaMonteCarlo(&rng_, options_.alpha, lambda_bar,
+                                      pending_, options_.mc_samples);
+  if (!kappa.ok()) {
+    RS_LOG(Warning) << "HpCountScaler: kappa failed: "
+                    << kappa.status().ToString();
+    kappa_ = 0;
+  } else {
+    kappa_ = kappa.ValueOrDie();
+  }
+  // Line 4 of Algorithm 4: initial plan covers queries 1 … κ+m.
+  return PlanAhead(ctx.now, 1, kappa_ + options_.m);
+}
+
+sim::ScalingAction HpCountScaler::OnQueryArrival(const sim::SimContext& ctx,
+                                                 bool cold_start) {
+  (void)cold_start;
+  ++arrivals_since_plan_;
+  if (arrivals_since_plan_ < options_.m) return {};
+  arrivals_since_plan_ = 0;
+  // Line 6: plan for the (κ+1)-th … (κ+m)-th upcoming queries.
+  return PlanAhead(ctx.now, kappa_ + 1, options_.m);
+}
+
+sim::ScalingAction HpCountScaler::PlanAhead(double now, std::size_t first_j,
+                                            std::size_t count) {
+  sim::ScalingAction action;
+  if (count == 0) return action;
+  const std::size_t r_count = options_.mc_samples;
+  const double base = forecast_.Cumulative(now);
+
+  std::vector<double> gamma(r_count, 0.0);
+  const std::size_t skip = first_j - 1;
+  if (skip > 0) {
+    for (std::size_t r = 0; r < r_count; ++r) {
+      gamma[r] = stats::SampleGamma(&rng_, static_cast<double>(skip), 1.0);
+    }
+  }
+  McSamples samples;
+  samples.xi.resize(r_count);
+  samples.tau.resize(r_count);
+  for (std::size_t j = 0; j < count; ++j) {
+    for (std::size_t r = 0; r < r_count; ++r) {
+      gamma[r] += stats::SampleExponential(&rng_, 1.0);
+      auto inv = forecast_.InverseCumulative(base + gamma[r]);
+      if (!inv.ok()) return action;
+      samples.xi[r] = std::max(0.0, inv.ValueOrDie() - now);
+      samples.tau[r] = pending_.Sample(&rng_);
+    }
+    auto decision = SolveHpConstrained(samples, options_.alpha);
+    if (!decision.ok()) return action;
+    action.creation_times.push_back(now + decision->creation_time);
+  }
+  return action;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,77 @@
+#include "rs/linalg/banded_cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/common/logging.hpp"
+
+namespace rs::linalg {
+
+Status BandedCholesky::Factor(const SymmetricBandedMatrix& a) {
+  n_ = a.size();
+  bw_ = a.bandwidth();
+  l_ = a.band();
+  factored_ = false;
+  const std::size_t w = bw_ + 1;
+  // Band Cholesky (Golub & Van Loan Alg. 4.3.5). Column j of L is derived
+  // from column j of A minus contributions of earlier columns within the
+  // band window.
+  for (std::size_t j = 0; j < n_; ++j) {
+    // Subtract contributions of columns k in [j-bw, j).
+    const std::size_t kmin = (j >= bw_) ? j - bw_ : 0;
+    for (std::size_t k = kmin; k < j; ++k) {
+      const double ljk = l_[k * w + (j - k)];
+      if (ljk == 0.0) continue;
+      const std::size_t imax = std::min(n_ - 1, k + bw_);
+      for (std::size_t i = j; i <= imax; ++i) {
+        l_[j * w + (i - j)] -= ljk * l_[k * w + (i - k)];
+      }
+    }
+    const double pivot = l_[j * w];
+    if (!(pivot > 0.0) || !std::isfinite(pivot)) {
+      return Status::NotConverged(
+          "BandedCholesky: non-positive pivot at column " + std::to_string(j));
+    }
+    const double root = std::sqrt(pivot);
+    const std::size_t dmax = std::min(bw_, n_ - 1 - j);
+    l_[j * w] = root;
+    for (std::size_t d = 1; d <= dmax; ++d) l_[j * w + d] /= root;
+    for (std::size_t d = dmax + 1; d <= bw_; ++d) l_[j * w + d] = 0.0;
+  }
+  factored_ = true;
+  return Status::OK();
+}
+
+Status BandedCholesky::Solve(const Vec& b, Vec* x) const {
+  if (!factored_) return Status::RuntimeError("BandedCholesky: not factored");
+  if (b.size() != n_ || x == nullptr) {
+    return Status::Invalid("BandedCholesky: size mismatch in Solve");
+  }
+  const std::size_t w = bw_ + 1;
+  Vec y(b);
+  // Forward solve L y = b.
+  for (std::size_t j = 0; j < n_; ++j) {
+    y[j] /= l_[j * w];
+    const std::size_t dmax = std::min(bw_, n_ - 1 - j);
+    const double yj = y[j];
+    for (std::size_t d = 1; d <= dmax; ++d) y[j + d] -= l_[j * w + d] * yj;
+  }
+  // Backward solve Lᵀ x = y.
+  x->assign(n_, 0.0);
+  for (std::size_t jj = n_; jj-- > 0;) {
+    const std::size_t dmax = std::min(bw_, n_ - 1 - jj);
+    double acc = y[jj];
+    for (std::size_t d = 1; d <= dmax; ++d) acc -= l_[jj * w + d] * (*x)[jj + d];
+    (*x)[jj] = acc / l_[jj * w];
+  }
+  return Status::OK();
+}
+
+Status BandedCholesky::FactorAndSolve(const SymmetricBandedMatrix& a,
+                                      const Vec& b, Vec* x) {
+  BandedCholesky chol;
+  RS_RETURN_NOT_OK(chol.Factor(a));
+  return chol.Solve(b, x);
+}
+
+}  // namespace rs::linalg

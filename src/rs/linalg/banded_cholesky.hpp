@@ -1,0 +1,44 @@
+/// \file banded_cholesky.hpp
+/// \brief Banded Cholesky (L·Lᵀ) factorization and solve for SPD banded
+///        systems — the O(T·L²) direct solver the paper relies on for the
+///        ADMM r-subproblem (Section V, complexity remark).
+#pragma once
+
+#include <cstddef>
+
+#include "rs/common/status.hpp"
+#include "rs/linalg/banded_matrix.hpp"
+#include "rs/linalg/vector_ops.hpp"
+
+namespace rs::linalg {
+
+/// \brief Cholesky factorization of a symmetric positive definite banded
+///        matrix, preserving the band (no fill outside it).
+///
+/// Factor once, solve many right-hand sides in O(n·bw) each.
+class BandedCholesky {
+ public:
+  BandedCholesky() = default;
+
+  /// Computes A = L·Lᵀ. Fails with NotConverged if a non-positive pivot is
+  /// encountered (A not numerically SPD).
+  Status Factor(const SymmetricBandedMatrix& a);
+
+  /// Solves A x = b using the stored factor. Factor() must have succeeded.
+  Status Solve(const Vec& b, Vec* x) const;
+
+  /// Convenience: factor + solve in one call.
+  static Status FactorAndSolve(const SymmetricBandedMatrix& a, const Vec& b,
+                               Vec* x);
+
+  bool factored() const { return factored_; }
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t bw_ = 0;
+  std::vector<double> l_;  // Lower band of L, same layout as the input.
+  bool factored_ = false;
+};
+
+}  // namespace rs::linalg

@@ -1,0 +1,66 @@
+#include "rs/linalg/banded_matrix.hpp"
+
+#include <algorithm>
+
+#include "rs/common/logging.hpp"
+
+namespace rs::linalg {
+
+SymmetricBandedMatrix::SymmetricBandedMatrix(std::size_t n, std::size_t bandwidth)
+    : n_(n), bw_(std::min(bandwidth, n == 0 ? 0 : n - 1)), band_(n * (bw_ + 1), 0.0) {}
+
+double SymmetricBandedMatrix::At(std::size_t i, std::size_t j) const {
+  if (i < j) std::swap(i, j);
+  const std::size_t d = i - j;
+  RS_DCHECK(d <= bw_ && i < n_);
+  return band_[j * (bw_ + 1) + d];
+}
+
+void SymmetricBandedMatrix::Add(std::size_t i, std::size_t j, double value) {
+  if (i < j) std::swap(i, j);
+  const std::size_t d = i - j;
+  RS_DCHECK(d <= bw_ && i < n_);
+  band_[j * (bw_ + 1) + d] += value;
+}
+
+void SymmetricBandedMatrix::Set(std::size_t i, std::size_t j, double value) {
+  if (i < j) std::swap(i, j);
+  const std::size_t d = i - j;
+  RS_DCHECK(d <= bw_ && i < n_);
+  band_[j * (bw_ + 1) + d] = value;
+}
+
+void SymmetricBandedMatrix::AddDiagonal(const Vec& d) {
+  RS_DCHECK(d.size() == n_);
+  for (std::size_t j = 0; j < n_; ++j) band_[j * (bw_ + 1)] += d[j];
+}
+
+void SymmetricBandedMatrix::SetZero() {
+  std::fill(band_.begin(), band_.end(), 0.0);
+}
+
+void SymmetricBandedMatrix::Matvec(const Vec& x, Vec* y) const {
+  RS_DCHECK(x.size() == n_ && y != nullptr);
+  y->assign(n_, 0.0);
+  for (std::size_t j = 0; j < n_; ++j) {
+    const std::size_t dmax = std::min(bw_, n_ - 1 - j);
+    const double xj = x[j];
+    // Diagonal contribution.
+    (*y)[j] += band_[j * (bw_ + 1)] * xj;
+    // Off-diagonal: A(j+d, j) contributes to rows j+d and j.
+    for (std::size_t d = 1; d <= dmax; ++d) {
+      const double a = band_[j * (bw_ + 1) + d];
+      if (a == 0.0) continue;
+      (*y)[j + d] += a * xj;
+      (*y)[j] += a * x[j + d];
+    }
+  }
+}
+
+Vec SymmetricBandedMatrix::Diagonal() const {
+  Vec d(n_);
+  for (std::size_t j = 0; j < n_; ++j) d[j] = band_[j * (bw_ + 1)];
+  return d;
+}
+
+}  // namespace rs::linalg

@@ -1,0 +1,61 @@
+/// \file banded_matrix.hpp
+/// \brief Symmetric banded matrix storage used for the ADMM r-subproblem
+///        system A_k = Δt·diag(e^{r_k}) + ρ(D2ᵀD2 + DLᵀDL).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rs/linalg/vector_ops.hpp"
+
+namespace rs::linalg {
+
+/// \brief Symmetric positive (semi-)definite banded matrix.
+///
+/// Stores only the lower band in LAPACK-like column-major band layout:
+/// entry A(j + d, j) for d = 0..bw lives at band_[j * (bw + 1) + d].
+/// Memory is n*(bw+1) doubles, so a T=30k series with a daily period
+/// (bw=1440) costs ~350 MB — callers pick Δt so bw stays moderate, or use
+/// the matrix-free PCG path (pcg.hpp) instead.
+class SymmetricBandedMatrix {
+ public:
+  /// Creates an n×n zero matrix with half-bandwidth `bandwidth`
+  /// (number of sub-diagonals stored; bandwidth 0 is diagonal).
+  SymmetricBandedMatrix(std::size_t n, std::size_t bandwidth);
+
+  std::size_t size() const { return n_; }
+  std::size_t bandwidth() const { return bw_; }
+
+  /// Element accessor; (i, j) must satisfy |i - j| <= bandwidth.
+  double At(std::size_t i, std::size_t j) const;
+
+  /// Adds `value` to element (i, j) (and by symmetry (j, i)).
+  /// |i - j| must be <= bandwidth.
+  void Add(std::size_t i, std::size_t j, double value);
+
+  /// Sets element (i, j); |i - j| must be <= bandwidth.
+  void Set(std::size_t i, std::size_t j, double value);
+
+  /// Adds d[i] to every diagonal element (d.size() == n).
+  void AddDiagonal(const Vec& d);
+
+  /// Resets all entries to zero, keeping shape.
+  void SetZero();
+
+  /// y = A x.
+  void Matvec(const Vec& x, Vec* y) const;
+
+  /// Returns the diagonal as a vector (used by the Jacobi preconditioner).
+  Vec Diagonal() const;
+
+  /// Raw band storage (used by the Cholesky factorization).
+  const std::vector<double>& band() const { return band_; }
+  std::vector<double>& mutable_band() { return band_; }
+
+ private:
+  std::size_t n_;
+  std::size_t bw_;
+  std::vector<double> band_;  // (bw_+1) entries per column.
+};
+
+}  // namespace rs::linalg

@@ -1,0 +1,77 @@
+#include "rs/linalg/difference_ops.hpp"
+
+#include "rs/common/logging.hpp"
+
+namespace rs::linalg {
+
+std::size_t D2Rows(std::size_t t) { return t >= 2 ? t - 2 : 0; }
+
+std::size_t DLRows(std::size_t t, std::size_t period) {
+  return t > period ? t - period : 0;
+}
+
+void ApplyD2(const Vec& x, Vec* y) {
+  RS_DCHECK(y != nullptr);
+  const std::size_t rows = D2Rows(x.size());
+  y->resize(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    (*y)[i] = x[i] - 2.0 * x[i + 1] + x[i + 2];
+  }
+}
+
+void ApplyD2Transpose(const Vec& x, std::size_t t, Vec* y) {
+  RS_DCHECK(y != nullptr && x.size() == D2Rows(t));
+  y->assign(t, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    (*y)[i] += x[i];
+    (*y)[i + 1] -= 2.0 * x[i];
+    (*y)[i + 2] += x[i];
+  }
+}
+
+void ApplyDL(const Vec& x, std::size_t period, Vec* y) {
+  RS_DCHECK(y != nullptr);
+  const std::size_t rows = DLRows(x.size(), period);
+  y->resize(rows);
+  for (std::size_t i = 0; i < rows; ++i) (*y)[i] = x[i] - x[i + period];
+}
+
+void ApplyDLTranspose(const Vec& x, std::size_t t, std::size_t period, Vec* y) {
+  RS_DCHECK(y != nullptr && x.size() == DLRows(t, period));
+  y->assign(t, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    (*y)[i] += x[i];
+    (*y)[i + period] -= x[i];
+  }
+}
+
+void AddGramD2(double weight, SymmetricBandedMatrix* a) {
+  RS_DCHECK(a != nullptr && (a->size() < 3 || a->bandwidth() >= 2));
+  const std::size_t t = a->size();
+  // D2ᵀD2 = Σ_i d_i d_iᵀ with d_i supported on {i, i+1, i+2} and values
+  // (1, -2, 1); add each rank-one term into the band.
+  static constexpr double kStencil[3] = {1.0, -2.0, 1.0};
+  for (std::size_t i = 0; i + 2 < t; ++i) {
+    for (std::size_t p = 0; p < 3; ++p) {
+      for (std::size_t q = 0; q <= p; ++q) {
+        a->Add(i + p, i + q, weight * kStencil[p] * kStencil[q]);
+      }
+    }
+  }
+}
+
+void AddGramDL(double weight, std::size_t period, SymmetricBandedMatrix* a) {
+  RS_DCHECK(a != nullptr);
+  const std::size_t t = a->size();
+  if (period >= t) return;
+  RS_DCHECK(a->bandwidth() >= period);
+  // Each row of DL contributes (+1 at i, -1 at i+L): diagonal +1 at both
+  // indices and -1 at offset L.
+  for (std::size_t i = 0; i + period < t; ++i) {
+    a->Add(i, i, weight);
+    a->Add(i + period, i + period, weight);
+    a->Add(i + period, i, -weight);
+  }
+}
+
+}  // namespace rs::linalg

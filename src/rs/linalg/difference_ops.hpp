@@ -1,0 +1,42 @@
+/// \file difference_ops.hpp
+/// \brief The second-order difference operator D2 and the L-step forward
+///        difference operator DL from the regularized NHPP loss (Eq. 1).
+///
+/// D2 ∈ R^{(T-2)×T}: (D2 r)_i = r_i − 2 r_{i+1} + r_{i+2} — the trend-filter
+/// smoothness operator. DL ∈ R^{(T-L)×T}: (DL r)_i = r_i − r_{i+L} — the
+/// periodicity operator that ties points one period apart.
+#pragma once
+
+#include <cstddef>
+
+#include "rs/linalg/banded_matrix.hpp"
+#include "rs/linalg/vector_ops.hpp"
+
+namespace rs::linalg {
+
+/// y = D2 x; y.size() becomes max(0, x.size() - 2).
+void ApplyD2(const Vec& x, Vec* y);
+
+/// y = D2ᵀ x where x has size T-2 and y gets size T.
+void ApplyD2Transpose(const Vec& x, std::size_t t, Vec* y);
+
+/// y = DL x with period L; y.size() becomes max(0, x.size() - L).
+void ApplyDL(const Vec& x, std::size_t period, Vec* y);
+
+/// y = DLᵀ x where x has size T-L and y gets size T.
+void ApplyDLTranspose(const Vec& x, std::size_t t, std::size_t period, Vec* y);
+
+/// Adds weight · D2ᵀD2 into `a` (a must be T×T with bandwidth >= 2).
+void AddGramD2(double weight, SymmetricBandedMatrix* a);
+
+/// Adds weight · DLᵀDL into `a` (a must be T×T with bandwidth >= period).
+/// No-op if period >= T.
+void AddGramDL(double weight, std::size_t period, SymmetricBandedMatrix* a);
+
+/// Number of rows of D2 for a length-T series: max(0, T-2).
+std::size_t D2Rows(std::size_t t);
+
+/// Number of rows of DL: max(0, T-period).
+std::size_t DLRows(std::size_t t, std::size_t period);
+
+}  // namespace rs::linalg

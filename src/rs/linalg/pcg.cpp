@@ -1,0 +1,89 @@
+#include "rs/linalg/pcg.hpp"
+
+#include <cmath>
+
+#include "rs/common/logging.hpp"
+#include "rs/linalg/difference_ops.hpp"
+
+namespace rs::linalg {
+
+Status SolvePcg(const LinearOperator& op, const Vec& diag, const Vec& b,
+                const PcgOptions& options, Vec* x, PcgInfo* info) {
+  if (x == nullptr) return Status::Invalid("SolvePcg: null output");
+  const std::size_t n = b.size();
+  if (diag.size() != n) return Status::Invalid("SolvePcg: diag size mismatch");
+  if (x->size() != n) x->assign(n, 0.0);
+
+  Vec r(n), z(n), p(n), ap(n);
+  op(*x, &ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  const double tol = options.rel_tolerance * Norm2(b) + options.abs_tolerance;
+
+  auto precond = [&](const Vec& in, Vec* out) {
+    out->resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      (*out)[i] = diag[i] > 0.0 ? in[i] / diag[i] : in[i];
+    }
+  };
+
+  precond(r, &z);
+  p = z;
+  double rz = Dot(r, z);
+  double rnorm = Norm2(r);
+
+  std::size_t iter = 0;
+  while (rnorm > tol && iter < options.max_iterations) {
+    op(p, &ap);
+    const double pap = Dot(p, ap);
+    if (!(pap > 0.0)) {
+      return Status::NotConverged("SolvePcg: operator not positive definite");
+    }
+    const double alpha = rz / pap;
+    Axpy(alpha, p, x);
+    Axpy(-alpha, ap, &r);
+    precond(r, &z);
+    const double rz_next = Dot(r, z);
+    const double beta = rz_next / rz;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    rz = rz_next;
+    rnorm = Norm2(r);
+    ++iter;
+  }
+  if (info != nullptr) {
+    info->iterations = iter;
+    info->residual_norm = rnorm;
+  }
+  if (rnorm > tol) {
+    return Status::NotConverged("SolvePcg: max iterations reached, residual " +
+                                std::to_string(rnorm));
+  }
+  return Status::OK();
+}
+
+LinearOperator MakeAdmmOperator(Vec weights, double rho, double rho_l,
+                                std::size_t period) {
+  return [w = std::move(weights), rho, rho_l, period](const Vec& x, Vec* y) {
+    const std::size_t t = x.size();
+    RS_DCHECK(w.size() == t && y != nullptr);
+    y->assign(t, 0.0);
+    for (std::size_t i = 0; i < t; ++i) (*y)[i] = w[i] * x[i];
+    // rho * D2ᵀ(D2 x): accumulate directly without temporaries growing.
+    if (t >= 3 && rho != 0.0) {
+      for (std::size_t i = 0; i + 2 < t; ++i) {
+        const double d = x[i] - 2.0 * x[i + 1] + x[i + 2];
+        (*y)[i] += rho * d;
+        (*y)[i + 1] -= 2.0 * rho * d;
+        (*y)[i + 2] += rho * d;
+      }
+    }
+    if (period > 0 && period < t && rho_l != 0.0) {
+      for (std::size_t i = 0; i + period < t; ++i) {
+        const double d = x[i] - x[i + period];
+        (*y)[i] += rho_l * d;
+        (*y)[i + period] -= rho_l * d;
+      }
+    }
+  };
+}
+
+}  // namespace rs::linalg

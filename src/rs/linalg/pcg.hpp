@@ -1,0 +1,52 @@
+/// \file pcg.hpp
+/// \brief Jacobi-preconditioned conjugate gradient for SPD systems.
+///
+/// Alternative to the banded Cholesky for the ADMM r-subproblem when the
+/// period length (hence bandwidth) is large: each matvec with
+/// A = diag(w) + ρ(D2ᵀD2 + DLᵀDL) is O(T) without forming the band.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "rs/common/status.hpp"
+#include "rs/linalg/vector_ops.hpp"
+
+namespace rs::linalg {
+
+/// Matrix-free linear operator: given x, writes A·x into y.
+using LinearOperator = std::function<void(const Vec& x, Vec* y)>;
+
+/// Options for the PCG solver.
+struct PcgOptions {
+  std::size_t max_iterations = 1000;
+  /// Converged when ||A x - b||_2 <= rel_tolerance * ||b||_2 + abs_tolerance.
+  double rel_tolerance = 1e-9;
+  double abs_tolerance = 1e-12;
+};
+
+/// Outcome statistics of a PCG solve.
+struct PcgInfo {
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;
+};
+
+/// \brief Solves A x = b with Jacobi (diagonal) preconditioning.
+///
+/// \param op          SPD operator A.
+/// \param diag        the diagonal of A (preconditioner); entries must be > 0.
+/// \param b           right-hand side.
+/// \param options     tolerances and iteration cap.
+/// \param x           in: initial guess (resized to b.size() if empty);
+///                    out: solution.
+/// \param info        optional iteration/residual statistics.
+/// \return NotConverged if the iteration cap is hit before tolerance.
+Status SolvePcg(const LinearOperator& op, const Vec& diag, const Vec& b,
+                const PcgOptions& options, Vec* x, PcgInfo* info = nullptr);
+
+/// Builds the matrix-free ADMM operator x ↦ (diag(w) + rho·D2ᵀD2 +
+/// rho_l·DLᵀDL) x for a length-T system. `period == 0` disables the DL term.
+LinearOperator MakeAdmmOperator(Vec weights, double rho, double rho_l,
+                                std::size_t period);
+
+}  // namespace rs::linalg

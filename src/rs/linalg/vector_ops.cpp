@@ -1,0 +1,67 @@
+#include "rs/linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/common/logging.hpp"
+
+namespace rs::linalg {
+
+double Dot(const Vec& x, const Vec& y) {
+  RS_DCHECK(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double Norm2(const Vec& x) { return std::sqrt(Dot(x, x)); }
+
+double NormInf(const Vec& x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Norm1(const Vec& x) {
+  double acc = 0.0;
+  for (double v : x) acc += std::abs(v);
+  return acc;
+}
+
+void Axpy(double alpha, const Vec& x, Vec* y) {
+  RS_DCHECK(y != nullptr && x.size() == y->size());
+  for (std::size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vec* x) {
+  RS_DCHECK(x != nullptr);
+  for (double& v : *x) v *= alpha;
+}
+
+Vec Add(const Vec& x, const Vec& y) {
+  RS_DCHECK(x.size() == y.size());
+  Vec z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] + y[i];
+  return z;
+}
+
+Vec Sub(const Vec& x, const Vec& y) {
+  RS_DCHECK(x.size() == y.size());
+  Vec z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] - y[i];
+  return z;
+}
+
+Vec Exp(const Vec& x) {
+  Vec z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = std::exp(x[i]);
+  return z;
+}
+
+double Sum(const Vec& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+}  // namespace rs::linalg

@@ -1,0 +1,44 @@
+/// \file vector_ops.hpp
+/// \brief Dense vector helpers shared by the solvers and the ADMM trainer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rs::linalg {
+
+/// Dense column vector. All linalg routines operate on plain
+/// std::vector<double> to keep the library dependency-free.
+using Vec = std::vector<double>;
+
+/// Dot product <x, y>. Sizes must match.
+double Dot(const Vec& x, const Vec& y);
+
+/// Euclidean norm ||x||_2.
+double Norm2(const Vec& x);
+
+/// Max-abs norm ||x||_inf. Returns 0 for an empty vector.
+double NormInf(const Vec& x);
+
+/// L1 norm ||x||_1.
+double Norm1(const Vec& x);
+
+/// y += alpha * x (sizes must match).
+void Axpy(double alpha, const Vec& x, Vec* y);
+
+/// x *= alpha.
+void Scale(double alpha, Vec* x);
+
+/// Element-wise z = x + y.
+Vec Add(const Vec& x, const Vec& y);
+
+/// Element-wise z = x - y.
+Vec Sub(const Vec& x, const Vec& y);
+
+/// Element-wise exponential, exp(x).
+Vec Exp(const Vec& x);
+
+/// Sum of all elements.
+double Sum(const Vec& x);
+
+}  // namespace rs::linalg

@@ -1,0 +1,74 @@
+/// \file autoscaler.hpp
+/// \brief The interface every scaling strategy implements (BP, AdapBP and
+///        the three RobustScaler variants all plug into the same engine).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rs::sim {
+
+/// Snapshot of the simulation state handed to strategies when they decide.
+struct SimContext {
+  double now = 0.0;                 ///< Current simulation time (seconds).
+  std::size_t queries_arrived = 0;  ///< Arrivals so far (= instances consumed).
+  /// Unconsumed instances that exist (ready or still pending startup).
+  std::size_t instances_alive = 0;
+  /// Of those, already fully started (warm and idle).
+  std::size_t instances_ready = 0;
+  /// Creation actions scheduled for the future but not yet executed.
+  std::size_t scheduled_creations = 0;
+  /// Arrival times of all queries seen so far (ascending); never null
+  /// during callbacks. Strategies may inspect recent traffic (AdapBP).
+  const std::vector<double>* arrival_history = nullptr;
+
+  /// Instances that can still serve upcoming queries: alive + scheduled.
+  std::size_t Outstanding() const {
+    return instances_alive + scheduled_creations;
+  }
+};
+
+/// Actions returned by a strategy: create instances at the given absolute
+/// times (>= now; earlier values are clamped to now), and/or delete
+/// `deletions` unconsumed instances (latest-created idle ones first).
+struct ScalingAction {
+  std::vector<double> creation_times;
+  std::size_t deletions = 0;
+
+  bool Empty() const { return creation_times.empty() && deletions == 0; }
+};
+
+/// \brief Base class for autoscaling strategies driven by the engine.
+///
+/// The engine calls Initialize once at simulation start, OnPlanningTick
+/// every planning_interval seconds, and OnQueryArrival after each arrival
+/// is matched (cold_start tells whether the engine had to create the
+/// instance reactively).
+class Autoscaler {
+ public:
+  virtual ~Autoscaler() = default;
+
+  /// Strategy name for reports.
+  virtual const char* name() const = 0;
+
+  /// Interval between OnPlanningTick calls; <= 0 disables ticks.
+  virtual double planning_interval() const { return 0.0; }
+
+  virtual ScalingAction Initialize(const SimContext& ctx) {
+    (void)ctx;
+    return {};
+  }
+
+  virtual ScalingAction OnPlanningTick(const SimContext& ctx) {
+    (void)ctx;
+    return {};
+  }
+
+  virtual ScalingAction OnQueryArrival(const SimContext& ctx, bool cold_start) {
+    (void)ctx;
+    (void)cold_start;
+    return {};
+  }
+};
+
+}  // namespace rs::sim

@@ -1,0 +1,57 @@
+/// \file engine.hpp
+/// \brief Discrete-event replay of the scaling-per-query dynamics
+///        (Algorithm 1): queries consume instances FIFO, wait for pending
+///        ones, or trigger reactive cold starts that cancel the earliest
+///        still-scheduled creation.
+#pragma once
+
+#include <cstdint>
+
+#include "rs/common/status.hpp"
+#include "rs/simulator/autoscaler.hpp"
+#include "rs/simulator/metrics.hpp"
+#include "rs/stats/distributions.hpp"
+#include "rs/workload/trace.hpp"
+
+namespace rs::sim {
+
+/// Engine configuration.
+struct EngineOptions {
+  /// Instance pending/startup time distribution τ_i (paper experiments:
+  /// deterministic 13 s).
+  stats::DurationDistribution pending =
+      stats::DurationDistribution::Deterministic(13.0);
+
+  /// Seed for pending-time draws and any strategy-independent randomness.
+  std::uint64_t seed = 20220414;
+
+  /// When true, the wall-clock time the strategy spends inside
+  /// OnPlanningTick is charged to the simulation: the returned creations
+  /// cannot take effect earlier than now + elapsed wall time. Models the
+  /// paper's "real environment" (Table IV) where decision computation
+  /// delays scaling actions.
+  bool charge_decision_wall_time = false;
+
+  /// Fixed extra latency added to every instance creation (cluster API
+  /// round-trip in the real environment; 0 in the idealized one).
+  double creation_latency = 0.0;
+
+  /// Pending times are multiplied by Uniform(1 - jitter, 1 + jitter);
+  /// 0 reproduces the idealized environment exactly.
+  double pending_jitter = 0.0;
+
+  /// Unconsumed instances at trace end are charged until the horizon.
+  bool charge_idle_until_horizon = true;
+};
+
+/// \brief Replays `trace` under `strategy` and returns the full per-query /
+///        per-instance record.
+///
+/// Event ordering at equal timestamps: scheduled creations execute before
+/// arrivals (an instance created at exactly ξ_i counts as pending for that
+/// query, matching Algorithm 1's x_i <= ξ_i < x_i + τ_i branch).
+Result<SimulationResult> Simulate(const workload::Trace& trace,
+                                  Autoscaler* strategy,
+                                  const EngineOptions& options = {});
+
+}  // namespace rs::sim

@@ -1,0 +1,28 @@
+#include "rs/simulator/environment.hpp"
+
+namespace rs::sim {
+
+EngineOptions MakeIdealizedEnvironment(
+    const stats::DurationDistribution& pending, std::uint64_t seed) {
+  EngineOptions opts;
+  opts.pending = pending;
+  opts.seed = seed;
+  opts.charge_decision_wall_time = false;
+  opts.creation_latency = 0.0;
+  opts.pending_jitter = 0.0;
+  return opts;
+}
+
+EngineOptions MakeRealEnvironment(const stats::DurationDistribution& pending,
+                                  std::uint64_t seed,
+                                  const RealEnvironmentOptions& options) {
+  EngineOptions opts;
+  opts.pending = pending;
+  opts.seed = seed;
+  opts.charge_decision_wall_time = options.charge_decision_wall_time;
+  opts.creation_latency = options.creation_latency;
+  opts.pending_jitter = options.pending_jitter;
+  return opts;
+}
+
+}  // namespace rs::sim

@@ -1,0 +1,35 @@
+/// \file environment.hpp
+/// \brief Idealized vs "real" environment presets (Table IV).
+///
+/// The paper's real deployment (Alibaba Serverless Kubernetes) differs from
+/// the simulated environment in that (a) decision computation time delays
+/// scaling actions, (b) pod creation has extra API latency, and (c) pod
+/// startup times jitter around their nominal value. These presets turn
+/// those channels on/off on top of the same engine.
+#pragma once
+
+#include "rs/simulator/engine.hpp"
+
+namespace rs::sim {
+
+/// Parameters of the realistic preset.
+struct RealEnvironmentOptions {
+  /// Cluster API round-trip added to each creation (seconds).
+  double creation_latency = 0.4;
+  /// Pod startup time jitter fraction (τ multiplied by U(1-j, 1+j)).
+  double pending_jitter = 0.15;
+  /// Charge strategy wall-clock planning time to the simulation clock.
+  bool charge_decision_wall_time = true;
+};
+
+/// Engine options for the idealized (pure simulation) environment:
+/// decisions are free and pod startup is exactly the nominal distribution.
+EngineOptions MakeIdealizedEnvironment(
+    const stats::DurationDistribution& pending, std::uint64_t seed);
+
+/// Engine options for the realistic environment preset described above.
+EngineOptions MakeRealEnvironment(const stats::DurationDistribution& pending,
+                                  std::uint64_t seed,
+                                  const RealEnvironmentOptions& options = {});
+
+}  // namespace rs::sim

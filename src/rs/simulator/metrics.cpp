@@ -1,0 +1,72 @@
+#include "rs/simulator/metrics.hpp"
+
+#include <algorithm>
+
+#include "rs/stats/empirical.hpp"
+
+namespace rs::sim {
+
+Result<Metrics> ComputeMetrics(const SimulationResult& result) {
+  Metrics m;
+  m.num_queries = result.queries.size();
+  m.num_instances = result.instances.size();
+  if (result.queries.empty()) return m;
+
+  std::vector<double> rts;
+  rts.reserve(result.queries.size());
+  std::size_t hits = 0;
+  std::size_t cold = 0;
+  double wait_acc = 0.0;
+  for (const auto& q : result.queries) {
+    rts.push_back(q.response_time);
+    wait_acc += q.wait_time;
+    if (q.hit) ++hits;
+    if (q.cold_start) ++cold;
+  }
+  const auto n = static_cast<double>(result.queries.size());
+  m.hit_rate = static_cast<double>(hits) / n;
+  m.cold_start_rate = static_cast<double>(cold) / n;
+  m.rt_avg = stats::Mean(rts);
+  m.wait_avg = wait_acc / n;
+
+  std::sort(rts.begin(), rts.end());
+  RS_ASSIGN_OR_RETURN(m.rt_p50, stats::QuantileSorted(rts, 0.50));
+  RS_ASSIGN_OR_RETURN(m.rt_p75, stats::QuantileSorted(rts, 0.75));
+  RS_ASSIGN_OR_RETURN(m.rt_p95, stats::QuantileSorted(rts, 0.95));
+  RS_ASSIGN_OR_RETURN(m.rt_p99, stats::QuantileSorted(rts, 0.99));
+  RS_ASSIGN_OR_RETURN(m.rt_p999, stats::QuantileSorted(rts, 0.999));
+
+  for (const auto& inst : result.instances) {
+    m.total_cost += inst.lifecycle_cost;
+  }
+  return m;
+}
+
+double RelativeCost(const Metrics& metrics, double reference_cost) {
+  if (reference_cost <= 0.0) return 0.0;
+  return metrics.total_cost / reference_cost;
+}
+
+Result<double> WindowedQosVariance(const std::vector<double>& per_query_values,
+                                   std::size_t window) {
+  if (window == 0) return Status::Invalid("WindowedQosVariance: window >= 1");
+  const auto means = stats::WindowedMeans(per_query_values, window);
+  if (means.size() < 2) return 0.0;
+  return stats::Variance(means);
+}
+
+std::vector<double> ResponseTimes(const SimulationResult& result) {
+  std::vector<double> rts;
+  rts.reserve(result.queries.size());
+  for (const auto& q : result.queries) rts.push_back(q.response_time);
+  return rts;
+}
+
+std::vector<double> HitIndicators(const SimulationResult& result) {
+  std::vector<double> hits;
+  hits.reserve(result.queries.size());
+  for (const auto& q : result.queries) hits.push_back(q.hit ? 1.0 : 0.0);
+  return hits;
+}
+
+}  // namespace rs::sim

@@ -1,0 +1,77 @@
+/// \file metrics.hpp
+/// \brief Per-query / per-instance outcome records and the evaluation
+///        metrics of Section VII-A3: hit rate, total & relative cost,
+///        average RT, RT quantiles (Table II), and the 50-query-window QoS
+///        variance of Fig. 5.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rs/common/status.hpp"
+
+namespace rs::sim {
+
+/// What happened to one query during replay.
+struct QueryOutcome {
+  double arrival_time = 0.0;
+  double processing_time = 0.0;
+  double wait_time = 0.0;      ///< Time between arrival and processing start.
+  double response_time = 0.0;  ///< wait + processing (RT_i of Section VI-A).
+  bool hit = false;            ///< Instance ready upon arrival (HP event).
+  bool cold_start = false;     ///< Engine had to create the instance reactively.
+};
+
+/// Lifecycle of one instance.
+struct InstanceOutcome {
+  double creation_time = 0.0;
+  double ready_time = 0.0;
+  double end_time = 0.0;        ///< Deletion: after processing, explicit
+                                ///< scale-in, or simulation end.
+  double lifecycle_cost = 0.0;  ///< end_time - creation_time (cost_i).
+  bool served_query = false;
+};
+
+/// Full replay record.
+struct SimulationResult {
+  std::vector<QueryOutcome> queries;
+  std::vector<InstanceOutcome> instances;
+  double horizon = 0.0;
+};
+
+/// Headline metrics (Section VII-A3).
+struct Metrics {
+  double hit_rate = 0.0;      ///< Fraction of queries with a ready instance.
+  double total_cost = 0.0;    ///< Sum of instance lifecycle lengths (s).
+  double rt_avg = 0.0;        ///< Mean response time (s).
+  double rt_p50 = 0.0;
+  double rt_p75 = 0.0;
+  double rt_p95 = 0.0;
+  double rt_p99 = 0.0;
+  double rt_p999 = 0.0;
+  double wait_avg = 0.0;
+  double cold_start_rate = 0.0;
+  std::size_t num_queries = 0;
+  std::size_t num_instances = 0;
+};
+
+/// Computes headline metrics from a replay record.
+Result<Metrics> ComputeMetrics(const SimulationResult& result);
+
+/// relative_cost = total_cost / reference_cost (reference: pure reactive
+/// BP with B = 0 on the same trace).
+double RelativeCost(const Metrics& metrics, double reference_cost);
+
+/// \brief Fig. 5 construction: group values into consecutive windows of
+///        `window` queries, average each window, and return the variance of
+///        those window means.
+Result<double> WindowedQosVariance(const std::vector<double>& per_query_values,
+                                   std::size_t window = 50);
+
+/// Response times of all queries, in arrival order.
+std::vector<double> ResponseTimes(const SimulationResult& result);
+
+/// Hit indicators (0/1) of all queries, in arrival order.
+std::vector<double> HitIndicators(const SimulationResult& result);
+
+}  // namespace rs::sim

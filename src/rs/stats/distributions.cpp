@@ -1,0 +1,155 @@
+#include "rs/stats/distributions.hpp"
+
+#include <cmath>
+
+#include "rs/common/logging.hpp"
+
+namespace rs::stats {
+
+double SampleExponential(Rng* rng, double rate) {
+  RS_DCHECK(rng != nullptr && rate > 0.0);
+  return -std::log(rng->NextOpenDouble()) / rate;
+}
+
+double SampleGamma(Rng* rng, double shape, double scale) {
+  RS_DCHECK(rng != nullptr && shape > 0.0 && scale > 0.0);
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a + 1) * U^{1/a}.
+    const double u = rng->NextOpenDouble();
+    return SampleGamma(rng, shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia–Tsang (2000).
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = rng->NextGaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng->NextOpenDouble();
+    const double x2 = x * x;
+    if (u < 1.0 - 0.0331 * x2 * x2) return scale * d * v;
+    if (std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+namespace {
+
+/// PTRS transformed-rejection Poisson sampler (Hörmann 1993) for mean >= 10.
+std::int64_t SamplePoissonPtrs(Rng* rng, double mean) {
+  const double b = 0.931 + 2.53 * std::sqrt(mean);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double vr = 0.9277 - 3.6224 / (b - 2.0);
+  for (;;) {
+    const double u = rng->NextDouble() - 0.5;
+    const double v = rng->NextOpenDouble();
+    const double us = 0.5 - std::abs(u);
+    const double k = std::floor((2.0 * a / us + b) * u + mean + 0.43);
+    if (us >= 0.07 && v <= vr) return static_cast<std::int64_t>(k);
+    if (k < 0.0 || (us < 0.013 && v > us)) continue;
+    if (std::log(v * inv_alpha / (a / (us * us) + b)) <=
+        k * std::log(mean) - mean - std::lgamma(k + 1.0)) {
+      return static_cast<std::int64_t>(k);
+    }
+  }
+}
+
+}  // namespace
+
+std::int64_t SamplePoisson(Rng* rng, double mean) {
+  RS_DCHECK(rng != nullptr && mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 10.0) {
+    // Knuth multiplication method.
+    const double limit = std::exp(-mean);
+    double prod = rng->NextOpenDouble();
+    std::int64_t n = 0;
+    while (prod > limit) {
+      prod *= rng->NextOpenDouble();
+      ++n;
+    }
+    return n;
+  }
+  return SamplePoissonPtrs(rng, mean);
+}
+
+double SampleLogNormal(Rng* rng, double mu, double sigma) {
+  RS_DCHECK(rng != nullptr && sigma >= 0.0);
+  return std::exp(mu + sigma * rng->NextGaussian());
+}
+
+double SampleUniform(Rng* rng, double lo, double hi) {
+  RS_DCHECK(rng != nullptr && lo <= hi);
+  return lo + (hi - lo) * rng->NextDouble();
+}
+
+double SampleWeibull(Rng* rng, double shape, double scale) {
+  RS_DCHECK(rng != nullptr && shape > 0.0 && scale > 0.0);
+  return scale * std::pow(-std::log(rng->NextOpenDouble()), 1.0 / shape);
+}
+
+DurationDistribution DurationDistribution::Deterministic(double value) {
+  RS_CHECK(value >= 0.0) << "duration must be non-negative";
+  return DurationDistribution(Kind::kDeterministic, value, 0.0);
+}
+
+DurationDistribution DurationDistribution::Exponential(double mean) {
+  RS_CHECK(mean > 0.0) << "exponential mean must be positive";
+  return DurationDistribution(Kind::kExponential, mean, 0.0);
+}
+
+DurationDistribution DurationDistribution::LogNormal(double mean, double cv) {
+  RS_CHECK(mean > 0.0 && cv >= 0.0) << "lognormal mean > 0, cv >= 0 required";
+  // mean = exp(mu + sigma^2/2); cv^2 = exp(sigma^2) - 1.
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return DurationDistribution(Kind::kLogNormal, mu, std::sqrt(sigma2));
+}
+
+DurationDistribution DurationDistribution::Weibull(double shape, double scale) {
+  RS_CHECK(shape > 0.0 && scale > 0.0) << "weibull parameters must be positive";
+  return DurationDistribution(Kind::kWeibull, shape, scale);
+}
+
+DurationDistribution DurationDistribution::Uniform(double lo, double hi) {
+  RS_CHECK(lo >= 0.0 && lo <= hi) << "uniform requires 0 <= lo <= hi";
+  return DurationDistribution(Kind::kUniform, lo, hi);
+}
+
+double DurationDistribution::Sample(Rng* rng) const {
+  switch (kind_) {
+    case Kind::kDeterministic:
+      return p1_;
+    case Kind::kExponential:
+      return SampleExponential(rng, 1.0 / p1_);
+    case Kind::kLogNormal:
+      return SampleLogNormal(rng, p1_, p2_);
+    case Kind::kWeibull:
+      return SampleWeibull(rng, p1_, p2_);
+    case Kind::kUniform:
+      return SampleUniform(rng, p1_, p2_);
+  }
+  return 0.0;
+}
+
+double DurationDistribution::Mean() const {
+  switch (kind_) {
+    case Kind::kDeterministic:
+    case Kind::kExponential:
+      return p1_;
+    case Kind::kLogNormal:
+      return std::exp(p1_ + 0.5 * p2_ * p2_);
+    case Kind::kWeibull:
+      return p2_ * std::tgamma(1.0 + 1.0 / p1_);
+    case Kind::kUniform:
+      return 0.5 * (p1_ + p2_);
+  }
+  return 0.0;
+}
+
+}  // namespace rs::stats

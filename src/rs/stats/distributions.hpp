@@ -1,0 +1,71 @@
+/// \file distributions.hpp
+/// \brief Samplers for the distributions used throughout the system:
+///        exponential inter-arrivals, Gamma waiting times (time-rescaling),
+///        Poisson counts, and log-normal/Weibull service/pending times.
+#pragma once
+
+#include <cstdint>
+
+#include "rs/common/status.hpp"
+#include "rs/stats/rng.hpp"
+
+namespace rs::stats {
+
+/// Sample from Exponential(rate) — mean 1/rate. rate must be > 0.
+double SampleExponential(Rng* rng, double rate);
+
+/// Sample from Gamma(shape, scale), shape > 0, scale > 0.
+/// Marsaglia–Tsang squeeze for shape >= 1, boosted for shape < 1.
+double SampleGamma(Rng* rng, double shape, double scale);
+
+/// Sample from Poisson(mean), mean >= 0. Knuth multiplication for small
+/// means; PTRS transformed rejection (Hörmann) for mean >= 10.
+std::int64_t SamplePoisson(Rng* rng, double mean);
+
+/// Sample from LogNormal with given log-space mu and sigma.
+double SampleLogNormal(Rng* rng, double mu, double sigma);
+
+/// Sample from Uniform(lo, hi).
+double SampleUniform(Rng* rng, double lo, double hi);
+
+/// Sample from Weibull(shape, scale).
+double SampleWeibull(Rng* rng, double shape, double scale);
+
+/// \brief Distribution of a non-negative duration (processing time s_i or
+///        instance pending/startup time τ_i).
+///
+/// The paper's experiments use deterministic pending times (13 s) and
+/// exponential processing times (mean 20 s); the simulator accepts any of
+/// these shapes.
+class DurationDistribution {
+ public:
+  enum class Kind { kDeterministic, kExponential, kLogNormal, kWeibull, kUniform };
+
+  /// Point mass at `value` seconds.
+  static DurationDistribution Deterministic(double value);
+  /// Exponential with the given mean.
+  static DurationDistribution Exponential(double mean);
+  /// LogNormal parameterized by its mean and coefficient of variation.
+  static DurationDistribution LogNormal(double mean, double cv);
+  /// Weibull(shape, scale).
+  static DurationDistribution Weibull(double shape, double scale);
+  /// Uniform(lo, hi), 0 <= lo <= hi.
+  static DurationDistribution Uniform(double lo, double hi);
+
+  /// Draws one duration (always >= 0).
+  double Sample(Rng* rng) const;
+
+  /// Expected value E[X].
+  double Mean() const;
+
+  Kind kind() const { return kind_; }
+
+ private:
+  DurationDistribution(Kind kind, double p1, double p2)
+      : kind_(kind), p1_(p1), p2_(p2) {}
+  Kind kind_;
+  double p1_;
+  double p2_;
+};
+
+}  // namespace rs::stats

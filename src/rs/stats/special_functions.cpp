@@ -1,0 +1,170 @@
+#include "rs/stats/special_functions.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace rs::stats {
+
+namespace {
+
+// The series for P(a, x) near x ≈ a needs ~sqrt(72·a) terms, so this cap
+// keeps the evaluation exact for shapes up to ~5·10⁶ (the κ threshold for
+// QPS ~10⁵ workloads reaches shapes in the 10⁶ range). Each term is one
+// multiply-divide, so even the worst case stays ~100 µs.
+constexpr int kMaxIterations = 20000;
+constexpr double kEpsilon = 3.0e-15;
+constexpr double kFpMin = std::numeric_limits<double>::min() / kEpsilon;
+
+/// Lower incomplete gamma by power series (converges fast for x < a + 1).
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::abs(del) < std::abs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Upper incomplete gamma by Lentz continued fraction (for x >= a + 1).
+double GammaQContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEpsilon) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  if (!(a > 0.0) || x < 0.0 || !std::isfinite(a)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (x == 0.0) return 0.0;
+  if (!std::isfinite(x)) return 1.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  if (!(a > 0.0) || x < 0.0 || !std::isfinite(a)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (x == 0.0) return 1.0;
+  if (!std::isfinite(x)) return 0.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double GammaCdf(double shape, double scale, double x) {
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(shape, x / scale);
+}
+
+Result<double> GammaQuantile(double shape, double scale, double p) {
+  if (!(shape > 0.0) || !(scale > 0.0)) {
+    return Status::Invalid("GammaQuantile: shape/scale must be positive");
+  }
+  if (!(p > 0.0) || !(p < 1.0)) {
+    return Status::Invalid("GammaQuantile: p must lie in (0, 1), got " +
+                           std::to_string(p));
+  }
+  // Wilson–Hilferty: Gamma(a) quantile ≈ a (1 - 1/(9a) + z sqrt(1/(9a)))^3.
+  RS_ASSIGN_OR_RETURN(const double z, NormalQuantile(p));
+  const double a = shape;
+  double x = a * std::pow(1.0 - 1.0 / (9.0 * a) + z / (3.0 * std::sqrt(a)), 3.0);
+  if (!(x > 0.0)) x = a * p;  // Fallback for tiny shapes.
+
+  // Bracket [lo, hi] with P(a, lo) <= p <= P(a, hi).
+  double lo = x, hi = x;
+  while (RegularizedGammaP(a, lo) > p && lo > 1e-300) lo *= 0.5;
+  while (RegularizedGammaP(a, hi) < p && hi < 1e300) hi *= 2.0;
+
+  // Newton with bisection safeguard on F(x) - p = 0; F' is the gamma pdf.
+  for (int iter = 0; iter < 200; ++iter) {
+    const double f = RegularizedGammaP(a, x) - p;
+    if (f > 0.0) {
+      hi = x;
+    } else {
+      lo = x;
+    }
+    const double log_pdf = (a - 1.0) * std::log(x) - x - std::lgamma(a);
+    const double pdf = std::exp(log_pdf);
+    double next = x;
+    if (pdf > 0.0 && std::isfinite(pdf)) next = x - f / pdf;
+    if (!(next > lo) || !(next < hi)) next = 0.5 * (lo + hi);
+    if (std::abs(next - x) <= 1e-12 * (1.0 + std::abs(x))) {
+      x = next;
+      break;
+    }
+    x = next;
+  }
+  return x * scale;
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+Result<double> NormalQuantile(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    return Status::Invalid("NormalQuantile: p must lie in (0, 1)");
+  }
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double x;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - plow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step using the exact CDF.
+  const double e = NormalCdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double PoissonCdf(int k, double mean) {
+  if (k < 0) return 0.0;
+  if (mean <= 0.0) return 1.0;
+  return RegularizedGammaQ(static_cast<double>(k) + 1.0, mean);
+}
+
+}  // namespace rs::stats

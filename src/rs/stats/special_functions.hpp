@@ -1,0 +1,35 @@
+/// \file special_functions.hpp
+/// \brief Gamma-distribution special functions needed by the κ threshold
+///        (Eq. 8), the QoS guarantee analysis (Propositions 1–2), and the
+///        time-rescaling arrival predictor.
+#pragma once
+
+#include "rs/common/status.hpp"
+
+namespace rs::stats {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a), a > 0, x >= 0.
+/// Series expansion for x < a + 1, continued fraction otherwise
+/// (Numerical Recipes gammp).
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// CDF of Gamma(shape, scale) at x: P(shape, x / scale).
+double GammaCdf(double shape, double scale, double x);
+
+/// Quantile (inverse CDF) of Gamma(shape, scale) at probability p in (0, 1).
+/// Wilson–Hilferty initial guess refined by Newton + bisection safeguard.
+Result<double> GammaQuantile(double shape, double scale, double p);
+
+/// Standard normal CDF.
+double NormalCdf(double x);
+
+/// Standard normal quantile (Acklam's rational approximation, |err| < 1e-9).
+Result<double> NormalQuantile(double p);
+
+/// Poisson CDF: P(N <= k) for N ~ Poisson(mean); equals Q(k+1, mean).
+double PoissonCdf(int k, double mean);
+
+}  // namespace rs::stats

@@ -1,0 +1,50 @@
+#include "rs/timeseries/acf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/stats/empirical.hpp"
+#include "rs/timeseries/fft.hpp"
+
+namespace rs::ts {
+
+Result<std::vector<double>> Autocorrelation(const std::vector<double>& x,
+                                            std::size_t max_lag) {
+  const std::size_t n = x.size();
+  if (n == 0) return Status::Invalid("Autocorrelation: empty series");
+  max_lag = std::min(max_lag, n - 1);
+
+  const double mean = stats::Mean(x);
+  // Zero-pad to at least 2n to turn circular into linear correlation.
+  const std::size_t m = NextPow2(2 * n);
+  std::vector<Complex> data(m, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < n; ++i) data[i] = Complex(x[i] - mean, 0.0);
+  RS_RETURN_NOT_OK(FftPow2(&data, false));
+  for (auto& c : data) c = Complex(std::norm(c), 0.0);
+  RS_RETURN_NOT_OK(FftPow2(&data, true));
+
+  std::vector<double> acf(max_lag + 1, 0.0);
+  const double denom = data[0].real();
+  if (denom <= 0.0) return acf;  // Constant series.
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    acf[k] = data[k].real() / denom;
+  }
+  return acf;
+}
+
+std::size_t AcfPeakLag(const std::vector<double>& acf, std::size_t min_lag,
+                       std::size_t max_lag) {
+  if (acf.size() < 3) return 0;
+  max_lag = std::min(max_lag, acf.size() - 2);
+  std::size_t best = 0;
+  double best_val = -2.0;
+  for (std::size_t k = std::max<std::size_t>(min_lag, 1); k <= max_lag; ++k) {
+    if (acf[k] >= acf[k - 1] && acf[k] >= acf[k + 1] && acf[k] > best_val) {
+      best = k;
+      best_val = acf[k];
+    }
+  }
+  return best;
+}
+
+}  // namespace rs::ts

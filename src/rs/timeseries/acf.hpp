@@ -1,0 +1,25 @@
+/// \file acf.hpp
+/// \brief Autocorrelation via FFT (O(n log n)) — used to validate candidate
+///        periods found in the periodogram (robust periodicity detection).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rs/common/status.hpp"
+
+namespace rs::ts {
+
+/// Sample autocorrelation function at lags 0..max_lag (acf[0] == 1 unless
+/// the series is constant, in which case all entries are 0).
+Result<std::vector<double>> Autocorrelation(const std::vector<double>& x,
+                                            std::size_t max_lag);
+
+/// \brief Index of the highest local maximum of `acf` in [min_lag, max_lag],
+///        or 0 if no local maximum exists in that range.
+///
+/// A local maximum requires acf[k] >= acf[k-1] and acf[k] >= acf[k+1].
+std::size_t AcfPeakLag(const std::vector<double>& acf, std::size_t min_lag,
+                       std::size_t max_lag);
+
+}  // namespace rs::ts

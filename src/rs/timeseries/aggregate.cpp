@@ -1,0 +1,55 @@
+#include "rs/timeseries/aggregate.hpp"
+
+#include <cmath>
+
+namespace rs::ts {
+
+std::vector<double> CountSeries::ToQps() const {
+  std::vector<double> qps(counts.size());
+  for (std::size_t t = 0; t < counts.size(); ++t) qps[t] = counts[t] / dt;
+  return qps;
+}
+
+Result<CountSeries> AggregateEvents(const std::vector<double>& event_times,
+                                    double start, double dt,
+                                    std::size_t num_bins) {
+  if (!(dt > 0.0)) return Status::Invalid("AggregateEvents: dt must be > 0");
+  CountSeries series;
+  series.start = start;
+  series.dt = dt;
+  series.counts.assign(num_bins, 0.0);
+  for (double t : event_times) {
+    const double offset = t - start;
+    if (offset < 0.0) continue;
+    const auto bin = static_cast<std::size_t>(offset / dt);
+    if (bin >= num_bins) continue;
+    series.counts[bin] += 1.0;
+  }
+  return series;
+}
+
+Result<CountSeries> AggregateEvents(const std::vector<double>& event_times,
+                                    double dt, double horizon) {
+  if (!(dt > 0.0) || !(horizon > 0.0)) {
+    return Status::Invalid("AggregateEvents: dt and horizon must be > 0");
+  }
+  const auto bins = static_cast<std::size_t>(std::ceil(horizon / dt));
+  return AggregateEvents(event_times, 0.0, dt, bins);
+}
+
+Result<CountSeries> Reaggregate(const CountSeries& series, std::size_t factor) {
+  if (factor == 0) return Status::Invalid("Reaggregate: factor must be >= 1");
+  CountSeries out;
+  out.start = series.start;
+  out.dt = series.dt * static_cast<double>(factor);
+  const std::size_t n = series.size() / factor;
+  out.counts.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < factor; ++k) acc += series.counts[i * factor + k];
+    out.counts[i] = acc / static_cast<double>(factor);
+  }
+  return out;
+}
+
+}  // namespace rs::ts

@@ -1,0 +1,46 @@
+/// \file aggregate.hpp
+/// \brief Event-time → count-series aggregation (the Q_t construction of
+///        Section III) and window re-aggregation used before periodicity
+///        detection (Section IV, module 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rs/common/status.hpp"
+
+namespace rs::ts {
+
+/// \brief A regularly-spaced count series: counts[t] = number of events in
+///        [start + t·dt, start + (t+1)·dt).
+struct CountSeries {
+  double start = 0.0;       ///< Time of the left edge of the first bin (s).
+  double dt = 60.0;         ///< Bin width Δt in seconds.
+  std::vector<double> counts;
+
+  std::size_t size() const { return counts.size(); }
+  /// QPS value of bin t: counts[t] / dt.
+  double Qps(std::size_t t) const { return counts[t] / dt; }
+  /// The whole series as QPS.
+  std::vector<double> ToQps() const;
+};
+
+/// Bins ascending event times into a CountSeries covering
+/// [start, start + num_bins·dt). Events outside the range are dropped.
+/// Times need not be sorted.
+Result<CountSeries> AggregateEvents(const std::vector<double>& event_times,
+                                    double start, double dt,
+                                    std::size_t num_bins);
+
+/// Convenience: covers [0, horizon) with ceil(horizon/dt) bins.
+Result<CountSeries> AggregateEvents(const std::vector<double>& event_times,
+                                    double dt, double horizon);
+
+/// \brief Averages `factor` consecutive bins (time aggregation that reveals
+///        periodicity hidden by traffic randomness — Section IV).
+///
+/// The result has dt' = dt·factor and size floor(size/factor); the values
+/// are *means* of the combined bins, so QPS level is preserved.
+Result<CountSeries> Reaggregate(const CountSeries& series, std::size_t factor);
+
+}  // namespace rs::ts

@@ -1,0 +1,93 @@
+#include "rs/timeseries/fft.hpp"
+
+#include <cmath>
+
+namespace rs::ts {
+
+namespace {
+bool IsPow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+std::size_t NextPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Status FftPow2(std::vector<Complex>* data, bool inverse) {
+  if (data == nullptr) return Status::Invalid("FftPow2: null data");
+  const std::size_t n = data->size();
+  if (!IsPow2(n)) return Status::Invalid("FftPow2: size must be a power of 2");
+  if (n <= 1) return Status::OK();
+  auto& a = *data;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Fft(std::vector<Complex>* data, bool inverse) {
+  if (data == nullptr) return Status::Invalid("Fft: null data");
+  const std::size_t n = data->size();
+  if (n <= 1) return Status::OK();
+  if (IsPow2(n)) return FftPow2(data, inverse);
+
+  // Bluestein's algorithm: express the DFT as a convolution of chirped
+  // sequences, evaluated with power-of-two FFTs.
+  const std::size_t m = NextPow2(2 * n - 1);
+  std::vector<Complex> a(m, Complex(0.0, 0.0));
+  std::vector<Complex> b(m, Complex(0.0, 0.0));
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Use k^2 mod 2n to avoid precision loss for large k.
+    const std::size_t k2 = (static_cast<std::size_t>(k) * k) % (2 * n);
+    const double angle = sign * M_PI * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    a[k] = (*data)[k] * chirp[k];
+    b[k] = std::conj(chirp[k]);
+    if (k != 0) b[m - k] = std::conj(chirp[k]);
+  }
+  RS_RETURN_NOT_OK(FftPow2(&a, false));
+  RS_RETURN_NOT_OK(FftPow2(&b, false));
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  RS_RETURN_NOT_OK(FftPow2(&a, true));
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    (*data)[k] = a[k] * chirp[k] * scale;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Complex>> RealFft(const std::vector<double>& signal) {
+  std::vector<Complex> data(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    data[i] = Complex(signal[i], 0.0);
+  }
+  RS_RETURN_NOT_OK(Fft(&data, /*inverse=*/false));
+  return data;
+}
+
+}  // namespace rs::ts

@@ -1,0 +1,31 @@
+/// \file fft.hpp
+/// \brief FFT for arbitrary lengths: iterative radix-2 Cooley–Tukey plus
+///        Bluestein's chirp-z for non-power-of-two sizes. Backs the
+///        periodogram and the O(n log n) autocorrelation.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "rs/common/status.hpp"
+
+namespace rs::ts {
+
+using Complex = std::complex<double>;
+
+/// In-place FFT of a power-of-two-length vector. `inverse` applies the
+/// conjugate transform *without* the 1/n normalization.
+Status FftPow2(std::vector<Complex>* data, bool inverse);
+
+/// FFT of arbitrary length (Bluestein when not a power of two).
+/// `inverse = true` computes the unnormalized inverse transform.
+Status Fft(std::vector<Complex>* data, bool inverse);
+
+/// Forward FFT of a real signal; returns n complex coefficients.
+Result<std::vector<Complex>> RealFft(const std::vector<double>& signal);
+
+/// Smallest power of two >= n (n must be <= 2^62).
+std::size_t NextPow2(std::size_t n);
+
+}  // namespace rs::ts

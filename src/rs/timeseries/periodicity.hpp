@@ -1,0 +1,55 @@
+/// \file periodicity.hpp
+/// \brief Robust periodicity detection — module 1 of the RobustScaler
+///        framework (Fig. 2). A RobustPeriod-style hybrid: Hampel filter →
+///        time re-aggregation → moving-median detrend → periodogram peaks
+///        (Fisher g-test) → ACF validation and lag refinement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rs/common/status.hpp"
+#include "rs/timeseries/aggregate.hpp"
+
+namespace rs::ts {
+
+/// Options for DetectPeriod.
+struct PeriodicityOptions {
+  /// Average this many raw bins together before detection (Section IV:
+  /// "time aggregation ... to reduce random effects"). 1 = no aggregation.
+  std::size_t aggregate_factor = 1;
+  /// Hampel half-window (in aggregated bins) for outlier removal.
+  std::size_t hampel_half_window = 5;
+  double hampel_n_sigmas = 3.0;
+  /// Fisher g-test significance threshold for accepting a spectral peak.
+  double significance = 0.01;
+  /// Candidate peaks examined in decreasing power order.
+  std::size_t max_peaks = 5;
+  /// ACF at the (refined) candidate lag must exceed this to accept.
+  double min_acf = 0.1;
+  /// Candidate periods shorter than this many aggregated samples are
+  /// ignored (protects against high-frequency noise peaks).
+  std::size_t min_period = 4;
+  /// Require at least this many full cycles inside the series.
+  double min_cycles = 2.0;
+};
+
+/// A detected periodic component.
+struct DetectedPeriod {
+  std::size_t period = 0;  ///< Period in *raw* (pre-aggregation) bins.
+  double acf_value = 0.0;  ///< ACF at the detected lag (aggregated scale).
+  double p_value = 1.0;    ///< Fisher g-test p-value of the spectral peak.
+};
+
+/// \brief Detects the dominant period of a count series.
+///
+/// Returns a DetectedPeriod with period == 0 when no significant periodicity
+/// is found — callers then fit the NHPP without the DL penalty.
+Result<DetectedPeriod> DetectPeriod(const CountSeries& series,
+                                    const PeriodicityOptions& options = {});
+
+/// Same on a plain vector (dt assumed 1; period returned in samples).
+Result<DetectedPeriod> DetectPeriod(const std::vector<double>& values,
+                                    const PeriodicityOptions& options = {});
+
+}  // namespace rs::ts

@@ -1,0 +1,66 @@
+#include "rs/timeseries/periodogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/stats/empirical.hpp"
+#include "rs/timeseries/fft.hpp"
+
+namespace rs::ts {
+
+Result<std::vector<double>> Periodogram(const std::vector<double>& x,
+                                        bool hann_window) {
+  const std::size_t n = x.size();
+  if (n < 4) return Status::Invalid("Periodogram: series too short");
+  const double mean = stats::Mean(x);
+  std::vector<double> windowed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double w = 1.0;
+    if (hann_window) {
+      w = 0.5 - 0.5 * std::cos(2.0 * M_PI * static_cast<double>(i) /
+                               static_cast<double>(n - 1));
+    }
+    windowed[i] = (x[i] - mean) * w;
+  }
+  RS_ASSIGN_OR_RETURN(auto spectrum, RealFft(windowed));
+  const std::size_t half = n / 2;
+  std::vector<double> pgram(half);
+  for (std::size_t k = 1; k <= half; ++k) {
+    pgram[k - 1] = std::norm(spectrum[k]) / static_cast<double>(n);
+  }
+  return pgram;
+}
+
+Result<std::vector<SpectralPeak>> FindSpectralPeaks(
+    const std::vector<double>& x, std::size_t max_peaks, bool hann_window) {
+  RS_ASSIGN_OR_RETURN(auto pgram, Periodogram(x, hann_window));
+  const std::size_t m = pgram.size();
+  double total = 0.0;
+  for (double p : pgram) total += p;
+  if (total <= 0.0) return std::vector<SpectralPeak>{};
+
+  std::vector<std::size_t> order(m);
+  for (std::size_t i = 0; i < m; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return pgram[a] > pgram[b]; });
+
+  std::vector<SpectralPeak> peaks;
+  const std::size_t n = x.size();
+  const auto md = static_cast<double>(m);
+  for (std::size_t rank = 0; rank < std::min(max_peaks, m); ++rank) {
+    const std::size_t idx = order[rank];
+    SpectralPeak peak;
+    peak.index = idx + 1;
+    peak.period = static_cast<double>(n) / static_cast<double>(idx + 1);
+    peak.power = pgram[idx];
+    peak.g_statistic = pgram[idx] / total;
+    // Fisher's exact g-test upper tail: P(g > g0) <= m (1 - g0)^{m-1}.
+    const double tail =
+        md * std::pow(std::max(0.0, 1.0 - peak.g_statistic), md - 1.0);
+    peak.p_value = std::min(1.0, tail);
+    peaks.push_back(peak);
+  }
+  return peaks;
+}
+
+}  // namespace rs::ts

@@ -1,0 +1,33 @@
+/// \file periodogram.hpp
+/// \brief Hann-windowed periodogram and Fisher's g-test significance —
+///        the frequency-domain half of robust periodicity detection.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rs/common/status.hpp"
+
+namespace rs::ts {
+
+/// Spectral power at one candidate frequency.
+struct SpectralPeak {
+  std::size_t index = 0;    ///< Periodogram bin (1..n/2).
+  double period = 0.0;      ///< Corresponding period in samples, n / index.
+  double power = 0.0;       ///< Periodogram value.
+  double g_statistic = 0.0; ///< Fisher's g = power / total power.
+  double p_value = 1.0;     ///< g-test significance of the peak.
+};
+
+/// Periodogram of a demeaned (and optionally Hann-windowed) series at
+/// Fourier frequencies k/n, k = 1..n/2. Entry j holds frequency (j+1)/n.
+Result<std::vector<double>> Periodogram(const std::vector<double>& x,
+                                        bool hann_window = true);
+
+/// Top `max_peaks` periodogram peaks sorted by decreasing power, each with
+/// Fisher's g-test p-value (upper bound of min(1, m·(1-g)^{m-1} adjusted)).
+Result<std::vector<SpectralPeak>> FindSpectralPeaks(
+    const std::vector<double>& x, std::size_t max_peaks = 5,
+    bool hann_window = true);
+
+}  // namespace rs::ts

@@ -1,0 +1,104 @@
+#include "rs/timeseries/robust_filters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/stats/empirical.hpp"
+
+namespace rs::ts {
+
+namespace {
+
+/// Collects the window [i - hw, i + hw] ∩ [0, n) around index i.
+std::vector<double> Window(const std::vector<double>& x, std::size_t i,
+                           std::size_t hw) {
+  const std::size_t lo = i >= hw ? i - hw : 0;
+  const std::size_t hi = std::min(x.size() - 1, i + hw);
+  return std::vector<double>(x.begin() + static_cast<std::ptrdiff_t>(lo),
+                             x.begin() + static_cast<std::ptrdiff_t>(hi) + 1);
+}
+
+}  // namespace
+
+Result<std::vector<double>> HampelFilter(const std::vector<double>& x,
+                                         std::size_t half_window,
+                                         double n_sigmas) {
+  if (half_window == 0) return Status::Invalid("HampelFilter: half_window >= 1");
+  std::vector<double> out(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto win = Window(x, i, half_window);
+    const double med = stats::Median(std::vector<double>(win));
+    const double scale = stats::MadScale(win);
+    if (scale > 0.0 && std::abs(x[i] - med) > n_sigmas * scale) out[i] = med;
+  }
+  return out;
+}
+
+Result<std::vector<std::size_t>> HampelOutlierIndices(
+    const std::vector<double>& x, std::size_t half_window, double n_sigmas) {
+  if (half_window == 0) return Status::Invalid("Hampel: half_window >= 1");
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto win = Window(x, i, half_window);
+    const double med = stats::Median(std::vector<double>(win));
+    const double scale = stats::MadScale(win);
+    if (scale > 0.0 && std::abs(x[i] - med) > n_sigmas * scale) {
+      idx.push_back(i);
+    }
+  }
+  return idx;
+}
+
+Result<std::vector<double>> MovingMedian(const std::vector<double>& x,
+                                         std::size_t half_window) {
+  if (half_window == 0) return Status::Invalid("MovingMedian: half_window >= 1");
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = stats::Median(Window(x, i, half_window));
+  }
+  return out;
+}
+
+Result<std::vector<double>> DetrendByMovingMedian(const std::vector<double>& x,
+                                                  std::size_t half_window) {
+  RS_ASSIGN_OR_RETURN(auto trend, MovingMedian(x, half_window));
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - trend[i];
+  return out;
+}
+
+Result<std::vector<double>> InterpolateMissing(
+    const std::vector<double>& x, bool treat_nonpositive_as_missing) {
+  auto missing = [&](double v) {
+    return std::isnan(v) || (treat_nonpositive_as_missing && v <= 0.0);
+  };
+  std::vector<double> out(x);
+  const std::size_t n = x.size();
+  if (n == 0) return out;
+
+  // Find first valid value.
+  std::size_t first = 0;
+  while (first < n && missing(out[first])) ++first;
+  if (first == n) return Status::Invalid("InterpolateMissing: all missing");
+  for (std::size_t i = 0; i < first; ++i) out[i] = out[first];
+
+  std::size_t last_valid = first;
+  for (std::size_t i = first + 1; i < n; ++i) {
+    if (!missing(out[i])) {
+      const std::size_t gap = i - last_valid;
+      if (gap > 1) {
+        const double lo = out[last_valid];
+        const double hi = out[i];
+        for (std::size_t k = 1; k < gap; ++k) {
+          out[last_valid + k] =
+              lo + (hi - lo) * static_cast<double>(k) / static_cast<double>(gap);
+        }
+      }
+      last_valid = i;
+    }
+  }
+  for (std::size_t i = last_valid + 1; i < n; ++i) out[i] = out[last_valid];
+  return out;
+}
+
+}  // namespace rs::ts

@@ -1,0 +1,49 @@
+/// \file robust_filters.hpp
+/// \brief Robust preprocessing: Hampel outlier replacement, moving median
+///        detrending, and missing-value interpolation — the defenses that
+///        make periodicity detection and NHPP fitting robust to the noise,
+///        outliers, and missing data the paper stresses (Sections I, VII-B3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rs/common/status.hpp"
+
+namespace rs::ts {
+
+/// \brief Hampel filter: a point farther than `n_sigmas` robust standard
+///        deviations (MAD·1.4826) from the window median is replaced by
+///        that median.
+///
+/// \param x          input series.
+/// \param half_window window is [i - half_window, i + half_window] clipped
+///                   to the series; must be >= 1.
+/// \param n_sigmas   outlier threshold in robust sigmas (typical: 3).
+Result<std::vector<double>> HampelFilter(const std::vector<double>& x,
+                                         std::size_t half_window,
+                                         double n_sigmas = 3.0);
+
+/// Indices flagged as outliers by the same rule (for diagnostics/tests).
+Result<std::vector<std::size_t>> HampelOutlierIndices(
+    const std::vector<double>& x, std::size_t half_window,
+    double n_sigmas = 3.0);
+
+/// Centered moving median with the given half-window (robust trend).
+Result<std::vector<double>> MovingMedian(const std::vector<double>& x,
+                                         std::size_t half_window);
+
+/// x minus its moving median (robust detrend).
+Result<std::vector<double>> DetrendByMovingMedian(const std::vector<double>& x,
+                                                  std::size_t half_window);
+
+/// \brief Linear interpolation across runs of missing values.
+///
+/// A value is "missing" when std::isnan(x[i]) or (if
+/// `treat_nonpositive_as_missing`) x[i] <= 0 in a count series context.
+/// Leading/trailing missing runs are filled with the nearest valid value;
+/// an all-missing series is an error.
+Result<std::vector<double>> InterpolateMissing(
+    const std::vector<double>& x, bool treat_nonpositive_as_missing = false);
+
+}  // namespace rs::ts

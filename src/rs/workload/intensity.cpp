@@ -1,0 +1,118 @@
+#include "rs/workload/intensity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rs::workload {
+
+Result<PiecewiseConstantIntensity> PiecewiseConstantIntensity::Make(
+    std::vector<double> rates, double dt) {
+  if (!(dt > 0.0)) {
+    return Status::Invalid("PiecewiseConstantIntensity: dt must be > 0");
+  }
+  if (rates.empty()) {
+    return Status::Invalid("PiecewiseConstantIntensity: empty rates");
+  }
+  for (double r : rates) {
+    if (!(r >= 0.0) || !std::isfinite(r)) {
+      return Status::Invalid("PiecewiseConstantIntensity: rates must be >= 0");
+    }
+  }
+  PiecewiseConstantIntensity out;
+  out.rates_ = std::move(rates);
+  out.dt_ = dt;
+  out.cum_.resize(out.rates_.size() + 1);
+  out.cum_[0] = 0.0;
+  for (std::size_t t = 0; t < out.rates_.size(); ++t) {
+    out.cum_[t + 1] = out.cum_[t] + out.rates_[t] * dt;
+  }
+  return out;
+}
+
+double PiecewiseConstantIntensity::Rate(double t) const {
+  if (rates_.empty()) return 0.0;
+  if (t < 0.0) return rates_.front();
+  const auto bin = static_cast<std::size_t>(t / dt_);
+  if (bin >= rates_.size()) return rates_.back();
+  return rates_[bin];
+}
+
+double PiecewiseConstantIntensity::Cumulative(double t) const {
+  if (rates_.empty() || t <= 0.0) return 0.0;
+  const double h = horizon();
+  if (t >= h) return cum_.back() + (t - h) * rates_.back();
+  const auto bin = static_cast<std::size_t>(t / dt_);
+  const double within = t - static_cast<double>(bin) * dt_;
+  return cum_[bin] + rates_[bin] * within;
+}
+
+Result<double> PiecewiseConstantIntensity::InverseCumulative(
+    double target) const {
+  if (target < 0.0) return Status::Invalid("InverseCumulative: target < 0");
+  if (rates_.empty()) return Status::Invalid("InverseCumulative: empty");
+  if (target == 0.0) return 0.0;  // Λ(0) = 0 already meets the target.
+  if (target > cum_.back()) {
+    const double tail = rates_.back();
+    if (tail <= 0.0) {
+      return Status::OutOfRange(
+          "InverseCumulative: target beyond horizon with zero tail rate");
+    }
+    return horizon() + (target - cum_.back()) / tail;
+  }
+  // Binary search the first cumulative boundary >= target.
+  const auto it = std::lower_bound(cum_.begin(), cum_.end(), target);
+  const auto idx = static_cast<std::size_t>(it - cum_.begin());
+  if (idx == 0) return 0.0;
+  const std::size_t bin = idx - 1;
+  const double remaining = target - cum_[bin];
+  const double rate = rates_[bin];
+  if (rate <= 0.0) return static_cast<double>(idx) * dt_;
+  return static_cast<double>(bin) * dt_ + remaining / rate;
+}
+
+double PiecewiseConstantIntensity::MaxRate() const {
+  double m = 0.0;
+  for (double r : rates_) m = std::max(m, r);
+  return m;
+}
+
+double PiecewiseConstantIntensity::MeanRate() const {
+  if (rates_.empty()) return 0.0;
+  double acc = 0.0;
+  for (double r : rates_) acc += r;
+  return acc / static_cast<double>(rates_.size());
+}
+
+Result<PiecewiseConstantIntensity> Discretize(const AnalyticIntensity& fn,
+                                              double dt, double horizon) {
+  if (!(dt > 0.0) || !(horizon > 0.0)) {
+    return Status::Invalid("Discretize: dt and horizon must be > 0");
+  }
+  const auto bins = static_cast<std::size_t>(std::ceil(horizon / dt));
+  std::vector<double> rates(bins);
+  for (std::size_t t = 0; t < bins; ++t) {
+    rates[t] = std::max(0.0, fn((static_cast<double>(t) + 0.5) * dt));
+  }
+  return PiecewiseConstantIntensity::Make(std::move(rates), dt);
+}
+
+AnalyticIntensity MakeScalabilityIntensity(double peak) {
+  return [peak](double t) {
+    const double u = std::fmod(t, 3600.0) / 3600.0;
+    // 4⁴⁰ u⁴⁰ (1−u)⁴⁰ = (4u(1-u))⁴⁰ computed in log-space for stability.
+    const double base = 4.0 * u * (1.0 - u);
+    const double bump = base <= 0.0 ? 0.0 : std::exp(40.0 * std::log(base));
+    return peak * bump + 0.001;
+  };
+}
+
+AnalyticIntensity MakeRegularizationIntensity() {
+  return [](double t) {
+    const double u = std::fmod(t, 86400.0) / 86400.0;
+    const double base = 4.0 * u * (1.0 - u);
+    const double bump = base <= 0.0 ? 0.0 : std::exp(10.0 * std::log(base));
+    return bump + 0.1;
+  };
+}
+
+}  // namespace rs::workload

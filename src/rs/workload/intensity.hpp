@@ -1,0 +1,74 @@
+/// \file intensity.hpp
+/// \brief Arrival-intensity functions λ(t): piecewise-constant (the form the
+///        NHPP model learns) and the two analytic intensities the paper's
+///        simulation studies use (Fig. 8 scalability, Table III
+///        regularization).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "rs/common/status.hpp"
+
+namespace rs::workload {
+
+/// \brief λ(t) constant within each bin of width dt — the representation
+///        produced by the NHPP model (λ_t = exp(r_t)) and consumed by the
+///        time-rescaling sampler and the arrival predictor.
+class PiecewiseConstantIntensity {
+ public:
+  PiecewiseConstantIntensity() = default;
+
+  /// rates[t] applies on [t·dt, (t+1)·dt); dt > 0, all rates >= 0.
+  static Result<PiecewiseConstantIntensity> Make(std::vector<double> rates,
+                                                 double dt);
+
+  double dt() const { return dt_; }
+  std::size_t bins() const { return rates_.size(); }
+  double horizon() const { return dt_ * static_cast<double>(rates_.size()); }
+  const std::vector<double>& rates() const { return rates_; }
+
+  /// λ(t); beyond the horizon the last rate extends (constant tail) so the
+  /// predictor can always look slightly past the planned window.
+  double Rate(double t) const;
+
+  /// Cumulative intensity Λ(t) = ∫₀ᵗ λ, exact for the piecewise form.
+  double Cumulative(double t) const;
+
+  /// Inverse cumulative: smallest t with Λ(t) >= target. Uses the constant
+  /// tail beyond the horizon; target must be >= 0 and the tail rate > 0 if
+  /// the target exceeds Λ(horizon).
+  Result<double> InverseCumulative(double target) const;
+
+  /// Max rate over all bins (thinning envelope, κ upper bound λ̄).
+  double MaxRate() const;
+
+  /// Mean rate over all bins.
+  double MeanRate() const;
+
+ private:
+  std::vector<double> rates_;
+  std::vector<double> cum_;  ///< cum_[t] = Λ(t·dt); size bins()+1.
+  double dt_ = 1.0;
+};
+
+/// Analytic intensity function (arbitrary λ(t) >= 0).
+using AnalyticIntensity = std::function<double(double)>;
+
+/// Discretizes an analytic intensity to bins of width dt over [0, horizon)
+/// using midpoint values.
+Result<PiecewiseConstantIntensity> Discretize(const AnalyticIntensity& fn,
+                                              double dt, double horizon);
+
+/// The Fig. 8 scalability intensity:
+/// λ(t) = peak · 4⁴⁰ u⁴⁰ (1−u)⁴⁰ + 0.001, u = (t mod 3600)/3600.
+/// The paper states peak QPS up to 10⁴; with the printed formula the
+/// bracket maxes at 1 so `peak` scales the spike height (default 10000).
+AnalyticIntensity MakeScalabilityIntensity(double peak = 10000.0);
+
+/// The Table III regularization intensity:
+/// λ(t) = 4¹⁰ u¹⁰ (1−u)¹⁰ + 0.1, u = (t mod 86400)/86400 (period = 1 day).
+AnalyticIntensity MakeRegularizationIntensity();
+
+}  // namespace rs::workload

@@ -1,0 +1,50 @@
+#include "rs/workload/nhpp_sampler.hpp"
+
+#include "rs/stats/distributions.hpp"
+
+namespace rs::workload {
+
+Result<std::vector<double>> SampleNhppThinning(stats::Rng* rng,
+                                               const AnalyticIntensity& fn,
+                                               double rate_bound,
+                                               double horizon) {
+  if (rng == nullptr) return Status::Invalid("SampleNhppThinning: null rng");
+  if (!(rate_bound > 0.0) || !(horizon > 0.0)) {
+    return Status::Invalid("SampleNhppThinning: rate_bound, horizon must be > 0");
+  }
+  std::vector<double> arrivals;
+  double t = 0.0;
+  for (;;) {
+    t += stats::SampleExponential(rng, rate_bound);
+    if (t >= horizon) break;
+    const double lambda = fn(t);
+    if (lambda > rate_bound * (1.0 + 1e-12)) {
+      return Status::Invalid(
+          "SampleNhppThinning: intensity exceeds rate_bound at t=" +
+          std::to_string(t));
+    }
+    if (rng->NextDouble() * rate_bound < lambda) arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+Result<std::vector<double>> SampleNhppTimeRescaling(
+    stats::Rng* rng, const PiecewiseConstantIntensity& intensity) {
+  if (rng == nullptr) {
+    return Status::Invalid("SampleNhppTimeRescaling: null rng");
+  }
+  const double horizon = intensity.horizon();
+  const double total = intensity.Cumulative(horizon);
+  std::vector<double> arrivals;
+  double gamma = 0.0;
+  for (;;) {
+    gamma += stats::SampleExponential(rng, 1.0);
+    if (gamma > total) break;
+    RS_ASSIGN_OR_RETURN(const double t, intensity.InverseCumulative(gamma));
+    if (t >= horizon) break;
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace rs::workload

@@ -1,0 +1,35 @@
+/// \file nhpp_sampler.hpp
+/// \brief Sampling arrival times from a non-homogeneous Poisson process,
+///        by thinning (Lewis–Shedler) and by time-rescaling (inverse
+///        cumulative intensity) — the generative counterpart of the NHPP
+///        model of Section V.
+#pragma once
+
+#include <vector>
+
+#include "rs/common/status.hpp"
+#include "rs/stats/rng.hpp"
+#include "rs/workload/intensity.hpp"
+
+namespace rs::workload {
+
+/// \brief Lewis–Shedler thinning: candidate arrivals from a homogeneous
+///        Poisson(rate_bound) process are accepted with probability
+///        λ(t)/rate_bound.
+///
+/// \param fn         target intensity; must satisfy fn(t) <= rate_bound.
+/// \param rate_bound dominating constant rate (> 0).
+/// \param horizon    sample on [0, horizon).
+Result<std::vector<double>> SampleNhppThinning(stats::Rng* rng,
+                                               const AnalyticIntensity& fn,
+                                               double rate_bound,
+                                               double horizon);
+
+/// \brief Time-rescaling sampling: arrival k occurs at Λ⁻¹(γ_k) where γ_k
+///        is a unit-rate Poisson process (cumsum of Exp(1)).
+///
+/// Exact for piecewise-constant intensities; O(total_events + bins).
+Result<std::vector<double>> SampleNhppTimeRescaling(
+    stats::Rng* rng, const PiecewiseConstantIntensity& intensity);
+
+}  // namespace rs::workload

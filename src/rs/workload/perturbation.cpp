@@ -1,0 +1,95 @@
+#include "rs/workload/perturbation.hpp"
+
+#include <cmath>
+
+#include "rs/stats/distributions.hpp"
+
+namespace rs::workload {
+
+Result<Trace> PerturbTrace(const Trace& trace,
+                           const PerturbationOptions& options) {
+  if (!(options.period > 0.0) || !(options.window > 0.0)) {
+    return Status::Invalid("PerturbTrace: period and window must be > 0");
+  }
+  if (options.add_factor < 0.0) {
+    return Status::Invalid("PerturbTrace: add_factor must be >= 0");
+  }
+  stats::Rng rng(options.seed);
+  std::vector<Query> out;
+  out.reserve(trace.size());
+
+  // Pass 1: drop queries inside deletion windows; collect addition windows'
+  // contents for replication.
+  const double horizon = trace.horizon();
+  std::vector<std::vector<Query>> add_window_queries;
+  const auto num_periods =
+      static_cast<std::size_t>(std::ceil(horizon / options.period));
+  add_window_queries.resize(num_periods);
+
+  for (const auto& q : trace.queries()) {
+    const double in_period = std::fmod(q.arrival_time, options.period);
+    const bool deleted = in_period >= options.delete_offset &&
+                         in_period < options.delete_offset + options.window;
+    if (deleted) continue;
+    out.push_back(q);
+    const bool in_add = in_period >= options.add_offset &&
+                        in_period < options.add_offset + options.window;
+    if (in_add) {
+      const auto p = static_cast<std::size_t>(q.arrival_time / options.period);
+      add_window_queries[p].push_back(q);
+    }
+  }
+
+  // Pass 2: add add_factor× more queries to each addition window.
+  for (std::size_t p = 0; p < num_periods; ++p) {
+    const double win_begin =
+        static_cast<double>(p) * options.period + options.add_offset;
+    const double win_end = std::min(win_begin + options.window, horizon);
+    if (win_begin >= horizon) break;
+    const auto& contents = add_window_queries[p];
+    const double target =
+        options.add_factor * static_cast<double>(contents.size());
+    const auto num_extra = static_cast<std::size_t>(std::floor(target)) +
+                           ((rng.NextDouble() < target - std::floor(target)) ? 1 : 0);
+    for (std::size_t k = 0; k < num_extra; ++k) {
+      Query extra;
+      if (!contents.empty()) {
+        const auto src = contents[rng.NextBounded(contents.size())];
+        extra.processing_time = src.processing_time;
+      } else {
+        extra.processing_time = 60.0;
+      }
+      extra.arrival_time = stats::SampleUniform(&rng, win_begin, win_end);
+      out.push_back(extra);
+    }
+  }
+  return Trace(std::move(out), horizon);
+}
+
+Trace RemoveWindow(const Trace& trace, double begin, double end) {
+  std::vector<Query> out;
+  out.reserve(trace.size());
+  for (const auto& q : trace.queries()) {
+    if (q.arrival_time >= begin && q.arrival_time < end) continue;
+    out.push_back(q);
+  }
+  return Trace(std::move(out), trace.horizon());
+}
+
+Result<Trace> ThinWindow(const Trace& trace, double begin, double end,
+                         double keep_prob, std::uint64_t seed) {
+  if (!(keep_prob >= 0.0) || !(keep_prob <= 1.0)) {
+    return Status::Invalid("ThinWindow: keep_prob must lie in [0, 1]");
+  }
+  stats::Rng rng(seed);
+  std::vector<Query> out;
+  out.reserve(trace.size());
+  for (const auto& q : trace.queries()) {
+    const bool inside = q.arrival_time >= begin && q.arrival_time < end;
+    if (inside && rng.NextDouble() >= keep_prob) continue;
+    out.push_back(q);
+  }
+  return Trace(std::move(out), trace.horizon());
+}
+
+}  // namespace rs::workload

@@ -1,0 +1,44 @@
+/// \file perturbation.hpp
+/// \brief Trace modifications used by the robustness experiments:
+///        the Fig. 6–7 perturbation protocol, the Fig. 9 / Table II missing
+///        data injection, and anomaly (burst) removal.
+#pragma once
+
+#include "rs/common/status.hpp"
+#include "rs/stats/rng.hpp"
+#include "rs/workload/trace.hpp"
+
+namespace rs::workload {
+
+/// Parameters of the Fig. 6–7 perturbation protocol.
+struct PerturbationOptions {
+  /// "c": how many extra copies of the window's queries are added.
+  double add_factor = 1.0;
+  /// Period between perturbations (paper: every one hour).
+  double period = 3600.0;
+  /// Width of each deleted / boosted window (paper: five minutes).
+  double window = 300.0;
+  /// Offset of the deletion window within each period (paper: at the start).
+  double delete_offset = 0.0;
+  /// Offset of the addition window (paper: starting from the sixth minute).
+  double add_offset = 360.0;
+  std::uint64_t seed = 99;
+};
+
+/// \brief Applies the paper's perturbation: per period, queries inside the
+///        deletion window are removed, and `add_factor`× more queries are
+///        added inside the addition window (copies of the window's queries
+///        with jittered arrivals; an empty window draws uniform arrivals).
+Result<Trace> PerturbTrace(const Trace& trace, const PerturbationOptions& options);
+
+/// Removes every query with arrival in [begin, end) — missing-data
+/// injection (Fig. 9: "removing all the queries in one entire day").
+Trace RemoveWindow(const Trace& trace, double begin, double end);
+
+/// \brief Caps the arrival rate inside [begin, end) by keeping each query
+///        with probability keep_prob — used to erase the Alibaba-like burst
+///        ("we erase the burst ... to make the pattern more clear").
+Result<Trace> ThinWindow(const Trace& trace, double begin, double end,
+                         double keep_prob, std::uint64_t seed = 101);
+
+}  // namespace rs::workload

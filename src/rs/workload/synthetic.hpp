@@ -1,0 +1,77 @@
+/// \file synthetic.hpp
+/// \brief Synthetic stand-ins for the paper's three real traces (CRS,
+///        Google cluster 2019, Alibaba cluster 2018) — see the substitution
+///        table in DESIGN.md. Each generator returns the trace plus its
+///        ground-truth intensity so accuracy experiments (Table III style)
+///        can score estimators.
+#pragma once
+
+#include <string>
+
+#include "rs/common/status.hpp"
+#include "rs/stats/distributions.hpp"
+#include "rs/stats/rng.hpp"
+#include "rs/workload/intensity.hpp"
+#include "rs/workload/trace.hpp"
+
+namespace rs::workload {
+
+/// A generated trace together with the intensity that produced it.
+struct SyntheticTrace {
+  Trace trace;
+  PiecewiseConstantIntensity intensity;   ///< Ground-truth λ(t).
+  stats::DurationDistribution pending =
+      stats::DurationDistribution::Deterministic(13.0);  ///< τ_i model.
+  std::string name;
+};
+
+/// Parameters shared by the trace generators.
+struct SyntheticTraceOptions {
+  std::uint64_t seed = 7;
+  /// Multiplies the intensity level (scales total query count).
+  double scale = 1.0;
+  /// Log-normal multiplicative noise sigma applied to the intensity bins.
+  double noise_sigma = 0.3;
+  /// Rate of sporadic outlier bins (probability per bin of a 5–15× spike).
+  double outlier_rate = 0.0;
+};
+
+/// \brief CRS-like trace: 4 weeks, weekly + daily multiplicative pattern,
+///        very low base traffic (avg QPS ≈ 0.01), strong noise, heavy-tailed
+///        (log-normal) processing times with mean ≈ 179 s, pending 13 s.
+///
+/// Paper counterpart: container registry service trace, 21,059 queries
+/// over 4 weeks, "quite noisy ... but seems to have a weekly pattern".
+Result<SyntheticTrace> MakeCrsLikeTrace(const SyntheticTraceOptions& options = {});
+
+/// \brief Google-like trace: 24 h, diurnal base with recurrent 2-hourly
+///        spikes, ≈ 20k queries, exponential processing times.
+///
+/// Paper counterpart: Google cluster 2019 "cluster b" job trace, 20,254
+/// queries over 24 h with recurrent spikes.
+Result<SyntheticTrace> MakeGoogleLikeTrace(const SyntheticTraceOptions& options = {});
+
+/// \brief Alibaba-like trace: 5 days, diurnal pattern with recurrent spikes
+///        plus one *anomalous burst* in the middle of day 4 (the "unexpected
+///        burst/spike on the fourth day" that challenges prediction).
+///
+/// Paper counterpart: Alibaba cluster 2018, 503,850 records over 5 days;
+/// scale defaults to 0.1 so a default run is ≈ 50k queries (see DESIGN.md).
+Result<SyntheticTrace> MakeAlibabaLikeTrace(SyntheticTraceOptions options = {});
+
+/// Bounds of the Alibaba-like anomalous burst window (seconds from start),
+/// exposed so robustness experiments can remove exactly the anomaly.
+struct BurstWindow {
+  double begin = 0.0;
+  double end = 0.0;
+};
+BurstWindow AlibabaBurstWindow();
+
+/// \brief Samples a trace from an arbitrary intensity with the given
+///        processing-time distribution (used by the Fig. 8 / Table I / III
+///        simulation studies).
+Result<Trace> MakeTraceFromIntensity(stats::Rng* rng,
+                                     const PiecewiseConstantIntensity& intensity,
+                                     const stats::DurationDistribution& processing);
+
+}  // namespace rs::workload

@@ -1,0 +1,86 @@
+#include "rs/workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace rs::workload {
+
+Trace::Trace(std::vector<Query> queries, double horizon)
+    : queries_(std::move(queries)), horizon_(horizon) {
+  SortByArrival();
+}
+
+std::vector<double> Trace::ArrivalTimes() const {
+  std::vector<double> times(queries_.size());
+  for (std::size_t i = 0; i < queries_.size(); ++i) {
+    times[i] = queries_[i].arrival_time;
+  }
+  return times;
+}
+
+double Trace::AverageQps() const {
+  if (horizon_ <= 0.0) return 0.0;
+  return static_cast<double>(queries_.size()) / horizon_;
+}
+
+Trace Trace::Slice(double t0, double t1) const {
+  std::vector<Query> out;
+  for (const auto& q : queries_) {
+    if (q.arrival_time >= t0 && q.arrival_time < t1) {
+      out.push_back({q.arrival_time - t0, q.processing_time});
+    }
+  }
+  return Trace(std::move(out), t1 - t0);
+}
+
+std::pair<Trace, Trace> Trace::SplitAt(double t) const {
+  return {Slice(0.0, t), Slice(t, horizon_)};
+}
+
+void Trace::SortByArrival() {
+  std::sort(queries_.begin(), queries_.end(),
+            [](const Query& a, const Query& b) {
+              return a.arrival_time < b.arrival_time;
+            });
+}
+
+Status Trace::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("Trace::SaveCsv: cannot open " + path);
+  out << "arrival_time,processing_time\n";
+  out.precision(12);
+  for (const auto& q : queries_) {
+    out << q.arrival_time << "," << q.processing_time << "\n";
+  }
+  if (!out) return Status::IoError("Trace::SaveCsv: write failed for " + path);
+  return Status::OK();
+}
+
+Result<Trace> Trace::LoadCsv(const std::string& path, double horizon) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("Trace::LoadCsv: cannot open " + path);
+  std::string line;
+  std::vector<Query> queries;
+  bool first = true;
+  double max_arrival = 0.0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line.rfind("arrival_time", 0) == 0) continue;  // Header.
+    }
+    std::istringstream ss(line);
+    Query q;
+    char comma = 0;
+    if (!(ss >> q.arrival_time >> comma >> q.processing_time) || comma != ',') {
+      return Status::IoError("Trace::LoadCsv: malformed line: " + line);
+    }
+    max_arrival = std::max(max_arrival, q.arrival_time);
+    queries.push_back(q);
+  }
+  return Trace(std::move(queries), std::max(horizon, max_arrival + 1.0));
+}
+
+}  // namespace rs::workload

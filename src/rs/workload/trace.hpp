@@ -1,0 +1,67 @@
+/// \file trace.hpp
+/// \brief Query trace: the arrival/processing-time sequences the simulator
+///        replays (the role of the CRS / Google / Alibaba traces in the
+///        paper's experiments).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rs/common/status.hpp"
+
+namespace rs::workload {
+
+/// One query: when it arrives and how long its processing takes once an
+/// instance starts executing it.
+struct Query {
+  double arrival_time = 0.0;     ///< Seconds from trace start.
+  double processing_time = 0.0;  ///< Service duration s_i, seconds.
+};
+
+/// \brief An ordered sequence of queries over [0, horizon).
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::vector<Query> queries, double horizon);
+
+  const std::vector<Query>& queries() const { return queries_; }
+  std::size_t size() const { return queries_.size(); }
+  bool empty() const { return queries_.empty(); }
+  double horizon() const { return horizon_; }
+
+  const Query& operator[](std::size_t i) const { return queries_[i]; }
+
+  /// All arrival times, ascending.
+  std::vector<double> ArrivalTimes() const;
+
+  /// Mean queries-per-second over the horizon.
+  double AverageQps() const;
+
+  /// Sub-trace with arrivals in [t0, t1), re-based so t0 becomes 0.
+  Trace Slice(double t0, double t1) const;
+
+  /// Splits at time t into (train, test); test is re-based to start at 0.
+  std::pair<Trace, Trace> SplitAt(double t) const;
+
+  /// Sorts queries by arrival time (generators call this once).
+  void SortByArrival();
+
+  /// Appends a query (caller must SortByArrival afterwards if unordered).
+  void Append(Query q) { queries_.push_back(q); }
+
+  void set_horizon(double horizon) { horizon_ = horizon; }
+
+  /// Writes "arrival_time,processing_time" CSV with a header line.
+  Status SaveCsv(const std::string& path) const;
+
+  /// Reads a CSV produced by SaveCsv. Horizon is max arrival (+1s) unless
+  /// a larger value is given.
+  static Result<Trace> LoadCsv(const std::string& path, double horizon = 0.0);
+
+ private:
+  std::vector<Query> queries_;
+  double horizon_ = 0.0;
+};
+
+}  // namespace rs::workload

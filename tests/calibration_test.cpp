@@ -1,0 +1,61 @@
+// Tests for the nominal→actual calibration curve (Section VI-C guidelines).
+#include <gtest/gtest.h>
+
+#include "rs/core/calibration.hpp"
+
+namespace rs::core {
+namespace {
+
+TEST(CalibrationTest, ForwardInterpolation) {
+  auto curve = CalibrationCurve::Make({0.5, 0.7, 0.9}, {0.6, 0.8, 0.95});
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve->PredictActual(0.5), 0.6);
+  EXPECT_DOUBLE_EQ(curve->PredictActual(0.9), 0.95);
+  EXPECT_NEAR(curve->PredictActual(0.6), 0.7, 1e-12);
+  // Clamped outside the grid.
+  EXPECT_DOUBLE_EQ(curve->PredictActual(0.3), 0.6);
+  EXPECT_DOUBLE_EQ(curve->PredictActual(0.99), 0.95);
+}
+
+TEST(CalibrationTest, InverseLookupFindsNominal) {
+  auto curve = CalibrationCurve::Make({0.5, 0.7, 0.9}, {0.6, 0.8, 0.95});
+  ASSERT_TRUE(curve.ok());
+  EXPECT_NEAR(curve->PickNominal(0.8), 0.7, 1e-12);
+  EXPECT_NEAR(curve->PickNominal(0.7), 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(curve->PickNominal(0.99), 0.9);
+  EXPECT_DOUBLE_EQ(curve->PickNominal(0.1), 0.5);
+}
+
+TEST(CalibrationTest, RoundTripConsistency) {
+  auto curve =
+      CalibrationCurve::Make({0.1, 0.3, 0.5, 0.7, 0.9}, {0.2, 0.4, 0.6, 0.85, 0.97});
+  ASSERT_TRUE(curve.ok());
+  for (double desired : {0.25, 0.5, 0.9}) {
+    const double nominal = curve->PickNominal(desired);
+    EXPECT_NEAR(curve->PredictActual(nominal), desired, 1e-9);
+  }
+}
+
+TEST(CalibrationTest, IsotonizesNonMonotoneActuals) {
+  // Noisy calibration runs can produce local inversions; PAV must fix them.
+  auto curve = CalibrationCurve::Make({0.1, 0.3, 0.5, 0.7},
+                                      {0.2, 0.5, 0.45, 0.8});
+  ASSERT_TRUE(curve.ok());
+  const auto& a = curve->actual();
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(a[i], a[i - 1]);
+  }
+  // Pooled block becomes the average 0.475.
+  EXPECT_NEAR(a[1], 0.475, 1e-12);
+  EXPECT_NEAR(a[2], 0.475, 1e-12);
+}
+
+TEST(CalibrationTest, RejectsBadInputs) {
+  EXPECT_FALSE(CalibrationCurve::Make({0.5}, {0.5}).ok());
+  EXPECT_FALSE(CalibrationCurve::Make({0.5, 0.4}, {0.5, 0.6}).ok());
+  EXPECT_FALSE(CalibrationCurve::Make({0.5, 0.5}, {0.5, 0.6}).ok());
+  EXPECT_FALSE(CalibrationCurve::Make({0.1, 0.2}, {0.5}).ok());
+}
+
+}  // namespace
+}  // namespace rs::core

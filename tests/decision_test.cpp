@@ -1,0 +1,246 @@
+// Tests for the stochastically-constrained decision solvers (Eqs. 3/5/7):
+// closed-form cross-checks, brute-force verification of the sort-and-search
+// sweep (Algorithm 3), and property sweeps over targets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rs/core/decision.hpp"
+#include "rs/stats/distributions.hpp"
+#include "rs/stats/rng.hpp"
+
+namespace rs::core {
+namespace {
+
+McSamples MakeExponentialSamples(double rate, double tau, std::size_t n,
+                                 std::uint64_t seed) {
+  stats::Rng rng(seed);
+  McSamples s;
+  s.xi.resize(n);
+  s.tau.assign(n, tau);
+  for (std::size_t r = 0; r < n; ++r) {
+    s.xi[r] = stats::SampleExponential(&rng, rate);
+  }
+  return s;
+}
+
+TEST(HpDecisionTest, MatchesClosedFormExponentialQuantile) {
+  // xi ~ Exp(rate), deterministic tau: x* = alpha-quantile(xi) - tau.
+  // rate chosen low enough that the quantile exceeds tau (feasible case):
+  // -ln(0.9)/0.005 ≈ 21.07 > 13.
+  const double rate = 0.005, tau = 13.0, alpha = 0.1;
+  auto s = MakeExponentialSamples(rate, tau, 200000, 1);
+  auto d = SolveHpConstrained(s, alpha);
+  ASSERT_TRUE(d.ok());
+  const double exact = -std::log(1.0 - alpha) / rate - tau;
+  EXPECT_TRUE(d->feasible);
+  EXPECT_NEAR(d->creation_time, exact, 0.05 * exact);
+}
+
+TEST(HpDecisionTest, InfeasibleClampsToZero) {
+  // High rate: alpha-quantile of xi << tau → infeasible, create now.
+  auto s = MakeExponentialSamples(10.0, 13.0, 10000, 2);
+  auto d = SolveHpConstrained(s, 0.1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->feasible);
+  EXPECT_DOUBLE_EQ(d->creation_time, 0.0);
+}
+
+TEST(HpDecisionTest, MonotoneInAlpha) {
+  auto s = MakeExponentialSamples(0.05, 5.0, 50000, 3);
+  double prev = -1e300;
+  for (double alpha : {0.05, 0.1, 0.3, 0.5, 0.9}) {
+    auto d = SolveHpConstrained(s, alpha);
+    ASSERT_TRUE(d.ok());
+    EXPECT_GE(d->creation_time, prev);
+    prev = d->creation_time;
+  }
+}
+
+TEST(HpDecisionTest, RejectsBadInputs) {
+  McSamples empty;
+  EXPECT_FALSE(SolveHpConstrained(empty, 0.1).ok());
+  auto s = MakeExponentialSamples(1.0, 1.0, 10, 4);
+  EXPECT_FALSE(SolveHpConstrained(s, 0.0).ok());
+  EXPECT_FALSE(SolveHpConstrained(s, 1.0).ok());
+  s.tau.pop_back();
+  EXPECT_FALSE(SolveHpConstrained(s, 0.5).ok());
+}
+
+/// Brute-force root of Ê(x) = target by bisection on EstimateExpectedWait.
+double BruteForceRtRoot(const McSamples& s, double target) {
+  double lo = -1e4, hi = 1e6;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (EstimateExpectedWait(s, mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::max(0.5 * (lo + hi), 0.0);
+}
+
+class RtDecisionParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RtDecisionParamTest, SortSearchMatchesBruteForce) {
+  const double rt_excess = GetParam();
+  auto s = MakeExponentialSamples(0.05, 13.0, 4000, 5);
+  auto d = SolveRtConstrained(s, rt_excess);
+  ASSERT_TRUE(d.ok());
+  if (d->unbounded) {
+    // Target above mean(tau) = 13: constraint slack everywhere.
+    EXPECT_GE(rt_excess, 13.0 - 0.5);
+    return;
+  }
+  const double brute = BruteForceRtRoot(s, rt_excess);
+  EXPECT_NEAR(d->creation_time, brute, 1e-6 + 1e-4 * brute);
+  // The returned x indeed attains the target wait (when feasible).
+  if (d->feasible) {
+    EXPECT_NEAR(EstimateExpectedWait(s, d->creation_time), rt_excess,
+                1e-6 + 1e-4 * rt_excess);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, RtDecisionParamTest,
+                         ::testing::Values(0.05, 0.2, 1.0, 3.0, 8.0, 12.0,
+                                           14.0));
+
+TEST(RtDecisionTest, RandomTauSamplesAgainstBruteForce) {
+  stats::Rng rng(6);
+  McSamples s;
+  const std::size_t n = 3000;
+  s.xi.resize(n);
+  s.tau.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    s.xi[r] = stats::SampleExponential(&rng, 0.1);
+    s.tau[r] = stats::SampleUniform(&rng, 5.0, 20.0);
+  }
+  for (double target : {0.5, 2.0, 6.0}) {
+    auto d = SolveRtConstrained(s, target);
+    ASSERT_TRUE(d.ok());
+    ASSERT_FALSE(d->unbounded);
+    if (d->feasible) {
+      EXPECT_NEAR(EstimateExpectedWait(s, d->creation_time), target,
+                  1e-4 * target + 1e-6);
+    } else {
+      // Target below the wait at immediate creation: clamped to x = 0, the
+      // earliest (and best achievable) creation time.
+      EXPECT_DOUBLE_EQ(d->creation_time, 0.0);
+      EXPECT_GT(EstimateExpectedWait(s, 0.0), target);
+    }
+  }
+}
+
+TEST(RtDecisionTest, ZeroTargetMeansEarliestCreation) {
+  // rt_excess = 0: never wait → x must be <= min(xi - tau) (or clamped 0).
+  auto s = MakeExponentialSamples(0.01, 5.0, 2000, 7);
+  auto d = SolveRtConstrained(s, 0.0);
+  ASSERT_TRUE(d.ok());
+  const double min_bp =
+      *std::min_element(s.xi.begin(), s.xi.end()) - 5.0;
+  EXPECT_LE(d->creation_time, std::max(min_bp, 0.0) + 1e-9);
+}
+
+TEST(RtDecisionTest, RejectsNegativeTarget) {
+  auto s = MakeExponentialSamples(1.0, 1.0, 100, 8);
+  EXPECT_FALSE(SolveRtConstrained(s, -0.1).ok());
+}
+
+TEST(RtDecisionTest, MonotoneInTarget) {
+  auto s = MakeExponentialSamples(0.05, 13.0, 20000, 9);
+  double prev = -1.0;
+  for (double target : {0.1, 0.5, 1.0, 4.0, 10.0}) {
+    auto d = SolveRtConstrained(s, target);
+    ASSERT_TRUE(d.ok());
+    ASSERT_FALSE(d->unbounded);
+    EXPECT_GE(d->creation_time, prev);
+    prev = d->creation_time;
+  }
+}
+
+/// Brute-force root of Ĝ(x) = budget by bisection on EstimateExpectedIdle.
+double BruteForceCostRoot(const McSamples& s, double budget) {
+  double lo = 0.0, hi = 1e7;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (EstimateExpectedIdle(s, mid) > budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+class CostDecisionParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CostDecisionParamTest, MatchesBruteForce) {
+  const double budget = GetParam();
+  auto s = MakeExponentialSamples(0.05, 13.0, 4000, 10);
+  auto d = SolveCostConstrained(s, budget);
+  ASSERT_TRUE(d.ok());
+  const double g0 = EstimateExpectedIdle(s, 0.0);
+  if (g0 <= budget) {
+    EXPECT_DOUBLE_EQ(d->creation_time, 0.0);  // Eq. 7 first case.
+  } else {
+    const double brute = BruteForceCostRoot(s, budget);
+    EXPECT_NEAR(d->creation_time, brute, 1e-5 + 1e-4 * brute);
+    EXPECT_NEAR(EstimateExpectedIdle(s, d->creation_time), budget,
+                1e-4 * budget + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, CostDecisionParamTest,
+                         ::testing::Values(0.1, 1.0, 2.0, 5.0, 20.0, 100.0));
+
+TEST(CostDecisionTest, HugeBudgetCreatesImmediately) {
+  auto s = MakeExponentialSamples(0.05, 13.0, 2000, 11);
+  auto d = SolveCostConstrained(s, 1e6);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->creation_time, 0.0);
+}
+
+TEST(CostDecisionTest, TinyBudgetCreatesLate) {
+  auto s = MakeExponentialSamples(0.05, 13.0, 2000, 12);
+  auto tight = SolveCostConstrained(s, 0.01);
+  auto loose = SolveCostConstrained(s, 5.0);
+  ASSERT_TRUE(tight.ok() && loose.ok());
+  EXPECT_GT(tight->creation_time, loose->creation_time);
+}
+
+TEST(CostDecisionTest, RejectsNegativeBudget) {
+  auto s = MakeExponentialSamples(1.0, 1.0, 100, 13);
+  EXPECT_FALSE(SolveCostConstrained(s, -1.0).ok());
+}
+
+TEST(EstimatorsTest, WaitAndIdleClosedFormsOnTinySample) {
+  // Two samples, hand-computable.
+  McSamples s;
+  s.xi = {10.0, 20.0};
+  s.tau = {4.0, 4.0};
+  // x = 8: gaps are 2 and 12 → waits (4-2)=2 and 0 → mean 1.
+  EXPECT_DOUBLE_EQ(EstimateExpectedWait(s, 8.0), 1.0);
+  // idle at x=0: (10-4)+(20-4) = 6+16 → mean 11.
+  EXPECT_DOUBLE_EQ(EstimateExpectedIdle(s, 0.0), 11.0);
+  // idle at x=10: (0)+(6) → mean 3.
+  EXPECT_DOUBLE_EQ(EstimateExpectedIdle(s, 10.0), 3.0);
+}
+
+TEST(EstimatorsTest, WaitMonotoneIdleAntitone) {
+  auto s = MakeExponentialSamples(0.1, 5.0, 1000, 14);
+  double prev_wait = -1.0, prev_idle = 1e300;
+  for (double x : {0.0, 2.0, 5.0, 10.0, 50.0}) {
+    const double w = EstimateExpectedWait(s, x);
+    const double g = EstimateExpectedIdle(s, x);
+    EXPECT_GE(w, prev_wait);
+    EXPECT_LE(g, prev_idle);
+    prev_wait = w;
+    prev_idle = g;
+  }
+}
+
+}  // namespace
+}  // namespace rs::core

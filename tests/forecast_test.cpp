@@ -1,0 +1,153 @@
+// Tests for intensity forecasting (periodic extension / local level) and
+// the arrival-path predictor (time rescaling).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rs/core/arrival_predictor.hpp"
+#include "rs/core/forecast.hpp"
+#include "rs/stats/empirical.hpp"
+#include "rs/stats/rng.hpp"
+
+namespace rs::core {
+namespace {
+
+TEST(ForecastTest, PeriodicExtensionRepeatsLastCycle) {
+  // Two cycles of (1, 2, 3); forecast should repeat (1, 2, 3).
+  std::vector<double> intensity{1.0, 2.0, 3.0, 1.0, 2.0, 3.0};
+  auto forecast = ForecastIntensityFromSeries(intensity, 60.0, 3, 7);
+  ASSERT_TRUE(forecast.ok());
+  const auto& rates = forecast->rates();
+  ASSERT_EQ(rates.size(), 7u);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+  EXPECT_DOUBLE_EQ(rates[1], 2.0);
+  EXPECT_DOUBLE_EQ(rates[2], 3.0);
+  EXPECT_DOUBLE_EQ(rates[3], 1.0);
+  EXPECT_DOUBLE_EQ(rates[6], 1.0);
+}
+
+TEST(ForecastTest, AperiodicUsesTrailingMean) {
+  std::vector<double> intensity(100, 1.0);
+  for (std::size_t i = 90; i < 100; ++i) intensity[i] = 5.0;
+  ForecastOptions opts;
+  opts.level_window = 10;
+  auto forecast = ForecastIntensityFromSeries(intensity, 60.0, 0, 5, opts);
+  ASSERT_TRUE(forecast.ok());
+  for (double r : forecast->rates()) EXPECT_DOUBLE_EQ(r, 5.0);
+}
+
+TEST(ForecastTest, AppliesMinimumRateFloor) {
+  std::vector<double> intensity(10, 0.0);
+  auto forecast = ForecastIntensityFromSeries(intensity, 60.0, 0, 5);
+  ASSERT_TRUE(forecast.ok());
+  for (double r : forecast->rates()) EXPECT_GT(r, 0.0);
+}
+
+TEST(ForecastTest, RejectsBadInputs) {
+  EXPECT_FALSE(ForecastIntensityFromSeries({}, 60.0, 0, 5).ok());
+  EXPECT_FALSE(ForecastIntensityFromSeries({1.0}, 60.0, 0, 0).ok());
+}
+
+TEST(ForecastTest, FromModelUsesConfigPeriod) {
+  NhppConfig config;
+  config.dt = 30.0;
+  config.period = 2;
+  NhppModel model(config, {std::log(1.0), std::log(4.0), std::log(1.0),
+                           std::log(4.0)});
+  auto forecast = ForecastIntensity(model, 4);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_NEAR(forecast->rates()[0], 1.0, 1e-9);
+  EXPECT_NEAR(forecast->rates()[1], 4.0, 1e-9);
+  EXPECT_NEAR(forecast->rates()[2], 1.0, 1e-9);
+}
+
+TEST(ArrivalPredictorTest, HomogeneousArrivalsHaveGammaMoments) {
+  // Under constant rate λ, the j-th upcoming arrival is Gamma(j, 1/λ):
+  // mean j/λ.
+  const double rate = 0.5;
+  auto intensity = workload::PiecewiseConstantIntensity::Make(
+      std::vector<double>(1000, rate), 10.0);
+  ASSERT_TRUE(intensity.ok());
+  stats::Rng rng(1);
+  auto samples = PredictUpcomingQueries(
+      *intensity, /*now=*/0.0, /*num_queries=*/5, /*num_paths=*/40000,
+      stats::DurationDistribution::Deterministic(0.0), &rng);
+  ASSERT_TRUE(samples.ok());
+  ASSERT_EQ(samples->size(), 5u);
+  for (std::size_t j = 0; j < 5; ++j) {
+    const double mean = stats::Mean((*samples)[j].xi);
+    const double expected = static_cast<double>(j + 1) / rate;
+    EXPECT_NEAR(mean, expected, 0.05 * expected) << "query " << j;
+  }
+}
+
+TEST(ArrivalPredictorTest, SkipShiftsTheDistribution) {
+  const double rate = 1.0;
+  auto intensity = workload::PiecewiseConstantIntensity::Make(
+      std::vector<double>(1000, rate), 10.0);
+  ASSERT_TRUE(intensity.ok());
+  stats::Rng rng(2);
+  auto skipped = PredictUpcomingQueries(
+      *intensity, 0.0, 1, 40000,
+      stats::DurationDistribution::Deterministic(0.0), &rng, /*skip=*/9);
+  ASSERT_TRUE(skipped.ok());
+  // Skipping 9 then sampling one = the 10th arrival: mean 10/λ = 10.
+  EXPECT_NEAR(stats::Mean((*skipped)[0].xi), 10.0, 0.5);
+}
+
+TEST(ArrivalPredictorTest, RespectsIntensityShape) {
+  // Zero intensity for the first 100 s, then high: arrivals land after 100.
+  std::vector<double> rates(20, 0.0);
+  for (std::size_t i = 10; i < 20; ++i) rates[i] = 5.0;
+  auto intensity = workload::PiecewiseConstantIntensity::Make(rates, 10.0);
+  ASSERT_TRUE(intensity.ok());
+  stats::Rng rng(3);
+  auto samples = PredictUpcomingQueries(
+      *intensity, 0.0, 1, 1000, stats::DurationDistribution::Deterministic(0.0),
+      &rng);
+  ASSERT_TRUE(samples.ok());
+  for (double xi : (*samples)[0].xi) EXPECT_GE(xi, 100.0 - 1e-9);
+}
+
+TEST(ArrivalPredictorTest, NowOffsetsBase) {
+  const double rate = 1.0;
+  auto intensity = workload::PiecewiseConstantIntensity::Make(
+      std::vector<double>(100, rate), 10.0);
+  ASSERT_TRUE(intensity.ok());
+  stats::Rng rng(4);
+  auto samples = PredictUpcomingQueries(
+      *intensity, /*now=*/500.0, 1, 20000,
+      stats::DurationDistribution::Deterministic(0.0), &rng);
+  ASSERT_TRUE(samples.ok());
+  // Memoryless: relative first-arrival mean is still 1/λ = 1.
+  EXPECT_NEAR(stats::Mean((*samples)[0].xi), 1.0, 0.05);
+}
+
+TEST(ArrivalPredictorTest, PendingSamplesComeFromDistribution) {
+  auto intensity = workload::PiecewiseConstantIntensity::Make(
+      std::vector<double>(10, 1.0), 10.0);
+  ASSERT_TRUE(intensity.ok());
+  stats::Rng rng(5);
+  auto samples = PredictUpcomingQueries(
+      *intensity, 0.0, 1, 1000,
+      stats::DurationDistribution::Deterministic(13.0), &rng);
+  ASSERT_TRUE(samples.ok());
+  for (double tau : (*samples)[0].tau) EXPECT_DOUBLE_EQ(tau, 13.0);
+}
+
+TEST(ArrivalPredictorTest, RejectsBadArguments) {
+  auto intensity = workload::PiecewiseConstantIntensity::Make({1.0}, 1.0);
+  ASSERT_TRUE(intensity.ok());
+  stats::Rng rng(6);
+  auto pending = stats::DurationDistribution::Deterministic(0.0);
+  EXPECT_FALSE(
+      PredictUpcomingQueries(*intensity, 0.0, 0, 10, pending, &rng).ok());
+  EXPECT_FALSE(
+      PredictUpcomingQueries(*intensity, 0.0, 1, 0, pending, &rng).ok());
+  EXPECT_FALSE(
+      PredictUpcomingQueries(*intensity, 0.0, 1, 10, pending, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace rs::core

@@ -1,0 +1,139 @@
+// Numerical validation of the paper's QoS guarantees:
+//  * Proposition 1 — with the true intensity, Algorithm 4 attains exactly
+//    1-α hitting probability, and the empirical hit ratio's variance obeys
+//    Var <= 2(κ+m)·α(1-α)/(N-κ).
+//  * Proposition 2 — with an ε-relative-error intensity estimate, the
+//    hitting-probability error is bounded by
+//    ε/(1-ε) · (q_{κ+m,α} + µτ·sup λ).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rs/core/sequential_scaler.hpp"
+#include "rs/simulator/engine.hpp"
+#include "rs/simulator/metrics.hpp"
+#include "rs/stats/empirical.hpp"
+#include "rs/stats/rng.hpp"
+#include "rs/stats/special_functions.hpp"
+#include "rs/workload/nhpp_sampler.hpp"
+#include "rs/workload/synthetic.hpp"
+
+namespace rs::core {
+namespace {
+
+constexpr double kRate = 0.5;
+constexpr double kTau = 13.0;
+constexpr double kAlpha = 0.2;
+
+workload::PiecewiseConstantIntensity ConstantIntensity(double rate,
+                                                       double horizon) {
+  return *workload::PiecewiseConstantIntensity::Make(
+      std::vector<double>(50, rate), horizon / 50.0);
+}
+
+/// Replays one Poisson trace under the literal Algorithm 4 with the given
+/// model intensity and returns (hit ratio, κ).
+std::pair<double, std::size_t> RunOnce(double model_rate, double horizon,
+                                       std::uint64_t seed) {
+  stats::Rng rng(seed);
+  auto truth = ConstantIntensity(kRate, horizon);
+  auto trace = *workload::MakeTraceFromIntensity(
+      &rng, truth, stats::DurationDistribution::Exponential(20.0));
+
+  HpCountScalerOptions opts;
+  opts.alpha = kAlpha;
+  opts.m = 1;
+  opts.mc_samples = 1500;
+  opts.seed = seed * 7 + 3;
+  HpCountScaler scaler(ConstantIntensity(model_rate, horizon),
+                       stats::DurationDistribution::Deterministic(kTau), opts);
+  sim::EngineOptions engine;
+  engine.pending = stats::DurationDistribution::Deterministic(kTau);
+  engine.seed = seed * 11 + 5;
+  auto result = sim::Simulate(trace, &scaler, engine);
+  EXPECT_TRUE(result.ok());
+  auto metrics = sim::ComputeMetrics(*result);
+  EXPECT_TRUE(metrics.ok());
+  return {metrics->hit_rate, scaler.kappa()};
+}
+
+TEST(Proposition1Test, HitRatioConcentratesAtTarget) {
+  // Average across independent replays: the mean hit ratio must sit at
+  // 1 - α within Monte Carlo noise.
+  std::vector<double> ratios;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    ratios.push_back(RunOnce(kRate, 12000.0, seed).first);
+  }
+  EXPECT_NEAR(stats::Mean(ratios), 1.0 - kAlpha, 0.05);
+}
+
+TEST(Proposition1Test, HitRatioVarianceWithinBound) {
+  // Var(hit ratio) <= 2(κ+m)α(1-α)/(N-κ). With N ≈ 6000 queries per replay
+  // the bound is tiny; check the empirical across-replay variance against
+  // it with generous slack for the finite replay count.
+  std::vector<double> ratios;
+  std::size_t kappa = 0;
+  const double horizon = 12000.0;
+  for (std::uint64_t seed = 21; seed <= 28; ++seed) {
+    auto [ratio, k] = RunOnce(kRate, horizon, seed);
+    ratios.push_back(ratio);
+    kappa = k;
+  }
+  const double n = kRate * horizon;  // Expected queries per replay.
+  const double bound = 2.0 * static_cast<double>(kappa + 1) * kAlpha *
+                       (1.0 - kAlpha) / (n - static_cast<double>(kappa));
+  // The χ²-distributed sample variance of 8 replays can exceed its mean by
+  // ~4x at the 1% tail; also add the MC-decision jitter floor.
+  EXPECT_LT(stats::Variance(ratios), 6.0 * bound + 5e-4);
+}
+
+class Proposition2Test : public ::testing::TestWithParam<double> {};
+
+TEST_P(Proposition2Test, HpErrorWithinLinearBound) {
+  const double epsilon = GetParam();
+  const double horizon = 12000.0;
+  // Model over-estimates the intensity by ε (|λ - λ*| = ε λ*).
+  std::vector<double> ratios;
+  std::size_t kappa = 0;
+  for (std::uint64_t seed = 41; seed <= 44; ++seed) {
+    auto [ratio, k] = RunOnce(kRate * (1.0 + epsilon), horizon, seed);
+    ratios.push_back(ratio);
+    kappa = k;
+  }
+  const double achieved = stats::Mean(ratios);
+  // Bound: ε/(1-ε) (q_{κ+m, α} + µτ sup λ).
+  const double q = *stats::GammaQuantile(static_cast<double>(kappa + 1), 1.0,
+                                         kAlpha);
+  const double bound = epsilon / (1.0 - epsilon) * (q + kTau * kRate);
+  // Add MC/replay noise floor to the theoretical bound.
+  EXPECT_LE(std::abs(achieved - (1.0 - kAlpha)), bound + 0.04)
+      << "epsilon=" << epsilon << " achieved=" << achieved;
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, Proposition2Test,
+                         ::testing::Values(0.05, 0.1, 0.2));
+
+TEST(Proposition2Test, ErrorGrowsWithEpsilon) {
+  // Qualitative half of Prop. 2: a worse estimate gives a larger deviation.
+  const double horizon = 12000.0;
+  auto deviation = [&](double eps) {
+    std::vector<double> ratios;
+    for (std::uint64_t seed = 61; seed <= 66; ++seed) {
+      ratios.push_back(RunOnce(kRate * (1.0 + eps), horizon, seed).first);
+    }
+    return std::abs(stats::Mean(ratios) - (1.0 - kAlpha));
+  };
+  const double small = deviation(0.02);
+  const double large = deviation(0.5);
+  EXPECT_GT(large, small - 0.01);
+  // An over-estimated intensity over-provisions: achieved HP above target.
+  std::vector<double> over;
+  for (std::uint64_t seed = 71; seed <= 74; ++seed) {
+    over.push_back(RunOnce(kRate * 1.5, horizon, seed).first);
+  }
+  EXPECT_GT(stats::Mean(over), 1.0 - kAlpha - 0.02);
+}
+
+}  // namespace
+}  // namespace rs::core

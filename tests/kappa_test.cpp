@@ -1,0 +1,118 @@
+// Tests for the κ threshold (Eq. 8): exact vs Monte Carlo agreement and
+// qualitative behavior in λ̄, τ, and α.
+#include <gtest/gtest.h>
+
+#include "rs/core/kappa.hpp"
+#include "rs/stats/special_functions.hpp"
+
+namespace rs::core {
+namespace {
+
+TEST(KappaTest, ZeroPendingTimeGivesZeroKappa) {
+  // τ = 0: even the first query can always be served in time (x = ξ works),
+  // so the α-quantile of γ_1/λ̄ is >= 0 and κ = 0.
+  auto kappa = ComputeKappaDeterministicTau(0.1, 1.0, 0.0);
+  ASSERT_TRUE(kappa.ok());
+  EXPECT_EQ(*kappa, 0u);
+}
+
+TEST(KappaTest, GrowsWithLambdaBar) {
+  std::size_t prev = 0;
+  for (double lambda : {0.1, 1.0, 5.0, 20.0}) {
+    auto kappa = ComputeKappaDeterministicTau(0.1, lambda, 13.0);
+    ASSERT_TRUE(kappa.ok());
+    EXPECT_GE(*kappa, prev) << "lambda " << lambda;
+    prev = *kappa;
+  }
+  // High traffic needs a deep look-ahead: roughly λ̄·τ = 260.
+  auto high = ComputeKappaDeterministicTau(0.1, 20.0, 13.0);
+  ASSERT_TRUE(high.ok());
+  EXPECT_GT(*high, 200u);
+  EXPECT_LT(*high, 400u);
+}
+
+TEST(KappaTest, GrowsWithTau) {
+  std::size_t prev = 0;
+  for (double tau : {1.0, 5.0, 13.0, 60.0}) {
+    auto kappa = ComputeKappaDeterministicTau(0.1, 2.0, tau);
+    ASSERT_TRUE(kappa.ok());
+    EXPECT_GE(*kappa, prev);
+    prev = *kappa;
+  }
+}
+
+TEST(KappaTest, SmallerAlphaNeedsDeeperLookahead) {
+  // Smaller α (stricter QoS) makes the α-quantile smaller, so the condition
+  // γ_i quantile < λ̄τ holds for more i: κ grows.
+  auto strict = ComputeKappaDeterministicTau(0.01, 2.0, 13.0);
+  auto loose = ComputeKappaDeterministicTau(0.5, 2.0, 13.0);
+  ASSERT_TRUE(strict.ok() && loose.ok());
+  EXPECT_GE(*strict, *loose);
+}
+
+TEST(KappaTest, DefinitionMatchesGammaQuantile) {
+  // Verify the boundary: at κ the quantile is < λ̄τ, at κ+1 it is >= λ̄τ.
+  const double alpha = 0.1, lambda = 3.0, tau = 7.0;
+  auto kappa = ComputeKappaDeterministicTau(alpha, lambda, tau);
+  ASSERT_TRUE(kappa.ok());
+  const double threshold = lambda * tau;
+  if (*kappa > 0) {
+    auto q_at = stats::GammaQuantile(static_cast<double>(*kappa), 1.0, alpha);
+    ASSERT_TRUE(q_at.ok());
+    EXPECT_LT(*q_at, threshold);
+  }
+  auto q_next =
+      stats::GammaQuantile(static_cast<double>(*kappa + 1), 1.0, alpha);
+  ASSERT_TRUE(q_next.ok());
+  EXPECT_GE(*q_next, threshold);
+}
+
+class KappaAgreementTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(KappaAgreementTest, MonteCarloAgreesWithExact) {
+  const auto [alpha, lambda, tau] = GetParam();
+  auto exact = ComputeKappaDeterministicTau(alpha, lambda, tau);
+  ASSERT_TRUE(exact.ok());
+  stats::Rng rng(99);
+  auto mc = ComputeKappaMonteCarlo(
+      &rng, alpha, lambda, stats::DurationDistribution::Deterministic(tau),
+      20000);
+  ASSERT_TRUE(mc.ok());
+  // MC quantiles wobble near the boundary; allow a small relative band.
+  const double tol = 2.0 + 0.1 * static_cast<double>(*exact);
+  EXPECT_NEAR(static_cast<double>(*mc), static_cast<double>(*exact), tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KappaAgreementTest,
+    ::testing::Values(std::make_tuple(0.1, 1.0, 13.0),
+                      std::make_tuple(0.1, 5.0, 13.0),
+                      std::make_tuple(0.05, 2.0, 5.0),
+                      std::make_tuple(0.3, 0.5, 20.0)));
+
+TEST(KappaTest, StochasticTauIncreasesKappaVersusItsMean) {
+  // With Exp(13) pending times the upper tail of τ forces deeper planning
+  // than a fixed τ = 13 at small α... at quantile level α the comparison
+  // depends on the left tail; just check MC runs and is finite & sane.
+  stats::Rng rng(5);
+  auto mc = ComputeKappaMonteCarlo(
+      &rng, 0.1, 2.0, stats::DurationDistribution::Exponential(13.0), 20000);
+  ASSERT_TRUE(mc.ok());
+  EXPECT_LT(*mc, 200u);
+}
+
+TEST(KappaTest, RejectsBadInputs) {
+  EXPECT_FALSE(ComputeKappaDeterministicTau(0.0, 1.0, 1.0).ok());
+  EXPECT_FALSE(ComputeKappaDeterministicTau(1.0, 1.0, 1.0).ok());
+  EXPECT_FALSE(ComputeKappaDeterministicTau(0.1, 0.0, 1.0).ok());
+  EXPECT_FALSE(ComputeKappaDeterministicTau(0.1, 1.0, -1.0).ok());
+  stats::Rng rng(6);
+  auto pending = stats::DurationDistribution::Deterministic(1.0);
+  EXPECT_FALSE(ComputeKappaMonteCarlo(nullptr, 0.1, 1.0, pending).ok());
+  EXPECT_FALSE(ComputeKappaMonteCarlo(&rng, 0.1, -1.0, pending).ok());
+  EXPECT_FALSE(ComputeKappaMonteCarlo(&rng, 0.1, 1.0, pending, 0).ok());
+}
+
+}  // namespace
+}  // namespace rs::core

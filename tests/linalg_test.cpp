@@ -1,0 +1,329 @@
+// Tests for the banded linear algebra substrate: vector ops, banded
+// storage, banded Cholesky against a dense reference, difference-operator
+// Gram matrices, and the PCG solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "rs/linalg/banded_cholesky.hpp"
+#include "rs/linalg/banded_matrix.hpp"
+#include "rs/linalg/difference_ops.hpp"
+#include "rs/linalg/pcg.hpp"
+#include "rs/linalg/vector_ops.hpp"
+#include "rs/stats/rng.hpp"
+
+namespace rs::linalg {
+namespace {
+
+TEST(VectorOpsTest, DotAndNorms) {
+  Vec x{1.0, -2.0, 3.0};
+  Vec y{4.0, 5.0, -6.0};
+  EXPECT_DOUBLE_EQ(Dot(x, y), 4.0 - 10.0 - 18.0);
+  EXPECT_DOUBLE_EQ(Norm2(x), std::sqrt(14.0));
+  EXPECT_DOUBLE_EQ(NormInf(x), 3.0);
+  EXPECT_DOUBLE_EQ(Norm1(x), 6.0);
+  EXPECT_DOUBLE_EQ(Sum(x), 2.0);
+}
+
+TEST(VectorOpsTest, AxpyScaleAddSub) {
+  Vec x{1.0, 2.0};
+  Vec y{10.0, 20.0};
+  Axpy(2.0, x, &y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  Scale(0.5, &y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  Vec z = Add(x, x);
+  EXPECT_DOUBLE_EQ(z[1], 4.0);
+  Vec w = Sub(z, x);
+  EXPECT_DOUBLE_EQ(w[1], 2.0);
+}
+
+TEST(VectorOpsTest, ExpElementwise) {
+  Vec x{0.0, 1.0, -1.0};
+  Vec e = Exp(x);
+  EXPECT_DOUBLE_EQ(e[0], 1.0);
+  EXPECT_DOUBLE_EQ(e[1], std::exp(1.0));
+  EXPECT_DOUBLE_EQ(e[2], std::exp(-1.0));
+}
+
+TEST(VectorOpsTest, EmptyVectorsAreSafe) {
+  Vec empty;
+  EXPECT_DOUBLE_EQ(NormInf(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Norm2(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Sum(empty), 0.0);
+}
+
+TEST(BandedMatrixTest, SetAddAtSymmetry) {
+  SymmetricBandedMatrix a(5, 2);
+  a.Set(2, 0, 3.5);
+  EXPECT_DOUBLE_EQ(a.At(2, 0), 3.5);
+  EXPECT_DOUBLE_EQ(a.At(0, 2), 3.5);  // Symmetric access.
+  a.Add(0, 2, 1.5);
+  EXPECT_DOUBLE_EQ(a.At(2, 0), 5.0);
+}
+
+TEST(BandedMatrixTest, AddDiagonalAndZero) {
+  SymmetricBandedMatrix a(3, 1);
+  a.AddDiagonal({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(a.At(1, 1), 2.0);
+  a.SetZero();
+  EXPECT_DOUBLE_EQ(a.At(1, 1), 0.0);
+}
+
+TEST(BandedMatrixTest, MatvecMatchesDense) {
+  stats::Rng rng(11);
+  const std::size_t n = 12, bw = 3;
+  SymmetricBandedMatrix a(n, bw);
+  std::vector<std::vector<double>> dense(n, std::vector<double>(n, 0.0));
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t d = 0; d <= bw && j + d < n; ++d) {
+      const double v = rng.NextDouble() * 2.0 - 1.0;
+      a.Set(j + d, j, v);
+      dense[j + d][j] = v;
+      dense[j][j + d] = v;
+    }
+  }
+  Vec x(n);
+  for (auto& v : x) v = rng.NextDouble();
+  Vec y;
+  a.Matvec(x, &y);
+  for (std::size_t i = 0; i < n; ++i) {
+    double want = 0.0;
+    for (std::size_t j = 0; j < n; ++j) want += dense[i][j] * x[j];
+    EXPECT_NEAR(y[i], want, 1e-12);
+  }
+}
+
+TEST(BandedMatrixTest, DiagonalExtraction) {
+  SymmetricBandedMatrix a(4, 1);
+  a.AddDiagonal({1.0, 2.0, 3.0, 4.0});
+  a.Set(1, 0, 9.0);
+  const Vec d = a.Diagonal();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d[2], 3.0);
+}
+
+/// Builds a random SPD banded matrix: diag dominance guarantees SPD.
+SymmetricBandedMatrix RandomSpdBanded(std::size_t n, std::size_t bw,
+                                      std::uint64_t seed) {
+  stats::Rng rng(seed);
+  SymmetricBandedMatrix a(n, bw);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t d = 1; d <= bw && j + d < n; ++d) {
+      a.Set(j + d, j, rng.NextDouble() - 0.5);
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    a.Add(j, j, static_cast<double>(bw) + 2.0 + rng.NextDouble());
+  }
+  return a;
+}
+
+struct CholeskyCase {
+  std::size_t n;
+  std::size_t bw;
+};
+
+class BandedCholeskyParamTest : public ::testing::TestWithParam<CholeskyCase> {};
+
+TEST_P(BandedCholeskyParamTest, SolveRecoversKnownSolution) {
+  const auto [n, bw] = GetParam();
+  auto a = RandomSpdBanded(n, bw, 100 + n + bw);
+  stats::Rng rng(n * 31 + bw);
+  Vec x_true(n);
+  for (auto& v : x_true) v = rng.NextDouble() * 4.0 - 2.0;
+  Vec b;
+  a.Matvec(x_true, &b);
+  Vec x;
+  ASSERT_TRUE(BandedCholesky::FactorAndSolve(a, b, &x).ok());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBandwidths, BandedCholeskyParamTest,
+    ::testing::Values(CholeskyCase{1, 0}, CholeskyCase{2, 1},
+                      CholeskyCase{5, 0}, CholeskyCase{16, 1},
+                      CholeskyCase{16, 2}, CholeskyCase{64, 5},
+                      CholeskyCase{128, 12}, CholeskyCase{257, 31},
+                      CholeskyCase{300, 64}, CholeskyCase{50, 49}));
+
+TEST(BandedCholeskyTest, RejectsIndefiniteMatrix) {
+  SymmetricBandedMatrix a(3, 1);
+  a.AddDiagonal({1.0, -5.0, 1.0});
+  BandedCholesky chol;
+  EXPECT_EQ(chol.Factor(a).code(), StatusCode::kNotConverged);
+  EXPECT_FALSE(chol.factored());
+}
+
+TEST(BandedCholeskyTest, SolveBeforeFactorFails) {
+  BandedCholesky chol;
+  Vec x;
+  EXPECT_EQ(chol.Solve({1.0}, &x).code(), StatusCode::kRuntimeError);
+}
+
+TEST(BandedCholeskyTest, FactorOnceSolveMany) {
+  auto a = RandomSpdBanded(40, 4, 777);
+  BandedCholesky chol;
+  ASSERT_TRUE(chol.Factor(a).ok());
+  stats::Rng rng(778);
+  for (int trial = 0; trial < 5; ++trial) {
+    Vec x_true(40);
+    for (auto& v : x_true) v = rng.NextDouble();
+    Vec b, x;
+    a.Matvec(x_true, &b);
+    ASSERT_TRUE(chol.Solve(b, &x).ok());
+    for (std::size_t i = 0; i < 40; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(DifferenceOpsTest, D2RowsAndApply) {
+  EXPECT_EQ(D2Rows(5), 3u);
+  EXPECT_EQ(D2Rows(2), 0u);
+  Vec x{1.0, 4.0, 9.0, 16.0, 25.0};  // Second difference of squares = 2.
+  Vec y;
+  ApplyD2(x, &y);
+  ASSERT_EQ(y.size(), 3u);
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(DifferenceOpsTest, DLApply) {
+  EXPECT_EQ(DLRows(10, 3), 7u);
+  EXPECT_EQ(DLRows(3, 3), 0u);
+  Vec x{1.0, 2.0, 3.0, 1.0, 2.0, 3.0};
+  Vec y;
+  ApplyDL(x, 3, &y);
+  ASSERT_EQ(y.size(), 3u);
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);  // Perfectly periodic.
+}
+
+TEST(DifferenceOpsTest, TransposeIsAdjoint) {
+  // <D2 x, u> == <x, D2ᵀ u> for random vectors.
+  stats::Rng rng(5);
+  const std::size_t t = 17;
+  Vec x(t), u(D2Rows(t));
+  for (auto& v : x) v = rng.NextDouble();
+  for (auto& v : u) v = rng.NextDouble();
+  Vec d2x, d2tu;
+  ApplyD2(x, &d2x);
+  ApplyD2Transpose(u, t, &d2tu);
+  EXPECT_NEAR(Dot(d2x, u), Dot(x, d2tu), 1e-12);
+
+  const std::size_t period = 5;
+  Vec w(DLRows(t, period));
+  for (auto& v : w) v = rng.NextDouble();
+  Vec dlx, dltw;
+  ApplyDL(x, period, &dlx);
+  ApplyDLTranspose(w, t, period, &dltw);
+  EXPECT_NEAR(Dot(dlx, w), Dot(x, dltw), 1e-12);
+}
+
+TEST(DifferenceOpsTest, GramD2MatchesExplicitProduct) {
+  const std::size_t t = 9;
+  SymmetricBandedMatrix a(t, 2);
+  AddGramD2(1.0, &a);
+  // Compare x'(D2ᵀD2)x with ||D2 x||² for random x.
+  stats::Rng rng(6);
+  for (int trial = 0; trial < 4; ++trial) {
+    Vec x(t);
+    for (auto& v : x) v = rng.NextDouble() - 0.5;
+    Vec ax, d2x;
+    a.Matvec(x, &ax);
+    ApplyD2(x, &d2x);
+    EXPECT_NEAR(Dot(x, ax), Dot(d2x, d2x), 1e-12);
+  }
+}
+
+TEST(DifferenceOpsTest, GramDLMatchesExplicitProduct) {
+  const std::size_t t = 14, period = 4;
+  SymmetricBandedMatrix a(t, period);
+  AddGramDL(2.5, period, &a);
+  stats::Rng rng(7);
+  for (int trial = 0; trial < 4; ++trial) {
+    Vec x(t);
+    for (auto& v : x) v = rng.NextDouble() - 0.5;
+    Vec ax, dlx;
+    a.Matvec(x, &ax);
+    ApplyDL(x, period, &dlx);
+    EXPECT_NEAR(Dot(x, ax), 2.5 * Dot(dlx, dlx), 1e-12);
+  }
+}
+
+TEST(DifferenceOpsTest, GramDLNoOpWhenPeriodTooLong) {
+  SymmetricBandedMatrix a(5, 4);
+  AddGramDL(1.0, 5, &a);  // period >= T: nothing added.
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(a.At(i, i), 0.0);
+}
+
+TEST(PcgTest, AgreesWithCholeskyOnAdmmSystem) {
+  const std::size_t t = 60, period = 7;
+  const double rho = 1.3;
+  stats::Rng rng(8);
+  Vec w(t);
+  for (auto& v : w) v = 0.5 + rng.NextDouble();
+
+  SymmetricBandedMatrix a(t, period);
+  a.AddDiagonal(w);
+  AddGramD2(rho, &a);
+  AddGramDL(rho, period, &a);
+  Vec b(t);
+  for (auto& v : b) v = rng.NextDouble() - 0.5;
+
+  Vec x_chol;
+  ASSERT_TRUE(BandedCholesky::FactorAndSolve(a, b, &x_chol).ok());
+
+  auto op = MakeAdmmOperator(w, rho, rho, period);
+  Vec diag = a.Diagonal();
+  Vec x_pcg;
+  PcgInfo info;
+  ASSERT_TRUE(SolvePcg(op, diag, b, PcgOptions{}, &x_pcg, &info).ok());
+  EXPECT_GT(info.iterations, 0u);
+  for (std::size_t i = 0; i < t; ++i) EXPECT_NEAR(x_pcg[i], x_chol[i], 1e-6);
+}
+
+TEST(PcgTest, OperatorMatchesBandedAssembly) {
+  const std::size_t t = 25, period = 6;
+  stats::Rng rng(9);
+  Vec w(t);
+  for (auto& v : w) v = rng.NextDouble() + 0.1;
+  SymmetricBandedMatrix a(t, period);
+  a.AddDiagonal(w);
+  AddGramD2(0.7, &a);
+  AddGramDL(0.9, period, &a);
+  auto op = MakeAdmmOperator(w, 0.7, 0.9, period);
+  Vec x(t), y_op, y_mat;
+  for (auto& v : x) v = rng.NextDouble() - 0.5;
+  op(x, &y_op);
+  a.Matvec(x, &y_mat);
+  for (std::size_t i = 0; i < t; ++i) EXPECT_NEAR(y_op[i], y_mat[i], 1e-12);
+}
+
+TEST(PcgTest, ZeroPeriodDisablesDlTerm) {
+  const std::size_t t = 10;
+  Vec w(t, 2.0);
+  auto op = MakeAdmmOperator(w, 0.0, 0.0, 0);
+  Vec x(t, 1.0), y;
+  op(x, &y);
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(PcgTest, ReportsNonConvergenceWhenCapped) {
+  const std::size_t t = 50;
+  Vec w(t, 1.0);
+  auto op = MakeAdmmOperator(w, 10.0, 0.0, 0);
+  Vec diag(t, 1.0);  // Poor preconditioner on purpose.
+  // A non-constant RHS (constants are in D2's null space and converge in
+  // one step) so one iteration cannot reach a 1e-14 residual.
+  Vec b(t), x;
+  for (std::size_t i = 0; i < t; ++i) b[i] = static_cast<double>(i % 5);
+  PcgOptions opts;
+  opts.max_iterations = 1;
+  opts.rel_tolerance = 1e-14;
+  const Status s = SolvePcg(op, diag, b, opts, &x);
+  EXPECT_EQ(s.code(), StatusCode::kNotConverged);
+}
+
+}  // namespace
+}  // namespace rs::linalg

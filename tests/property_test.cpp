@@ -1,0 +1,256 @@
+// Property-based tests: invariants that must hold for random workloads and
+// strategies, not just hand-picked cases — engine accounting identities,
+// Poisson-sampler statistics, decision-rule constraint satisfaction, and
+// the spike-train periodicity fallback.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rs/baselines/backup_pool.hpp"
+#include "rs/core/decision.hpp"
+#include "rs/simulator/engine.hpp"
+#include "rs/simulator/metrics.hpp"
+#include "rs/stats/distributions.hpp"
+#include "rs/stats/empirical.hpp"
+#include "rs/stats/rng.hpp"
+#include "rs/timeseries/periodicity.hpp"
+#include "rs/workload/nhpp_sampler.hpp"
+#include "rs/workload/synthetic.hpp"
+
+namespace rs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Engine accounting invariants under random workloads and pool sizes.
+// ---------------------------------------------------------------------------
+
+struct EngineCase {
+  std::uint64_t seed;
+  double rate;
+  std::size_t pool;
+};
+
+class EngineInvariantTest : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineInvariantTest, AccountingIdentitiesHold) {
+  const auto [seed, rate, pool] = GetParam();
+  stats::Rng rng(seed);
+  auto intensity = *workload::PiecewiseConstantIntensity::Make(
+      std::vector<double>(50, rate), 100.0);
+  auto trace = *workload::MakeTraceFromIntensity(
+      &rng, intensity, stats::DurationDistribution::Exponential(15.0));
+
+  baseline::BackupPool bp(pool);
+  sim::EngineOptions opts;
+  opts.pending = stats::DurationDistribution::Uniform(5.0, 20.0);
+  opts.seed = seed * 3 + 1;
+  auto result = sim::Simulate(trace, &bp, opts);
+  ASSERT_TRUE(result.ok());
+
+  // Every query produced exactly one outcome, in arrival order.
+  ASSERT_EQ(result->queries.size(), trace.size());
+  for (std::size_t i = 1; i < result->queries.size(); ++i) {
+    EXPECT_LE(result->queries[i - 1].arrival_time,
+              result->queries[i].arrival_time);
+  }
+
+  std::size_t served = 0;
+  for (const auto& inst : result->instances) {
+    EXPECT_GE(inst.ready_time, inst.creation_time);
+    EXPECT_GE(inst.lifecycle_cost, -1e-9);
+    EXPECT_GE(inst.end_time, inst.creation_time);
+    if (inst.served_query) ++served;
+  }
+  // Exactly one instance serves each query.
+  EXPECT_EQ(served, result->queries.size());
+  // Pool strategies can only leave up to `pool` unused instances behind.
+  EXPECT_LE(result->instances.size(), result->queries.size() + pool);
+
+  for (const auto& q : result->queries) {
+    EXPECT_GE(q.wait_time, 0.0);
+    EXPECT_NEAR(q.response_time, q.wait_time + q.processing_time, 1e-9);
+    // Hit if and only if no waiting occurred.
+    EXPECT_EQ(q.hit, q.wait_time == 0.0);
+    // A cold start always pays the full pending time (it waits for its own
+    // instance), so it can never be a hit.
+    if (q.cold_start) EXPECT_FALSE(q.hit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCases, EngineInvariantTest,
+    ::testing::Values(EngineCase{1, 0.02, 0}, EngineCase{2, 0.05, 1},
+                      EngineCase{3, 0.10, 3}, EngineCase{4, 0.30, 5},
+                      EngineCase{5, 1.00, 2}, EngineCase{6, 0.01, 8}));
+
+// ---------------------------------------------------------------------------
+// NHPP sampler: counts in disjoint windows behave like Poisson counts.
+// ---------------------------------------------------------------------------
+
+class NhppWindowTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NhppWindowTest, WindowCountsHavePoissonMoments) {
+  const double rate = GetParam();
+  stats::Rng rng(static_cast<std::uint64_t>(rate * 1000));
+  const double window = 100.0;
+  const std::size_t windows = 400;
+  auto intensity = *workload::PiecewiseConstantIntensity::Make(
+      std::vector<double>(windows, rate), window);
+  auto arrivals = workload::SampleNhppTimeRescaling(&rng, intensity);
+  ASSERT_TRUE(arrivals.ok());
+
+  std::vector<double> counts(windows, 0.0);
+  for (double t : *arrivals) {
+    counts[static_cast<std::size_t>(t / window)] += 1.0;
+  }
+  const double mean = stats::Mean(counts);
+  const double var = stats::Variance(counts);
+  const double expected = rate * window;
+  EXPECT_NEAR(mean, expected, 4.0 * std::sqrt(expected / windows) + 0.05);
+  // Fano factor (var/mean) ≈ 1 for Poisson.
+  EXPECT_NEAR(var / mean, 1.0, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, NhppWindowTest,
+                         ::testing::Values(0.05, 0.2, 1.0, 5.0));
+
+// ---------------------------------------------------------------------------
+// Decision rules satisfy their constraints on *fresh* samples (not the ones
+// they were optimized on).
+// ---------------------------------------------------------------------------
+
+class HpConstraintTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HpConstraintTest, FreshSampleHitProbabilityMatchesAlpha) {
+  const double alpha = GetParam();
+  // Feasible regime for every alpha tested: -ln(0.95)/0.003 ≈ 17.1 > τ.
+  const double rate = 0.003, tau = 13.0;
+  stats::Rng rng(77);
+  auto draw = [&](std::size_t n) {
+    core::McSamples s;
+    s.xi.resize(n);
+    s.tau.assign(n, tau);
+    for (auto& v : s.xi) v = stats::SampleExponential(&rng, rate);
+    return s;
+  };
+  auto d = core::SolveHpConstrained(draw(100000), alpha);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(d->feasible);
+  // Empirical P(xi > x* + tau) on fresh samples ≈ 1 - alpha.
+  auto fresh = draw(100000);
+  std::size_t hits = 0;
+  for (double xi : fresh.xi) {
+    if (xi > d->creation_time + tau) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 1.0 - alpha, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, HpConstraintTest,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5));
+
+TEST(RtConstraintTest, FreshSampleWaitMatchesTarget) {
+  const double rate = 0.01;
+  stats::Rng rng(78);
+  auto draw = [&](std::size_t n) {
+    core::McSamples s;
+    s.xi.resize(n);
+    s.tau.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.xi[i] = stats::SampleExponential(&rng, rate);
+      s.tau[i] = stats::SampleUniform(&rng, 8.0, 18.0);
+    }
+    return s;
+  };
+  for (double target : {1.0, 3.0, 6.0}) {
+    auto d = core::SolveRtConstrained(draw(60000), target);
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE(d->feasible);
+    ASSERT_FALSE(d->unbounded);
+    EXPECT_NEAR(core::EstimateExpectedWait(draw(60000), d->creation_time),
+                target, 0.15 * target + 0.05);
+  }
+}
+
+TEST(CostConstraintTest, FreshSampleIdleMatchesBudget) {
+  const double rate = 0.01, tau = 13.0;
+  stats::Rng rng(79);
+  auto draw = [&](std::size_t n) {
+    core::McSamples s;
+    s.xi.resize(n);
+    s.tau.assign(n, tau);
+    for (auto& v : s.xi) v = stats::SampleExponential(&rng, rate);
+    return s;
+  };
+  for (double budget : {2.0, 10.0, 40.0}) {
+    auto d = core::SolveCostConstrained(draw(60000), budget);
+    ASSERT_TRUE(d.ok());
+    const double fresh_idle =
+        core::EstimateExpectedIdle(draw(60000), d->creation_time);
+    // x*=0 branch only requires idle <= budget; the root branch hits it.
+    if (d->creation_time == 0.0) {
+      EXPECT_LE(fresh_idle, budget * 1.15 + 0.1);
+    } else {
+      EXPECT_NEAR(fresh_idle, budget, 0.15 * budget + 0.05);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Periodicity: a spike-train signal (narrow periodic bursts, the
+// Google/Alibaba shape) must survive the robust pipeline via the
+// no-Hampel fallback.
+// ---------------------------------------------------------------------------
+
+TEST(SpikeTrainPeriodicityTest, DetectsNarrowPeriodicSpikes) {
+  stats::Rng rng(80);
+  const std::size_t period = 60, cycles = 12;
+  ts::CountSeries series;
+  series.dt = 1.0;
+  series.counts.resize(period * cycles);
+  for (std::size_t i = 0; i < series.counts.size(); ++i) {
+    const bool spike = (i % period) < 3;  // 3-bin spike per 60-bin cycle.
+    const double level = spike ? 30.0 : 2.0;
+    series.counts[i] =
+        static_cast<double>(stats::SamplePoisson(&rng, level));
+  }
+  auto detected = ts::DetectPeriod(series);
+  ASSERT_TRUE(detected.ok());
+  ASSERT_GT(detected->period, 0u);
+  EXPECT_NEAR(static_cast<double>(detected->period),
+              static_cast<double>(period), 3.0);
+}
+
+TEST(SpikeTrainPeriodicityTest, IsolatedSpikesAreNotAPeriod) {
+  // A handful of *randomly placed* spikes must not produce a period.
+  stats::Rng rng(81);
+  ts::CountSeries series;
+  series.dt = 1.0;
+  series.counts.resize(600);
+  for (auto& v : series.counts) {
+    v = static_cast<double>(stats::SamplePoisson(&rng, 3.0));
+  }
+  for (int k = 0; k < 5; ++k) {
+    series.counts[rng.NextBounded(600)] += 200.0;
+  }
+  auto detected = ts::DetectPeriod(series);
+  ASSERT_TRUE(detected.ok());
+  EXPECT_EQ(detected->period, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic-trace statistics: arrival counts track the ground-truth
+// intensity integral (the generator really is an NHPP of its intensity).
+// ---------------------------------------------------------------------------
+
+TEST(SyntheticConsistencyTest, QueryCountMatchesIntensityIntegral) {
+  auto synth = workload::MakeGoogleLikeTrace();
+  ASSERT_TRUE(synth.ok());
+  const auto& intensity = synth->intensity;
+  const double expected = intensity.Cumulative(intensity.horizon());
+  const auto n = static_cast<double>(synth->trace.size());
+  EXPECT_NEAR(n, expected, 5.0 * std::sqrt(expected));
+}
+
+}  // namespace
+}  // namespace rs

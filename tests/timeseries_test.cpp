@@ -1,0 +1,361 @@
+// Tests for the time-series substrate: aggregation, FFT correctness,
+// ACF/periodogram, robust filters, and periodicity detection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "rs/stats/rng.hpp"
+#include "rs/timeseries/acf.hpp"
+#include "rs/timeseries/aggregate.hpp"
+#include "rs/timeseries/fft.hpp"
+#include "rs/timeseries/periodicity.hpp"
+#include "rs/timeseries/periodogram.hpp"
+#include "rs/timeseries/robust_filters.hpp"
+
+namespace rs::ts {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(AggregateTest, BinsEventsCorrectly) {
+  std::vector<double> events{0.5, 1.5, 1.9, 3.2, 9.99};
+  auto series = AggregateEvents(events, 0.0, 1.0, 10);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->size(), 10u);
+  EXPECT_DOUBLE_EQ(series->counts[0], 1.0);
+  EXPECT_DOUBLE_EQ(series->counts[1], 2.0);
+  EXPECT_DOUBLE_EQ(series->counts[3], 1.0);
+  EXPECT_DOUBLE_EQ(series->counts[9], 1.0);
+  EXPECT_DOUBLE_EQ(series->counts[5], 0.0);
+}
+
+TEST(AggregateTest, DropsOutOfRangeEvents) {
+  auto series = AggregateEvents({-1.0, 11.0, 5.0}, 0.0, 1.0, 10);
+  ASSERT_TRUE(series.ok());
+  double total = 0.0;
+  for (double c : series->counts) total += c;
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(AggregateTest, HorizonConvenienceOverload) {
+  auto series = AggregateEvents({0.1, 0.2}, 0.5, 1.0);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->size(), 2u);
+  EXPECT_DOUBLE_EQ(series->Qps(0), 2.0 / 0.5);
+}
+
+TEST(AggregateTest, RejectsNonPositiveDt) {
+  EXPECT_FALSE(AggregateEvents({1.0}, 0.0, 0.0, 5).ok());
+}
+
+TEST(AggregateTest, ReaggregateAverages) {
+  CountSeries s;
+  s.dt = 1.0;
+  s.counts = {1.0, 3.0, 5.0, 7.0, 9.0};
+  auto agg = Reaggregate(s, 2);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->size(), 2u);
+  EXPECT_DOUBLE_EQ(agg->dt, 2.0);
+  EXPECT_DOUBLE_EQ(agg->counts[0], 2.0);
+  EXPECT_DOUBLE_EQ(agg->counts[1], 6.0);
+}
+
+TEST(AggregateTest, ToQpsScalesByDt) {
+  CountSeries s;
+  s.dt = 60.0;
+  s.counts = {120.0, 60.0};
+  auto qps = s.ToQps();
+  EXPECT_DOUBLE_EQ(qps[0], 2.0);
+  EXPECT_DOUBLE_EQ(qps[1], 1.0);
+}
+
+std::vector<Complex> NaiveDft(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * kPi * static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      acc += x[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeTest, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  stats::Rng rng(n);
+  std::vector<Complex> x(n);
+  for (auto& c : x) {
+    c = Complex(rng.NextDouble() - 0.5, rng.NextDouble() - 0.5);
+  }
+  auto want = NaiveDft(x);
+  auto got = x;
+  ASSERT_TRUE(Fft(&got, false).ok());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(got[k].real(), want[k].real(), 1e-8) << "n=" << n << " k=" << k;
+    EXPECT_NEAR(got[k].imag(), want[k].imag(), 1e-8);
+  }
+}
+
+// Power-of-two sizes exercise Cooley–Tukey; the rest exercise Bluestein.
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeTest,
+                         ::testing::Values(2, 4, 8, 64, 3, 5, 6, 7, 12, 17, 31,
+                                           100, 255));
+
+TEST(FftTest, RoundTripRecoversSignal) {
+  stats::Rng rng(77);
+  for (std::size_t n : {16u, 30u, 101u}) {
+    std::vector<Complex> x(n);
+    for (auto& c : x) c = Complex(rng.NextDouble(), 0.0);
+    auto y = x;
+    ASSERT_TRUE(Fft(&y, false).ok());
+    ASSERT_TRUE(Fft(&y, true).ok());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(y[i].real() / static_cast<double>(n), x[i].real(), 1e-9);
+    }
+  }
+}
+
+TEST(FftTest, NextPow2) {
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1023), 1024u);
+  EXPECT_EQ(NextPow2(1024), 1024u);
+}
+
+TEST(FftTest, Pow2RejectsOddSize) {
+  std::vector<Complex> x(6);
+  EXPECT_FALSE(FftPow2(&x, false).ok());
+}
+
+TEST(AcfTest, PeriodicSignalPeaksAtPeriod) {
+  const std::size_t n = 400, period = 25;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * kPi * static_cast<double>(i) / period);
+  }
+  auto acf = Autocorrelation(x, 100);
+  ASSERT_TRUE(acf.ok());
+  EXPECT_NEAR((*acf)[0], 1.0, 1e-9);
+  EXPECT_GT((*acf)[period], 0.9);
+  const std::size_t peak = AcfPeakLag(*acf, 10, 90);
+  EXPECT_EQ(peak, period);
+}
+
+TEST(AcfTest, WhiteNoiseHasSmallAcf) {
+  stats::Rng rng(123);
+  std::vector<double> x(2000);
+  for (auto& v : x) v = rng.NextGaussian();
+  auto acf = Autocorrelation(x, 50);
+  ASSERT_TRUE(acf.ok());
+  for (std::size_t k = 1; k <= 50; ++k) {
+    EXPECT_LT(std::abs((*acf)[k]), 0.1) << "lag " << k;
+  }
+}
+
+TEST(AcfTest, ConstantSeriesReturnsZeros) {
+  auto acf = Autocorrelation(std::vector<double>(64, 3.0), 10);
+  ASSERT_TRUE(acf.ok());
+  for (double v : *acf) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(PeriodogramTest, SinePeaksAtItsFrequency) {
+  const std::size_t n = 512;
+  const std::size_t cycles = 16;  // Frequency bin 16 → period 32.
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * kPi * cycles * static_cast<double>(i) / n);
+  }
+  auto peaks = FindSpectralPeaks(x, 1);
+  ASSERT_TRUE(peaks.ok());
+  ASSERT_FALSE(peaks->empty());
+  EXPECT_EQ((*peaks)[0].index, cycles);
+  EXPECT_NEAR((*peaks)[0].period, static_cast<double>(n) / cycles, 1e-9);
+  EXPECT_LT((*peaks)[0].p_value, 1e-6);
+}
+
+TEST(PeriodogramTest, WhiteNoisePeakNotSignificant) {
+  stats::Rng rng(9);
+  std::vector<double> x(1024);
+  for (auto& v : x) v = rng.NextGaussian();
+  auto peaks = FindSpectralPeaks(x, 1);
+  ASSERT_TRUE(peaks.ok());
+  ASSERT_FALSE(peaks->empty());
+  EXPECT_GT((*peaks)[0].p_value, 0.01);
+}
+
+TEST(PeriodogramTest, TooShortSeriesRejected) {
+  EXPECT_FALSE(Periodogram({1.0, 2.0}).ok());
+}
+
+TEST(HampelTest, ReplacesSpike) {
+  std::vector<double> x(21, 10.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] += 0.1 * std::sin(static_cast<double>(i));
+  }
+  x[10] = 500.0;
+  auto filtered = HampelFilter(x, 5, 3.0);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_LT((*filtered)[10], 20.0);
+  auto idx = HampelOutlierIndices(x, 5, 3.0);
+  ASSERT_TRUE(idx.ok());
+  ASSERT_EQ(idx->size(), 1u);
+  EXPECT_EQ((*idx)[0], 10u);
+}
+
+TEST(HampelTest, LeavesCleanSeriesAlone) {
+  stats::Rng rng(55);
+  std::vector<double> x(50);
+  for (auto& v : x) v = 5.0 + 0.1 * rng.NextGaussian();
+  auto filtered = HampelFilter(x, 4, 4.0);
+  ASSERT_TRUE(filtered.ok());
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] != (*filtered)[i]) ++changed;
+  }
+  EXPECT_LE(changed, 3u);
+}
+
+TEST(HampelTest, RejectsZeroWindow) {
+  EXPECT_FALSE(HampelFilter({1.0, 2.0}, 0).ok());
+}
+
+TEST(MovingMedianTest, TracksStepChange) {
+  std::vector<double> x(20, 1.0);
+  for (std::size_t i = 10; i < 20; ++i) x[i] = 9.0;
+  auto med = MovingMedian(x, 2);
+  ASSERT_TRUE(med.ok());
+  EXPECT_DOUBLE_EQ((*med)[2], 1.0);
+  EXPECT_DOUBLE_EQ((*med)[17], 9.0);
+}
+
+TEST(DetrendTest, RemovesSlowTrend) {
+  std::vector<double> x(100);
+  for (std::size_t i = 0; i < 100; ++i) x[i] = 0.5 * static_cast<double>(i);
+  auto detrended = DetrendByMovingMedian(x, 10);
+  ASSERT_TRUE(detrended.ok());
+  for (std::size_t i = 20; i < 80; ++i) {
+    EXPECT_NEAR((*detrended)[i], 0.0, 1e-9);
+  }
+}
+
+TEST(InterpolateTest, FillsNanGapLinearly) {
+  const double nan = std::nan("");
+  std::vector<double> x{1.0, nan, nan, 4.0};
+  auto filled = InterpolateMissing(x);
+  ASSERT_TRUE(filled.ok());
+  EXPECT_DOUBLE_EQ((*filled)[1], 2.0);
+  EXPECT_DOUBLE_EQ((*filled)[2], 3.0);
+}
+
+TEST(InterpolateTest, ExtendsEdges) {
+  const double nan = std::nan("");
+  std::vector<double> x{nan, 5.0, nan};
+  auto filled = InterpolateMissing(x);
+  ASSERT_TRUE(filled.ok());
+  EXPECT_DOUBLE_EQ((*filled)[0], 5.0);
+  EXPECT_DOUBLE_EQ((*filled)[2], 5.0);
+}
+
+TEST(InterpolateTest, AllMissingIsError) {
+  const double nan = std::nan("");
+  EXPECT_FALSE(InterpolateMissing({nan, nan}).ok());
+}
+
+TEST(InterpolateTest, NonPositiveAsMissingMode) {
+  std::vector<double> x{2.0, 0.0, 4.0};
+  auto filled = InterpolateMissing(x, /*treat_nonpositive_as_missing=*/true);
+  ASSERT_TRUE(filled.ok());
+  EXPECT_DOUBLE_EQ((*filled)[1], 3.0);
+}
+
+CountSeries MakePeriodicCounts(std::size_t n, std::size_t period,
+                               double noise, std::uint64_t seed,
+                               double outlier_every = 0.0) {
+  stats::Rng rng(seed);
+  CountSeries s;
+  s.dt = 1.0;
+  s.counts.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * kPi * static_cast<double>(i % period) /
+                         static_cast<double>(period);
+    s.counts[i] = 10.0 + 5.0 * std::sin(phase) + noise * rng.NextGaussian();
+    if (outlier_every > 0.0 && rng.NextDouble() < outlier_every) {
+      s.counts[i] *= 8.0;
+    }
+  }
+  return s;
+}
+
+class PeriodicityDetectionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PeriodicityDetectionTest, DetectsKnownPeriod) {
+  const std::size_t period = GetParam();
+  auto series = MakePeriodicCounts(period * 12, period, 0.5, period);
+  auto detected = DetectPeriod(series);
+  ASSERT_TRUE(detected.ok());
+  ASSERT_GT(detected->period, 0u);
+  // Allow +-1 bin tolerance from spectral resolution.
+  EXPECT_NEAR(static_cast<double>(detected->period),
+              static_cast<double>(period), 1.0 + 0.02 * period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PeriodicityDetectionTest,
+                         ::testing::Values(12, 24, 48, 96, 144));
+
+TEST(PeriodicityDetectionTest, RobustToOutliers) {
+  auto series = MakePeriodicCounts(24 * 14, 24, 0.5, 3, /*outlier_every=*/0.02);
+  auto detected = DetectPeriod(series);
+  ASSERT_TRUE(detected.ok());
+  ASSERT_GT(detected->period, 0u);
+  EXPECT_NEAR(static_cast<double>(detected->period), 24.0, 2.0);
+}
+
+TEST(PeriodicityDetectionTest, WhiteNoiseFindsNothing) {
+  stats::Rng rng(4);
+  CountSeries s;
+  s.dt = 1.0;
+  s.counts.resize(600);
+  for (auto& v : s.counts) v = 10.0 + rng.NextGaussian();
+  auto detected = DetectPeriod(s);
+  ASSERT_TRUE(detected.ok());
+  EXPECT_EQ(detected->period, 0u);
+}
+
+TEST(PeriodicityDetectionTest, ShortSeriesFindsNothing) {
+  CountSeries s;
+  s.dt = 1.0;
+  s.counts.assign(8, 1.0);
+  auto detected = DetectPeriod(s);
+  ASSERT_TRUE(detected.ok());
+  EXPECT_EQ(detected->period, 0u);
+}
+
+TEST(PeriodicityDetectionTest, AggregationFactorScalesResult) {
+  // Period 48 at raw resolution; detect on 4x aggregated bins.
+  auto series = MakePeriodicCounts(48 * 16, 48, 0.3, 5);
+  PeriodicityOptions opts;
+  opts.aggregate_factor = 4;
+  auto detected = DetectPeriod(series, opts);
+  ASSERT_TRUE(detected.ok());
+  ASSERT_GT(detected->period, 0u);
+  EXPECT_NEAR(static_cast<double>(detected->period), 48.0, 8.0);
+}
+
+TEST(PeriodicityDetectionTest, VectorOverload) {
+  auto series = MakePeriodicCounts(32 * 12, 32, 0.4, 6);
+  auto detected = DetectPeriod(series.counts);
+  ASSERT_TRUE(detected.ok());
+  EXPECT_NEAR(static_cast<double>(detected->period), 32.0, 2.0);
+}
+
+}  // namespace
+}  // namespace rs::ts

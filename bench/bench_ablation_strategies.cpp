@@ -39,9 +39,9 @@ int main() {
   rs::sim::EngineOptions engine;
   engine.pending = pending;
 
-  rs::baseline::BackupPool reactive(0);
+  auto reactive = MakeNamedStrategy({.name = "backup_pool", .params = {}});
   const double ref =
-      MustMetrics(rs::sim::Simulate(trace, &reactive, engine)).total_cost;
+      MustMetrics(rs::sim::Simulate(trace, reactive.get(), engine)).total_cost;
 
   std::printf("\nsteady Poisson traffic (rate %.1f QPS), HP target 0.9:\n",
               rate);
@@ -82,7 +82,8 @@ int main() {
       &rng2, Constant(0.8, 20000.0),
       rs::stats::DurationDistribution::Exponential(20.0));
   const double drift_ref =
-      MustMetrics(rs::sim::Simulate(test_trace, &reactive, engine)).total_cost;
+      MustMetrics(rs::sim::Simulate(test_trace, reactive.get(), engine))
+          .total_cost;
 
   rs::core::RobustScalerPolicy stale(Constant(0.2, test_trace.horizon()),
                                      pending, hp);

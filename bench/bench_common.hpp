@@ -11,13 +11,8 @@
 #include <string>
 #include <utility>
 
-#include "rs/baselines/adaptive_backup_pool.hpp"
+#include "rs/api/api.hpp"
 #include "rs/common/logging.hpp"
-#include "rs/baselines/backup_pool.hpp"
-#include "rs/core/pipeline.hpp"
-#include "rs/simulator/engine.hpp"
-#include "rs/simulator/metrics.hpp"
-#include "rs/workload/synthetic.hpp"
 
 namespace rs::bench {
 
@@ -65,11 +60,21 @@ inline sim::Metrics RunStrategy(const Scenario& scenario,
                                    EngineFor(scenario, seed)));
 }
 
+/// Registry lookup that aborts on configuration errors (bench harnesses
+/// treat a bad spec as a programming bug, not a recoverable condition).
+inline std::unique_ptr<sim::Autoscaler> MakeNamedStrategy(
+    const api::StrategySpec& spec, const api::StrategyContext& context = {}) {
+  auto strategy = api::MakeStrategy(spec, context);
+  RS_CHECK(strategy.ok()) << strategy.status().ToString();
+  return std::move(strategy).ValueOrDie();
+}
+
 /// Fills scenario.reactive_cost with the BP(B=0) reference (paper metric
-/// "relative cost").
+/// "relative cost"). Selected through the registry like every other
+/// strategy in the harnesses.
 inline void ComputeReactiveReference(Scenario* scenario) {
-  baseline::BackupPool reactive(0);
-  scenario->reactive_cost = RunStrategy(*scenario, &reactive).total_cost;
+  auto reactive = MakeNamedStrategy({.name = "backup_pool", .params = {}});
+  scenario->reactive_cost = RunStrategy(*scenario, reactive.get()).total_cost;
 }
 
 inline Scenario MakeCrsScenario() {
@@ -122,40 +127,36 @@ inline Scenario MakeAlibabaScenario() {
   return s;
 }
 
-/// Trains the RobustScaler pipeline on the scenario's training window.
+/// Trains the RobustScaler pipeline on the scenario's training window (the
+/// facade's shared-training path: one fit feeds every strategy sweep).
 inline core::TrainedPipeline TrainOn(const Scenario& scenario) {
   core::PipelineOptions options;
   options.dt = scenario.dt;
   options.periodicity.aggregate_factor = scenario.aggregate_factor;
   options.forecast_horizon = scenario.test.horizon();
-  auto trained = core::TrainRobustScaler(scenario.train, options);
+  auto trained = api::TrainPipeline(scenario.train, options);
   RS_CHECK(trained.ok()) << trained.status().ToString();
   return std::move(trained).ValueOrDie();
 }
 
 /// Builds a RobustScaler policy from a trained pipeline for one variant and
-/// target. Target meaning: HP → target hitting probability (1−α), RT →
-/// waiting-time budget d − µs in seconds, cost → idle budget in seconds.
-inline std::unique_ptr<core::RobustScalerPolicy> MakeVariantPolicy(
+/// target through the strategy registry — the single place that interprets
+/// target semantics (HP → hitting probability 1−α, RT → waiting-time budget
+/// d − µs in seconds, cost → idle budget in seconds).
+inline std::unique_ptr<sim::Autoscaler> MakeVariantPolicy(
     const core::TrainedPipeline& trained, const Scenario& scenario,
     core::ScalerVariant variant, double target,
     double planning_interval = kPlanningInterval) {
-  core::SequentialScalerOptions opts;
-  opts.variant = variant;
-  opts.mc_samples = kMcSamples;
-  opts.planning_interval = planning_interval;
-  switch (variant) {
-    case core::ScalerVariant::kHittingProbability:
-      opts.alpha = 1.0 - target;
-      break;
-    case core::ScalerVariant::kResponseTime:
-      opts.rt_excess = target;
-      break;
-    case core::ScalerVariant::kCost:
-      opts.idle_budget = target;
-      break;
-  }
-  return core::MakeRobustScalerPolicy(trained, scenario.pending, opts);
+  api::StrategyContext context;
+  context.forecast = &trained.forecast;
+  context.pending = scenario.pending;
+  context.mc_samples = kMcSamples;
+  context.planning_interval = planning_interval;
+  auto policy = api::MakeStrategy(
+      {.name = api::StrategyNameFor(variant), .params = {{"target", target}}},
+      context);
+  RS_CHECK(policy.ok()) << policy.status().ToString();
+  return std::move(policy).ValueOrDie();
 }
 
 inline void PrintHeader(const char* title) {

@@ -29,13 +29,15 @@ void RunScenario(Scenario&& scenario,
   PrintParetoHeader();
 
   for (double b : bp_sizes) {
-    rs::baseline::BackupPool bp(static_cast<std::size_t>(b));
-    PrintParetoRow("BP", b, RunStrategy(scenario, &bp),
+    auto bp = MakeNamedStrategy(
+        {.name = "backup_pool", .params = {{"pool_size", b}}});
+    PrintParetoRow("BP", b, RunStrategy(scenario, bp.get()),
                    scenario.reactive_cost);
   }
   for (double mult : adap_multipliers) {
-    rs::baseline::AdaptiveBackupPool adap(mult);
-    PrintParetoRow("AdapBP", mult, RunStrategy(scenario, &adap),
+    auto adap = MakeNamedStrategy(
+        {.name = "adaptive_backup_pool", .params = {{"multiplier", mult}}});
+    PrintParetoRow("AdapBP", mult, RunStrategy(scenario, adap.get()),
                    scenario.reactive_cost);
   }
 

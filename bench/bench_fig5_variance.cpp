@@ -42,12 +42,15 @@ int main() {
               "hit_mean", "hit_var", "rt_mean", "rt_var");
 
   for (double b : {0.0, 1.0, 2.0, 4.0, 8.0}) {
-    rs::baseline::BackupPool bp(static_cast<std::size_t>(b));
-    Report("BP", b, rs::sim::Simulate(scenario.test, &bp, engine));
+    auto bp = MakeNamedStrategy(
+        {.name = "backup_pool", .params = {{"pool_size", b}}});
+    Report("BP", b, rs::sim::Simulate(scenario.test, bp.get(), engine));
   }
   for (double mult : {50.0, 150.0, 400.0, 800.0, 1600.0}) {
-    rs::baseline::AdaptiveBackupPool adap(mult);
-    Report("AdapBP", mult, rs::sim::Simulate(scenario.test, &adap, engine));
+    auto adap = MakeNamedStrategy(
+        {.name = "adaptive_backup_pool", .params = {{"multiplier", mult}}});
+    Report("AdapBP", mult,
+           rs::sim::Simulate(scenario.test, adap.get(), engine));
   }
   for (double target : {0.5, 0.7, 0.8, 0.9, 0.95}) {
     auto policy = MakeVariantPolicy(trained, scenario,

@@ -37,8 +37,9 @@ int main() {
                 c, scenario.test.size());
     PrintParetoHeader();
     for (double mult : {50.0, 150.0, 400.0, 800.0, 1600.0}) {
-      rs::baseline::AdaptiveBackupPool adap(mult);
-      PrintParetoRow("AdapBP", mult, RunStrategy(scenario, &adap),
+      auto adap = MakeNamedStrategy(
+          {.name = "adaptive_backup_pool", .params = {{"multiplier", mult}}});
+      PrintParetoRow("AdapBP", mult, RunStrategy(scenario, adap.get()),
                      scenario.reactive_cost);
     }
     const auto trained = TrainOn(scenario);

@@ -8,11 +8,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "rs/core/pipeline.hpp"
-#include "rs/simulator/engine.hpp"
-#include "rs/simulator/metrics.hpp"
+#include "rs/api/api.hpp"
 #include "rs/stats/rng.hpp"
-#include "rs/workload/synthetic.hpp"
 
 int main() {
   using namespace rs;
@@ -32,14 +29,23 @@ int main() {
 
   std::printf("\n%10s %14s %10s %10s\n", "budget (s)", "achieved idle",
               "hit_rate", "rt_avg");
+  // The ground-truth intensity doubles as a perfect "forecast": the
+  // registry builds each swept policy from a string + parameter map.
+  api::StrategyContext context;
+  context.forecast = &intensity;
+  context.pending = pending;
   for (double budget : {0.5, 1.0, 2.0, 5.0, 10.0, 20.0}) {
-    core::SequentialScalerOptions opts;
-    opts.variant = core::ScalerVariant::kCost;
-    opts.idle_budget = budget;
-    opts.planning_interval = 2.0;
-    opts.mc_samples = 400;
-    core::RobustScalerPolicy policy(intensity, pending, opts);
-    auto result = sim::Simulate(trace, &policy, engine);
+    auto policy = api::MakeStrategy({.name = "robust_cost",
+                                     .params = {{"target", budget},
+                                                {"planning_interval", 2.0},
+                                                {"mc_samples", 400}}},
+                                    context);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "strategy failed: %s\n",
+                   policy.status().ToString().c_str());
+      return 1;
+    }
+    auto result = sim::Simulate(trace, policy->get(), engine);
     if (!result.ok()) {
       std::fprintf(stderr, "simulation failed\n");
       return 1;

@@ -6,12 +6,10 @@
 //
 // Build & run:  ./build/examples/example_faas_burst
 #include <cstdio>
+#include <cstdlib>
 
-#include "rs/core/pipeline.hpp"
-#include "rs/simulator/engine.hpp"
-#include "rs/simulator/metrics.hpp"
+#include "rs/api/api.hpp"
 #include "rs/workload/perturbation.hpp"
-#include "rs/workload/synthetic.hpp"
 
 namespace {
 
@@ -19,25 +17,22 @@ rs::sim::Metrics RunHp(const rs::workload::Trace& train,
                        const rs::workload::Trace& test,
                        const rs::stats::DurationDistribution& pending) {
   using namespace rs;
-  core::PipelineOptions options;
-  options.dt = 60.0;
-  options.periodicity.aggregate_factor = 10;
-  options.forecast_horizon = test.horizon();
-  auto trained = core::TrainRobustScaler(train, options);
-  if (!trained.ok()) {
+  auto scaler = api::ScalerBuilder()
+                    .WithTrace(train)
+                    .WithBinWidth(60.0)
+                    .WithAggregateFactor(10)
+                    .WithForecastHorizon(test.horizon())
+                    .WithTarget(api::HitRate{0.9})
+                    .WithPlanningInterval(5.0)
+                    .WithMcSamples(200)
+                    .WithPending(pending)
+                    .Build();
+  if (!scaler.ok()) {
     std::fprintf(stderr, "training failed: %s\n",
-                 trained.status().ToString().c_str());
+                 scaler.status().ToString().c_str());
     std::exit(1);
   }
-  core::SequentialScalerOptions hp;
-  hp.variant = core::ScalerVariant::kHittingProbability;
-  hp.alpha = 0.1;
-  hp.planning_interval = 5.0;
-  hp.mc_samples = 200;
-  auto policy = core::MakeRobustScalerPolicy(*trained, pending, hp);
-  sim::EngineOptions engine;
-  engine.pending = pending;
-  return *sim::ComputeMetrics(*sim::Simulate(test, policy.get(), engine));
+  return *scaler->Evaluate(test);
 }
 
 }  // namespace

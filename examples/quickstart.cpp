@@ -1,23 +1,20 @@
-// Quickstart: the full RobustScaler pipeline in ~60 lines.
+// Quickstart: the full RobustScaler pipeline through the rs::api facade.
 //
 // 1. Generate a periodic scaling-per-query workload (an NHPP with a
 //    2-hour cycle), split into training and test windows.
-// 2. Train: periodicity detection -> regularized NHPP fit (ADMM) ->
-//    intensity forecast.
-// 3. Scale: replay the test window under RobustScaler-HP with a 90%
-//    hitting-probability target, next to a purely reactive baseline.
+// 2. Build a Scaler: ScalerBuilder trains periodicity detection ->
+//    regularized NHPP fit (ADMM) -> intensity forecast, then attaches the
+//    RobustScaler-HP policy with a 90% hitting-probability target.
+// 3. Replay the test window with it, next to a purely reactive baseline
+//    selected from the strategy registry by name.
 //
 // Build & run:  ./build/examples/example_quickstart
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
-#include "rs/baselines/backup_pool.hpp"
-#include "rs/core/pipeline.hpp"
-#include "rs/simulator/engine.hpp"
-#include "rs/simulator/metrics.hpp"
+#include "rs/api/api.hpp"
 #include "rs/stats/rng.hpp"
-#include "rs/workload/synthetic.hpp"
 
 int main() {
   using namespace rs;
@@ -38,44 +35,35 @@ int main() {
   std::printf("workload: %zu training / %zu test queries\n", train.size(),
               test.size());
 
-  // --- 2. Train the pipeline (modules 1-3 of the paper's framework).
-  core::PipelineOptions options;
-  options.dt = dt;
-  options.forecast_horizon = test.horizon();
-  auto trained = core::TrainRobustScaler(train, options);
-  if (!trained.ok()) {
+  // --- 2. Train-then-serve facade: one builder call chain.
+  auto scaler = api::ScalerBuilder()
+                    .WithTrace(train)
+                    .WithBinWidth(dt)
+                    .WithForecastHorizon(test.horizon())
+                    .WithTarget(api::HitRate{0.9})
+                    .WithPlanningInterval(1.0)
+                    .Build();
+  if (!scaler.ok()) {
     std::fprintf(stderr, "training failed: %s\n",
-                 trained.status().ToString().c_str());
+                 scaler.status().ToString().c_str());
     return 1;
   }
   std::printf("detected period: %zu bins (%.1f min), ADMM iters: %zu\n",
-              trained->period.period,
-              static_cast<double>(trained->period.period) * dt / 60.0,
-              trained->admm_info.iterations);
+              scaler->trained().period.period,
+              static_cast<double>(scaler->trained().period.period) * dt / 60.0,
+              scaler->trained().admm_info.iterations);
 
   // --- 3. Replay the test window: RobustScaler-HP vs pure reactive.
-  const auto pending = stats::DurationDistribution::Deterministic(13.0);
-  sim::EngineOptions engine;
-  engine.pending = pending;
-
-  core::SequentialScalerOptions scaler;
-  scaler.variant = core::ScalerVariant::kHittingProbability;
-  scaler.alpha = 0.1;  // Target hitting probability: 0.9.
-  scaler.planning_interval = 1.0;
-  auto policy = core::MakeRobustScalerPolicy(*trained, pending, scaler);
-  auto rs_metrics =
-      *sim::ComputeMetrics(*sim::Simulate(test, policy.get(), engine));
-
-  baseline::BackupPool reactive(0);
-  auto reactive_metrics =
-      *sim::ComputeMetrics(*sim::Simulate(test, &reactive, engine));
+  auto rs_metrics = *scaler->Evaluate(test);
+  auto reactive = api::MakeStrategy({.name = "backup_pool", .params = {}});
+  auto reactive_metrics = *api::Evaluate(test, reactive->get());
 
   std::printf("\n%-18s %10s %10s %12s\n", "strategy", "hit_rate", "rt_avg",
               "total_cost");
   std::printf("%-18s %10.3f %10.1f %12.0f\n", "reactive (B=0)",
               reactive_metrics.hit_rate, reactive_metrics.rt_avg,
               reactive_metrics.total_cost);
-  std::printf("%-18s %10.3f %10.1f %12.0f\n", "RobustScaler-HP",
+  std::printf("%-18s %10.3f %10.1f %12.0f\n", scaler->strategy_name().c_str(),
               rs_metrics.hit_rate, rs_metrics.rt_avg, rs_metrics.total_cost);
   std::printf("\nRobustScaler reached %.0f%% hits (target 90%%) at %.2fx the "
               "reactive cost.\n",

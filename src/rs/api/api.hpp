@@ -1,0 +1,29 @@
+/// \file api.hpp
+/// \brief The single public entry point of the robustscaler library.
+///
+/// Consumers (examples, benches, CLIs, services) include this header and
+/// program against:
+///  * rs::api::ScalerBuilder / rs::api::Scaler — train-then-serve facade
+///    (batch Replay/Evaluate and online Observe/Plan/Snapshot);
+///  * rs::api::StrategyRegistry / rs::api::MakeStrategy — string-keyed
+///    strategy selection ("backup_pool", "adaptive_backup_pool",
+///    "robust_hp", "robust_rt", "robust_cost");
+///  * rs::api::HitRate / ResponseTimeBudget / IdleBudget — typed targets;
+///  * re-exported workload/simulator vocabulary types (Trace, Metrics,
+///    EngineOptions, ...) needed to feed and evaluate a scaler.
+///
+/// The layers below (rs::core, rs::sim, rs::baseline, ...) remain available
+/// for ablations and internals work but are not API-stable.
+#pragma once
+
+#include "rs/api/scaler.hpp"
+#include "rs/api/serving_adapter.hpp"
+#include "rs/api/strategy_registry.hpp"
+#include "rs/api/strategy_spec.hpp"
+#include "rs/api/targets.hpp"
+#include "rs/common/status.hpp"
+#include "rs/simulator/engine.hpp"
+#include "rs/simulator/metrics.hpp"
+#include "rs/workload/intensity.hpp"
+#include "rs/workload/synthetic.hpp"
+#include "rs/workload/trace.hpp"

@@ -1,0 +1,413 @@
+#include "rs/api/scaler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "rs/stats/rng.hpp"
+
+namespace rs::api {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+// ---------------------------------------------------------------------------
+// Online serving state: a faithful mirror of the engine's Algorithm-1
+// accounting (sim/engine.cpp) minus the per-query outcome records. Event
+// ordering, cold-start handling, scale-in order and pending-time sampling
+// all match, so with the same seed the strategy sees bit-identical contexts
+// in replay and live-loop modes.
+// ---------------------------------------------------------------------------
+struct Scaler::Serving {
+  explicit Serving(const sim::EngineOptions& opts)
+      : options(opts), rng(opts.seed) {}
+
+  sim::EngineOptions options;
+  stats::Rng rng;
+  /// Future creation times, earliest first.
+  std::priority_queue<double, std::vector<double>, std::greater<>> schedule;
+  /// Ready times of unconsumed instances, in creation order.
+  std::deque<double> live;
+  std::vector<double> arrivals;
+  double now = 0.0;
+  double next_tick = kInf;
+  bool started = false;
+  std::size_t cold_starts = 0;
+  std::size_t creations_requested = 0;
+  std::size_t deletions_requested = 0;
+  /// Actions emitted since the last Plan() drain.
+  sim::ScalingAction buffered;
+  /// One entry per strategy callback (the parity log).
+  std::vector<sim::ScalingAction> log;
+};
+
+Scaler::Scaler(core::TrainedPipeline trained,
+               std::unique_ptr<sim::Autoscaler> strategy,
+               std::string strategy_name, sim::EngineOptions serve_defaults)
+    : trained_(std::move(trained)),
+      strategy_(std::move(strategy)),
+      strategy_name_(std::move(strategy_name)),
+      serve_defaults_(serve_defaults),
+      serving_(std::make_unique<Serving>(serve_defaults)) {}
+
+Scaler::Scaler(Scaler&&) noexcept = default;
+Scaler& Scaler::operator=(Scaler&&) noexcept = default;
+Scaler::~Scaler() = default;
+
+// -- Batch replay -----------------------------------------------------------
+
+Result<sim::SimulationResult> Scaler::Replay(const workload::Trace& test) {
+  return Replay(test, serve_defaults_);
+}
+
+Result<sim::SimulationResult> Scaler::Replay(const workload::Trace& test,
+                                             const sim::EngineOptions& engine) {
+  if (trained_.forecast.horizon() + 1e-9 < test.horizon()) {
+    std::ostringstream msg;
+    msg << "Scaler::Replay: trained forecast covers "
+        << trained_.forecast.horizon() << " s but the test trace spans "
+        << test.horizon()
+        << " s; rebuild with WithForecastHorizon(test.horizon())";
+    return Status::Invalid(msg.str());
+  }
+  return sim::Simulate(test, strategy_.get(), engine);
+}
+
+Result<sim::Metrics> Scaler::Evaluate(const workload::Trace& test) {
+  RS_ASSIGN_OR_RETURN(auto result, Replay(test));
+  return sim::ComputeMetrics(result);
+}
+
+// -- Online serving ---------------------------------------------------------
+
+sim::SimContext Scaler::MakeContext(double now) const {
+  sim::SimContext ctx;
+  ctx.now = now;
+  ctx.queries_arrived = serving_->arrivals.size();
+  ctx.instances_alive = serving_->live.size();
+  ctx.instances_ready = static_cast<std::size_t>(
+      std::count_if(serving_->live.begin(), serving_->live.end(),
+                    [now](double ready) { return ready <= now; }));
+  ctx.scheduled_creations = serving_->schedule.size();
+  ctx.arrival_history = &serving_->arrivals;
+  return ctx;
+}
+
+void Scaler::ApplyAndBuffer(sim::ScalingAction action, double now) {
+  serving_->log.push_back(action);
+  for (double t : action.creation_times) {
+    const double at = std::max(t, now);
+    serving_->schedule.push(at);
+    serving_->buffered.creation_times.push_back(at);
+  }
+  serving_->creations_requested += action.creation_times.size();
+  // Scale-in mirrors the engine: newest unconsumed instances first.
+  for (std::size_t k = 0; k < action.deletions && !serving_->live.empty();
+       ++k) {
+    serving_->live.pop_back();
+  }
+  serving_->buffered.deletions += action.deletions;
+  serving_->deletions_requested += action.deletions;
+}
+
+void Scaler::ExecuteCreation(double t) {
+  double pending = serving_->options.pending.Sample(&serving_->rng);
+  if (serving_->options.pending_jitter > 0.0) {
+    pending *= 1.0 + serving_->options.pending_jitter *
+                         (2.0 * serving_->rng.NextDouble() - 1.0);
+    pending = std::max(0.0, pending);
+  }
+  serving_->live.push_back(t + serving_->options.creation_latency + pending);
+}
+
+void Scaler::EnsureStarted() {
+  if (serving_->started) return;
+  serving_->started = true;
+  const double tick = strategy_->planning_interval();
+  serving_->next_tick = tick > 0.0 ? 0.0 : kInf;
+  ApplyAndBuffer(strategy_->Initialize(MakeContext(0.0)), 0.0);
+}
+
+void Scaler::AdvanceTo(double t) {
+  const double tick = strategy_->planning_interval();
+  for (;;) {
+    const double next_creation =
+        serving_->schedule.empty() ? kInf : serving_->schedule.top();
+    const double next_event = std::min(serving_->next_tick, next_creation);
+    if (next_event > t) break;
+    if (serving_->next_tick <= next_creation) {
+      // Planning tick (ties: tick first, matching the engine).
+      const double now = serving_->next_tick;
+      serving_->now = now;
+      ApplyAndBuffer(strategy_->OnPlanningTick(MakeContext(now)), now);
+      serving_->next_tick = now + tick;
+    } else {
+      serving_->now = next_creation;
+      serving_->schedule.pop();
+      ExecuteCreation(next_creation);
+    }
+  }
+  serving_->now = t;
+}
+
+Status Scaler::ConfigureServing(const sim::EngineOptions& options) {
+  if (serving_->started) {
+    return Status::Invalid(
+        "Scaler::ConfigureServing: serving already started; call before the "
+        "first Observe()/Plan() or after ResetServing()");
+  }
+  if (options.charge_decision_wall_time) {
+    // The engine clamps actions to now + decision wall time in this mode;
+    // the serving mirror has no wall-time notion, so the two schedules
+    // would silently drift. Refuse rather than break the parity contract.
+    return Status::NotImplemented(
+        "Scaler::ConfigureServing: charge_decision_wall_time is not "
+        "supported by the online serving mirror");
+  }
+  serving_ = std::make_unique<Serving>(options);
+  return Status::OK();
+}
+
+Result<Scaler::ObserveOutcome> Scaler::Observe(double arrival_time) {
+  EnsureStarted();
+  if (arrival_time < serving_->now) {
+    std::ostringstream msg;
+    msg << "Scaler::Observe: arrival at " << arrival_time
+        << " s precedes the serving clock (" << serving_->now
+        << " s); arrivals must be reported in nondecreasing order";
+    return Status::Invalid(msg.str());
+  }
+  AdvanceTo(arrival_time);
+
+  ObserveOutcome outcome;
+  if (serving_->live.empty()) {
+    // Cold start: reactive creation, cancel the earliest scheduled creation
+    // (it was intended for this query) — Algorithm 1 line 7. The returned
+    // outcome instructs the caller to do the same to its real fleet.
+    ExecuteCreation(arrival_time);
+    outcome.cold_start = true;
+    if (!serving_->schedule.empty()) {
+      const double cancelled = serving_->schedule.top();
+      serving_->schedule.pop();
+      // If the cancelled creation is still sitting in the undrained Plan()
+      // buffer, the caller has never seen it: retract it from the buffer
+      // instead of asking the caller to cancel something it doesn't have.
+      auto& pending_creations = serving_->buffered.creation_times;
+      const auto it = std::find(pending_creations.begin(),
+                                pending_creations.end(), cancelled);
+      if (it != pending_creations.end()) {
+        pending_creations.erase(it);
+      } else {
+        outcome.cancel_earliest_scheduled = true;
+      }
+    }
+    ++serving_->cold_starts;
+  }
+  serving_->live.pop_front();
+  serving_->arrivals.push_back(arrival_time);
+  ApplyAndBuffer(
+      strategy_->OnQueryArrival(MakeContext(arrival_time), outcome.cold_start),
+      arrival_time);
+  return outcome;
+}
+
+Result<sim::ScalingAction> Scaler::Plan(double now) {
+  EnsureStarted();
+  if (now < serving_->now) {
+    std::ostringstream msg;
+    msg << "Scaler::Plan: time " << now << " s precedes the serving clock ("
+        << serving_->now << " s)";
+    return Status::Invalid(msg.str());
+  }
+  AdvanceTo(now);
+  return std::exchange(serving_->buffered, sim::ScalingAction{});
+}
+
+ServingSnapshot Scaler::Snapshot() const {
+  ServingSnapshot snap;
+  snap.started = serving_->started;
+  snap.now = serving_->now;
+  snap.queries_observed = serving_->arrivals.size();
+  snap.instances_alive = serving_->live.size();
+  snap.instances_ready = static_cast<std::size_t>(std::count_if(
+      serving_->live.begin(), serving_->live.end(),
+      [t = serving_->now](double ready) { return ready <= t; }));
+  snap.scheduled_creations = serving_->schedule.size();
+  snap.cold_starts = serving_->cold_starts;
+  snap.creations_requested = serving_->creations_requested;
+  snap.deletions_requested = serving_->deletions_requested;
+  snap.planning_rounds = serving_->log.size();
+  snap.strategy = strategy_name_;
+  return snap;
+}
+
+const std::vector<sim::ScalingAction>& Scaler::ActionLog() const {
+  return serving_->log;
+}
+
+Status Scaler::ResetServing() {
+  serving_ = std::make_unique<Serving>(serving_->options);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ScalerBuilder
+// ---------------------------------------------------------------------------
+
+ScalerBuilder& ScalerBuilder::WithTrace(workload::Trace train) {
+  train_ = std::move(train);
+  return *this;
+}
+ScalerBuilder& ScalerBuilder::WithBinWidth(double dt) {
+  dt_ = dt;
+  return *this;
+}
+ScalerBuilder& ScalerBuilder::WithForecastHorizon(double seconds) {
+  forecast_horizon_ = seconds;
+  return *this;
+}
+ScalerBuilder& ScalerBuilder::WithAggregateFactor(std::size_t factor) {
+  aggregate_factor_ = factor;
+  return *this;
+}
+ScalerBuilder& ScalerBuilder::WithTarget(ScalingTarget target) {
+  target_ = target;
+  return *this;
+}
+ScalerBuilder& ScalerBuilder::WithStrategy(StrategySpec spec) {
+  spec_ = std::move(spec);
+  return *this;
+}
+ScalerBuilder& ScalerBuilder::WithPending(stats::DurationDistribution pending) {
+  pending_ = pending;
+  return *this;
+}
+ScalerBuilder& ScalerBuilder::WithPlanningInterval(double seconds) {
+  planning_interval_ = seconds;
+  return *this;
+}
+ScalerBuilder& ScalerBuilder::WithMcSamples(std::size_t samples) {
+  mc_samples_ = samples;
+  return *this;
+}
+ScalerBuilder& ScalerBuilder::WithSeed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+ScalerBuilder& ScalerBuilder::WithPipelineOptions(
+    core::PipelineOptions options) {
+  pipeline_ = std::move(options);
+  return *this;
+}
+
+Result<Scaler> ScalerBuilder::Build() const {
+  // Cross-field validation: every misconfiguration that used to silently
+  // produce nonsense downstream fails here with an actionable message.
+  if (!train_.has_value()) {
+    return Status::Invalid("ScalerBuilder: no training trace; call WithTrace");
+  }
+  if (train_->empty() || train_->horizon() <= 0.0) {
+    return Status::Invalid(
+        "ScalerBuilder: training trace is empty or has a non-positive "
+        "horizon");
+  }
+  core::PipelineOptions pipeline = pipeline_;
+  if (dt_.has_value()) pipeline.dt = *dt_;
+  if (forecast_horizon_.has_value()) pipeline.forecast_horizon = *forecast_horizon_;
+  if (aggregate_factor_.has_value()) {
+    pipeline.periodicity.aggregate_factor = *aggregate_factor_;
+  }
+  if (!(pipeline.dt > 0.0)) {
+    return Status::Invalid("ScalerBuilder: bin width must be > 0 s");
+  }
+  if (pipeline.dt > train_->horizon() / 2.0) {
+    std::ostringstream msg;
+    msg << "ScalerBuilder: bin width " << pipeline.dt
+        << " s leaves fewer than two bins in the " << train_->horizon()
+        << " s training window";
+    return Status::Invalid(msg.str());
+  }
+  if (!(pipeline.forecast_horizon > 0.0)) {
+    return Status::Invalid("ScalerBuilder: forecast horizon must be > 0 s");
+  }
+  if (pipeline.periodicity.aggregate_factor == 0) {
+    return Status::Invalid("ScalerBuilder: aggregate factor must be >= 1");
+  }
+  if (!(planning_interval_ > 0.0)) {
+    return Status::Invalid("ScalerBuilder: planning interval must be > 0 s");
+  }
+  // A WithStrategy spec may override the planning interval via its params;
+  // cross-field checks must look at the value the strategy will really use.
+  double effective_planning_interval = planning_interval_;
+  if (spec_.has_value()) {
+    const auto it = spec_->params.find("planning_interval");
+    if (it != spec_->params.end()) effective_planning_interval = it->second;
+  }
+  if (pipeline.forecast_horizon < effective_planning_interval) {
+    std::ostringstream msg;
+    msg << "ScalerBuilder: forecast horizon (" << pipeline.forecast_horizon
+        << " s) is shorter than one planning interval ("
+        << effective_planning_interval << " s)";
+    return Status::Invalid(msg.str());
+  }
+  if (mc_samples_ == 0) {
+    return Status::Invalid("ScalerBuilder: mc_samples must be >= 1");
+  }
+  if (target_.has_value() && spec_.has_value()) {
+    return Status::Invalid(
+        "ScalerBuilder: WithTarget and WithStrategy are mutually exclusive; "
+        "set the target as a strategy parameter instead");
+  }
+
+  // Train modules 1–3.
+  RS_ASSIGN_OR_RETURN(auto trained, core::TrainRobustScaler(*train_, pipeline));
+
+  // Construct the serving strategy (module 4) through the registry so the
+  // target semantics live in exactly one place.
+  StrategySpec spec;
+  if (spec_.has_value()) {
+    spec = *spec_;
+  } else {
+    // Target semantics and validation live with the registry factories
+    // (TargetFromParam/ApplyTarget); here we only forward the raw value.
+    const ScalingTarget target = target_.value_or(ScalingTarget(HitRate{0.9}));
+    spec.name = StrategyNameOf(target);
+    spec.params["target"] = RawTargetValue(target);
+  }
+
+  // WithSeed / WithMcSamples / WithPlanningInterval flow through the context
+  // as factory defaults for both selection styles; explicit spec parameters
+  // of the same name still win.
+  StrategyContext context;
+  context.forecast = &trained.forecast;
+  context.pending = pending_;
+  context.mc_samples = mc_samples_;
+  context.planning_interval = planning_interval_;
+  context.seed = seed_;
+  RS_ASSIGN_OR_RETURN(auto strategy,
+                      StrategyRegistry::Global().Create(spec, context));
+
+  sim::EngineOptions serve_defaults;
+  serve_defaults.pending = pending_;
+  return Scaler(std::move(trained), std::move(strategy),
+                FormatStrategySpec(spec), serve_defaults);
+}
+
+Result<core::TrainedPipeline> TrainPipeline(
+    const workload::Trace& train, const core::PipelineOptions& options) {
+  return core::TrainRobustScaler(train, options);
+}
+
+Result<sim::Metrics> Evaluate(const workload::Trace& test,
+                              sim::Autoscaler* strategy,
+                              const sim::EngineOptions& engine) {
+  RS_ASSIGN_OR_RETURN(auto result, sim::Simulate(test, strategy, engine));
+  return sim::ComputeMetrics(result);
+}
+
+}  // namespace rs::api

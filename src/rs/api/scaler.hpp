@@ -1,0 +1,250 @@
+/// \file scaler.hpp
+/// \brief The builder-style facade over the RobustScaler pipeline: one
+///        object that owns the train-then-serve lifecycle.
+///
+///   auto scaler = rs::api::ScalerBuilder()
+///                     .WithTrace(train)
+///                     .WithBinWidth(60.0)
+///                     .WithForecastHorizon(test.horizon())
+///                     .WithTarget(rs::api::HitRate{0.9})
+///                     .Build();
+///
+/// A built Scaler serves two modes with the same trained policy:
+///  * batch replay — Replay()/Evaluate() run the simulator over a test
+///    trace (the paper's experiment mode);
+///  * online serving — Observe(arrival)/Plan(now)/Snapshot() adapt the
+///    policy for incremental production use: the caller reports arrivals and
+///    periodically asks for the scaling actions to execute.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rs/api/strategy_registry.hpp"
+#include "rs/api/strategy_spec.hpp"
+#include "rs/api/targets.hpp"
+#include "rs/common/status.hpp"
+#include "rs/core/pipeline.hpp"
+#include "rs/simulator/engine.hpp"
+#include "rs/simulator/metrics.hpp"
+#include "rs/workload/trace.hpp"
+
+namespace rs::api {
+
+/// Read-only view of the online serving state (for dashboards / tests).
+struct ServingSnapshot {
+  bool started = false;
+  double now = 0.0;                    ///< Serving clock (s since start).
+  std::size_t queries_observed = 0;
+  std::size_t instances_alive = 0;     ///< Unconsumed instances (incl. pending).
+  std::size_t instances_ready = 0;     ///< Of those, warm at `now`.
+  std::size_t scheduled_creations = 0; ///< Future creations not yet executed.
+  std::size_t cold_starts = 0;         ///< Arrivals that found no instance.
+  std::size_t creations_requested = 0; ///< Total creations emitted so far.
+  std::size_t deletions_requested = 0;
+  std::size_t planning_rounds = 0;     ///< Strategy callbacks invoked.
+  std::string strategy;                ///< Strategy name serving this scaler.
+};
+
+/// \brief A trained, ready-to-serve autoscaler (build via ScalerBuilder).
+class Scaler {
+ public:
+  Scaler(Scaler&&) noexcept;
+  Scaler& operator=(Scaler&&) noexcept;
+  ~Scaler();
+
+  /// Training artifacts (detected period, ADMM diagnostics, forecast, ...).
+  const core::TrainedPipeline& trained() const { return trained_; }
+  const workload::PiecewiseConstantIntensity& forecast() const {
+    return trained_.forecast;
+  }
+
+  /// The underlying strategy, for advanced uses (custom sim::Simulate runs).
+  sim::Autoscaler* strategy() const { return strategy_.get(); }
+
+  /// Registry-style description of the serving strategy, e.g.
+  /// "robust_hp:target=0.9".
+  const std::string& strategy_name() const { return strategy_name_; }
+
+  // -- Batch replay ---------------------------------------------------------
+
+  /// \brief Replays `test` under the trained strategy.
+  ///
+  /// Validates that the trained forecast covers the test horizon — the
+  /// classic silent-nonsense bug the facade exists to catch (a forecast
+  /// shorter than the test trace degenerates to a constant tail). Fix by
+  /// building with WithForecastHorizon(test.horizon()).
+  ///
+  /// Note: replay advances the strategy's internal Monte Carlo stream, so
+  /// an Observe/Plan run on the same Scaler afterwards will not reproduce
+  /// the replay's action sequence bit-for-bit. Build a fresh Scaler per
+  /// mode when comparing the two (as tests/api_test.cpp does).
+  Result<sim::SimulationResult> Replay(const workload::Trace& test);
+  Result<sim::SimulationResult> Replay(const workload::Trace& test,
+                                       const sim::EngineOptions& engine);
+
+  /// Replay + ComputeMetrics in one call.
+  Result<sim::Metrics> Evaluate(const workload::Trace& test);
+
+  // -- Online serving -------------------------------------------------------
+  //
+  // The serving clock starts at 0 = the end of the training window (the
+  // forecast's local time zero). Observe() reports each query arrival (in
+  // nondecreasing time order) and returns the reactive work the arrival
+  // itself forces on the caller (see ObserveOutcome); Plan() advances the
+  // strategy's planning loop to `now` and returns the actions the caller
+  // must execute: create instances at the given absolute times, delete
+  // `deletions` idle instances (newest first).
+  //
+  // Polling cadence: call Plan() at least once per planning interval. The
+  // mirror's planning loop runs at tick granularity regardless, so a late
+  // poll returns past-dated creation times the real fleet can only start
+  // late — the mirror then believes instances are warm sooner than they
+  // are. Memory: the serving state retains the full arrival history and
+  // action log (like one engine replay); unbounded deployments should
+  // ResetServing() at epoch boundaries (see ROADMAP for a retention knob).
+  //
+  // Internally the scaler mirrors Algorithm 1's
+  // instance accounting (using the configured pending-time model) so its
+  // action sequence on a trace is identical to the batch replay path —
+  // asserted in tests/api_test.cpp. (Identical to a *fresh* replay: the
+  // strategy's Monte Carlo stream is shared between modes, so interleaving
+  // Replay() calls perturbs subsequent Plan()s; see Replay's note.)
+
+  /// Overrides the serving-time engine model (pending distribution, seed,
+  /// creation latency). Must be called before the first Observe()/Plan().
+  Status ConfigureServing(const sim::EngineOptions& options);
+
+  /// What the caller must do in response to an observed arrival (the
+  /// cold-start rule of Algorithm 1, which the scaler's mirror applies and
+  /// the caller's fleet must apply too, or the two diverge).
+  struct ObserveOutcome {
+    /// No instance was available: create one immediately to serve this
+    /// query (a reactive cold start).
+    bool cold_start = false;
+    /// The cold start consumed a creation that was already scheduled:
+    /// cancel your earliest still-pending scheduled creation (it was
+    /// intended for this query).
+    bool cancel_earliest_scheduled = false;
+  };
+
+  /// Reports one query arrival at `arrival_time` (>= the serving clock).
+  Result<ObserveOutcome> Observe(double arrival_time);
+
+  /// Advances planning to `now` and returns the accumulated actions.
+  Result<sim::ScalingAction> Plan(double now);
+
+  /// Current serving state.
+  ServingSnapshot Snapshot() const;
+
+  /// Every action the strategy emitted, one entry per strategy callback
+  /// (initialize / planning tick / arrival) — the parity log.
+  const std::vector<sim::ScalingAction>& ActionLog() const;
+
+  /// Discards online state for a fresh serving run. Note: the strategy's
+  /// internal Monte Carlo stream is not rewound; build a fresh Scaler for
+  /// bit-identical action replays.
+  Status ResetServing();
+
+ private:
+  friend class ScalerBuilder;
+  struct Serving;
+
+  Scaler(core::TrainedPipeline trained,
+         std::unique_ptr<sim::Autoscaler> strategy, std::string strategy_name,
+         sim::EngineOptions serve_defaults);
+
+  void EnsureStarted();
+  void AdvanceTo(double t);
+  void ApplyAndBuffer(sim::ScalingAction action, double now);
+  void ExecuteCreation(double t);
+  sim::SimContext MakeContext(double now) const;
+
+  core::TrainedPipeline trained_;
+  std::unique_ptr<sim::Autoscaler> strategy_;
+  std::string strategy_name_;
+  sim::EngineOptions serve_defaults_;
+  std::unique_ptr<Serving> serving_;
+};
+
+/// \brief Builder for Scaler: collects the training trace, model knobs, and
+///        the serving strategy, validates them together, then trains.
+///
+/// Strategy selection: WithTarget() picks the matching RobustScaler variant
+/// (HP/RT/cost); WithStrategy() selects any registered strategy by name +
+/// params (the two are mutually exclusive). Default: HitRate{0.9}.
+class ScalerBuilder {
+ public:
+  /// Training trace (required). The trace's horizon defines the training
+  /// window; serving time 0 is the end of this window.
+  ScalerBuilder& WithTrace(workload::Trace train);
+
+  /// Bin width Δt in seconds for the fitted QPS series (default 60).
+  ScalerBuilder& WithBinWidth(double dt);
+
+  /// How far past training the forecast must extend (seconds). Set to at
+  /// least the horizon you will Replay()/serve (default 86400).
+  ScalerBuilder& WithForecastHorizon(double seconds);
+
+  /// Periodicity-detection aggregation factor (default 1).
+  ScalerBuilder& WithAggregateFactor(std::size_t factor);
+
+  /// Scaling target; selects the RobustScaler variant (default HitRate{0.9}).
+  ScalerBuilder& WithTarget(ScalingTarget target);
+
+  /// Any registered strategy by name + params (mutually exclusive with
+  /// WithTarget).
+  ScalerBuilder& WithStrategy(StrategySpec spec);
+
+  /// Instance pending/startup-time model τ_i (default: deterministic 13 s).
+  ScalerBuilder& WithPending(stats::DurationDistribution pending);
+
+  /// Planning interval Δ in seconds (default 1).
+  ScalerBuilder& WithPlanningInterval(double seconds);
+
+  /// Monte Carlo samples per decision (default 300).
+  ScalerBuilder& WithMcSamples(std::size_t samples);
+
+  /// Seed of the strategy's Monte Carlo stream (default 31).
+  ScalerBuilder& WithSeed(std::uint64_t seed);
+
+  /// Expert escape hatch: full pipeline configuration (periodicity, ADMM,
+  /// forecast, β weights). WithBinWidth / WithForecastHorizon /
+  /// WithAggregateFactor still override their fields regardless of call
+  /// order.
+  ScalerBuilder& WithPipelineOptions(core::PipelineOptions options);
+
+  /// Validates all options together, trains modules 1–3, and constructs the
+  /// serving strategy (module 4).
+  Result<Scaler> Build() const;
+
+ private:
+  std::optional<workload::Trace> train_;
+  core::PipelineOptions pipeline_;
+  std::optional<double> dt_;
+  std::optional<double> forecast_horizon_;
+  std::optional<std::size_t> aggregate_factor_;
+  std::optional<ScalingTarget> target_;
+  std::optional<StrategySpec> spec_;
+  stats::DurationDistribution pending_ =
+      stats::DurationDistribution::Deterministic(13.0);
+  double planning_interval_ = 1.0;
+  std::size_t mc_samples_ = 300;
+  std::uint64_t seed_ = 31;
+};
+
+/// \brief Facade over module 1–3 training for callers that share one fit
+///        across many strategies (the bench harnesses). Prefer
+///        ScalerBuilder for the common train-then-serve path.
+Result<core::TrainedPipeline> TrainPipeline(
+    const workload::Trace& train, const core::PipelineOptions& options = {});
+
+/// Convenience: Simulate + ComputeMetrics for a standalone strategy.
+Result<sim::Metrics> Evaluate(const workload::Trace& test,
+                              sim::Autoscaler* strategy,
+                              const sim::EngineOptions& engine = {});
+
+}  // namespace rs::api

@@ -1,0 +1,59 @@
+#include "rs/api/serving_adapter.hpp"
+
+#include <utility>
+
+namespace rs::api {
+
+sim::ScalingAction OnlineServingAdapter::Drain(
+    Result<sim::ScalingAction> planned) {
+  if (!planned.ok()) {
+    if (status_.ok()) status_ = planned.status();
+    return {};
+  }
+  return std::move(planned).ValueOrDie();
+}
+
+sim::ScalingAction OnlineServingAdapter::Initialize(const sim::SimContext& ctx) {
+  // The scaler initializes lazily; Plan at t=0 yields the initialize action
+  // (plus the t=0 planning round, which the engine would otherwise request
+  // in its first tick — same instant, same effect).
+  return Drain(scaler_->Plan(ctx.now));
+}
+
+sim::ScalingAction OnlineServingAdapter::OnPlanningTick(
+    const sim::SimContext& ctx) {
+  return Drain(scaler_->Plan(ctx.now));
+}
+
+sim::ScalingAction OnlineServingAdapter::OnQueryArrival(
+    const sim::SimContext& ctx, bool cold_start) {
+  (void)cold_start;  // The scaler's mirror re-derives cold starts itself.
+  // The engine already performs the cold-start create+cancel on its side,
+  // so the returned ObserveOutcome needs no forwarding here.
+  const auto observed = scaler_->Observe(ctx.now);
+  if (!observed.ok()) {
+    if (status_.ok()) status_ = observed.status();
+    return {};
+  }
+  // Drain the arrival-triggered action without advancing the clock.
+  return Drain(scaler_->Plan(ctx.now));
+}
+
+sim::ScalingAction RecordingAutoscaler::Initialize(const sim::SimContext& ctx) {
+  actions_.push_back(inner_->Initialize(ctx));
+  return actions_.back();
+}
+
+sim::ScalingAction RecordingAutoscaler::OnPlanningTick(
+    const sim::SimContext& ctx) {
+  actions_.push_back(inner_->OnPlanningTick(ctx));
+  return actions_.back();
+}
+
+sim::ScalingAction RecordingAutoscaler::OnQueryArrival(
+    const sim::SimContext& ctx, bool cold_start) {
+  actions_.push_back(inner_->OnQueryArrival(ctx, cold_start));
+  return actions_.back();
+}
+
+}  // namespace rs::api

@@ -1,0 +1,71 @@
+#include "rs/api/strategy_registry.hpp"
+
+#include <utility>
+
+namespace rs::api {
+
+namespace internal {
+// Defined in builtin_strategies.cpp; wires the five built-in strategies.
+void RegisterBuiltinStrategies(StrategyRegistry& registry);
+}  // namespace internal
+
+StrategyRegistry& StrategyRegistry::Global() {
+  static StrategyRegistry* registry = [] {
+    auto* r = new StrategyRegistry();
+    internal::RegisterBuiltinStrategies(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status StrategyRegistry::Register(const std::string& name, Factory factory) {
+  if (name.empty()) {
+    return Status::Invalid("StrategyRegistry: empty strategy name");
+  }
+  if (!factory) {
+    return Status::Invalid("StrategyRegistry: null factory for '" + name + "'");
+  }
+  if (factories_.count(name) > 0) {
+    return Status::Invalid("StrategyRegistry: '" + name +
+                           "' is already registered");
+  }
+  factories_.emplace(name, std::move(factory));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<sim::Autoscaler>> StrategyRegistry::Create(
+    const StrategySpec& spec, const StrategyContext& context) const {
+  const auto it = factories_.find(spec.name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& [name, factory] : factories_) {
+      (void)factory;
+      if (!known.empty()) known += ", ";
+      known += "'" + name + "'";
+    }
+    return Status::Invalid("unknown strategy '" + spec.name +
+                           "'; registered strategies: " + known);
+  }
+  return it->second(spec, context);
+}
+
+std::vector<std::string> StrategyRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    (void)factory;
+    names.push_back(name);
+  }
+  return names;
+}
+
+bool StrategyRegistry::Contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+Result<std::unique_ptr<sim::Autoscaler>> MakeStrategy(
+    const StrategySpec& spec, const StrategyContext& context) {
+  return StrategyRegistry::Global().Create(spec, context);
+}
+
+}  // namespace rs::api

@@ -1,0 +1,84 @@
+#include "rs/api/strategy_spec.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace rs::api {
+
+Result<StrategySpec> ParseStrategySpec(const std::string& text) {
+  if (text.empty()) return Status::Invalid("ParseStrategySpec: empty spec");
+  StrategySpec spec;
+  const auto colon = text.find(':');
+  spec.name = text.substr(0, colon);
+  if (spec.name.empty()) {
+    return Status::Invalid("ParseStrategySpec: missing strategy name in '" +
+                           text + "'");
+  }
+  if (colon == std::string::npos) return spec;
+
+  std::string rest = text.substr(colon + 1);
+  std::istringstream pairs(rest);
+  std::string pair;
+  while (std::getline(pairs, pair, ',')) {
+    if (pair.empty()) continue;
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::Invalid("ParseStrategySpec: expected key=value, got '" +
+                             pair + "' in '" + text + "'");
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return Status::Invalid("ParseStrategySpec: parameter '" + key +
+                             "' has non-numeric value '" + value + "'");
+    }
+    spec.params[key] = parsed;
+  }
+  return spec;
+}
+
+std::string FormatStrategySpec(const StrategySpec& spec) {
+  std::ostringstream out;
+  out << spec.name;
+  bool first = true;
+  for (const auto& [key, value] : spec.params) {
+    out << (first ? ':' : ',') << key << '=' << value;
+    first = false;
+  }
+  return out.str();
+}
+
+double ParamReader::Get(const std::string& key, double fallback) {
+  known_.insert(key);
+  const auto it = spec_.params.find(key);
+  return it == spec_.params.end() ? fallback : it->second;
+}
+
+bool ParamReader::Has(const std::string& key) {
+  known_.insert(key);
+  return spec_.params.count(key) > 0;
+}
+
+Status ParamReader::Finish() const {
+  std::string unknown;
+  for (const auto& [key, value] : spec_.params) {
+    (void)value;
+    if (known_.count(key) == 0) {
+      if (!unknown.empty()) unknown += ", ";
+      unknown += "'" + key + "'";
+    }
+  }
+  if (unknown.empty()) return Status::OK();
+  std::string known_list;
+  for (const auto& key : known_) {
+    if (!known_list.empty()) known_list += ", ";
+    known_list += "'" + key + "'";
+  }
+  return Status::Invalid("strategy '" + spec_.name + "': unknown parameter" +
+                         (unknown.find(',') != std::string::npos ? "s " : " ") +
+                         unknown + "; known parameters: " + known_list);
+}
+
+}  // namespace rs::api

@@ -1,0 +1,58 @@
+/// \file strategy_spec.hpp
+/// \brief String-addressable strategy selection: a StrategySpec names a
+///        registered strategy plus its key/value parameters, so benches,
+///        examples and future CLIs/daemons can pick a scaling strategy with
+///        no strategy-specific includes or code.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "rs/common/status.hpp"
+
+namespace rs::api {
+
+/// \brief A strategy request: registry name + numeric parameters.
+///
+/// All built-in strategy parameters are numeric (targets, pool sizes,
+/// intervals, sample counts, seeds), so the parameter map is string → double.
+/// Unknown keys are a validation error that lists the known keys — typos
+/// fail loudly instead of silently falling back to defaults.
+struct StrategySpec {
+  std::string name;
+  std::map<std::string, double> params;
+};
+
+/// \brief Parses "name" or "name:key=value,key=value" into a StrategySpec.
+///
+/// Example: "robust_hp:target=0.9,mc_samples=500". Intended for CLI flags
+/// and config files; programmatic callers construct StrategySpec directly.
+Result<StrategySpec> ParseStrategySpec(const std::string& text);
+
+/// Inverse of ParseStrategySpec (stable key order; for logs/snapshots).
+std::string FormatStrategySpec(const StrategySpec& spec);
+
+/// \brief Typed reader over a StrategySpec's parameter map used by strategy
+///        factories: every parameter a factory understands is read through
+///        Get(), and Finish() rejects any leftover (unknown) key with a
+///        Status that lists the keys the strategy accepts.
+class ParamReader {
+ public:
+  explicit ParamReader(const StrategySpec& spec) : spec_(spec) {}
+
+  /// Returns the parameter value or `fallback` if absent; marks `key` known.
+  double Get(const std::string& key, double fallback);
+
+  /// True if the spec explicitly sets `key`; marks `key` known.
+  bool Has(const std::string& key);
+
+  /// OK iff every key in the spec was consumed by Get()/Has().
+  Status Finish() const;
+
+ private:
+  const StrategySpec& spec_;
+  std::set<std::string> known_;
+};
+
+}  // namespace rs::api

@@ -1,0 +1,111 @@
+#include "rs/api/targets.hpp"
+
+#include <sstream>
+
+namespace rs::api {
+
+core::ScalerVariant VariantOf(const ScalingTarget& target) {
+  if (std::holds_alternative<HitRate>(target)) {
+    return core::ScalerVariant::kHittingProbability;
+  }
+  if (std::holds_alternative<ResponseTimeBudget>(target)) {
+    return core::ScalerVariant::kResponseTime;
+  }
+  return core::ScalerVariant::kCost;
+}
+
+const char* StrategyNameFor(core::ScalerVariant variant) {
+  switch (variant) {
+    case core::ScalerVariant::kHittingProbability:
+      return "robust_hp";
+    case core::ScalerVariant::kResponseTime:
+      return "robust_rt";
+    case core::ScalerVariant::kCost:
+      return "robust_cost";
+  }
+  return "robust_hp";
+}
+
+const char* StrategyNameOf(const ScalingTarget& target) {
+  return StrategyNameFor(VariantOf(target));
+}
+
+double RawTargetValue(const ScalingTarget& target) {
+  if (const auto* hp = std::get_if<HitRate>(&target)) return hp->value;
+  if (const auto* rt = std::get_if<ResponseTimeBudget>(&target)) {
+    return rt->seconds;
+  }
+  return std::get<IdleBudget>(target).seconds;
+}
+
+Status ApplyTarget(const ScalingTarget& target,
+                   core::SequentialScalerOptions* options) {
+  if (options == nullptr) return Status::Invalid("ApplyTarget: null options");
+  if (const auto* hp = std::get_if<HitRate>(&target)) {
+    if (!(hp->value > 0.0) || !(hp->value < 1.0)) {
+      std::ostringstream msg;
+      msg << "hit-rate target must be in (0, 1), got " << hp->value;
+      return Status::Invalid(msg.str());
+    }
+    options->variant = core::ScalerVariant::kHittingProbability;
+    options->alpha = 1.0 - hp->value;
+    return Status::OK();
+  }
+  if (const auto* rt = std::get_if<ResponseTimeBudget>(&target)) {
+    if (!(rt->seconds > 0.0)) {
+      std::ostringstream msg;
+      msg << "response-time budget must be > 0 s, got " << rt->seconds;
+      return Status::Invalid(msg.str());
+    }
+    options->variant = core::ScalerVariant::kResponseTime;
+    options->rt_excess = rt->seconds;
+    return Status::OK();
+  }
+  const auto& cost = std::get<IdleBudget>(target);
+  if (!(cost.seconds > 0.0)) {
+    std::ostringstream msg;
+    msg << "idle budget must be > 0 s, got " << cost.seconds;
+    return Status::Invalid(msg.str());
+  }
+  options->variant = core::ScalerVariant::kCost;
+  options->idle_budget = cost.seconds;
+  return Status::OK();
+}
+
+Result<ScalingTarget> TargetFromParam(core::ScalerVariant variant, double raw) {
+  switch (variant) {
+    case core::ScalerVariant::kHittingProbability: {
+      if (!(raw > 0.0) || !(raw < 1.0)) {
+        std::ostringstream msg;
+        msg << "strategy 'robust_hp': target (hitting probability) must be in "
+               "(0, 1), got "
+            << raw;
+        return Status::Invalid(msg.str());
+      }
+      return ScalingTarget(HitRate{raw});
+    }
+    case core::ScalerVariant::kResponseTime: {
+      if (!(raw > 0.0)) {
+        std::ostringstream msg;
+        msg << "strategy 'robust_rt': target (waiting-time budget, seconds) "
+               "must be > 0, got "
+            << raw;
+        return Status::Invalid(msg.str());
+      }
+      return ScalingTarget(ResponseTimeBudget{raw});
+    }
+    case core::ScalerVariant::kCost: {
+      if (!(raw > 0.0)) {
+        std::ostringstream msg;
+        msg << "strategy 'robust_cost': target (idle budget, seconds) must be "
+               "> 0, got "
+            << raw;
+        return Status::Invalid(msg.str());
+      }
+      return ScalingTarget(IdleBudget{raw});
+    }
+  }
+  return Status::Invalid("TargetFromParam: unknown variant");
+}
+
+}  // namespace rs::api

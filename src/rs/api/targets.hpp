@@ -1,0 +1,57 @@
+/// \file targets.hpp
+/// \brief Typed scaling targets — the one place where the meaning of the
+///        per-variant "target" knob lives (HP → hitting-probability 1−α,
+///        RT → waiting-time budget d−µs, cost → idle budget). Both the
+///        string-keyed registry and the builder facade translate targets
+///        through these helpers, so the semantics cannot drift apart.
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "rs/common/status.hpp"
+#include "rs/core/sequential_scaler.hpp"
+
+namespace rs::api {
+
+/// Target hitting probability P(instance ready on arrival) — Eq. (2)/(3).
+struct HitRate {
+  double value = 0.9;  ///< In (0, 1); the policy's miss budget is α = 1−value.
+};
+
+/// Mean waiting-time budget d − µs in seconds — Eq. (4)/(5).
+struct ResponseTimeBudget {
+  double seconds = 1.0;
+};
+
+/// Mean idle-time budget per instance in seconds — Eq. (6)/(7).
+struct IdleBudget {
+  double seconds = 2.0;
+};
+
+/// One of the paper's three stochastically-constrained formulations.
+using ScalingTarget = std::variant<HitRate, ResponseTimeBudget, IdleBudget>;
+
+/// The RobustScaler variant a target selects.
+core::ScalerVariant VariantOf(const ScalingTarget& target);
+
+/// Registry name of the strategy a target selects ("robust_hp" / "robust_rt"
+/// / "robust_cost").
+const char* StrategyNameOf(const ScalingTarget& target);
+
+/// Registry name for a ScalerVariant (same mapping as StrategyNameOf).
+const char* StrategyNameFor(core::ScalerVariant variant);
+
+/// The raw numeric value a target carries (the registry's "target" param).
+double RawTargetValue(const ScalingTarget& target);
+
+/// \brief Validates the target and writes variant + target knob into
+///        `options` (the single source of target semantics).
+Status ApplyTarget(const ScalingTarget& target,
+                   core::SequentialScalerOptions* options);
+
+/// \brief Interprets a raw `target` parameter value for `variant` (the
+///        registry's "target" key) as the matching typed target.
+Result<ScalingTarget> TargetFromParam(core::ScalerVariant variant, double raw);
+
+}  // namespace rs::api

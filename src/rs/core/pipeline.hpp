@@ -1,7 +1,12 @@
 /// \file pipeline.hpp
-/// \brief End-to-end RobustScaler pipeline (Fig. 2): periodicity detection
-///        → NHPP fit (ADMM) → intensity forecast → scaling policy. This is
-///        the primary high-level entry point of the library.
+/// \brief End-to-end RobustScaler training pipeline (Fig. 2): periodicity
+///        detection → NHPP fit (ADMM) → intensity forecast → scaling policy.
+///
+/// INTERNAL: these free functions are the building blocks behind the public
+/// facade in rs/api/api.hpp and are kept as thin delegation targets for it
+/// (rs::api::ScalerBuilder / rs::api::TrainPipeline / the strategy
+/// registry). New consumers should program against rs::api; this header's
+/// signatures may change without notice as the facade evolves.
 #pragma once
 
 #include <memory>

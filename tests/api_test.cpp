@@ -1,0 +1,444 @@
+// Tests of the rs::api facade: strategy-registry round-trips and error
+// reporting, builder cross-field validation, and the headline guarantee
+// that the online Observe/Plan serving path emits the exact ScalingAction
+// sequence of the batch replay path on the same trace.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "rs/api/api.hpp"
+#include "rs/stats/rng.hpp"
+
+namespace rs::api {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared fixture: the quickstart workload, shrunk (30-min cycles) so every
+// build in this file trains in well under a second.
+// ---------------------------------------------------------------------------
+
+struct Workload {
+  workload::Trace train;
+  workload::Trace test;
+  double dt = 30.0;
+};
+
+Workload MakeQuickstartWorkload() {
+  const double period_s = 1800.0, dt = 30.0;
+  const double horizon = 10.0 * period_s;
+  std::vector<double> rates;
+  for (double t = 0.5 * dt; t < horizon; t += dt) {
+    const double phase = std::fmod(t, period_s) / period_s;
+    rates.push_back(0.4 + 0.3 * std::sin(2.0 * M_PI * phase));
+  }
+  auto intensity = *workload::PiecewiseConstantIntensity::Make(rates, dt);
+  stats::Rng rng(7);
+  auto trace = *workload::MakeTraceFromIntensity(
+      &rng, intensity, stats::DurationDistribution::Exponential(20.0));
+  Workload w;
+  auto [train, test] = trace.SplitAt(horizon - 2.0 * period_s);
+  w.train = std::move(train);
+  w.test = std::move(test);
+  return w;
+}
+
+Result<Scaler> BuildQuickstartScaler(const Workload& w) {
+  return ScalerBuilder()
+      .WithTrace(w.train)
+      .WithBinWidth(w.dt)
+      .WithForecastHorizon(w.test.horizon())
+      .WithTarget(HitRate{0.9})
+      .WithPlanningInterval(2.0)
+      .WithMcSamples(100)
+      .Build();
+}
+
+// ---------------------------------------------------------------------------
+// Strategy registry
+// ---------------------------------------------------------------------------
+
+TEST(StrategyRegistryTest, NamesListsAllFiveStrategies) {
+  const auto names = StrategyRegistry::Global().Names();
+  for (const char* expected :
+       {"backup_pool", "adaptive_backup_pool", "robust_hp", "robust_rt",
+        "robust_cost"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing strategy: " << expected;
+  }
+  EXPECT_GE(names.size(), 5u);
+}
+
+TEST(StrategyRegistryTest, EveryRegisteredNameConstructs) {
+  // A forecast-bearing context satisfies both baseline and robust factories.
+  auto forecast = *workload::PiecewiseConstantIntensity::Make(
+      std::vector<double>(100, 0.5), 60.0);
+  StrategyContext context;
+  context.forecast = &forecast;
+  for (const auto& name : StrategyRegistry::Global().Names()) {
+    auto strategy = MakeStrategy({.name = name, .params = {}}, context);
+    ASSERT_TRUE(strategy.ok())
+        << name << ": " << strategy.status().ToString();
+    EXPECT_NE(strategy->get(), nullptr) << name;
+  }
+}
+
+TEST(StrategyRegistryTest, UnknownNameListsRegisteredStrategies) {
+  auto strategy = MakeStrategy({.name = "no_such_strategy", .params = {}});
+  ASSERT_FALSE(strategy.ok());
+  const std::string msg = strategy.status().message();
+  EXPECT_NE(msg.find("no_such_strategy"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("robust_hp"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("backup_pool"), std::string::npos) << msg;
+}
+
+TEST(StrategyRegistryTest, UnknownParameterListsKnownKeys) {
+  auto strategy =
+      MakeStrategy({.name = "backup_pool", .params = {{"pool_sz", 3}}});
+  ASSERT_FALSE(strategy.ok());
+  const std::string msg = strategy.status().message();
+  EXPECT_NE(msg.find("pool_sz"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("pool_size"), std::string::npos) << msg;
+}
+
+TEST(StrategyRegistryTest, RobustStrategiesRequireForecast) {
+  auto strategy = MakeStrategy({.name = "robust_hp", .params = {}});
+  ASSERT_FALSE(strategy.ok());
+  EXPECT_NE(strategy.status().message().find("forecast"), std::string::npos)
+      << strategy.status().ToString();
+}
+
+TEST(StrategyRegistryTest, InvalidTargetsAreRejectedPerVariant) {
+  auto forecast = *workload::PiecewiseConstantIntensity::Make(
+      std::vector<double>(10, 0.5), 60.0);
+  StrategyContext context;
+  context.forecast = &forecast;
+  // HP targets are probabilities.
+  EXPECT_FALSE(
+      MakeStrategy({.name = "robust_hp", .params = {{"target", 1.5}}}, context)
+          .ok());
+  // RT / cost budgets must be positive.
+  EXPECT_FALSE(
+      MakeStrategy({.name = "robust_rt", .params = {{"target", -1.0}}}, context)
+          .ok());
+  EXPECT_FALSE(
+      MakeStrategy({.name = "robust_cost", .params = {{"target", 0.0}}},
+                   context)
+          .ok());
+  // Count-like knobs must be validated before any double→unsigned cast:
+  // negative or out-of-range values must error, not wrap or hit UB.
+  EXPECT_FALSE(
+      MakeStrategy({.name = "robust_hp", .params = {{"mc_samples", -100.0}}},
+                   context)
+          .ok());
+  EXPECT_FALSE(
+      MakeStrategy({.name = "robust_hp", .params = {{"seed", -1.0}}}, context)
+          .ok());
+  EXPECT_FALSE(
+      MakeStrategy({.name = "robust_hp", .params = {{"seed", 1e20}}}, context)
+          .ok());
+  // Baselines validate their own knobs.
+  EXPECT_FALSE(
+      MakeStrategy({.name = "backup_pool", .params = {{"pool_size", 2.5}}})
+          .ok());
+  EXPECT_FALSE(
+      MakeStrategy({.name = "backup_pool", .params = {{"pool_size", -2.0}}})
+          .ok());
+  EXPECT_FALSE(MakeStrategy({.name = "adaptive_backup_pool",
+                             .params = {{"multiplier", -3.0}}})
+                   .ok());
+}
+
+TEST(StrategySpecTest, ParseRoundTrips) {
+  auto spec = ParseStrategySpec("robust_hp:target=0.95,mc_samples=500");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "robust_hp");
+  EXPECT_DOUBLE_EQ(spec->params.at("target"), 0.95);
+  EXPECT_DOUBLE_EQ(spec->params.at("mc_samples"), 500.0);
+  EXPECT_EQ(FormatStrategySpec(*spec), "robust_hp:mc_samples=500,target=0.95");
+
+  EXPECT_TRUE(ParseStrategySpec("backup_pool").ok());
+  EXPECT_FALSE(ParseStrategySpec("").ok());
+  EXPECT_FALSE(ParseStrategySpec("robust_hp:target").ok());
+  EXPECT_FALSE(ParseStrategySpec("robust_hp:target=abc").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Builder validation
+// ---------------------------------------------------------------------------
+
+TEST(ScalerBuilderTest, ValidatesCrossFieldConfiguration) {
+  const auto w = MakeQuickstartWorkload();
+
+  // Missing / empty trace.
+  EXPECT_FALSE(ScalerBuilder().Build().ok());
+  EXPECT_FALSE(ScalerBuilder().WithTrace(workload::Trace({}, 0.0)).Build().ok());
+
+  // Bin width: non-positive, or too coarse for the training window.
+  EXPECT_FALSE(
+      ScalerBuilder().WithTrace(w.train).WithBinWidth(0.0).Build().ok());
+  EXPECT_FALSE(ScalerBuilder()
+                   .WithTrace(w.train)
+                   .WithBinWidth(w.train.horizon())
+                   .Build()
+                   .ok());
+
+  // Forecast horizon must cover at least one planning interval.
+  EXPECT_FALSE(ScalerBuilder()
+                   .WithTrace(w.train)
+                   .WithBinWidth(w.dt)
+                   .WithForecastHorizon(1.0)
+                   .WithPlanningInterval(5.0)
+                   .Build()
+                   .ok());
+
+  // Degenerate sampling / scheduling knobs.
+  EXPECT_FALSE(ScalerBuilder()
+                   .WithTrace(w.train)
+                   .WithBinWidth(w.dt)
+                   .WithMcSamples(0)
+                   .Build()
+                   .ok());
+  EXPECT_FALSE(ScalerBuilder()
+                   .WithTrace(w.train)
+                   .WithBinWidth(w.dt)
+                   .WithPlanningInterval(0.0)
+                   .Build()
+                   .ok());
+
+  // Invalid typed target.
+  EXPECT_FALSE(ScalerBuilder()
+                   .WithTrace(w.train)
+                   .WithBinWidth(w.dt)
+                   .WithTarget(HitRate{1.5})
+                   .Build()
+                   .ok());
+
+  // Target and explicit strategy are mutually exclusive.
+  EXPECT_FALSE(ScalerBuilder()
+                   .WithTrace(w.train)
+                   .WithBinWidth(w.dt)
+                   .WithTarget(HitRate{0.9})
+                   .WithStrategy({.name = "robust_hp", .params = {}})
+                   .Build()
+                   .ok());
+
+  // Cross-field checks must see a planning interval overridden through the
+  // strategy spec's params, not just the builder field.
+  EXPECT_FALSE(ScalerBuilder()
+                   .WithTrace(w.train)
+                   .WithBinWidth(w.dt)
+                   .WithForecastHorizon(10.0)
+                   .WithStrategy({.name = "robust_hp",
+                                  .params = {{"planning_interval", 600.0}}})
+                   .Build()
+                   .ok());
+}
+
+TEST(ScalerBuilderTest, ReplayRejectsUncoveredTestHorizon) {
+  const auto w = MakeQuickstartWorkload();
+  auto scaler = ScalerBuilder()
+                    .WithTrace(w.train)
+                    .WithBinWidth(w.dt)
+                    .WithForecastHorizon(w.test.horizon() / 4.0)
+                    .WithMcSamples(50)
+                    .Build();
+  ASSERT_TRUE(scaler.ok()) << scaler.status().ToString();
+  auto replay = scaler->Replay(w.test);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_NE(replay.status().message().find("WithForecastHorizon"),
+            std::string::npos)
+      << replay.status().ToString();
+}
+
+TEST(ScalerBuilderTest, SelectsRegistryStrategyByString) {
+  const auto w = MakeQuickstartWorkload();
+  auto scaler = ScalerBuilder()
+                    .WithTrace(w.train)
+                    .WithBinWidth(w.dt)
+                    .WithForecastHorizon(w.test.horizon())
+                    .WithStrategy({.name = "adaptive_backup_pool",
+                                   .params = {{"multiplier", 50.0}}})
+                    .Build();
+  ASSERT_TRUE(scaler.ok()) << scaler.status().ToString();
+  EXPECT_EQ(std::string(scaler->strategy()->name()), "AdapBP");
+  auto metrics = scaler->Evaluate(w.test);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->num_queries, w.test.size());
+}
+
+// ---------------------------------------------------------------------------
+// Online serving: Observe/Plan vs batch replay parity
+// ---------------------------------------------------------------------------
+
+TEST(OnlineServingTest, ObservePlanMatchesBatchReplayActionSequence) {
+  const auto w = MakeQuickstartWorkload();
+
+  // Two identically-configured scalers (same training data, same seeds):
+  // one replayed in batch by the engine, one driven through Observe/Plan.
+  auto batch = BuildQuickstartScaler(w);
+  auto online = BuildQuickstartScaler(w);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_TRUE(online.ok()) << online.status().ToString();
+
+  // Batch path: record every action the policy emits during Simulate.
+  RecordingAutoscaler recorder(batch->strategy());
+  sim::EngineOptions engine;  // Same defaults the serving mirror uses.
+  auto replay = sim::Simulate(w.test, &recorder, engine);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+
+  // Online path: report each arrival, then drain planning to the horizon.
+  for (const auto& query : w.test.queries()) {
+    ASSERT_TRUE(online->Observe(query.arrival_time).ok());
+  }
+  auto final_plan = online->Plan(w.test.horizon() - 1e-6);
+  ASSERT_TRUE(final_plan.ok()) << final_plan.status().ToString();
+
+  const auto& batch_actions = recorder.actions();
+  const auto& online_actions = online->ActionLog();
+  ASSERT_EQ(batch_actions.size(), online_actions.size());
+  std::size_t creations = 0;
+  for (std::size_t i = 0; i < batch_actions.size(); ++i) {
+    ASSERT_EQ(batch_actions[i].creation_times.size(),
+              online_actions[i].creation_times.size())
+        << "action " << i;
+    EXPECT_EQ(batch_actions[i].deletions, online_actions[i].deletions)
+        << "action " << i;
+    for (std::size_t j = 0; j < batch_actions[i].creation_times.size(); ++j) {
+      EXPECT_NEAR(batch_actions[i].creation_times[j],
+                  online_actions[i].creation_times[j], 1e-9)
+          << "action " << i << ", creation " << j;
+    }
+    creations += batch_actions[i].creation_times.size();
+  }
+  EXPECT_GT(creations, 0u);  // The parity is over a non-trivial plan.
+
+  // The serving snapshot agrees with the replayed reality.
+  const auto snap = online->Snapshot();
+  EXPECT_TRUE(snap.started);
+  EXPECT_EQ(snap.queries_observed, w.test.size());
+  EXPECT_EQ(snap.creations_requested, creations);
+  EXPECT_EQ(snap.strategy, online->strategy_name());
+}
+
+TEST(OnlineServingTest, AdapterDrivesSimulatorThroughServingInterface) {
+  const auto w = MakeQuickstartWorkload();
+  auto batch = BuildQuickstartScaler(w);
+  auto online = BuildQuickstartScaler(w);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_TRUE(online.ok()) << online.status().ToString();
+
+  auto batch_metrics = batch->Evaluate(w.test);
+  ASSERT_TRUE(batch_metrics.ok());
+
+  OnlineServingAdapter adapter(&*online);
+  auto served = Evaluate(w.test, &adapter);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  ASSERT_TRUE(adapter.status().ok()) << adapter.status().ToString();
+
+  // Same actions + deterministic pending model ⇒ identical outcomes.
+  EXPECT_DOUBLE_EQ(batch_metrics->hit_rate, served->hit_rate);
+  EXPECT_DOUBLE_EQ(batch_metrics->total_cost, served->total_cost);
+  EXPECT_EQ(batch_metrics->num_instances, served->num_instances);
+}
+
+TEST(OnlineServingTest, ObserveReportsColdStartWorkToCaller) {
+  // A strategy that never provisions proactively (reactive BP with B=0)
+  // forces the Algorithm 1 cold-start rule on every arrival: Observe must
+  // tell the caller to create reactively.
+  const auto w = MakeQuickstartWorkload();
+  auto scaler = ScalerBuilder()
+                    .WithTrace(w.train)
+                    .WithBinWidth(w.dt)
+                    .WithForecastHorizon(w.test.horizon())
+                    .WithStrategy({.name = "backup_pool",
+                                   .params = {{"pool_size", 0}}})
+                    .Build();
+  ASSERT_TRUE(scaler.ok()) << scaler.status().ToString();
+
+  auto first = scaler->Observe(10.0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->cold_start);
+  // Nothing was scheduled, so there is nothing for the caller to cancel.
+  EXPECT_FALSE(first->cancel_earliest_scheduled);
+  EXPECT_EQ(scaler->Snapshot().cold_starts, 1u);
+}
+
+/// Minimal strategy for the buffered-cancel test: schedules exactly one
+/// creation at t=14 from its first planning tick, nothing else.
+class OneFutureCreation : public sim::Autoscaler {
+ public:
+  const char* name() const override { return "one-future-creation"; }
+  double planning_interval() const override { return 5.0; }
+  sim::ScalingAction OnPlanningTick(const sim::SimContext& ctx) override {
+    if (fired_ || ctx.now > 0.0) return {};
+    fired_ = true;
+    return {.creation_times = {14.0}, .deletions = 0};
+  }
+
+ private:
+  bool fired_ = false;
+};
+
+TEST(OnlineServingTest, ColdStartRetractsUndrainedBufferedCreation) {
+  // Registering a custom strategy is the extension path the registry
+  // advertises; it also gives this test deterministic planning behavior.
+  static const bool registered = [] {
+    auto status = StrategyRegistry::Global().Register(
+        "test_one_future_creation",
+        [](const StrategySpec&, const StrategyContext&)
+            -> Result<std::unique_ptr<sim::Autoscaler>> {
+          return std::unique_ptr<sim::Autoscaler>(
+              std::make_unique<OneFutureCreation>());
+        });
+    return status.ok();
+  }();
+  ASSERT_TRUE(registered);
+
+  const auto w = MakeQuickstartWorkload();
+  auto scaler =
+      ScalerBuilder()
+          .WithTrace(w.train)
+          .WithBinWidth(w.dt)
+          .WithForecastHorizon(w.test.horizon())
+          .WithStrategy({.name = "test_one_future_creation", .params = {}})
+          .Build();
+  ASSERT_TRUE(scaler.ok()) << scaler.status().ToString();
+
+  // Without draining Plan(), the tick at t=0 buffers a creation for t=14.
+  // An arrival at t=13 finds nothing live: the mirror's cold-start rule
+  // cancels that scheduled creation — but the caller never received it, so
+  // the outcome must NOT ask the caller to cancel, and the retracted
+  // creation must never be delivered.
+  auto outcome = scaler->Observe(13.0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->cold_start);
+  EXPECT_FALSE(outcome->cancel_earliest_scheduled);
+
+  auto plan = scaler->Plan(20.0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->creation_times.empty())
+      << "retracted creation was still delivered at t="
+      << plan->creation_times.front();
+}
+
+TEST(OnlineServingTest, RejectsTimeTravelAndSupportsReset) {
+  const auto w = MakeQuickstartWorkload();
+  auto scaler = BuildQuickstartScaler(w);
+  ASSERT_TRUE(scaler.ok()) << scaler.status().ToString();
+
+  ASSERT_TRUE(scaler->Observe(100.0).ok());
+  EXPECT_FALSE(scaler->Observe(50.0).ok());   // Arrivals must be monotone.
+  EXPECT_FALSE(scaler->Plan(50.0).ok());      // Planning cannot rewind.
+  EXPECT_TRUE(scaler->Plan(200.0).ok());
+
+  ASSERT_TRUE(scaler->ResetServing().ok());
+  const auto snap = scaler->Snapshot();
+  EXPECT_FALSE(snap.started);
+  EXPECT_EQ(snap.queries_observed, 0u);
+  EXPECT_TRUE(scaler->Observe(10.0).ok());    // Fresh clock after reset.
+}
+
+}  // namespace
+}  // namespace rs::api

@@ -1,21 +1,16 @@
-// End-to-end integration tests: the full pipeline (periodicity detection →
-// ADMM fit → forecast → policy → replay) on synthetic periodic workloads,
-// including the headline comparison that RobustScaler beats the reactive
-// baseline's QoS at comparable cost.
+// End-to-end integration tests through the public rs::api facade: the full
+// pipeline (periodicity detection → ADMM fit → forecast → policy → replay)
+// on synthetic periodic workloads, including the headline comparison that
+// RobustScaler beats the reactive baseline's QoS at comparable cost.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <vector>
 
-#include "rs/baselines/backup_pool.hpp"
-#include "rs/core/pipeline.hpp"
-#include "rs/simulator/engine.hpp"
-#include "rs/simulator/metrics.hpp"
+#include "rs/api/api.hpp"
 #include "rs/stats/rng.hpp"
-#include "rs/workload/nhpp_sampler.hpp"
-#include "rs/workload/synthetic.hpp"
 
-namespace rs::core {
+namespace rs::api {
 namespace {
 
 /// Periodic synthetic workload: 6 days of a diurnal-ish pattern with period
@@ -33,7 +28,8 @@ Scenario MakePeriodicScenario(std::uint64_t seed) {
   const auto bins = static_cast<std::size_t>(horizon / dt);
   std::vector<double> rates(bins);
   for (std::size_t t = 0; t < bins; ++t) {
-    const double phase = std::fmod((static_cast<double>(t) + 0.5) * dt, period_s) / period_s;
+    const double phase =
+        std::fmod((static_cast<double>(t) + 0.5) * dt, period_s) / period_s;
     rates[t] = 0.4 + 0.35 * std::sin(2.0 * M_PI * phase);
   }
   auto intensity = *workload::PiecewiseConstantIntensity::Make(rates, dt);
@@ -51,66 +47,60 @@ Scenario MakePeriodicScenario(std::uint64_t seed) {
   return s;
 }
 
-TEST(PipelineTest, DetectsPeriodAndFits) {
+TEST(FacadeTest, DetectsPeriodAndFits) {
   auto scenario = MakePeriodicScenario(1);
-  PipelineOptions opts;
-  opts.dt = 60.0;
-  opts.forecast_horizon = scenario.test.horizon();
-  auto trained = TrainRobustScaler(scenario.train, opts);
-  ASSERT_TRUE(trained.ok());
+  auto scaler = ScalerBuilder()
+                    .WithTrace(scenario.train)
+                    .WithBinWidth(60.0)
+                    .WithForecastHorizon(scenario.test.horizon())
+                    .Build();
+  ASSERT_TRUE(scaler.ok()) << scaler.status().ToString();
+  const auto& trained = scaler->trained();
   // Period is 7200 s = 120 bins at dt=60.
-  ASSERT_GT(trained->period.period, 0u);
-  EXPECT_NEAR(static_cast<double>(trained->period.period), 120.0, 10.0);
-  EXPECT_EQ(trained->model.bins(), trained->counts.size());
-  EXPECT_GE(trained->forecast.horizon(), scenario.test.horizon() - 1e-6);
+  ASSERT_GT(trained.period.period, 0u);
+  EXPECT_NEAR(static_cast<double>(trained.period.period), 120.0, 10.0);
+  EXPECT_EQ(trained.model.bins(), trained.counts.size());
+  EXPECT_GE(scaler->forecast().horizon(), scenario.test.horizon() - 1e-6);
 }
 
-TEST(PipelineTest, ForecastTracksGroundTruth) {
+TEST(FacadeTest, ForecastTracksGroundTruth) {
   auto scenario = MakePeriodicScenario(2);
-  PipelineOptions opts;
-  opts.dt = 60.0;
-  opts.forecast_horizon = scenario.test.horizon();
-  auto trained = TrainRobustScaler(scenario.train, opts);
-  ASSERT_TRUE(trained.ok());
+  auto scaler = ScalerBuilder()
+                    .WithTrace(scenario.train)
+                    .WithBinWidth(60.0)
+                    .WithForecastHorizon(scenario.test.horizon())
+                    .Build();
+  ASSERT_TRUE(scaler.ok()) << scaler.status().ToString();
   // Compare forecast intensity against the ground-truth test intensity.
   double err = 0.0, scale = 0.0;
   const std::size_t bins = scenario.truth.bins();
   for (std::size_t t = 0; t < bins; ++t) {
     const double time = (static_cast<double>(t) + 0.5) * 60.0;
-    err += std::abs(trained->forecast.Rate(time) - scenario.truth.Rate(time));
+    err += std::abs(scaler->forecast().Rate(time) - scenario.truth.Rate(time));
     scale += scenario.truth.Rate(time);
   }
   EXPECT_LT(err / scale, 0.35);  // Mean relative error under 35%.
 }
 
-TEST(PipelineTest, EndToEndBeatsReactiveQoS) {
+TEST(FacadeTest, EndToEndBeatsReactiveQoS) {
   auto scenario = MakePeriodicScenario(3);
-  PipelineOptions opts;
-  opts.dt = 60.0;
-  opts.forecast_horizon = scenario.test.horizon();
-  auto trained = TrainRobustScaler(scenario.train, opts);
-  ASSERT_TRUE(trained.ok());
+  auto scaler = ScalerBuilder()
+                    .WithTrace(scenario.train)
+                    .WithBinWidth(60.0)
+                    .WithForecastHorizon(scenario.test.horizon())
+                    .WithTarget(HitRate{0.9})
+                    .WithMcSamples(300)
+                    .WithPlanningInterval(2.0)
+                    .Build();
+  ASSERT_TRUE(scaler.ok()) << scaler.status().ToString();
 
-  const auto pending = stats::DurationDistribution::Deterministic(13.0);
-  SequentialScalerOptions scaler_opts;
-  scaler_opts.variant = ScalerVariant::kHittingProbability;
-  scaler_opts.alpha = 0.1;
-  scaler_opts.mc_samples = 300;
-  scaler_opts.planning_interval = 2.0;
-  auto policy = MakeRobustScalerPolicy(*trained, pending, scaler_opts);
+  auto rs_metrics = scaler->Evaluate(scenario.test);
+  ASSERT_TRUE(rs_metrics.ok()) << rs_metrics.status().ToString();
 
-  sim::EngineOptions engine_opts;
-  engine_opts.pending = pending;
-  auto rs_result = sim::Simulate(scenario.test, policy.get(), engine_opts);
-  ASSERT_TRUE(rs_result.ok());
-  auto rs_metrics = sim::ComputeMetrics(*rs_result);
-  ASSERT_TRUE(rs_metrics.ok());
-
-  baseline::BackupPool reactive(0);
-  auto reactive_result = sim::Simulate(scenario.test, &reactive, engine_opts);
-  ASSERT_TRUE(reactive_result.ok());
-  auto reactive_metrics = sim::ComputeMetrics(*reactive_result);
-  ASSERT_TRUE(reactive_metrics.ok());
+  auto reactive = MakeStrategy({.name = "backup_pool", .params = {}});
+  ASSERT_TRUE(reactive.ok()) << reactive.status().ToString();
+  auto reactive_metrics = Evaluate(scenario.test, reactive->get());
+  ASSERT_TRUE(reactive_metrics.ok()) << reactive_metrics.status().ToString();
 
   // QoS: the proactive policy must achieve a hit rate near the 0.9 target
   // while the reactive baseline hits nothing.
@@ -119,30 +109,33 @@ TEST(PipelineTest, EndToEndBeatsReactiveQoS) {
   EXPECT_LT(rs_metrics->rt_avg, reactive_metrics->rt_avg);
 }
 
-TEST(PipelineTest, RejectsEmptyTraining) {
+TEST(FacadeTest, RejectsInvalidConfigurations) {
+  // No trace at all.
+  EXPECT_FALSE(ScalerBuilder().Build().ok());
+  // Empty training trace.
   workload::Trace empty({}, 0.0);
-  EXPECT_FALSE(TrainRobustScaler(empty).ok());
+  EXPECT_FALSE(ScalerBuilder().WithTrace(empty).Build().ok());
+  // Bad bin width.
   workload::Trace some({{1.0, 1.0}}, 100.0);
-  PipelineOptions opts;
-  opts.dt = 0.0;
-  EXPECT_FALSE(TrainRobustScaler(some, opts).ok());
+  EXPECT_FALSE(ScalerBuilder().WithTrace(some).WithBinWidth(0.0).Build().ok());
 }
 
-TEST(PipelineTest, AperiodicTrainingStillWorks) {
+TEST(FacadeTest, AperiodicTrainingStillWorks) {
   // Constant-rate traffic: no period detected, level forecast used.
   stats::Rng rng(4);
   auto intensity = *workload::PiecewiseConstantIntensity::Make(
       std::vector<double>(200, 0.3), 60.0);
   auto trace = *workload::MakeTraceFromIntensity(
       &rng, intensity, stats::DurationDistribution::Exponential(10.0));
-  PipelineOptions opts;
-  opts.dt = 60.0;
-  opts.forecast_horizon = 3600.0;
-  auto trained = TrainRobustScaler(trace, opts);
-  ASSERT_TRUE(trained.ok());
-  EXPECT_EQ(trained->period.period, 0u);
+  auto scaler = ScalerBuilder()
+                    .WithTrace(trace)
+                    .WithBinWidth(60.0)
+                    .WithForecastHorizon(3600.0)
+                    .Build();
+  ASSERT_TRUE(scaler.ok()) << scaler.status().ToString();
+  EXPECT_EQ(scaler->trained().period.period, 0u);
   // Level forecast near the true 0.3 QPS.
-  EXPECT_NEAR(trained->forecast.Rate(100.0), 0.3, 0.12);
+  EXPECT_NEAR(scaler->forecast().Rate(100.0), 0.3, 0.12);
 }
 
 TEST(IntegrationTest, CrsLikePipelineDetectsWeeklyOrDailyStructure) {
@@ -152,20 +145,22 @@ TEST(IntegrationTest, CrsLikePipelineDetectsWeeklyOrDailyStructure) {
   ASSERT_TRUE(synth.ok());
   auto [train, test] = synth->trace.SplitAt(3.0 * 7.0 * 86400.0);
 
-  PipelineOptions opts;
-  opts.dt = 600.0;  // 10-minute bins (weekly period = 1008 bins).
-  opts.periodicity.aggregate_factor = 6;  // Detect on hourly bins.
-  opts.forecast_horizon = test.horizon();
-  auto trained = TrainRobustScaler(train, opts);
-  ASSERT_TRUE(trained.ok());
+  const double dt = 600.0;  // 10-minute bins (weekly period = 1008 bins).
+  auto scaler = ScalerBuilder()
+                    .WithTrace(train)
+                    .WithBinWidth(dt)
+                    .WithAggregateFactor(6)  // Detect on hourly bins.
+                    .WithForecastHorizon(test.horizon())
+                    .Build();
+  ASSERT_TRUE(scaler.ok()) << scaler.status().ToString();
   // Daily (144 bins) or weekly (1008 bins) structure should be found.
-  EXPECT_GT(trained->period.period, 0u);
+  EXPECT_GT(scaler->trained().period.period, 0u);
   const double period_days =
-      static_cast<double>(trained->period.period) * opts.dt / 86400.0;
+      static_cast<double>(scaler->trained().period.period) * dt / 86400.0;
   EXPECT_TRUE(std::abs(period_days - 1.0) < 0.3 ||
               std::abs(period_days - 7.0) < 1.0)
       << "period detected: " << period_days << " days";
 }
 
 }  // namespace
-}  // namespace rs::core
+}  // namespace rs::api

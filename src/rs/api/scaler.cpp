@@ -1,6 +1,8 @@
 #include "rs/api/scaler.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <queue>
@@ -19,31 +21,70 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // ---------------------------------------------------------------------------
 // Online serving state: a faithful mirror of the engine's Algorithm-1
 // accounting (sim/engine.cpp) minus the per-query outcome records. Event
-// ordering, cold-start handling, scale-in order and pending-time sampling
-// all match, so with the same seed the strategy sees bit-identical contexts
-// in replay and live-loop modes.
+// ordering, cold-start handling, scale-in order, pending-time sampling and
+// decision-time charging all match, so with the same seeds (and, in
+// charge_decision_wall_time mode, equally-scripted DecisionClocks) the
+// strategy sees bit-identical contexts in replay and live-loop modes.
+//
+// Unlike one engine replay, the state is bounded: arrivals and the action
+// log live in windowed buffers that CompactServingState() trims once
+// entries age past the strategy's declared history_requirement().
 // ---------------------------------------------------------------------------
 struct Scaler::Serving {
+  /// A future creation. `seq` is the emission order; together with
+  /// `drain_watermark` it tells exactly whether the caller has already
+  /// received this creation through Plan() — the cold-start retraction in
+  /// Observe() keys on that, not on (collision-prone) time values.
+  struct ScheduledCreation {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    bool operator>(const ScheduledCreation& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
   explicit Serving(const sim::EngineOptions& opts)
-      : options(opts), rng(opts.seed) {}
+      : options(opts),
+        rng(opts.seed),
+        clock(opts.decision_clock != nullptr ? opts.decision_clock
+                                             : &own_clock) {}
 
   sim::EngineOptions options;
   stats::Rng rng;
-  /// Future creation times, earliest first.
-  std::priority_queue<double, std::vector<double>, std::greater<>> schedule;
+  /// Decision-time source when charge_decision_wall_time is set; `clock`
+  /// points at `own_clock` unless the options injected one.
+  sim::SteadyDecisionClock own_clock;
+  sim::DecisionClock* clock;
+  /// Future creations, earliest first (ties: oldest emission first).
+  std::priority_queue<ScheduledCreation, std::vector<ScheduledCreation>,
+                      std::greater<>>
+      schedule;
   /// Ready times of unconsumed instances, in creation order.
   std::deque<double> live;
+  /// Windowed arrival history (ascending). `total_arrivals` counts every
+  /// arrival ever observed; compaction may drop the stale prefix here.
   std::vector<double> arrivals;
+  std::size_t total_arrivals = 0;
   double now = 0.0;
   double next_tick = kInf;
   bool started = false;
   std::size_t cold_starts = 0;
   std::size_t creations_requested = 0;
   std::size_t deletions_requested = 0;
-  /// Actions emitted since the last Plan() drain.
+  /// Next creation emission number and the drain watermark: creations with
+  /// seq < drain_watermark have been handed to the caller by Plan().
+  std::uint64_t next_seq = 0;
+  std::uint64_t drain_watermark = 0;
+  /// Actions emitted since the last Plan() drain, plus the emission number
+  /// of each not-yet-drained creation (parallel to buffered.creation_times).
   sim::ScalingAction buffered;
-  /// One entry per strategy callback (the parity log).
+  std::vector<std::uint64_t> buffered_seqs;
+  /// Windowed suffix of the parity log (one entry per strategy callback),
+  /// with the callback time of each retained entry. `total_callbacks`
+  /// counts every callback ever made.
   std::vector<sim::ScalingAction> log;
+  std::vector<double> log_times;
+  std::size_t total_callbacks = 0;
 };
 
 Scaler::Scaler(core::TrainedPipeline trained,
@@ -88,7 +129,7 @@ Result<sim::Metrics> Scaler::Evaluate(const workload::Trace& test) {
 sim::SimContext Scaler::MakeContext(double now) const {
   sim::SimContext ctx;
   ctx.now = now;
-  ctx.queries_arrived = serving_->arrivals.size();
+  ctx.queries_arrived = serving_->total_arrivals;
   ctx.instances_alive = serving_->live.size();
   ctx.instances_ready = static_cast<std::size_t>(
       std::count_if(serving_->live.begin(), serving_->live.end(),
@@ -98,20 +139,31 @@ sim::SimContext Scaler::MakeContext(double now) const {
   return ctx;
 }
 
-void Scaler::ApplyAndBuffer(sim::ScalingAction action, double now) {
+void Scaler::ApplyAndBuffer(sim::ScalingAction action, double effective) {
+  // The log records the raw action at the callback's event time (the parity
+  // contract compares raw actions; `effective` only shifts execution when
+  // decision time is charged).
   serving_->log.push_back(action);
+  serving_->log_times.push_back(serving_->now);
+  ++serving_->total_callbacks;
   for (double t : action.creation_times) {
-    const double at = std::max(t, now);
-    serving_->schedule.push(at);
+    const double at = std::max(t, effective);
+    serving_->schedule.push({at, serving_->next_seq});
     serving_->buffered.creation_times.push_back(at);
+    serving_->buffered_seqs.push_back(serving_->next_seq);
+    ++serving_->next_seq;
   }
   serving_->creations_requested += action.creation_times.size();
-  // Scale-in mirrors the engine: newest unconsumed instances first.
-  for (std::size_t k = 0; k < action.deletions && !serving_->live.empty();
-       ++k) {
+  // Scale-in mirrors the engine: newest unconsumed instances first. Only
+  // deletions the mirror could actually apply are forwarded to the caller —
+  // the engine silently skips the excess too, so forwarding it would make
+  // the caller's fleet diverge by deleting instances the mirror kept.
+  const std::size_t applied =
+      std::min(action.deletions, serving_->live.size());
+  for (std::size_t k = 0; k < applied; ++k) {
     serving_->live.pop_back();
   }
-  serving_->buffered.deletions += action.deletions;
+  serving_->buffered.deletions += applied;
   serving_->deletions_requested += action.deletions;
 }
 
@@ -137,14 +189,22 @@ void Scaler::AdvanceTo(double t) {
   const double tick = strategy_->planning_interval();
   for (;;) {
     const double next_creation =
-        serving_->schedule.empty() ? kInf : serving_->schedule.top();
+        serving_->schedule.empty() ? kInf : serving_->schedule.top().time;
     const double next_event = std::min(serving_->next_tick, next_creation);
     if (next_event > t) break;
     if (serving_->next_tick <= next_creation) {
-      // Planning tick (ties: tick first, matching the engine).
+      // Planning tick (ties: tick first, matching the engine). In real-
+      // environment mode the decision's wall time pushes the resulting
+      // creations to now + elapsed, through the same ChargedDecision
+      // bracket the engine uses.
       const double now = serving_->next_tick;
       serving_->now = now;
-      ApplyAndBuffer(strategy_->OnPlanningTick(MakeContext(now)), now);
+      double effective = now;
+      sim::ScalingAction action = sim::ChargedDecision(
+          *serving_->clock, serving_->options.charge_decision_wall_time, now,
+          &effective,
+          [&] { return strategy_->OnPlanningTick(MakeContext(now)); });
+      ApplyAndBuffer(std::move(action), effective);
       serving_->next_tick = now + tick;
     } else {
       serving_->now = next_creation;
@@ -153,6 +213,7 @@ void Scaler::AdvanceTo(double t) {
     }
   }
   serving_->now = t;
+  CompactServingState();
 }
 
 Status Scaler::ConfigureServing(const sim::EngineOptions& options) {
@@ -161,16 +222,53 @@ Status Scaler::ConfigureServing(const sim::EngineOptions& options) {
         "Scaler::ConfigureServing: serving already started; call before the "
         "first Observe()/Plan() or after ResetServing()");
   }
-  if (options.charge_decision_wall_time) {
-    // The engine clamps actions to now + decision wall time in this mode;
-    // the serving mirror has no wall-time notion, so the two schedules
-    // would silently drift. Refuse rather than break the parity contract.
-    return Status::NotImplemented(
-        "Scaler::ConfigureServing: charge_decision_wall_time is not "
-        "supported by the online serving mirror");
-  }
+  // Same range checks the engine applies in Simulate(): the replay and
+  // serving paths must reject exactly the same configurations.
+  RS_RETURN_NOT_OK(sim::ValidateEngineOptions(options));
   serving_ = std::make_unique<Serving>(options);
   return Status::OK();
+}
+
+Status Scaler::ConfigureHistoryRetention(double lookback_seconds) {
+  if (std::isnan(lookback_seconds) || lookback_seconds < 0.0) {
+    std::ostringstream msg;
+    msg << "Scaler::ConfigureHistoryRetention: lookback must be >= 0 s "
+           "(sim::kUnboundedHistory to disable compaction), got "
+        << lookback_seconds;
+    return Status::Invalid(msg.str());
+  }
+  retention_override_ = lookback_seconds;
+  return Status::OK();
+}
+
+double Scaler::EffectiveRetention() const {
+  return std::max(strategy_->history_requirement(), retention_override_);
+}
+
+void Scaler::CompactServingState() {
+  const double retention = EffectiveRetention();
+  if (!(retention < kInf)) return;
+  auto& s = *serving_;
+  const double cutoff = s.now - retention;
+  // Entries strictly older than `cutoff` can no longer influence any
+  // strategy decision (history_requirement is a lookback from `now`, and
+  // the serving clock never rewinds). Trimming is amortized ring-buffer
+  // style: the stale prefix is erased only once it is at least 64 entries
+  // AND at least half the buffer, so steady-state serving does O(1) work
+  // per event and the retained size stays within 2x the live window.
+  const auto trim = [cutoff](std::vector<double>& times, auto&&... parallel) {
+    const auto first_live =
+        std::lower_bound(times.begin(), times.end(), cutoff);
+    const auto stale =
+        static_cast<std::size_t>(first_live - times.begin());
+    if (stale < 64 || 2 * stale < times.size()) return;
+    (parallel.erase(parallel.begin(),
+                    parallel.begin() + static_cast<std::ptrdiff_t>(stale)),
+     ...);
+    times.erase(times.begin(), first_live);
+  };
+  trim(s.arrivals);
+  trim(s.log_times, s.log);
 }
 
 Result<Scaler::ObserveOutcome> Scaler::Observe(double arrival_time) {
@@ -192,17 +290,26 @@ Result<Scaler::ObserveOutcome> Scaler::Observe(double arrival_time) {
     ExecuteCreation(arrival_time);
     outcome.cold_start = true;
     if (!serving_->schedule.empty()) {
-      const double cancelled = serving_->schedule.top();
+      const Serving::ScheduledCreation cancelled = serving_->schedule.top();
       serving_->schedule.pop();
-      // If the cancelled creation is still sitting in the undrained Plan()
-      // buffer, the caller has never seen it: retract it from the buffer
-      // instead of asking the caller to cancel something it doesn't have.
-      auto& pending_creations = serving_->buffered.creation_times;
-      const auto it = std::find(pending_creations.begin(),
-                                pending_creations.end(), cancelled);
-      if (it != pending_creations.end()) {
-        pending_creations.erase(it);
+      if (cancelled.seq >= serving_->drain_watermark) {
+        // The caller has never seen this creation (it is still sitting in
+        // the undrained Plan() buffer): retract it from the buffer instead
+        // of asking the caller to cancel something it doesn't have. The
+        // match is by emission number, not by time value — the buffer may
+        // also hold an already-drained or already-executed creation with
+        // the same timestamp, which must NOT be retracted.
+        auto& seqs = serving_->buffered_seqs;
+        const auto it = std::find(seqs.begin(), seqs.end(), cancelled.seq);
+        if (it != seqs.end()) {
+          const auto idx = it - seqs.begin();
+          serving_->buffered.creation_times.erase(
+              serving_->buffered.creation_times.begin() + idx);
+          seqs.erase(it);
+        }
       } else {
+        // Already delivered through Plan(): the caller holds it and must
+        // cancel it on its side.
         outcome.cancel_earliest_scheduled = true;
       }
     }
@@ -210,9 +317,11 @@ Result<Scaler::ObserveOutcome> Scaler::Observe(double arrival_time) {
   }
   serving_->live.pop_front();
   serving_->arrivals.push_back(arrival_time);
+  ++serving_->total_arrivals;
   ApplyAndBuffer(
       strategy_->OnQueryArrival(MakeContext(arrival_time), outcome.cold_start),
       arrival_time);
+  CompactServingState();
   return outcome;
 }
 
@@ -225,6 +334,11 @@ Result<sim::ScalingAction> Scaler::Plan(double now) {
     return Status::Invalid(msg.str());
   }
   AdvanceTo(now);
+  // Everything buffered so far is now the caller's: advance the drain
+  // watermark so a later cold start knows these creations must be cancelled
+  // on the caller's side rather than silently retracted.
+  serving_->buffered_seqs.clear();
+  serving_->drain_watermark = serving_->next_seq;
   return std::exchange(serving_->buffered, sim::ScalingAction{});
 }
 
@@ -232,7 +346,7 @@ ServingSnapshot Scaler::Snapshot() const {
   ServingSnapshot snap;
   snap.started = serving_->started;
   snap.now = serving_->now;
-  snap.queries_observed = serving_->arrivals.size();
+  snap.queries_observed = serving_->total_arrivals;
   snap.instances_alive = serving_->live.size();
   snap.instances_ready = static_cast<std::size_t>(std::count_if(
       serving_->live.begin(), serving_->live.end(),
@@ -241,8 +355,11 @@ ServingSnapshot Scaler::Snapshot() const {
   snap.cold_starts = serving_->cold_starts;
   snap.creations_requested = serving_->creations_requested;
   snap.deletions_requested = serving_->deletions_requested;
-  snap.planning_rounds = serving_->log.size();
+  snap.planning_rounds = serving_->total_callbacks;
   snap.strategy = strategy_name_;
+  snap.history_retention = EffectiveRetention();
+  snap.arrivals_retained = serving_->arrivals.size();
+  snap.actions_retained = serving_->log.size();
   return snap;
 }
 

@@ -47,6 +47,17 @@ struct ServingSnapshot {
   std::size_t deletions_requested = 0;
   std::size_t planning_rounds = 0;     ///< Strategy callbacks invoked.
   std::string strategy;                ///< Strategy name serving this scaler.
+
+  // -- History retention (see Scaler::ConfigureHistoryRetention) ------------
+  /// Effective retention window in seconds (infinity = keep everything):
+  /// max(strategy history_requirement, configured override).
+  double history_retention = 0.0;
+  /// Arrival times currently held in the windowed buffer. Compared with
+  /// `queries_observed` (the lifetime total) this shows the compaction at
+  /// work: retained stays bounded while the total grows with traffic.
+  std::size_t arrivals_retained = 0;
+  /// ActionLog() entries currently held vs `planning_rounds` (the total).
+  std::size_t actions_retained = 0;
 };
 
 /// \brief A trained, ready-to-serve autoscaler (build via ScalerBuilder).
@@ -103,9 +114,14 @@ class Scaler {
   // mirror's planning loop runs at tick granularity regardless, so a late
   // poll returns past-dated creation times the real fleet can only start
   // late — the mirror then believes instances are warm sooner than they
-  // are. Memory: the serving state retains the full arrival history and
-  // action log (like one engine replay); unbounded deployments should
-  // ResetServing() at epoch boundaries (see ROADMAP for a retention knob).
+  // are. Memory: the serving state is bounded. Arrival history and the
+  // action log are compacted to a trailing window once entries age past the
+  // strategy's declared lookback (Autoscaler::history_requirement), so
+  // indefinitely-running deployments hold O(window) state, not O(traffic).
+  // Strategies that declare kUnboundedHistory (e.g. refitting wrappers)
+  // still retain everything; ConfigureHistoryRetention() can widen the
+  // window (for dashboards) but never narrows it below the strategy's
+  // floor.
   //
   // Internally the scaler mirrors Algorithm 1's
   // instance accounting (using the configured pending-time model) so its
@@ -114,9 +130,34 @@ class Scaler {
   // strategy's Monte Carlo stream is shared between modes, so interleaving
   // Replay() calls perturbs subsequent Plan()s; see Replay's note.)
 
-  /// Overrides the serving-time engine model (pending distribution, seed,
-  /// creation latency). Must be called before the first Observe()/Plan().
+  /// \brief Overrides the serving-time engine model (pending distribution,
+  ///        seed, creation latency, decision-time charging). Must be called
+  ///        before the first Observe()/Plan().
+  ///
+  /// Options are validated like registry parameters (creation_latency >= 0,
+  /// pending_jitter in [0, 1]) — the same checks sim::Simulate applies.
+  /// With charge_decision_wall_time set, the mirror brackets every planning
+  /// tick with the configured sim::DecisionClock (a real steady clock by
+  /// default) and clamps the resulting creations to now + elapsed, exactly
+  /// like the engine's Table IV "real environment" mode; inject a
+  /// FakeDecisionClock via EngineOptions::decision_clock to make the
+  /// charged latencies deterministic. An injected clock must outlive the
+  /// whole serving session — the options (clock pointer included) are kept
+  /// and carried across ResetServing() into subsequent sessions.
   Status ConfigureServing(const sim::EngineOptions& options);
+
+  /// \brief Sets the extra serving-state retention to `lookback_seconds`
+  ///        behind the serving clock (replacing any previous setting).
+  ///
+  /// The effective window is max(strategy()->history_requirement(),
+  /// lookback_seconds): the strategy's declared floor can never be
+  /// narrowed, so retention can never change a decision — the knob only
+  /// keeps more history around for observability. Pass
+  /// sim::kUnboundedHistory to disable compaction entirely (e.g. to
+  /// preserve the full parity log); note a later, smaller setting re-arms
+  /// compaction and already-discarded history cannot come back. May be
+  /// called at any time; applies from the next compaction.
+  Status ConfigureHistoryRetention(double lookback_seconds);
 
   /// What the caller must do in response to an observed arrival (the
   /// cold-start rule of Algorithm 1, which the scaler's mirror applies and
@@ -140,8 +181,11 @@ class Scaler {
   /// Current serving state.
   ServingSnapshot Snapshot() const;
 
-  /// Every action the strategy emitted, one entry per strategy callback
-  /// (initialize / planning tick / arrival) — the parity log.
+  /// The retained suffix of the parity log: one entry per strategy callback
+  /// (initialize / planning tick / arrival), compacted to the retention
+  /// window like the arrival history. Snapshot().planning_rounds still
+  /// counts every callback ever made; ConfigureHistoryRetention(
+  /// sim::kUnboundedHistory) keeps the log complete.
   const std::vector<sim::ScalingAction>& ActionLog() const;
 
   /// Discards online state for a fresh serving run. Note: the strategy's
@@ -159,14 +203,19 @@ class Scaler {
 
   void EnsureStarted();
   void AdvanceTo(double t);
-  void ApplyAndBuffer(sim::ScalingAction action, double now);
+  void ApplyAndBuffer(sim::ScalingAction action, double effective);
   void ExecuteCreation(double t);
   sim::SimContext MakeContext(double now) const;
+  double EffectiveRetention() const;
+  void CompactServingState();
 
   core::TrainedPipeline trained_;
   std::unique_ptr<sim::Autoscaler> strategy_;
   std::string strategy_name_;
   sim::EngineOptions serve_defaults_;
+  /// ConfigureHistoryRetention value; the effective window is the max of
+  /// this and the strategy's declared history_requirement().
+  double retention_override_ = 0.0;
   std::unique_ptr<Serving> serving_;
 };
 

@@ -33,6 +33,9 @@ class OnlineServingAdapter : public sim::Autoscaler {
   double planning_interval() const override {
     return scaler_->strategy()->planning_interval();
   }
+  double history_requirement() const override {
+    return scaler_->strategy()->history_requirement();
+  }
 
   sim::ScalingAction Initialize(const sim::SimContext& ctx) override;
   sim::ScalingAction OnPlanningTick(const sim::SimContext& ctx) override;
@@ -58,6 +61,9 @@ class RecordingAutoscaler : public sim::Autoscaler {
   const char* name() const override { return inner_->name(); }
   double planning_interval() const override {
     return inner_->planning_interval();
+  }
+  double history_requirement() const override {
+    return inner_->history_requirement();
   }
 
   sim::ScalingAction Initialize(const sim::SimContext& ctx) override;

@@ -20,6 +20,8 @@ class AdaptiveBackupPool : public sim::Autoscaler {
 
   const char* name() const override { return "AdapBP"; }
   double planning_interval() const override { return update_interval_; }
+  /// AdapBP only counts arrivals inside its trailing QPS-estimate window.
+  double history_requirement() const override { return estimate_window_; }
 
   sim::ScalingAction OnPlanningTick(const sim::SimContext& ctx) override;
   sim::ScalingAction OnQueryArrival(const sim::SimContext& ctx,

@@ -16,6 +16,8 @@ class BackupPool : public sim::Autoscaler {
   explicit BackupPool(std::size_t pool_size) : pool_size_(pool_size) {}
 
   const char* name() const override { return "BP"; }
+  /// BP never reads the arrival history: serving state may drop all of it.
+  double history_requirement() const override { return 0.0; }
 
   sim::ScalingAction Initialize(const sim::SimContext& ctx) override;
   sim::ScalingAction OnQueryArrival(const sim::SimContext& ctx,

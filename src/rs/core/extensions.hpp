@@ -41,6 +41,8 @@ class NaiveBatchScaler : public sim::Autoscaler {
                    NaiveBatchOptions options);
 
   const char* name() const override { return "NaiveBatch"; }
+  /// Batch plans come from the forecast; history is never read.
+  double history_requirement() const override { return 0.0; }
 
   sim::ScalingAction Initialize(const sim::SimContext& ctx) override;
   sim::ScalingAction OnQueryArrival(const sim::SimContext& ctx,
@@ -75,6 +77,8 @@ class MeanRateScaler : public sim::Autoscaler {
   double planning_interval() const override {
     return options_.planning_interval;
   }
+  /// Mean-rate schedules come from the forecast; history is never read.
+  double history_requirement() const override { return 0.0; }
 
   sim::ScalingAction OnPlanningTick(const sim::SimContext& ctx) override;
 
@@ -109,6 +113,11 @@ class RefittingPolicy : public sim::Autoscaler {
   const char* name() const override { return "RobustScaler-refit"; }
   double planning_interval() const override {
     return options_.scaler.planning_interval;
+  }
+  /// Refits consume the entire observed history (training + everything
+  /// since): serving state must not compact it.
+  double history_requirement() const override {
+    return sim::kUnboundedHistory;
   }
 
   sim::ScalingAction Initialize(const sim::SimContext& ctx) override;

@@ -73,6 +73,9 @@ class RobustScalerPolicy : public sim::Autoscaler {
   double planning_interval() const override {
     return options_.planning_interval;
   }
+  /// Decisions depend on the forecast and outstanding-instance counts only,
+  /// never on past arrival times: no history retention needed.
+  double history_requirement() const override { return 0.0; }
 
   sim::ScalingAction Initialize(const sim::SimContext& ctx) override;
   sim::ScalingAction OnPlanningTick(const sim::SimContext& ctx) override;
@@ -120,6 +123,8 @@ class HpCountScaler : public sim::Autoscaler {
                 HpCountScalerOptions options);
 
   const char* name() const override { return "RobustScaler-HP-count"; }
+  /// Plans from the forecast alone; past arrivals are never re-read.
+  double history_requirement() const override { return 0.0; }
 
   sim::ScalingAction Initialize(const sim::SimContext& ctx) override;
   sim::ScalingAction OnQueryArrival(const sim::SimContext& ctx,

@@ -4,9 +4,15 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace rs::sim {
+
+/// Sentinel for Autoscaler::history_requirement(): the strategy may read
+/// arbitrarily old arrivals, so serving state must retain the full history.
+inline constexpr double kUnboundedHistory =
+    std::numeric_limits<double>::infinity();
 
 /// Snapshot of the simulation state handed to strategies when they decide.
 struct SimContext {
@@ -53,6 +59,18 @@ class Autoscaler {
 
   /// Interval between OnPlanningTick calls; <= 0 disables ticks.
   virtual double planning_interval() const { return 0.0; }
+
+  /// \brief How many seconds of arrival history (behind `ctx.now`) the
+  ///        strategy reads through SimContext::arrival_history.
+  ///
+  /// Long-running serving state (api::Scaler) uses this bound as its
+  /// retention floor: arrivals older than `now - history_requirement()` may
+  /// be compacted away without changing any decision the strategy makes.
+  /// Return 0 when the strategy never reads the history, a finite window
+  /// when it only inspects recent traffic (AdapBP), and kUnboundedHistory
+  /// (the conservative default) when old arrivals stay relevant forever
+  /// (e.g. periodic model refitting).
+  virtual double history_requirement() const { return kUnboundedHistory; }
 
   virtual ScalingAction Initialize(const SimContext& ctx) {
     (void)ctx;

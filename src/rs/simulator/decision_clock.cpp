@@ -1,0 +1,13 @@
+#include "rs/simulator/decision_clock.hpp"
+
+#include <chrono>
+
+namespace rs::sim {
+
+double SteadyDecisionClock::Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace rs::sim

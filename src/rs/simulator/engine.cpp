@@ -1,13 +1,14 @@
 #include "rs/simulator/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <limits>
 #include <queue>
+#include <sstream>
 #include <vector>
 
 #include "rs/common/logging.hpp"
-#include "rs/common/stopwatch.hpp"
 #include "rs/stats/rng.hpp"
 
 namespace rs::sim {
@@ -30,6 +31,8 @@ class EngineState {
         strategy_(strategy),
         options_(options),
         rng_(options.seed),
+        clock_(options.decision_clock != nullptr ? options.decision_clock
+                                                 : &default_clock_),
         arrivals_seen_() {
     result_.horizon = trace.horizon();
   }
@@ -51,19 +54,21 @@ class EngineState {
           schedule_.empty() ? kInf : schedule_.top();
       const double next_event =
           std::min({next_arrival, next_creation, next_tick});
-      if (next_event == kInf || next_event >= horizon) break;
+      // Horizon boundary: the window is closed on the right — an event at
+      // exactly `horizon` is still processed, matching the serving mirror's
+      // Plan(t)-processes-the-tick-at-t semantics (tests/api_test.cpp pins
+      // a planning tick landing exactly on the horizon).
+      if (next_event == kInf || next_event > horizon) break;
 
       if (next_tick <= next_creation && next_tick <= next_arrival) {
         // Planning tick (ties: plan first so fresh decisions see state
         // before this instant's creations/arrivals are processed — the
         // decisions themselves cannot act before `now` anyway).
         const double now = next_tick;
-        Stopwatch watch;
-        ScalingAction action = strategy_->OnPlanningTick(MakeContext(now));
-        const double effective =
-            options_.charge_decision_wall_time
-                ? now + watch.ElapsedSeconds()
-                : now;
+        double effective = now;
+        ScalingAction action = ChargedDecision(
+            *clock_, options_.charge_decision_wall_time, now, &effective,
+            [&] { return strategy_->OnPlanningTick(MakeContext(now)); });
         ApplyAction(std::move(action), effective);
         next_tick = now + tick;
         continue;
@@ -187,6 +192,8 @@ class EngineState {
   Autoscaler* strategy_;
   EngineOptions options_;
   stats::Rng rng_;
+  SteadyDecisionClock default_clock_;
+  DecisionClock* clock_;
 
   std::priority_queue<double, std::vector<double>, std::greater<>> schedule_;
   std::deque<LiveInstance> live_;
@@ -196,6 +203,23 @@ class EngineState {
 
 }  // namespace
 
+Status ValidateEngineOptions(const EngineOptions& options) {
+  if (!(options.creation_latency >= 0.0) ||
+      !std::isfinite(options.creation_latency)) {
+    std::ostringstream msg;
+    msg << "EngineOptions: creation_latency must be finite and >= 0 s, got "
+        << options.creation_latency;
+    return Status::Invalid(msg.str());
+  }
+  if (!(options.pending_jitter >= 0.0) || !(options.pending_jitter <= 1.0)) {
+    std::ostringstream msg;
+    msg << "EngineOptions: pending_jitter must be in [0, 1], got "
+        << options.pending_jitter;
+    return Status::Invalid(msg.str());
+  }
+  return Status::OK();
+}
+
 Result<SimulationResult> Simulate(const workload::Trace& trace,
                                   Autoscaler* strategy,
                                   const EngineOptions& options) {
@@ -203,6 +227,7 @@ Result<SimulationResult> Simulate(const workload::Trace& trace,
   if (trace.horizon() <= 0.0) {
     return Status::Invalid("Simulate: trace horizon must be positive");
   }
+  RS_RETURN_NOT_OK(ValidateEngineOptions(options));
   EngineState state(trace, strategy, options);
   return state.Run();
 }

@@ -9,6 +9,7 @@
 
 #include "rs/common/status.hpp"
 #include "rs/simulator/autoscaler.hpp"
+#include "rs/simulator/decision_clock.hpp"
 #include "rs/simulator/metrics.hpp"
 #include "rs/stats/distributions.hpp"
 #include "rs/workload/trace.hpp"
@@ -32,6 +33,15 @@ struct EngineOptions {
   /// delays scaling actions.
   bool charge_decision_wall_time = false;
 
+  /// Clock used to measure decision wall time when
+  /// charge_decision_wall_time is set; not owned. Must outlive every use
+  /// of these options: the Simulate() run, or — when passed to
+  /// api::Scaler::ConfigureServing — the entire serving session, including
+  /// sessions restarted via ResetServing(). nullptr selects a real
+  /// SteadyDecisionClock. Inject a FakeDecisionClock to make the charged
+  /// latencies deterministic (tests, parity checks).
+  DecisionClock* decision_clock = nullptr;
+
   /// Fixed extra latency added to every instance creation (cluster API
   /// round-trip in the real environment; 0 in the idealized one).
   double creation_latency = 0.0;
@@ -44,12 +54,26 @@ struct EngineOptions {
   bool charge_idle_until_horizon = true;
 };
 
+/// \brief Validates one EngineOptions the way the registry validates
+///        strategy parameters: out-of-range physical knobs fail with an
+///        actionable message instead of silently producing nonsense.
+///
+/// Shared by Simulate() and api::Scaler::ConfigureServing so the replay and
+/// serving paths reject exactly the same configurations.
+Status ValidateEngineOptions(const EngineOptions& options);
+
 /// \brief Replays `trace` under `strategy` and returns the full per-query /
 ///        per-instance record.
 ///
 /// Event ordering at equal timestamps: scheduled creations execute before
 /// arrivals (an instance created at exactly ξ_i counts as pending for that
 /// query, matching Algorithm 1's x_i <= ξ_i < x_i + τ_i branch).
+///
+/// Horizon boundary: events at exactly `trace.horizon()` are still
+/// processed (the window is closed on the right). This matches the online
+/// serving mirror, where Scaler::Plan(t) processes the planning tick at
+/// exactly `t` — so a replay and a serving loop drained to the horizon see
+/// the same event sequence, including a tick landing exactly there.
 Result<SimulationResult> Simulate(const workload::Trace& trace,
                                   Autoscaler* strategy,
                                   const EngineOptions& options = {});

@@ -272,31 +272,11 @@ TEST(ScalerBuilderTest, SelectsRegistryStrategyByString) {
 // Online serving: Observe/Plan vs batch replay parity
 // ---------------------------------------------------------------------------
 
-TEST(OnlineServingTest, ObservePlanMatchesBatchReplayActionSequence) {
-  const auto w = MakeQuickstartWorkload();
-
-  // Two identically-configured scalers (same training data, same seeds):
-  // one replayed in batch by the engine, one driven through Observe/Plan.
-  auto batch = BuildQuickstartScaler(w);
-  auto online = BuildQuickstartScaler(w);
-  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
-  ASSERT_TRUE(online.ok()) << online.status().ToString();
-
-  // Batch path: record every action the policy emits during Simulate.
-  RecordingAutoscaler recorder(batch->strategy());
-  sim::EngineOptions engine;  // Same defaults the serving mirror uses.
-  auto replay = sim::Simulate(w.test, &recorder, engine);
-  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
-
-  // Online path: report each arrival, then drain planning to the horizon.
-  for (const auto& query : w.test.queries()) {
-    ASSERT_TRUE(online->Observe(query.arrival_time).ok());
-  }
-  auto final_plan = online->Plan(w.test.horizon() - 1e-6);
-  ASSERT_TRUE(final_plan.ok()) << final_plan.status().ToString();
-
-  const auto& batch_actions = recorder.actions();
-  const auto& online_actions = online->ActionLog();
+/// Compares the full recorded batch log against the online parity log
+/// (requires the online scaler to run with unbounded retention).
+void ExpectActionLogsEqual(const std::vector<sim::ScalingAction>& batch_actions,
+                           const std::vector<sim::ScalingAction>& online_actions,
+                           std::size_t* creations_out = nullptr) {
   ASSERT_EQ(batch_actions.size(), online_actions.size());
   std::size_t creations = 0;
   for (std::size_t i = 0; i < batch_actions.size(); ++i) {
@@ -312,6 +292,40 @@ TEST(OnlineServingTest, ObservePlanMatchesBatchReplayActionSequence) {
     }
     creations += batch_actions[i].creation_times.size();
   }
+  if (creations_out != nullptr) *creations_out = creations;
+}
+
+TEST(OnlineServingTest, ObservePlanMatchesBatchReplayActionSequence) {
+  const auto w = MakeQuickstartWorkload();
+
+  // Two identically-configured scalers (same training data, same seeds):
+  // one replayed in batch by the engine, one driven through Observe/Plan.
+  auto batch = BuildQuickstartScaler(w);
+  auto online = BuildQuickstartScaler(w);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_TRUE(online.ok()) << online.status().ToString();
+  // The comparison needs the complete parity log, so opt out of the default
+  // windowed compaction for this run.
+  ASSERT_TRUE(online->ConfigureHistoryRetention(sim::kUnboundedHistory).ok());
+
+  // Batch path: record every action the policy emits during Simulate.
+  RecordingAutoscaler recorder(batch->strategy());
+  sim::EngineOptions engine;  // Same defaults the serving mirror uses.
+  auto replay = sim::Simulate(w.test, &recorder, engine);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+
+  // Online path: report each arrival, then drain planning to the horizon.
+  // Draining to *exactly* the horizon matters: the planning grid (Δ = 2 s)
+  // lands a tick exactly on the 3600 s horizon, which both the engine and
+  // the mirror must process (the replay/serving boundary-parity contract).
+  for (const auto& query : w.test.queries()) {
+    ASSERT_TRUE(online->Observe(query.arrival_time).ok());
+  }
+  auto final_plan = online->Plan(w.test.horizon());
+  ASSERT_TRUE(final_plan.ok()) << final_plan.status().ToString();
+
+  std::size_t creations = 0;
+  ExpectActionLogsEqual(recorder.actions(), online->ActionLog(), &creations);
   EXPECT_GT(creations, 0u);  // The parity is over a non-trivial plan.
 
   // The serving snapshot agrees with the replayed reality.
@@ -320,6 +334,124 @@ TEST(OnlineServingTest, ObservePlanMatchesBatchReplayActionSequence) {
   EXPECT_EQ(snap.queries_observed, w.test.size());
   EXPECT_EQ(snap.creations_requested, creations);
   EXPECT_EQ(snap.strategy, online->strategy_name());
+  EXPECT_EQ(snap.arrivals_retained, snap.queries_observed);
+  EXPECT_EQ(snap.actions_retained, snap.planning_rounds);
+}
+
+TEST(OnlineServingTest, RealEnvironmentParityUnderFakeDecisionClock) {
+  // Table IV mode in the serving mirror: with decision wall time charged
+  // through a pair of identically-scripted fake clocks, the Observe/Plan
+  // path must still emit the exact action sequence of the batch replay.
+  const auto w = MakeQuickstartWorkload();
+  auto batch = BuildQuickstartScaler(w);
+  auto online = BuildQuickstartScaler(w);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_TRUE(online.ok()) << online.status().ToString();
+  ASSERT_TRUE(online->ConfigureHistoryRetention(sim::kUnboundedHistory).ok());
+
+  // Each path reads its own clock; the identical 0.25 s step makes every
+  // planning decision cost exactly 0.25 s in both.
+  sim::FakeDecisionClock batch_clock(0.25);
+  sim::FakeDecisionClock online_clock(0.25);
+
+  sim::EngineOptions engine;
+  engine.charge_decision_wall_time = true;
+  engine.decision_clock = &batch_clock;
+
+  sim::EngineOptions mirror = engine;
+  mirror.decision_clock = &online_clock;
+  ASSERT_TRUE(online->ConfigureServing(mirror).ok());
+
+  RecordingAutoscaler recorder(batch->strategy());
+  auto replay = sim::Simulate(w.test, &recorder, engine);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+
+  for (const auto& query : w.test.queries()) {
+    ASSERT_TRUE(online->Observe(query.arrival_time).ok());
+  }
+  ASSERT_TRUE(online->Plan(w.test.horizon()).ok());
+
+  ExpectActionLogsEqual(recorder.actions(), online->ActionLog());
+  // Both paths consulted their clocks (two readings bracket each tick).
+  EXPECT_GT(batch_clock.readings(), 0u);
+  EXPECT_EQ(batch_clock.readings(), online_clock.readings());
+}
+
+TEST(OnlineServingTest, ServingStateStaysBoundedBeyondDeclaredLookback) {
+  // robust_hp declares history_requirement() == 0: the serving state may
+  // drop every arrival/log entry once it ages past `now`. After a trace of
+  // thousands of arrivals the retained buffers must stay small while the
+  // lifetime totals keep counting.
+  const auto w = MakeQuickstartWorkload();
+  auto scaler = BuildQuickstartScaler(w);
+  ASSERT_TRUE(scaler.ok()) << scaler.status().ToString();
+  EXPECT_EQ(scaler->strategy()->history_requirement(), 0.0);
+
+  for (const auto& query : w.test.queries()) {
+    ASSERT_TRUE(scaler->Observe(query.arrival_time).ok());
+    ASSERT_TRUE(scaler->Plan(query.arrival_time).ok());
+  }
+
+  const auto snap = scaler->Snapshot();
+  ASSERT_GT(snap.queries_observed, 500u) << "workload too small to compact";
+  EXPECT_EQ(snap.queries_observed, w.test.size());
+  EXPECT_LT(snap.arrivals_retained, snap.queries_observed);
+  EXPECT_LT(snap.actions_retained, snap.planning_rounds);
+  // Amortized trim bound: at most 2x the (empty) window + the 64-entry
+  // hysteresis, give or take one compaction period.
+  EXPECT_LE(snap.arrivals_retained, 128u);
+  EXPECT_EQ(snap.history_retention, 0.0);
+
+  // AdapBP declares its QPS window: retention floors at estimate_window.
+  auto adap = ScalerBuilder()
+                  .WithTrace(w.train)
+                  .WithBinWidth(w.dt)
+                  .WithForecastHorizon(w.test.horizon())
+                  .WithStrategy({.name = "adaptive_backup_pool",
+                                 .params = {{"multiplier", 10.0},
+                                            {"update_interval", 60.0},
+                                            {"estimate_window", 120.0}}})
+                  .Build();
+  ASSERT_TRUE(adap.ok()) << adap.status().ToString();
+  EXPECT_EQ(adap->strategy()->history_requirement(), 120.0);
+  for (const auto& query : w.test.queries()) {
+    ASSERT_TRUE(adap->Observe(query.arrival_time).ok());
+  }
+  const auto adap_snap = adap->Snapshot();
+  EXPECT_EQ(adap_snap.history_retention, 120.0);
+  EXPECT_LT(adap_snap.arrivals_retained, adap_snap.queries_observed);
+
+  // The retention override can only widen the window, never narrow it.
+  ASSERT_TRUE(adap->ConfigureHistoryRetention(30.0).ok());
+  EXPECT_EQ(adap->Snapshot().history_retention, 120.0);
+  ASSERT_TRUE(adap->ConfigureHistoryRetention(600.0).ok());
+  EXPECT_EQ(adap->Snapshot().history_retention, 600.0);
+  EXPECT_FALSE(adap->ConfigureHistoryRetention(-1.0).ok());
+}
+
+TEST(OnlineServingTest, ConfigureServingValidatesEngineOptions) {
+  const auto w = MakeQuickstartWorkload();
+  auto scaler = BuildQuickstartScaler(w);
+  ASSERT_TRUE(scaler.ok()) << scaler.status().ToString();
+
+  sim::EngineOptions bad;
+  bad.creation_latency = -0.5;
+  auto status = scaler->ConfigureServing(bad);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("creation_latency"), std::string::npos)
+      << status.ToString();
+
+  bad = sim::EngineOptions{};
+  bad.pending_jitter = 1.5;
+  status = scaler->ConfigureServing(bad);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("pending_jitter"), std::string::npos)
+      << status.ToString();
+
+  // Table IV mode is supported now — no more NotImplemented.
+  sim::EngineOptions real_env;
+  real_env.charge_decision_wall_time = true;
+  EXPECT_TRUE(scaler->ConfigureServing(real_env).ok());
 }
 
 TEST(OnlineServingTest, AdapterDrivesSimulatorThroughServingInterface) {
@@ -421,6 +553,75 @@ TEST(OnlineServingTest, ColdStartRetractsUndrainedBufferedCreation) {
   EXPECT_TRUE(plan->creation_times.empty())
       << "retracted creation was still delivered at t="
       << plan->creation_times.front();
+}
+
+/// Scripted strategy for the drained-then-cold-start audit: emits one
+/// creation at t=14 from each of its first two planning ticks (t=0, t=5).
+class TwoScriptedCreations : public sim::Autoscaler {
+ public:
+  const char* name() const override { return "two-scripted-creations"; }
+  double planning_interval() const override { return 5.0; }
+  sim::ScalingAction OnPlanningTick(const sim::SimContext& ctx) override {
+    (void)ctx;
+    if (ticks_++ >= 2) return {};
+    return {.creation_times = {14.0}, .deletions = 0};
+  }
+
+ private:
+  int ticks_ = 0;
+};
+
+TEST(OnlineServingTest, ColdStartCancelsDrainedCreationNotBufferedTwin) {
+  // The drained-then-cold-start sequence with a time collision: the caller
+  // has drained a creation scheduled for t=14, and the mirror's buffer
+  // holds a *second*, undrained creation also at t=14. The cold-start rule
+  // cancels the earliest scheduled creation — which is the drained one
+  // (emission order breaks the tie), so the caller MUST be told to cancel,
+  // and the undrained twin must still be delivered. Matching buffered
+  // entries by time value instead of emission identity gets this exactly
+  // backwards (silently retracting the twin and cancelling nothing on the
+  // caller's side).
+  static const bool registered = [] {
+    return StrategyRegistry::Global()
+        .Register("test_two_scripted_creations",
+                  [](const StrategySpec&, const StrategyContext&)
+                      -> Result<std::unique_ptr<sim::Autoscaler>> {
+                    return std::unique_ptr<sim::Autoscaler>(
+                        std::make_unique<TwoScriptedCreations>());
+                  })
+        .ok();
+  }();
+  ASSERT_TRUE(registered);
+
+  const auto w = MakeQuickstartWorkload();
+  auto scaler =
+      ScalerBuilder()
+          .WithTrace(w.train)
+          .WithBinWidth(w.dt)
+          .WithForecastHorizon(w.test.horizon())
+          .WithStrategy({.name = "test_two_scripted_creations", .params = {}})
+          .Build();
+  ASSERT_TRUE(scaler.ok()) << scaler.status().ToString();
+
+  // Drain the t=0 tick: the caller now owns a creation scheduled for 14.
+  auto first = scaler->Plan(0.0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->creation_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(first->creation_times[0], 14.0);
+
+  // The arrival at 13 advances past the t=5 tick (which buffers the second
+  // creation at 14) and then cold-starts.
+  auto outcome = scaler->Observe(13.0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->cold_start);
+  EXPECT_TRUE(outcome->cancel_earliest_scheduled)
+      << "the cancelled creation was drained; the caller must cancel it";
+
+  // The undrained twin survives the retraction and is still delivered.
+  auto plan = scaler->Plan(20.0);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->creation_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->creation_times[0], 14.0);
 }
 
 TEST(OnlineServingTest, RejectsTimeTravelAndSupportsReset) {

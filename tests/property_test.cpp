@@ -4,9 +4,13 @@
 // the spike-train periodicity fallback.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <ostream>
+#include <string>
 #include <vector>
 
+#include "rs/api/api.hpp"
 #include "rs/baselines/backup_pool.hpp"
 #include "rs/core/decision.hpp"
 #include "rs/simulator/engine.hpp"
@@ -83,6 +87,141 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(EngineCase{1, 0.02, 0}, EngineCase{2, 0.05, 1},
                       EngineCase{3, 0.10, 3}, EngineCase{4, 0.30, 5},
                       EngineCase{5, 1.00, 2}, EngineCase{6, 0.01, 8}));
+
+// ---------------------------------------------------------------------------
+// Engine-vs-mirror parity: for random workloads and every registry
+// strategy, the online Observe/Plan mirror must emit the exact action
+// sequence of a batch engine replay — including with decision wall time
+// charged through fake DecisionClocks, and with arrivals snapped onto the
+// planning grid so tick/creation/arrival tie-breaking is exercised.
+// ---------------------------------------------------------------------------
+
+struct ParityCase {
+  std::uint64_t seed;
+  const char* spec;      ///< Registry strategy spec string.
+  bool charge;           ///< Charge decision wall time (fake clocks).
+};
+
+void PrintTo(const ParityCase& c, std::ostream* os) {
+  *os << c.spec << " seed=" << c.seed << (c.charge ? " charged" : "");
+}
+
+class ServingParityTest : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(ServingParityTest, MirrorMatchesEngineActionSequence) {
+  const auto param = GetParam();
+  constexpr double kTick = 2.0;
+
+  // Random sinusoidal workload, split into train/test.
+  const double period_s = 600.0, dt = 30.0, horizon = 8.0 * period_s;
+  stats::Rng rng(param.seed);
+  std::vector<double> rates;
+  for (double t = 0.5 * dt; t < horizon; t += dt) {
+    const double phase = std::fmod(t, period_s) / period_s;
+    rates.push_back(0.35 + 0.25 * std::sin(2.0 * M_PI * phase));
+  }
+  auto intensity = *workload::PiecewiseConstantIntensity::Make(rates, dt);
+  auto trace = *workload::MakeTraceFromIntensity(
+      &rng, intensity, stats::DurationDistribution::Exponential(15.0));
+  auto [train, test] = trace.SplitAt(horizon - 2.0 * period_s);
+
+  // Snap ~25% of test arrivals onto the planning grid to force events at
+  // tick/creation/arrival tie points (the fragile part of both event loops).
+  std::vector<workload::Query> queries = test.queries();
+  for (auto& q : queries) {
+    if (rng.NextDouble() < 0.25) {
+      q.arrival_time = std::floor(q.arrival_time / kTick) * kTick;
+    }
+  }
+  std::sort(queries.begin(), queries.end(),
+            [](const auto& a, const auto& b) {
+              return a.arrival_time < b.arrival_time;
+            });
+  workload::Trace snapped(queries, test.horizon());
+
+  auto spec = api::ParseStrategySpec(param.spec);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto build = [&]() {
+    return api::ScalerBuilder()
+        .WithTrace(train)
+        .WithBinWidth(dt)
+        .WithForecastHorizon(snapped.horizon())
+        .WithStrategy(*spec)
+        .WithPlanningInterval(kTick)
+        .WithMcSamples(60)
+        .Build();
+  };
+  auto batch = build();
+  auto online = build();
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_TRUE(online.ok()) << online.status().ToString();
+
+  sim::FakeDecisionClock batch_clock(0.125);
+  sim::FakeDecisionClock online_clock(0.125);
+  sim::EngineOptions engine;
+  engine.charge_decision_wall_time = param.charge;
+  engine.decision_clock = &batch_clock;
+  sim::EngineOptions mirror = engine;
+  mirror.decision_clock = &online_clock;
+  ASSERT_TRUE(online->ConfigureServing(mirror).ok());
+
+  api::RecordingAutoscaler recorder(batch->strategy());
+  auto replay = sim::Simulate(snapped, &recorder, engine);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+
+  for (const auto& q : snapped.queries()) {
+    ASSERT_TRUE(online->Observe(q.arrival_time).ok());
+  }
+  ASSERT_TRUE(online->Plan(snapped.horizon()).ok());
+
+  // The mirror ran with its default (bounded) retention, so its log is the
+  // retained suffix of the full parity log: align it against the tail of
+  // the batch recording.
+  const auto& batch_actions = recorder.actions();
+  const auto& online_actions = online->ActionLog();
+  const auto snap = online->Snapshot();
+  ASSERT_EQ(batch_actions.size(), snap.planning_rounds);
+  ASSERT_EQ(online_actions.size(), snap.actions_retained);
+  ASSERT_LE(snap.actions_retained, snap.planning_rounds);
+  const std::size_t offset = batch_actions.size() - online_actions.size();
+  for (std::size_t i = 0; i < online_actions.size(); ++i) {
+    const auto& expected = batch_actions[offset + i];
+    const auto& got = online_actions[i];
+    ASSERT_EQ(expected.creation_times.size(), got.creation_times.size())
+        << "action " << offset + i;
+    EXPECT_EQ(expected.deletions, got.deletions) << "action " << offset + i;
+    for (std::size_t j = 0; j < expected.creation_times.size(); ++j) {
+      EXPECT_NEAR(expected.creation_times[j], got.creation_times[j], 1e-9)
+          << "action " << offset + i << ", creation " << j;
+    }
+  }
+
+  // Both paths consulted their decision clocks equally often (and not at
+  // all unless charging was requested).
+  EXPECT_EQ(batch_clock.readings(), online_clock.readings());
+  if (!param.charge) EXPECT_EQ(batch_clock.readings(), 0u);
+
+  // Strategies with a finite declared lookback must have been compacted on
+  // a trace this long (the bounded-serving-state guarantee).
+  if (online->strategy()->history_requirement() < 300.0) {
+    EXPECT_LT(snap.arrivals_retained, snap.queries_observed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RegistryStrategies, ServingParityTest,
+    ::testing::Values(
+        ParityCase{11, "robust_hp:target=0.9", false},
+        ParityCase{12, "robust_hp:target=0.9", true},
+        ParityCase{13, "robust_rt:target=2.0", true},
+        ParityCase{14, "robust_cost:target=5.0", false},
+        ParityCase{15, "backup_pool:pool_size=2", false},
+        ParityCase{16, "adaptive_backup_pool:multiplier=20,update_interval=30,"
+                       "estimate_window=60",
+                   true},
+        ParityCase{17, "adaptive_backup_pool:multiplier=40,update_interval=10,"
+                       "estimate_window=90",
+                   false}));
 
 // ---------------------------------------------------------------------------
 // NHPP sampler: counts in disjoint windows behave like Poisson counts.

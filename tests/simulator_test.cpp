@@ -209,6 +209,98 @@ TEST(EngineTest, PendingJitterStaysInBounds) {
   }
 }
 
+/// Counts planning-tick callbacks (for boundary/charging tests).
+class TickCounter : public Autoscaler {
+ public:
+  explicit TickCounter(double interval, double creation_offset = -1.0)
+      : interval_(interval), creation_offset_(creation_offset) {}
+  const char* name() const override { return "tick-counter"; }
+  double planning_interval() const override { return interval_; }
+  ScalingAction OnPlanningTick(const SimContext& ctx) override {
+    ticks_.push_back(ctx.now);
+    if (creation_offset_ >= 0.0) {
+      return {.creation_times = {ctx.now + creation_offset_}, .deletions = 0};
+    }
+    return {};
+  }
+  const std::vector<double>& ticks() const { return ticks_; }
+
+ private:
+  double interval_;
+  double creation_offset_;
+  std::vector<double> ticks_;
+};
+
+TEST(EngineTest, ProcessesPlanningTickExactlyAtHorizon) {
+  // The horizon is a closed boundary: a tick landing exactly on it is
+  // processed (matching the serving mirror, where Plan(horizon) processes
+  // the tick at `horizon`). Grid 10 over horizon 100 → ticks 0,10,...,100.
+  workload::Trace trace({}, 100.0);
+  TickCounter on_grid(10.0);
+  ASSERT_TRUE(Simulate(trace, &on_grid, DetPending(2.0)).ok());
+  ASSERT_EQ(on_grid.ticks().size(), 11u);
+  EXPECT_DOUBLE_EQ(on_grid.ticks().front(), 0.0);
+  EXPECT_DOUBLE_EQ(on_grid.ticks().back(), 100.0);
+
+  // Off-grid horizon: the last tick before 95 is 90; nothing at 95.
+  workload::Trace off_trace({}, 95.0);
+  TickCounter off_grid(10.0);
+  ASSERT_TRUE(Simulate(off_trace, &off_grid, DetPending(2.0)).ok());
+  ASSERT_EQ(off_grid.ticks().size(), 10u);
+  EXPECT_DOUBLE_EQ(off_grid.ticks().back(), 90.0);
+}
+
+TEST(EngineTest, ValidatesEngineOptions) {
+  workload::Trace trace({{5.0, 10.0}}, 100.0);
+  NullScaler scaler;
+
+  EngineOptions bad = DetPending(2.0);
+  bad.creation_latency = -1.0;
+  EXPECT_FALSE(Simulate(trace, &scaler, bad).ok());
+  EXPECT_FALSE(ValidateEngineOptions(bad).ok());
+
+  bad = DetPending(2.0);
+  bad.pending_jitter = 1.5;
+  EXPECT_FALSE(Simulate(trace, &scaler, bad).ok());
+
+  bad.pending_jitter = -0.1;
+  EXPECT_FALSE(ValidateEngineOptions(bad).ok());
+
+  EXPECT_TRUE(ValidateEngineOptions(DetPending(2.0)).ok());
+}
+
+TEST(EngineTest, FakeDecisionClockMakesChargingDeterministic) {
+  // Every planning decision costs exactly 1.5 s on the fake clock, so the
+  // creations a tick emits at `now` are clamped to now + 1.5 — bit-exact,
+  // machine-independent.
+  workload::Trace trace({}, 20.0);
+  TickCounter strategy(10.0, /*creation_offset=*/0.0);
+  EngineOptions opts = DetPending(2.0);
+  opts.charge_idle_until_horizon = false;
+  opts.charge_decision_wall_time = true;
+  FakeDecisionClock clock(1.5);
+  opts.decision_clock = &clock;
+
+  auto result = Simulate(trace, &strategy, opts);
+  ASSERT_TRUE(result.ok());
+  // Ticks at 0, 10, 20 each schedule one creation "now", charged to +1.5.
+  // The creations from t=0 and t=10 execute (1.5, 11.5 <= horizon); the
+  // one from t=20 lands at 21.5, past the closed boundary.
+  ASSERT_EQ(result->instances.size(), 2u);
+  EXPECT_DOUBLE_EQ(result->instances[0].creation_time, 1.5);
+  EXPECT_DOUBLE_EQ(result->instances[1].creation_time, 11.5);
+  // Two readings bracket each of the three decisions.
+  EXPECT_EQ(clock.readings(), 6u);
+
+  // With charging off the clock is never consulted.
+  FakeDecisionClock idle_clock(1.5);
+  opts.charge_decision_wall_time = false;
+  opts.decision_clock = &idle_clock;
+  TickCounter uncharged(10.0, 0.0);
+  ASSERT_TRUE(Simulate(trace, &uncharged, opts).ok());
+  EXPECT_EQ(idle_clock.readings(), 0u);
+}
+
 TEST(EnvironmentTest, PresetsSetExpectedFlags) {
   auto pending = stats::DurationDistribution::Deterministic(13.0);
   auto ideal = MakeIdealizedEnvironment(pending, 7);

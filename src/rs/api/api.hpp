@@ -5,6 +5,10 @@
 /// program against:
 ///  * rs::api::ScalerBuilder / rs::api::Scaler — train-then-serve facade
 ///    (batch Replay/Evaluate and online Observe/Plan/Snapshot);
+///  * rs::api::ScalerFleet — multi-tenant serving front end: many named
+///    Scalers behind one Observe/PlanAll interface, planning batched
+///    across tenants on a worker pool with per-tenant action sequences
+///    identical to independent sequential Scalers;
 ///  * rs::api::StrategyRegistry / rs::api::MakeStrategy — string-keyed
 ///    strategy selection ("backup_pool", "adaptive_backup_pool",
 ///    "robust_hp", "robust_rt", "robust_cost");
@@ -17,6 +21,7 @@
 #pragma once
 
 #include "rs/api/scaler.hpp"
+#include "rs/api/scaler_fleet.hpp"
 #include "rs/api/serving_adapter.hpp"
 #include "rs/api/strategy_registry.hpp"
 #include "rs/api/strategy_spec.hpp"

@@ -1,0 +1,149 @@
+#include "rs/api/scaler_fleet.hpp"
+
+#include <sstream>
+
+namespace rs::api {
+
+namespace {
+
+Status UnknownTenant(const char* op, const std::string& tenant) {
+  std::ostringstream msg;
+  msg << "ScalerFleet::" << op << ": unknown tenant \"" << tenant << '"';
+  return Status::Invalid(msg.str());
+}
+
+}  // namespace
+
+ScalerFleet::ScalerFleet(std::size_t worker_threads)
+    : pool_(std::make_unique<common::ThreadPool>(worker_threads)) {}
+
+ScalerFleet::ScalerFleet(ScalerFleet&&) noexcept = default;
+ScalerFleet& ScalerFleet::operator=(ScalerFleet&&) noexcept = default;
+ScalerFleet::~ScalerFleet() = default;
+
+std::size_t ScalerFleet::FindIndex(const std::string& tenant) const {
+  const auto it = index_.find(tenant);
+  return it == index_.end() ? tenants_.size() : it->second;
+}
+
+Status ScalerFleet::Register(std::string tenant, Scaler scaler) {
+  if (tenant.empty()) {
+    return Status::Invalid("ScalerFleet::Register: tenant name is empty");
+  }
+  if (FindIndex(tenant) != tenants_.size()) {
+    std::ostringstream msg;
+    msg << "ScalerFleet::Register: tenant \"" << tenant
+        << "\" already registered (Retire or ReplaceModel it instead)";
+    return Status::Invalid(msg.str());
+  }
+  tenants_.push_back(
+      std::make_unique<Tenant>(std::move(tenant), std::move(scaler)));
+  index_[tenants_.back()->name] = tenants_.size() - 1;
+  return Status::OK();
+}
+
+Status ScalerFleet::Retire(const std::string& tenant) {
+  const std::size_t i = FindIndex(tenant);
+  if (i == tenants_.size()) return UnknownTenant("Retire", tenant);
+  tenants_.erase(tenants_.begin() + static_cast<std::ptrdiff_t>(i));
+  // Every later tenant shifted down one slot; lifecycle is rare, arrival
+  // routing is not, so pay the O(T) reindex here.
+  index_.erase(tenant);
+  for (auto& [name, index] : index_) {
+    if (index > i) --index;
+  }
+  return Status::OK();
+}
+
+Status ScalerFleet::ReplaceModel(const std::string& tenant, Scaler scaler) {
+  const std::size_t i = FindIndex(tenant);
+  if (i == tenants_.size()) return UnknownTenant("ReplaceModel", tenant);
+  tenants_[i]->scaler = std::move(scaler);
+  return Status::OK();
+}
+
+std::vector<std::string> ScalerFleet::Tenants() const {
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& entry : tenants_) names.push_back(entry->name);
+  return names;
+}
+
+Scaler* ScalerFleet::Find(const std::string& tenant) {
+  const std::size_t i = FindIndex(tenant);
+  return i == tenants_.size() ? nullptr : &tenants_[i]->scaler;
+}
+
+const Scaler* ScalerFleet::Find(const std::string& tenant) const {
+  return const_cast<ScalerFleet*>(this)->Find(tenant);
+}
+
+Status ScalerFleet::ConfigureServingAll(const sim::EngineOptions& options) {
+  for (auto& entry : tenants_) {
+    Status st = entry->scaler.ConfigureServing(options);
+    if (!st.ok()) {
+      std::ostringstream msg;
+      msg << "ScalerFleet::ConfigureServingAll: tenant \"" << entry->name
+          << "\": " << st.message();
+      return Status(st.code(), msg.str());
+    }
+  }
+  return Status::OK();
+}
+
+Result<Scaler::ObserveOutcome> ScalerFleet::Observe(const std::string& tenant,
+                                                    double arrival_time) {
+  Scaler* scaler = Find(tenant);
+  if (scaler == nullptr) return UnknownTenant("Observe", tenant);
+  return scaler->Observe(arrival_time);
+}
+
+Result<sim::ScalingAction> ScalerFleet::Plan(const std::string& tenant,
+                                             double now) {
+  Scaler* scaler = Find(tenant);
+  if (scaler == nullptr) return UnknownTenant("Plan", tenant);
+  return scaler->Plan(now);
+}
+
+std::vector<ScalerFleet::TenantPlan> ScalerFleet::PlanAll(double now) {
+  // Slot-per-tenant output: workers scatter into their own index, the
+  // ParallelFor join publishes the writes, and the returned order is the
+  // registration order no matter which worker finished first.
+  std::vector<TenantPlan> plans(tenants_.size());
+  common::ParallelFor(pool_.get(), tenants_.size(), [&](std::size_t i) {
+    Tenant& tenant = *tenants_[i];
+    TenantPlan& plan = plans[i];
+    plan.tenant = tenant.name;
+    auto planned = tenant.scaler.Plan(now);
+    if (planned.ok()) {
+      plan.action = std::move(planned).ValueOrDie();
+    } else {
+      plan.status = planned.status();
+    }
+  });
+  return plans;
+}
+
+FleetSnapshot ScalerFleet::Snapshot() const {
+  FleetSnapshot fleet;
+  fleet.tenants = tenants_.size();
+  fleet.per_tenant.reserve(tenants_.size());
+  for (const auto& entry : tenants_) {
+    ServingSnapshot snap = entry->scaler.Snapshot();
+    fleet.tenants_started += snap.started ? 1 : 0;
+    fleet.queries_observed += snap.queries_observed;
+    fleet.instances_alive += snap.instances_alive;
+    fleet.instances_ready += snap.instances_ready;
+    fleet.scheduled_creations += snap.scheduled_creations;
+    fleet.cold_starts += snap.cold_starts;
+    fleet.creations_requested += snap.creations_requested;
+    fleet.deletions_requested += snap.deletions_requested;
+    fleet.planning_rounds += snap.planning_rounds;
+    fleet.arrivals_retained += snap.arrivals_retained;
+    fleet.actions_retained += snap.actions_retained;
+    fleet.per_tenant.emplace_back(entry->name, std::move(snap));
+  }
+  return fleet;
+}
+
+}  // namespace rs::api

@@ -1,0 +1,167 @@
+/// \file scaler_fleet.hpp
+/// \brief Multi-tenant serving front end: one process hosting many named
+///        per-service Scalers behind a shared Observe/Plan interface.
+///
+///   rs::api::ScalerFleet fleet(/*worker_threads=*/4);
+///   fleet.Register("search", std::move(*search_scaler));
+///   fleet.Register("checkout", std::move(*checkout_scaler));
+///   fleet.Observe("search", arrival_time);
+///   for (const auto& plan : fleet.PlanAll(now)) {
+///     // plan.tenant, plan.status, plan.action — registration order.
+///   }
+///
+/// Planning batches across tenants on a small internal worker pool; tenant
+/// state is partitioned (each tenant is touched by exactly one worker per
+/// batch, joined before PlanAll returns), so the fleet gives a hard parity
+/// guarantee: for any trace interleaving and any thread count, each
+/// tenant's action sequence is byte-identical to the one an independent,
+/// sequentially-driven Scaler produces (asserted for random interleavings
+/// under 1/2/8 workers in tests/property_test.cpp, race-checked by the
+/// TSan CI job).
+///
+/// Thread model: the fleet parallelizes *internally*. Its public methods
+/// must be called from one caller thread at a time (like Scaler itself) —
+/// a production server front end serializes per-process fleet access and
+/// lets PlanAll fan the heavy per-tenant planning out.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rs/api/scaler.hpp"
+#include "rs/common/status.hpp"
+#include "rs/common/thread_pool.hpp"
+#include "rs/simulator/engine.hpp"
+
+namespace rs::api {
+
+/// Aggregated view of every tenant's serving state. The sums follow
+/// ServingSnapshot's retained-vs-total split: `queries_observed` /
+/// `planning_rounds` count lifetime totals while `arrivals_retained` /
+/// `actions_retained` count what is actually held in memory, so the fleet
+/// exposes one number for "how much serving state would a snapshot/restore
+/// have to persist" (the ROADMAP distributed-state item keys on this).
+struct FleetSnapshot {
+  std::size_t tenants = 0;
+  std::size_t tenants_started = 0;  ///< Tenants with serving traffic so far.
+
+  // -- Lifetime totals, summed across tenants -------------------------------
+  std::size_t queries_observed = 0;
+  std::size_t instances_alive = 0;
+  std::size_t instances_ready = 0;
+  std::size_t scheduled_creations = 0;
+  std::size_t cold_starts = 0;
+  std::size_t creations_requested = 0;
+  std::size_t deletions_requested = 0;
+  std::size_t planning_rounds = 0;
+
+  // -- Retained state (memory actually held), summed across tenants ---------
+  std::size_t arrivals_retained = 0;
+  std::size_t actions_retained = 0;
+
+  /// Per-tenant snapshots in registration order.
+  std::vector<std::pair<std::string, ServingSnapshot>> per_tenant;
+};
+
+/// \brief Owns N named Scaler instances and serves them behind one front
+///        end, batching planning across tenants on a worker pool.
+class ScalerFleet {
+ public:
+  /// `worker_threads` sizes the internal planning pool; 0 plans inline on
+  /// the calling thread (the deterministic baseline — higher counts must
+  /// produce byte-identical actions, they only change wall time).
+  explicit ScalerFleet(std::size_t worker_threads = 0);
+
+  ScalerFleet(ScalerFleet&&) noexcept;
+  ScalerFleet& operator=(ScalerFleet&&) noexcept;
+  ~ScalerFleet();
+
+  // -- Tenant lifecycle -----------------------------------------------------
+  //
+  // Lifecycle operations never disturb other tenants: registration order
+  // (the deterministic PlanAll output order) is preserved for everyone
+  // else, and no other tenant's serving state is touched.
+
+  /// Adds a tenant under a unique non-empty name. The scaler should be
+  /// freshly built (its serving state starts with the first Observe/Plan).
+  Status Register(std::string tenant, Scaler scaler);
+
+  /// Removes a tenant and its serving state.
+  Status Retire(const std::string& tenant);
+
+  /// Swaps in a newly trained scaler for an existing tenant (model
+  /// refresh), keeping the tenant's name and registration position. The
+  /// replacement starts serving from a fresh state — the old model's
+  /// mirror is discarded with it.
+  Status ReplaceModel(const std::string& tenant, Scaler scaler);
+
+  std::size_t size() const { return tenants_.size(); }
+
+  /// Tenant names in registration order.
+  std::vector<std::string> Tenants() const;
+
+  /// Direct access to a tenant's Scaler (nullptr if unknown) for
+  /// per-tenant configuration — ConfigureServing, history retention,
+  /// ActionLog inspection. Do not drive Observe/Plan through this pointer
+  /// while also serving through the fleet.
+  Scaler* Find(const std::string& tenant);
+  const Scaler* Find(const std::string& tenant) const;
+
+  /// Applies one serving-time engine configuration to every tenant
+  /// (per-tenant ConfigureServing via Find() overrides individually).
+  /// First error aborts the sweep and is returned.
+  Status ConfigureServingAll(const sim::EngineOptions& options);
+
+  // -- Serving --------------------------------------------------------------
+
+  /// Reports one arrival for `tenant` (its own serving clock; clocks are
+  /// per-tenant and independent).
+  Result<Scaler::ObserveOutcome> Observe(const std::string& tenant,
+                                         double arrival_time);
+
+  /// Advances one tenant's planning to `now` and drains its actions.
+  Result<sim::ScalingAction> Plan(const std::string& tenant, double now);
+
+  /// One tenant's share of a PlanAll batch.
+  struct TenantPlan {
+    std::string tenant;
+    Status status;              ///< Per-tenant; one failure stops no one else.
+    sim::ScalingAction action;  ///< Empty unless status.ok().
+  };
+
+  /// Advances every tenant's planning to `now` across the worker pool and
+  /// returns the drained actions in registration order (deterministic
+  /// regardless of worker scheduling). Each tenant fails or succeeds
+  /// independently — a tenant whose serving clock is already past `now`
+  /// reports its own Invalid status while the rest of the fleet planning
+  /// proceeds.
+  std::vector<TenantPlan> PlanAll(double now);
+
+  /// Aggregated serving state across all tenants.
+  FleetSnapshot Snapshot() const;
+
+ private:
+  struct Tenant {
+    std::string name;
+    Scaler scaler;
+    Tenant(std::string n, Scaler s)
+        : name(std::move(n)), scaler(std::move(s)) {}
+  };
+
+  /// Index into tenants_, or tenants_.size() if unknown.
+  std::size_t FindIndex(const std::string& tenant) const;
+
+  /// Registration order; unique_ptr keeps tenant addresses stable across
+  /// vector reshuffles, so worker tasks and Find() pointers stay valid.
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  /// Name → tenants_ index: Observe() routes every arrival through this,
+  /// so lookup must not scale with fleet size.
+  std::unordered_map<std::string, std::size_t> index_;
+  std::unique_ptr<common::ThreadPool> pool_;
+};
+
+}  // namespace rs::api

@@ -1,0 +1,77 @@
+#include "rs/common/thread_pool.hpp"
+
+#include <utility>
+
+namespace rs::common {
+
+void Latch::CountDown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (remaining_ > 0 && --remaining_ == 0) cv_.notify_all();
+}
+
+void Latch::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return remaining_ == 0; });
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Keep draining after stop: the destructor promises every submitted
+      // task runs (ScalerFleet counts on its latch reaching zero).
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || pool->threads() == 0) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Latch done(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool->Submit([&fn, &done, i] {
+      fn(i);
+      done.CountDown();
+    });
+  }
+  done.Wait();
+}
+
+}  // namespace rs::common

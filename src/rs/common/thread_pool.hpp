@@ -1,0 +1,92 @@
+/// \file thread_pool.hpp
+/// \brief Minimal fixed-size worker pool + countdown latch for the
+///        fan-out/join pattern the serving layer uses (ScalerFleet batches
+///        per-tenant planning across workers and joins before returning).
+///
+/// Deliberately small: a mutex/condvar task queue, no futures, no work
+/// stealing. Tasks must not throw — fallible work reports through Status
+/// objects captured by the closure, like everything else in this codebase.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rs::common {
+
+/// \brief Single-use countdown latch: Wait() returns once CountDown() has
+///        been called `count` times.
+///
+/// Unlike std::latch this one is copy-free to reason about under TSan: the
+/// final CountDown() publishes everything the counting threads wrote
+/// before it (mutex release/acquire), which is exactly the happens-before
+/// edge ParallelFor relies on to hand results back race-free.
+class Latch {
+ public:
+  explicit Latch(std::size_t count) : remaining_(count) {}
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void CountDown();
+
+  /// Blocks until the count reaches zero (returns immediately if it
+  /// already has).
+  void Wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t remaining_;
+};
+
+/// \brief Fixed-size worker pool over a FIFO task queue.
+///
+/// `threads == 0` selects inline mode: Submit() runs the task on the
+/// calling thread before returning. That keeps single-threaded callers
+/// (and the parity baseline in tests) on the exact same code path with
+/// zero scheduling nondeterminism.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains: blocks until every submitted task has run, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 = inline mode).
+  std::size_t threads() const { return workers_.size(); }
+
+  /// Enqueues `task` (runs it inline when threads() == 0). Safe to call
+  /// from multiple threads; must not be called after destruction begins.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// \brief Runs fn(0), ..., fn(n-1) across `pool` and blocks until all
+///        calls completed; a null or inline pool runs them sequentially on
+///        the calling thread.
+///
+/// Each index is executed exactly once by exactly one thread, and the
+/// returning Wait() orders every fn(i)'s writes before the caller's reads
+/// — callers may scatter results into a preallocated slot-per-index
+/// buffer without further synchronization (deterministic result ordering
+/// regardless of scheduling).
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace rs::common

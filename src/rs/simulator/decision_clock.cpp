@@ -10,4 +10,9 @@ double SteadyDecisionClock::Now() {
       .count();
 }
 
+FakeDecisionClockBank::FakeDecisionClockBank(double step_seconds,
+                                             std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) clocks_.emplace_back(step_seconds);
+}
+
 }  // namespace rs::sim

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 
 namespace rs::sim {
 
@@ -79,6 +80,34 @@ class FakeDecisionClock final : public DecisionClock {
   double step_;
   double time_ = 0.0;
   std::size_t readings_ = 0;
+};
+
+/// \brief The deterministic way to "share" a fake clock across the tenants
+///        of a multi-tenant server: a bank of independent FakeDecisionClock
+///        instances with one common step.
+///
+/// A single mutable FakeDecisionClock must not be read by concurrently
+/// planning tenants — the scheduling interleaving would decide which
+/// reading each tenant sees and determinism would be lost (and the
+/// unsynchronized counter is a data race outright). The bank instead hands
+/// each tenant its own identically-scripted clock at a stable address, so
+/// an api::ScalerFleet charging decision wall time stays byte-identical to
+/// N sequential Scalers no matter how its worker pool schedules tenants.
+/// Clocks are addressed by index; pair them with tenants in registration
+/// order (tests/property_test.cpp does exactly that on both sides of the
+/// fleet-vs-sequential parity check).
+class FakeDecisionClockBank {
+ public:
+  /// `size` clocks, each advancing `step_seconds` per reading.
+  FakeDecisionClockBank(double step_seconds, std::size_t size);
+
+  std::size_t size() const { return clocks_.size(); }
+
+  /// The `index`-th clock (stable address for the bank's lifetime).
+  FakeDecisionClock* clock(std::size_t index) { return &clocks_[index]; }
+
+ private:
+  std::deque<FakeDecisionClock> clocks_;
 };
 
 }  // namespace rs::sim

@@ -1,11 +1,17 @@
-// Tests for Status / Result error propagation and logging.
+// Tests for Status / Result error propagation, logging, and the
+// thread-pool/latch utility behind ScalerFleet's batched planning.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstddef>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "rs/common/logging.hpp"
 #include "rs/common/status.hpp"
 #include "rs/common/stopwatch.hpp"
+#include "rs/common/thread_pool.hpp"
 
 namespace rs {
 namespace {
@@ -101,6 +107,59 @@ TEST(LoggingTest, LevelFiltering) {
   RS_LOG(Info) << "this is filtered";
   SetLogLevel(original);
 }
+
+TEST(LatchTest, WaitReturnsOnceCountReachesZero) {
+  common::Latch latch(2);
+  latch.CountDown();
+  latch.CountDown();
+  latch.Wait();  // Must not block.
+  common::Latch zero(0);
+  zero.Wait();  // A zero-count latch is already open.
+}
+
+TEST(ThreadPoolTest, InlineModeRunsOnCallingThread) {
+  common::ThreadPool pool(0);
+  EXPECT_EQ(pool.threads(), 0u);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.Submit([&] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTaskBeforeJoin) {
+  std::atomic<int> counter{0};
+  {
+    common::ThreadPool pool(3);
+    EXPECT_EQ(pool.threads(), 3u);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+class ParallelForTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  common::ThreadPool pool(GetParam());
+  // One slot per index, written without synchronization: ParallelFor's
+  // join must publish the writes (TSan checks the happens-before edge).
+  std::vector<int> hits(500, 0);
+  common::ParallelFor(&pool, hits.size(),
+                      [&hits](std::size_t i) { hits[i] += 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+  common::ParallelFor(&pool, 0, [](std::size_t) { FAIL(); });
+  // A null pool degrades to a sequential loop.
+  std::size_t sum = 0;
+  common::ParallelFor(nullptr, 4, [&sum](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelForTest,
+                         ::testing::Values(0, 1, 2, 8));
 
 TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
   Stopwatch w;

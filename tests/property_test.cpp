@@ -224,6 +224,197 @@ INSTANTIATE_TEST_SUITE_P(
                    false}));
 
 // ---------------------------------------------------------------------------
+// Fleet-vs-sequential parity: for random per-tenant workloads and a random
+// interleaving of Observe / PlanAll operations, a ScalerFleet with any
+// worker-thread count must reproduce — byte-identical — the per-tenant
+// action sequences of N independent Scalers driven sequentially. Decision
+// wall-time charging runs through a FakeDecisionClockBank (one scripted
+// clock per tenant) so the charged latencies are deterministic on both
+// sides. This is the contract every later scaling layer (sharding,
+// snapshot/restore) builds on; the TSan CI job race-checks the same drive.
+// ---------------------------------------------------------------------------
+
+struct FleetParityCase {
+  std::uint64_t seed;
+  std::size_t threads;  ///< Fleet worker-pool size (0 = inline).
+  bool charge;          ///< Charge decision wall time (fake clock bank).
+};
+
+void PrintTo(const FleetParityCase& c, std::ostream* os) {
+  *os << "seed=" << c.seed << " threads=" << c.threads
+      << (c.charge ? " charged" : "");
+}
+
+class FleetParityTest : public ::testing::TestWithParam<FleetParityCase> {};
+
+TEST_P(FleetParityTest, FleetMatchesSequentialScalersActionForAction) {
+  const auto param = GetParam();
+  constexpr double kTick = 2.0;
+  constexpr double kClockStep = 0.125;
+  const std::vector<const char*> specs = {
+      "robust_hp:target=0.9",
+      "robust_rt:target=2.0",
+      "backup_pool:pool_size=2",
+      "adaptive_backup_pool:multiplier=20,update_interval=30,"
+      "estimate_window=60",
+  };
+  const std::size_t n_tenants = specs.size();
+
+  // Phase-shifted random sinusoidal workload per tenant, shared horizon.
+  const double period_s = 600.0, dt = 30.0, horizon = 8.0 * period_s;
+  stats::Rng rng(param.seed);
+  std::vector<workload::Trace> trains, tests;
+  for (std::size_t i = 0; i < n_tenants; ++i) {
+    const double phase0 = rng.NextDouble();
+    std::vector<double> rates;
+    for (double t = 0.5 * dt; t < horizon; t += dt) {
+      const double phase = std::fmod(t, period_s) / period_s;
+      rates.push_back(0.3 + 0.2 * std::sin(2.0 * M_PI * (phase + phase0)));
+    }
+    auto intensity = *workload::PiecewiseConstantIntensity::Make(rates, dt);
+    auto trace = *workload::MakeTraceFromIntensity(
+        &rng, intensity, stats::DurationDistribution::Exponential(15.0));
+    auto [train, test] = trace.SplitAt(horizon - 2.0 * period_s);
+    trains.push_back(std::move(train));
+    tests.push_back(std::move(test));
+  }
+  const double serve_horizon = tests[0].horizon();
+
+  const auto build = [&](std::size_t i) {
+    auto spec = api::ParseStrategySpec(specs[i]);
+    EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+    auto scaler = api::ScalerBuilder()
+                      .WithTrace(trains[i])
+                      .WithBinWidth(dt)
+                      .WithForecastHorizon(serve_horizon)
+                      .WithStrategy(*spec)
+                      .WithPlanningInterval(kTick)
+                      .WithMcSamples(40)
+                      .Build();
+    EXPECT_TRUE(scaler.ok()) << scaler.status().ToString();
+    return std::move(scaler).ValueOrDie();
+  };
+  const auto configure = [&](api::Scaler* scaler, sim::DecisionClock* clock) {
+    if (param.charge) {
+      sim::EngineOptions options;
+      options.charge_decision_wall_time = true;
+      options.decision_clock = clock;
+      ASSERT_TRUE(scaler->ConfigureServing(options).ok());
+    }
+    ASSERT_TRUE(
+        scaler->ConfigureHistoryRetention(sim::kUnboundedHistory).ok());
+  };
+
+  // One global operation schedule, shared by the fleet drive and the
+  // sequential reference: merged arrivals plus PlanAll points at non-grid
+  // times (97 s spacing avoids colliding with the 2 s tick grid) and a
+  // final PlanAll at the horizon.
+  struct Op {
+    double t = 0.0;
+    std::size_t tenant = 0;  ///< Only for arrivals.
+    bool plan_all = false;
+  };
+  std::vector<Op> ops;
+  for (std::size_t i = 0; i < n_tenants; ++i) {
+    for (const auto& q : tests[i].queries()) {
+      ops.push_back({q.arrival_time, i, false});
+    }
+  }
+  for (double t = 97.0; t < serve_horizon; t += 97.0) {
+    ops.push_back({t, 0, true});
+  }
+  std::sort(ops.begin(), ops.end(),
+            [](const Op& a, const Op& b) { return a.t < b.t; });
+  ops.push_back({serve_horizon, 0, true});
+
+  // -- Fleet drive ----------------------------------------------------------
+  api::ScalerFleet fleet(param.threads);
+  sim::FakeDecisionClockBank bank(kClockStep, n_tenants);
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < n_tenants; ++i) {
+    names.push_back("tenant-" + std::to_string(i));
+    ASSERT_TRUE(fleet.Register(names[i], build(i)).ok());
+    configure(fleet.Find(names[i]), bank.clock(i));
+  }
+  std::vector<std::vector<bool>> fleet_outcomes(n_tenants);
+  std::vector<std::vector<sim::ScalingAction>> fleet_drained(n_tenants);
+  for (const auto& op : ops) {
+    if (op.plan_all) {
+      auto plans = fleet.PlanAll(op.t);
+      ASSERT_EQ(plans.size(), n_tenants);
+      for (std::size_t i = 0; i < n_tenants; ++i) {
+        ASSERT_EQ(plans[i].tenant, names[i]);  // Deterministic ordering.
+        ASSERT_TRUE(plans[i].status.ok()) << plans[i].status.ToString();
+        fleet_drained[i].push_back(std::move(plans[i].action));
+      }
+    } else {
+      auto outcome = fleet.Observe(names[op.tenant], op.t);
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      fleet_outcomes[op.tenant].push_back(outcome->cold_start);
+    }
+  }
+
+  // -- Sequential reference: one independent Scaler per tenant -------------
+  for (std::size_t i = 0; i < n_tenants; ++i) {
+    api::Scaler reference = build(i);
+    sim::FakeDecisionClock reference_clock(kClockStep);
+    configure(&reference, &reference_clock);
+    std::vector<bool> outcomes;
+    std::vector<sim::ScalingAction> drained;
+    for (const auto& op : ops) {
+      if (op.plan_all) {
+        auto planned = reference.Plan(op.t);
+        ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+        drained.push_back(std::move(planned).ValueOrDie());
+      } else if (op.tenant == i) {
+        auto outcome = reference.Observe(op.t);
+        ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+        outcomes.push_back(outcome->cold_start);
+      }
+    }
+
+    const api::Scaler* served = fleet.Find(names[i]);
+    ASSERT_NE(served, nullptr);
+    EXPECT_EQ(fleet_outcomes[i], outcomes) << names[i];
+    const auto compare = [&](const std::vector<sim::ScalingAction>& expected,
+                             const std::vector<sim::ScalingAction>& got,
+                             const char* what) {
+      ASSERT_EQ(expected.size(), got.size()) << names[i] << " " << what;
+      for (std::size_t k = 0; k < expected.size(); ++k) {
+        EXPECT_EQ(expected[k].deletions, got[k].deletions)
+            << names[i] << " " << what << " " << k;
+        ASSERT_EQ(expected[k].creation_times.size(),
+                  got[k].creation_times.size())
+            << names[i] << " " << what << " " << k;
+        for (std::size_t j = 0; j < expected[k].creation_times.size(); ++j) {
+          // Byte-identical parity: exact double equality, no tolerance.
+          EXPECT_EQ(expected[k].creation_times[j], got[k].creation_times[j])
+              << names[i] << " " << what << " " << k << "/" << j;
+        }
+      }
+    };
+    compare(reference.ActionLog(), served->ActionLog(), "log");
+    compare(drained, fleet_drained[i], "drained");
+
+    const auto ref_snap = reference.Snapshot();
+    const auto fleet_snap = served->Snapshot();
+    EXPECT_EQ(ref_snap.now, fleet_snap.now) << names[i];
+    EXPECT_EQ(ref_snap.queries_observed, fleet_snap.queries_observed);
+    EXPECT_EQ(ref_snap.planning_rounds, fleet_snap.planning_rounds);
+    EXPECT_EQ(ref_snap.creations_requested, fleet_snap.creations_requested);
+    EXPECT_EQ(ref_snap.deletions_requested, fleet_snap.deletions_requested);
+    EXPECT_EQ(ref_snap.cold_starts, fleet_snap.cold_starts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkerCounts, FleetParityTest,
+    ::testing::Values(FleetParityCase{41, 1, false},
+                      FleetParityCase{42, 2, true},
+                      FleetParityCase{43, 8, false},
+                      FleetParityCase{44, 8, true}));
+
+// ---------------------------------------------------------------------------
 // NHPP sampler: counts in disjoint windows behave like Poisson counts.
 // ---------------------------------------------------------------------------
 

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "rs/api/api.hpp"
 #include "rs/common/logging.hpp"
@@ -157,6 +158,24 @@ inline std::unique_ptr<sim::Autoscaler> MakeVariantPolicy(
       context);
   RS_CHECK(policy.ok()) << policy.status().ToString();
   return std::move(policy).ValueOrDie();
+}
+
+/// Parses a comma-separated list of non-negative integers (e.g. a
+/// `--workers=0,1,8` value), aborting with the offending token on anything
+/// malformed — bench arguments are programmer input, not user data.
+inline std::vector<std::size_t> ParseSizeList(const std::string& list) {
+  std::vector<std::size_t> out;
+  for (std::size_t pos = 0; pos <= list.size();) {
+    std::size_t end = list.find(',', pos);
+    if (end == std::string::npos) end = list.size();
+    const std::string token = list.substr(pos, end - pos);
+    RS_CHECK(!token.empty() &&
+             token.find_first_not_of("0123456789") == std::string::npos)
+        << "bad list token: '" << token << "' in '" << list << "'";
+    out.push_back(static_cast<std::size_t>(std::stoul(token)));
+    pos = end + 1;
+  }
+  return out;
 }
 
 inline void PrintHeader(const char* title) {

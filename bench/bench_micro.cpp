@@ -2,20 +2,27 @@
 // the paper analyzes: banded Cholesky (O(T·L²)), one ADMM iteration,
 // sort-and-search decisions (O(R log R)), κ computation, FFT, and the
 // arrival-path sampler. Also covers the Section VII-B2 claim that one
-// decision update takes < 5 ms at trace-level QPS.
+// decision update takes < 5 ms at trace-level QPS, and the hot-path
+// kernels behind bench_plan_hot_path: restructured rs::linalg vector ops,
+// ziggurat exponential sampling, batched inverse-cumulative resolution,
+// radix vs comparison sorting, and the allocation-free DecisionKernel.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
+#include "rs/common/radix_sort.hpp"
 #include "rs/core/admm.hpp"
 #include "rs/core/arrival_predictor.hpp"
 #include "rs/core/decision.hpp"
 #include "rs/core/kappa.hpp"
 #include "rs/linalg/banded_cholesky.hpp"
 #include "rs/linalg/difference_ops.hpp"
+#include "rs/linalg/vector_ops.hpp"
 #include "rs/stats/distributions.hpp"
 #include "rs/stats/rng.hpp"
 #include "rs/timeseries/fft.hpp"
+#include "rs/workload/intensity.hpp"
 
 namespace {
 
@@ -132,6 +139,129 @@ BENCHMARK(BM_ArrivalPathSampling)
     ->Args({1000, 10})
     ->Args({1000, 100})
     ->Unit(benchmark::kMicrosecond);
+
+// --- Hot-path kernels (this PR's before/after record) -----------------------
+
+void BM_LinalgDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rs::stats::Rng rng(6);
+  Vec x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.NextDouble();
+    y[i] = rng.NextDouble();
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(rs::linalg::Dot(x, y));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 16);
+}
+BENCHMARK(BM_LinalgDot)->Arg(1024)->Arg(16384);
+
+void BM_LinalgAxpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rs::stats::Rng rng(7);
+  Vec x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.NextDouble();
+    y[i] = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    rs::linalg::Axpy(0.5, x, &y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 24);
+}
+BENCHMARK(BM_LinalgAxpy)->Arg(1024)->Arg(16384);
+
+void BM_ExponentialSampling(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool ziggurat = state.range(1) != 0;
+  rs::stats::Rng rng(8);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    if (ziggurat) {
+      rs::stats::SampleExponentialZigguratFill(&rng, 1.0, out.data(), n);
+    } else {
+      rs::stats::SampleExponentialFill(&rng, 1.0, out.data(), n);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(ziggurat ? "ziggurat" : "inverse-cdf");
+}
+BENCHMARK(BM_ExponentialSampling)->Args({1000, 0})->Args({1000, 1});
+
+void BM_InverseCumulative(benchmark::State& state) {
+  const auto r = static_cast<std::size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  rs::stats::Rng rng(9);
+  std::vector<double> rates(1440);
+  for (auto& v : rates) v = 1.0 + rng.NextDouble();
+  auto intensity =
+      *rs::workload::PiecewiseConstantIntensity::Make(rates, 60.0);
+  const double top = intensity.Cumulative(intensity.horizon());
+  std::vector<double> targets(r), out(r);
+  std::vector<std::uint32_t> order;
+  for (auto& t : targets) t = top * rng.NextDouble();
+  for (auto _ : state) {
+    if (batched) {
+      benchmark::DoNotOptimize(
+          intensity.InverseCumulativeBatch(targets, &out, &order));
+    } else {
+      for (std::size_t i = 0; i < r; ++i) {
+        out[i] = intensity.InverseCumulative(targets[i]).ValueOrDie();
+      }
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(r));
+  state.SetLabel(batched ? "batch-sweep" : "scalar-search");
+}
+BENCHMARK(BM_InverseCumulative)->Args({1000, 0})->Args({1000, 1});
+
+void BM_SortDoubles(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool radix = state.range(1) != 0;
+  rs::stats::Rng rng(10);
+  std::vector<double> base(n), work(n);
+  // Planning-target-shaped data: a shared offset plus Gamma-scale spread.
+  for (auto& v : base) v = 500.0 + 40.0 * rng.NextGaussian();
+  rs::common::RadixSortScratch scratch;
+  for (auto _ : state) {
+    work = base;
+    if (radix) {
+      rs::common::RadixSortAscending(work.data(), n, &scratch);
+    } else {
+      std::sort(work.begin(), work.end());
+    }
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(radix ? "radix" : "std::sort");
+}
+BENCHMARK(BM_SortDoubles)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1});
+
+void BM_DecisionKernelRt(benchmark::State& state) {
+  const auto r = static_cast<std::size_t>(state.range(0));
+  rs::stats::Rng rng(11);
+  rs::core::McSamples samples;
+  samples.xi.resize(r);
+  samples.tau.assign(r, 13.0);
+  for (auto& v : samples.xi) v = rs::stats::SampleExponential(&rng, 0.05);
+  rs::core::DecisionKernel kernel;
+  for (auto _ : state) {
+    kernel.Bind(samples);
+    benchmark::DoNotOptimize(kernel.SolveRt(1.0));
+  }
+}
+BENCHMARK(BM_DecisionKernelRt)->Arg(1000)->Arg(10000);
 
 }  // namespace
 

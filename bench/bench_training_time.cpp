@@ -2,19 +2,84 @@
 // The paper reports ~100 s to train modules 1-3 on three weeks of CRS data,
 // <= 7 s on four days of Alibaba data, and < 5 ms per scaling-decision
 // update on all traces. This harness times the same operations on the
-// synthetic stand-in traces.
+// synthetic stand-in traces, optionally across training worker-pool sizes
+// (the fit is byte-identical for every pool size — asserted here — so the
+// workers column is purely wall time).
+//
+// Usage:
+//   bench_training_time [--workers=0,4] [--json=BENCH_training.json]
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "rs/common/stopwatch.hpp"
+#include "rs/common/thread_pool.hpp"
 
 namespace {
 
-void TimeScenario(rs::bench::Scenario&& scenario) {
-  using namespace rs::bench;
-  rs::Stopwatch train_watch;
-  const auto trained = TrainOn(scenario);
-  const double train_s = train_watch.ElapsedSeconds();
+using namespace rs::bench;
+
+struct Options {
+  std::vector<std::size_t> workers = {0};
+  std::string json_path;
+};
+
+Options ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
+    if (arg.rfind("--workers=", 0) == 0) {
+      options.workers = ParseSizeList(value());
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options.json_path = value();
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  RS_CHECK(!options.workers.empty());
+  return options;
+}
+
+struct ScenarioTiming {
+  std::string name;
+  std::size_t queries = 0;
+  std::vector<double> train_s;  ///< One entry per worker count.
+  double decide_ms = 0.0;
+};
+
+ScenarioTiming TimeScenario(rs::bench::Scenario&& scenario,
+                            const std::vector<std::size_t>& workers) {
+  ScenarioTiming timing;
+  timing.name = scenario.name;
+  timing.queries = scenario.train.size();
+
+  rs::core::TrainedPipeline trained;
+  std::vector<double> first_rates;
+  for (std::size_t worker_count : workers) {
+    rs::common::ThreadPool pool(worker_count);
+    rs::core::PipelineOptions pipeline;
+    pipeline.dt = scenario.dt;
+    pipeline.periodicity.aggregate_factor = scenario.aggregate_factor;
+    pipeline.forecast_horizon = scenario.test.horizon();
+    pipeline.training_pool = &pool;
+    rs::Stopwatch train_watch;
+    auto result = rs::api::TrainPipeline(scenario.train, pipeline);
+    timing.train_s.push_back(train_watch.ElapsedSeconds());
+    RS_CHECK(result.ok()) << result.status().ToString();
+    trained = std::move(result).ValueOrDie();
+    if (first_rates.empty()) {
+      first_rates = trained.forecast.rates();
+    } else {
+      RS_CHECK(first_rates == trained.forecast.rates())
+          << scenario.name << ": training with " << worker_count
+          << " workers changed the fit";
+    }
+  }
 
   // Time one steady-state decision update (a planning round mid-test).
   auto policy = MakeVariantPolicy(trained, scenario,
@@ -29,25 +94,62 @@ void TimeScenario(rs::bench::Scenario&& scenario) {
   ctx.scheduled_creations = 0;
   rs::Stopwatch decide_watch;
   (void)policy->OnPlanningTick(ctx);
-  const double decide_ms = decide_watch.ElapsedMillis();
+  timing.decide_ms = decide_watch.ElapsedMillis();
 
-  std::printf("%-10s %10zu %14.2f %16.3f\n", scenario.name.c_str(),
-              scenario.train.size(), train_s, decide_ms);
+  std::printf("%-10s %10zu", timing.name.c_str(), timing.queries);
+  for (double s : timing.train_s) std::printf(" %13.2f", s);
+  std::printf(" %15.3f\n", timing.decide_ms);
+  return timing;
+}
+
+void WriteJson(const Options& options,
+               const std::vector<ScenarioTiming>& timings) {
+  std::ofstream out(options.json_path);
+  RS_CHECK(static_cast<bool>(out)) << "cannot open " << options.json_path;
+  out.precision(6);
+  out << "{\n"
+      << "  \"bench\": \"training_time\",\n"
+      << "  \"workers\": [";
+  for (std::size_t i = 0; i < options.workers.size(); ++i) {
+    out << options.workers[i] << (i + 1 < options.workers.size() ? ", " : "");
+  }
+  out << "],\n  \"worker_parity\": \"identical\",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const auto& t = timings[i];
+    out << "    {\"trace\": \"" << t.name << "\", \"queries\": " << t.queries
+        << ", \"train_s\": [";
+    for (std::size_t w = 0; w < t.train_s.size(); ++w) {
+      out << t.train_s[w] << (w + 1 < t.train_s.size() ? ", " : "");
+    }
+    out << "], \"decision_ms\": " << t.decide_ms << "}"
+        << (i + 1 < timings.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  RS_CHECK(static_cast<bool>(out)) << "write failed: " << options.json_path;
 }
 
 }  // namespace
 
-int main() {
-  using namespace rs::bench;
+int main(int argc, char** argv) {
+  const Options options = ParseArgs(argc, argv);
   PrintHeader("Section VII-B2 — training time and decision latency");
-  std::printf("%-10s %10s %14s %16s\n", "trace", "queries", "train_time_s",
-              "decision_ms");
-  TimeScenario(MakeCrsScenario());
-  TimeScenario(MakeGoogleScenario());
-  TimeScenario(MakeAlibabaScenario());
+  std::printf("%-10s %10s", "trace", "queries");
+  for (std::size_t w : options.workers) std::printf("  train_s(w=%zu)", w);
+  std::printf(" %15s\n", "decision_ms");
+
+  std::vector<ScenarioTiming> timings;
+  timings.push_back(TimeScenario(MakeCrsScenario(), options.workers));
+  timings.push_back(TimeScenario(MakeGoogleScenario(), options.workers));
+  timings.push_back(TimeScenario(MakeAlibabaScenario(), options.workers));
+
   std::printf("\nPaper reference: ~100 s (CRS, 3 weeks), <= 7 s (Alibaba,\n"
               "4 days) training; < 5 ms per decision update. Training here is\n"
               "faster because the synthetic stand-ins use coarser bins; the\n"
               "ordering and the millisecond-scale decisions are the point.\n");
+
+  if (!options.json_path.empty()) {
+    WriteJson(options, timings);
+    std::printf("wrote %s\n", options.json_path.c_str());
+  }
   return 0;
 }

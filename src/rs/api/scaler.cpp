@@ -421,6 +421,10 @@ ScalerBuilder& ScalerBuilder::WithPipelineOptions(
   pipeline_ = std::move(options);
   return *this;
 }
+ScalerBuilder& ScalerBuilder::WithTrainingPool(common::ThreadPool* pool) {
+  training_pool_ = pool;
+  return *this;
+}
 
 Result<Scaler> ScalerBuilder::Build() const {
   // Cross-field validation: every misconfiguration that used to silently
@@ -434,6 +438,7 @@ Result<Scaler> ScalerBuilder::Build() const {
         "horizon");
   }
   core::PipelineOptions pipeline = pipeline_;
+  if (training_pool_ != nullptr) pipeline.training_pool = training_pool_;
   if (dt_.has_value()) pipeline.dt = *dt_;
   if (forecast_horizon_.has_value()) pipeline.forecast_horizon = *forecast_horizon_;
   if (aggregate_factor_.has_value()) {

@@ -27,6 +27,7 @@
 #include "rs/api/strategy_spec.hpp"
 #include "rs/api/targets.hpp"
 #include "rs/common/status.hpp"
+#include "rs/common/thread_pool.hpp"
 #include "rs/core/pipeline.hpp"
 #include "rs/simulator/engine.hpp"
 #include "rs/simulator/metrics.hpp"
@@ -260,6 +261,12 @@ class ScalerBuilder {
   /// Seed of the strategy's Monte Carlo stream (default 31).
   ScalerBuilder& WithSeed(std::uint64_t seed);
 
+  /// Worker pool for the training passes (periodicity scoring, ADMM; see
+  /// core::PipelineOptions::training_pool). The trained model is
+  /// byte-identical for any pool size — this only changes training wall
+  /// time. The pool must outlive Build().
+  ScalerBuilder& WithTrainingPool(common::ThreadPool* pool);
+
   /// Expert escape hatch: full pipeline configuration (periodicity, ADMM,
   /// forecast, β weights). WithBinWidth / WithForecastHorizon /
   /// WithAggregateFactor still override their fields regardless of call
@@ -283,6 +290,7 @@ class ScalerBuilder {
   double planning_interval_ = 1.0;
   std::size_t mc_samples_ = 300;
   std::uint64_t seed_ = 31;
+  common::ThreadPool* training_pool_ = nullptr;
 };
 
 /// \brief Facade over module 1–3 training for callers that share one fit

@@ -1,0 +1,42 @@
+#include "rs/common/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace rs::common {
+
+namespace {
+
+bool EnvRequestsReference() {
+  const char* value = std::getenv("RS_REFERENCE_KERNELS");
+  if (value == nullptr) return false;
+  return std::strcmp(value, "1") == 0 || std::strcmp(value, "true") == 0 ||
+         std::strcmp(value, "on") == 0 || std::strcmp(value, "yes") == 0;
+}
+
+std::atomic<bool>& KernelFlag() {
+  static std::atomic<bool> flag(EnvRequestsReference());
+  return flag;
+}
+
+}  // namespace
+
+bool UseReferenceKernels() {
+  return KernelFlag().load(std::memory_order_relaxed);
+}
+
+void SetReferenceKernels(bool reference) {
+  KernelFlag().store(reference, std::memory_order_relaxed);
+}
+
+ScopedReferenceKernels::ScopedReferenceKernels(bool reference)
+    : previous_(UseReferenceKernels()) {
+  SetReferenceKernels(reference);
+}
+
+ScopedReferenceKernels::~ScopedReferenceKernels() {
+  SetReferenceKernels(previous_);
+}
+
+}  // namespace rs::common

@@ -1,0 +1,40 @@
+/// \file kernels.hpp
+/// \brief Process-wide switch between the optimized planning/decision
+///        kernels and their naive reference implementations.
+///
+/// The optimized hot paths (batched inverse-cumulative sampling, the
+/// allocation-free decision kernel) are guaranteed to emit byte-identical
+/// action sequences to the straightforward reference code they replaced.
+/// That guarantee is only worth something if the reference stays runnable:
+/// setting the environment variable RS_REFERENCE_KERNELS=1 (or calling
+/// SetReferenceKernels) routes every planner through the reference path, so
+/// benches can measure the speedup and tests can assert the parity on the
+/// same binary.
+#pragma once
+
+namespace rs::common {
+
+/// True when planners must use the naive reference kernels. Reads the
+/// RS_REFERENCE_KERNELS environment variable once at first call ("1",
+/// "true", "on", "yes" enable it); SetReferenceKernels overrides it.
+bool UseReferenceKernels();
+
+/// Programmatic override of the kernel mode (bench/tests). Thread-safe;
+/// takes effect for planning rounds that start after the call.
+void SetReferenceKernels(bool reference);
+
+/// RAII kernel-mode override: flips to `reference` on construction and
+/// restores the previous mode on destruction.
+class ScopedReferenceKernels {
+ public:
+  explicit ScopedReferenceKernels(bool reference);
+  ~ScopedReferenceKernels();
+
+  ScopedReferenceKernels(const ScopedReferenceKernels&) = delete;
+  ScopedReferenceKernels& operator=(const ScopedReferenceKernels&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace rs::common

@@ -1,0 +1,81 @@
+#include "rs/common/radix_sort.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rs::common {
+
+namespace {
+
+constexpr std::uint64_t kSignBit = 0x8000000000000000ULL;
+
+/// Monotone double→uint64 key: non-negative doubles get the sign bit set,
+/// negative doubles are fully complemented, so unsigned key order equals
+/// double value order.
+inline std::uint64_t ForwardKey(double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const auto ext = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(bits) >> 63);  // All ones iff negative.
+  return bits ^ (ext | kSignBit);
+}
+
+inline double InverseKey(std::uint64_t key) {
+  const auto ext = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(key) >> 63);  // All ones iff originally >= 0.
+  const std::uint64_t bits = key ^ ((ext & kSignBit) | ~ext);
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+void RadixSortAscending(double* data, std::size_t n,
+                        RadixSortScratch* scratch) {
+  if (n < 2) return;
+  // Below this size the O(n) pass overheads beat the O(n log n) comparisons.
+  if (n < 128 || scratch == nullptr) {
+    std::sort(data, data + n);
+    return;
+  }
+  scratch->keys.resize(n);
+  scratch->tmp.resize(n);
+  std::uint64_t* a = scratch->keys.data();
+  std::uint64_t* b = scratch->tmp.data();
+
+  // One pass builds all eight byte histograms.
+  std::uint32_t counts[8][256] = {};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t key = ForwardKey(data[i]);
+    a[i] = key;
+    for (int pass = 0; pass < 8; ++pass) {
+      ++counts[pass][(key >> (8 * pass)) & 0xFF];
+    }
+  }
+
+  for (int pass = 0; pass < 8; ++pass) {
+    const std::uint32_t* hist = counts[pass];
+    // A byte that is constant across the array contributes nothing: the
+    // stable scatter would be the identity. (Targets/slacks share sign,
+    // exponent, and high-mantissa bytes, so this skips most passes.)
+    const unsigned first_byte = (a[0] >> (8 * pass)) & 0xFF;
+    if (hist[first_byte] == n) continue;
+
+    std::uint32_t offsets[256];
+    std::uint32_t running = 0;
+    for (int v = 0; v < 256; ++v) {
+      offsets[v] = running;
+      running += hist[v];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t key = a[i];
+      b[offsets[(key >> (8 * pass)) & 0xFF]++] = key;
+    }
+    std::swap(a, b);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) data[i] = InverseKey(a[i]);
+}
+
+}  // namespace rs::common

@@ -1,0 +1,33 @@
+/// \file radix_sort.hpp
+/// \brief Allocation-free LSD radix sort for doubles — the comparison-free
+///        workhorse behind the per-decision Monte Carlo sorts.
+///
+/// An introsort of R random doubles costs ~50 ns/element; the planning hot
+/// loop pays that once per committed decision. The byte-wise radix pass
+/// here costs ~2-3 ns/element/pass, and passes whose byte is constant
+/// across the whole array are skipped outright — planning targets share
+/// sign, exponent, and high mantissa bytes, so typically only 4-5 of the 8
+/// passes run. Sorting is by value (bit-exact same ascending sequence a
+/// std::sort would produce, up to the ordering of -0.0/+0.0 and NaNs,
+/// which compare equal / unordered anyway).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rs::common {
+
+/// Reusable buffers for RadixSortAscending (two 8-byte keys per element).
+struct RadixSortScratch {
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> tmp;
+};
+
+/// Sorts data[0..n) ascending. Finite values and infinities order exactly
+/// as operator< does; -0.0 sorts before +0.0 and NaNs sort by bit pattern
+/// (below -inf / above +inf by sign). Small arrays fall back to std::sort.
+void RadixSortAscending(double* data, std::size_t n,
+                        RadixSortScratch* scratch);
+
+}  // namespace rs::common

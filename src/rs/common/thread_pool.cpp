@@ -74,4 +74,16 @@ void ParallelFor(ThreadPool* pool, std::size_t n,
   done.Wait();
 }
 
+void ParallelForChunks(
+    ThreadPool* pool, std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t width = chunk == 0 ? n : chunk;
+  const std::size_t count = (n + width - 1) / width;
+  ParallelFor(pool, count, [&body, n, width](std::size_t c) {
+    const std::size_t begin = c * width;
+    body(c, begin, std::min(begin + width, n));
+  });
+}
+
 }  // namespace rs::common

@@ -89,4 +89,16 @@ class ThreadPool {
 void ParallelFor(ThreadPool* pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn);
 
+/// \brief Runs body(chunk_index, begin, end) for each fixed-size chunk of
+///        [0, n) across `pool`, blocking until all chunks completed.
+///
+/// The chunk boundaries depend only on n and `chunk` — never on the worker
+/// count — so per-chunk partial results (sums, RNG substream draws) that
+/// the caller combines in chunk-index order are bitwise identical whether
+/// the chunks ran inline, on one worker, or on many. This is the reduction
+/// discipline the parallel training paths use to stay deterministic.
+void ParallelForChunks(
+    ThreadPool* pool, std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
 }  // namespace rs::common

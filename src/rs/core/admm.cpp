@@ -15,8 +15,43 @@ namespace {
 
 using linalg::Vec;
 
-void Clamp(Vec* r, double bound) {
-  for (double& v : *r) v = std::clamp(v, -bound, bound);
+/// Fixed chunk width for the pool-parallel element-wise loops. Chunk
+/// boundaries (and the chunk-order reduction below) depend only on the
+/// series length, so any worker count produces bitwise-identical iterates.
+constexpr std::size_t kAdmmChunk = 1024;
+
+void Clamp(Vec* r, double bound, common::ThreadPool* pool) {
+  double* pr = r->data();
+  common::ParallelForChunks(pool, r->size(), kAdmmChunk,
+                            [pr, bound](std::size_t, std::size_t b,
+                                        std::size_t e) {
+                              for (std::size_t i = b; i < e; ++i) {
+                                pr[i] = std::clamp(pr[i], -bound, bound);
+                              }
+                            });
+}
+
+/// Σ body(i) with per-chunk partials summed in chunk order (deterministic
+/// for any pool size; the grouping differs from a single serial sweep, but
+/// identically so on every run).
+template <typename Body>
+double ChunkedSum(common::ThreadPool* pool, std::size_t n, Vec* partials,
+                  const Body& body) {
+  const std::size_t chunks = n == 0 ? 0 : (n + kAdmmChunk - 1) / kAdmmChunk;
+  partials->assign(chunks, 0.0);
+  double* pp = partials->data();
+  common::ParallelForChunks(pool, n, kAdmmChunk,
+                            [pp, &body](std::size_t c, std::size_t b,
+                                        std::size_t e) {
+                              double acc = 0.0;
+                              for (std::size_t i = b; i < e; ++i) {
+                                acc += body(i);
+                              }
+                              pp[c] = acc;
+                            });
+  double total = 0.0;
+  for (std::size_t c = 0; c < chunks; ++c) total += pp[c];
+  return total;
 }
 
 }  // namespace
@@ -39,6 +74,7 @@ Result<NhppModel> FitNhpp(const std::vector<double>& counts,
   const bool use_period = config.period > 0 && config.period < t;
   const std::size_t period = use_period ? config.period : 0;
   const double rho = options.rho;
+  common::ThreadPool* pool = options.pool;
   RSubproblemSolver solver = options.solver;
   if (solver == RSubproblemSolver::kAuto) {
     solver = period > kAutoSolverPeriodThreshold ? RSubproblemSolver::kPcg
@@ -50,7 +86,7 @@ Result<NhppModel> FitNhpp(const std::vector<double>& counts,
   for (std::size_t i = 0; i < t; ++i) {
     r[i] = std::log((counts[i] + 0.5) / config.dt);
   }
-  Clamp(&r, options.r_clamp);
+  Clamp(&r, options.r_clamp, pool);
 
   Vec y, z;
   linalg::ApplyD2(r, &y);
@@ -66,17 +102,27 @@ Result<NhppModel> FitNhpp(const std::vector<double>& counts,
           ? (use_period ? std::max<std::size_t>(2, period) : 2)
           : 0;
   linalg::SymmetricBandedMatrix a(t, bandwidth);
-  linalg::Vec rhs(t), r_next(t), tmp(t), tmp2(t);
+  linalg::Vec rhs(t), r_next(t), tmp(t), tmp2(t), partials;
+  Vec w(t);  // Δt · exp(r_k): Hessian weights of the likelihood term.
   AdmmInfo local_info;
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     // ---- r-update: solve A_k r = B_k (Algorithm 2, line 2). ----
-    Vec w(t);  // Δt · exp(r_k): Hessian weights of the likelihood term.
-    for (std::size_t i = 0; i < t; ++i) w[i] = config.dt * std::exp(r[i]);
-
     // B_k = Q − Δt e^{r_k} + diag(w) r_k + D2ᵀ(ν_y + ρ y) + DLᵀ(ν_z + ρ z).
-    for (std::size_t i = 0; i < t; ++i) {
-      rhs[i] = counts[i] - w[i] + w[i] * r[i];
+    {
+      const double dt = config.dt;
+      const double* pc = counts.data();
+      const double* pr = r.data();
+      double* pw = w.data();
+      double* prhs = rhs.data();
+      common::ParallelForChunks(
+          pool, t, kAdmmChunk,
+          [dt, pc, pr, pw, prhs](std::size_t, std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+              pw[i] = dt * std::exp(pr[i]);
+              prhs[i] = pc[i] - pw[i] + pw[i] * pr[i];
+            }
+          });
     }
     {
       Vec packed(y.size());
@@ -121,15 +167,25 @@ Result<NhppModel> FitNhpp(const std::vector<double>& counts,
       pcg_opts.max_iterations = 4 * t;
       RS_RETURN_NOT_OK(linalg::SolvePcg(op, diag, rhs, pcg_opts, &r_next));
     }
-    Clamp(&r_next, options.r_clamp);
+    Clamp(&r_next, options.r_clamp, pool);
 
     // ---- y-update (line 3): soft-threshold prox of β1‖·‖₁. ----
     Vec d2r;
     linalg::ApplyD2(r_next, &d2r);
     Vec y_next(d2r.size());
-    for (std::size_t i = 0; i < d2r.size(); ++i) {
-      y_next[i] =
-          stats::SoftThreshold(d2r[i] - nu_y[i] / rho, config.beta1 / rho);
+    {
+      const double inv_rho_beta1 = config.beta1 / rho;
+      const double* pd = d2r.data();
+      const double* pn = nu_y.data();
+      double* py = y_next.data();
+      common::ParallelForChunks(
+          pool, d2r.size(), kAdmmChunk,
+          [rho, inv_rho_beta1, pd, pn, py](std::size_t, std::size_t b,
+                                           std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+              py[i] = stats::SoftThreshold(pd[i] - pn[i] / rho, inv_rho_beta1);
+            }
+          });
     }
 
     // ---- z-update (line 4): closed-form ridge shrink. ----
@@ -137,37 +193,50 @@ Result<NhppModel> FitNhpp(const std::vector<double>& counts,
     if (use_period) {
       linalg::ApplyDL(r_next, period, &dlr);
       z_next.resize(dlr.size());
-      for (std::size_t i = 0; i < dlr.size(); ++i) {
-        z_next[i] = (rho * dlr[i] - nu_z[i]) / (config.beta2 + rho);
-      }
+      const double shrink = config.beta2 + rho;
+      const double* pd = dlr.data();
+      const double* pn = nu_z.data();
+      double* pz = z_next.data();
+      common::ParallelForChunks(
+          pool, dlr.size(), kAdmmChunk,
+          [rho, shrink, pd, pn, pz](std::size_t, std::size_t b,
+                                    std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+              pz[i] = (rho * pd[i] - pn[i]) / shrink;
+            }
+          });
     }
 
     // ---- dual updates (lines 5–6). ----
-    double primal_sq = 0.0;
-    for (std::size_t i = 0; i < y_next.size(); ++i) {
-      const double gap = y_next[i] - d2r[i];
-      nu_y[i] += rho * gap;
-      primal_sq += gap * gap;
-    }
+    double primal_sq =
+        ChunkedSum(pool, y_next.size(), &partials,
+                   [&y_next, &d2r, &nu_y, rho](std::size_t i) {
+                     const double gap = y_next[i] - d2r[i];
+                     nu_y[i] += rho * gap;
+                     return gap * gap;
+                   });
     if (use_period) {
-      for (std::size_t i = 0; i < z_next.size(); ++i) {
-        const double gap = z_next[i] - dlr[i];
-        nu_z[i] += rho * gap;
-        primal_sq += gap * gap;
-      }
+      primal_sq +=
+          ChunkedSum(pool, z_next.size(), &partials,
+                     [&z_next, &dlr, &nu_z, rho](std::size_t i) {
+                       const double gap = z_next[i] - dlr[i];
+                       nu_z[i] += rho * gap;
+                       return gap * gap;
+                     });
     }
 
     // Dual residual: ρ‖(y_{k+1}−y_k, z_{k+1}−z_k)‖ (standard ADMM criterion).
-    double dual_sq = 0.0;
-    for (std::size_t i = 0; i < y_next.size(); ++i) {
-      const double dy = y_next[i] - y[i];
-      dual_sq += dy * dy;
-    }
+    double dual_sq = ChunkedSum(pool, y_next.size(), &partials,
+                                [&y_next, &y](std::size_t i) {
+                                  const double dy = y_next[i] - y[i];
+                                  return dy * dy;
+                                });
     if (use_period) {
-      for (std::size_t i = 0; i < z_next.size(); ++i) {
-        const double dz = z_next[i] - z[i];
-        dual_sq += dz * dz;
-      }
+      dual_sq += ChunkedSum(pool, z_next.size(), &partials,
+                            [&z_next, &z](std::size_t i) {
+                              const double dz = z_next[i] - z[i];
+                              return dz * dz;
+                            });
     }
 
     r = r_next;

@@ -12,6 +12,7 @@
 #include <cstddef>
 
 #include "rs/common/status.hpp"
+#include "rs/common/thread_pool.hpp"
 #include "rs/core/nhpp_model.hpp"
 
 namespace rs::core {
@@ -39,6 +40,12 @@ struct AdmmOptions {
   RSubproblemSolver solver = RSubproblemSolver::kAuto;
   /// Log-intensity is clamped to ±`r_clamp` to keep exp() finite.
   double r_clamp = 25.0;
+  /// Optional worker pool for the element-wise iteration loops (Hessian
+  /// weights, prox updates, residual reductions). Work is split into fixed
+  /// chunks whose partial sums are combined in chunk order, so the fit is
+  /// byte-identical for any pool size (null/inline included). The pool must
+  /// outlive the FitNhpp call.
+  common::ThreadPool* pool = nullptr;
 };
 
 /// Fit diagnostics.

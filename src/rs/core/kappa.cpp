@@ -71,10 +71,26 @@ Result<std::size_t> ComputeKappaBinarySearch(double alpha, double lambda_bar,
   return lo;
 }
 
+namespace {
+
+/// Sample-paths per RNG substream in ComputeKappaMonteCarlo. Fixed — the
+/// substream layout (and therefore the result) must not depend on how many
+/// workers execute the chunks.
+constexpr std::size_t kKappaChunk = 256;
+
+/// Max i-steps advanced per fork/join round: amortizes the pool barrier
+/// across many quantile checks. Blocks ramp geometrically from 1 so a small
+/// κ stops after ~κ steps of sampling instead of a full block; the ramp is
+/// fixed (never pool-dependent) and block boundaries do not affect the
+/// per-chunk draw order, so results stay byte-identical.
+constexpr std::size_t kKappaBlock = 64;
+
+}  // namespace
+
 Result<std::size_t> ComputeKappaMonteCarlo(
     stats::Rng* rng, double alpha, double lambda_bar,
     const stats::DurationDistribution& pending, std::size_t num_samples,
-    std::size_t max_kappa) {
+    std::size_t max_kappa, common::ThreadPool* pool) {
   if (rng == nullptr) return Status::Invalid("ComputeKappa: null rng");
   if (!(alpha > 0.0) || !(alpha < 1.0)) {
     return Status::Invalid("ComputeKappa: alpha must lie in (0, 1)");
@@ -85,19 +101,46 @@ Result<std::size_t> ComputeKappaMonteCarlo(
   if (num_samples == 0) {
     return Status::Invalid("ComputeKappa: num_samples must be >= 1");
   }
+  // One independent substream per fixed chunk of paths, derived serially
+  // from the caller's generator: every pool size draws identical numbers.
+  const std::size_t chunks = (num_samples + kKappaChunk - 1) / kKappaChunk;
+  std::vector<stats::Rng> chunk_rngs;
+  chunk_rngs.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) chunk_rngs.push_back(rng->Split());
+
   std::vector<double> gamma(num_samples, 0.0);
-  std::vector<double> stat(num_samples);
+  // stat[step * num_samples + r]: the per-i statistic for a whole block.
+  std::vector<double> stat(kKappaBlock * num_samples);
+  std::vector<double> scratch(num_samples);
   std::size_t kappa = 0;
-  for (std::size_t i = 1; i <= max_kappa; ++i) {
-    for (std::size_t r = 0; r < num_samples; ++r) {
-      gamma[r] += stats::SampleExponential(rng, 1.0);
-      stat[r] = gamma[r] / lambda_bar - pending.Sample(rng);
-    }
-    RS_ASSIGN_OR_RETURN(const double q, stats::Quantile(stat, alpha));
-    if (q < 0.0) {
-      kappa = i;
-    } else {
-      break;
+  std::size_t ramp = 1;
+  for (std::size_t block_start = 1; block_start <= max_kappa;
+       block_start += ramp, ramp = std::min(ramp * 4, kKappaBlock)) {
+    const std::size_t block_len = std::min(ramp, max_kappa - block_start + 1);
+    common::ParallelForChunks(
+        pool, num_samples, kKappaChunk,
+        [&](std::size_t c, std::size_t begin, std::size_t end) {
+          stats::Rng& crng = chunk_rngs[c];
+          for (std::size_t step = 0; step < block_len; ++step) {
+            double* row = stat.data() + step * num_samples;
+            for (std::size_t r = begin; r < end; ++r) {
+              gamma[r] += stats::SampleExponentialZiggurat(&crng, 1.0);
+              row[r] = gamma[r] / lambda_bar - pending.Sample(&crng);
+            }
+          }
+        });
+    for (std::size_t step = 0; step < block_len; ++step) {
+      std::copy(stat.begin() + static_cast<std::ptrdiff_t>(step * num_samples),
+                stat.begin() +
+                    static_cast<std::ptrdiff_t>((step + 1) * num_samples),
+                scratch.begin());
+      RS_ASSIGN_OR_RETURN(const double q,
+                          stats::QuantileInPlace(&scratch, alpha));
+      if (q < 0.0) {
+        kappa = block_start + step;
+      } else {
+        return kappa;
+      }
     }
   }
   return kappa;

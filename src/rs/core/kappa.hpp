@@ -8,6 +8,7 @@
 #include <cstddef>
 
 #include "rs/common/status.hpp"
+#include "rs/common/thread_pool.hpp"
 #include "rs/stats/distributions.hpp"
 #include "rs/stats/rng.hpp"
 
@@ -36,9 +37,15 @@ Result<std::size_t> ComputeKappaBinarySearch(double alpha, double lambda_bar,
 /// Maintains R coupled paths of γ_i (incremental Exp(1) sums) and per-i
 /// fresh τ draws; scans i upward until the empirical α-quantile of
 /// γ_i/λ̄ − τ_i turns non-negative.
+///
+/// The paths are partitioned into fixed-size chunks, each advanced by its
+/// own RNG substream seeded deterministically from `rng`. Chunk boundaries
+/// and seeds depend only on num_samples — never on `pool` — so the result
+/// is byte-identical whether the chunks run serially (pool null / inline)
+/// or across any number of worker threads.
 Result<std::size_t> ComputeKappaMonteCarlo(
     stats::Rng* rng, double alpha, double lambda_bar,
     const stats::DurationDistribution& pending, std::size_t num_samples = 2000,
-    std::size_t max_kappa = 100000);
+    std::size_t max_kappa = 100000, common::ThreadPool* pool = nullptr);
 
 }  // namespace rs::core

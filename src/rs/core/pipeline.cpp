@@ -21,7 +21,11 @@ Result<TrainedPipeline> TrainRobustScaler(const workload::Trace& training,
                                           training.horizon()));
 
   // Module 1b: robust periodicity detection.
-  RS_ASSIGN_OR_RETURN(auto period, ts::DetectPeriod(counts, options.periodicity));
+  ts::PeriodicityOptions periodicity = options.periodicity;
+  if (options.training_pool != nullptr) {
+    periodicity.pool = options.training_pool;
+  }
+  RS_ASSIGN_OR_RETURN(auto period, ts::DetectPeriod(counts, periodicity));
 
   // Module 2: regularized NHPP fit via ADMM.
   NhppConfig config;
@@ -29,9 +33,12 @@ Result<TrainedPipeline> TrainRobustScaler(const workload::Trace& training,
   config.beta1 = options.beta1;
   config.beta2 = options.beta2;
   config.period = period.period;
+  AdmmOptions admm = options.admm;
+  if (options.training_pool != nullptr) {
+    admm.pool = options.training_pool;
+  }
   AdmmInfo info;
-  RS_ASSIGN_OR_RETURN(auto model,
-                      FitNhpp(counts.counts, config, options.admm, &info));
+  RS_ASSIGN_OR_RETURN(auto model, FitNhpp(counts.counts, config, admm, &info));
 
   // Module 3: extrapolate the intensity past the training window.
   const auto horizon_bins = static_cast<std::size_t>(

@@ -37,6 +37,13 @@ struct PipelineOptions {
   /// How far past the training window the forecast must extend (seconds).
   /// Set this to at least the test-trace horizon.
   double forecast_horizon = 86400.0;
+  /// Optional worker pool for the training passes: periodicity candidate
+  /// scoring and the ADMM iteration loops fan out over it. Training output
+  /// is byte-identical for any pool size (the parallel sections use fixed
+  /// chunking with ordered reductions), so this is purely a wall-time knob.
+  /// Overrides `periodicity.pool` and `admm.pool` when set; must outlive
+  /// the TrainRobustScaler call.
+  common::ThreadPool* training_pool = nullptr;
 };
 
 /// Everything the training phase produces.

@@ -3,10 +3,151 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rs/common/kernels.hpp"
 #include "rs/common/logging.hpp"
 #include "rs/core/kappa.hpp"
 
 namespace rs::core {
+
+namespace {
+
+/// Advances every Monte Carlo path by one Exp(1) increment (ziggurat
+/// sampler — the single biggest per-decision cost). Both kernel modes go
+/// through this, so the generator consumes the same draws in the same order
+/// regardless of which kernels solve the decision.
+void AdvanceGamma(stats::Rng* rng, PlanWorkspace* ws, std::size_t r_count) {
+  stats::SampleExponentialZigguratFill(rng, 1.0, ws->exp_inc.data(), r_count);
+  double* gamma = ws->gamma.data();
+  const double* inc = ws->exp_inc.data();
+  for (std::size_t r = 0; r < r_count; ++r) gamma[r] += inc[r];
+}
+
+/// Draws the pending-time samples (after the round's arrival draws, in both
+/// kernel modes — deterministic distributions consume nothing).
+void FillTau(stats::Rng* rng, const stats::DurationDistribution& pending,
+             double* tau, std::size_t r_count) {
+  for (std::size_t r = 0; r < r_count; ++r) tau[r] = pending.Sample(rng);
+}
+
+/// Exact (v_lo, v_hi) order statistics at ranks lo <= hi of values[0..n) by
+/// selection. When the interpolation sits low in the distribution it is
+/// cheaper to select at hi and max-scan the small left partition than to
+/// select at lo and min-scan the large right one; pick the cheaper side.
+void SelectOrderStatPair(double* values, std::size_t n, std::size_t lo,
+                         std::size_t hi, double* v_lo, double* v_hi) {
+  if (hi == lo) {
+    std::nth_element(values, values + lo, values + n);
+    *v_lo = values[lo];
+    *v_hi = *v_lo;
+    return;
+  }
+  if (hi <= n - 1 - lo) {
+    std::nth_element(values, values + hi, values + n);
+    *v_hi = values[hi];
+    *v_lo = *std::max_element(values, values + hi);
+  } else {
+    std::nth_element(values, values + lo, values + n);
+    *v_lo = values[lo];
+    *v_hi = *std::min_element(values + lo + 1, values + n);
+  }
+}
+
+/// \brief HP decision for deterministic τ without materializing ξ.
+///
+/// The map target → slack = max(0, Λ⁻¹(target) − now) − τ is non-decreasing,
+/// so the two order statistics the type-7 quantile interpolates can be
+/// selected directly on the cumulative targets and inverted individually:
+/// two inversions instead of R, with exactly the doubles the reference path
+/// computes. The previous round's quantile for the same query index is kept
+/// in ws->hp_cuts as a warm pivot: one branchless counting pass confirms the
+/// pivot bounds at least hi+1 elements, and the exact selection then runs on
+/// only that ~αR-sized prefilter. `ws->targets` is consumed (reordered).
+Result<Decision> SolveHpDeterministicTau(
+    const workload::PiecewiseConstantIntensity& forecast, PlanWorkspace* ws,
+    double now, double tau, double alpha, std::size_t r_count,
+    std::size_t k_index, double base) {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    return Status::Invalid("SolveHpConstrained: alpha must lie in (0, 1)");
+  }
+  std::vector<double>& targets = ws->targets;
+  // The scalar path fails the whole round when any target lies beyond a
+  // zero-rate tail; probe the largest target so this path fails identically
+  // instead of silently answering from the two selected statistics.
+  if (forecast.rates().back() <= 0.0) {
+    const double max_target = *std::max_element(targets.begin(), targets.end());
+    RS_RETURN_NOT_OK(forecast.InverseCumulative(max_target).status());
+  }
+  const double pos = alpha * static_cast<double>(r_count - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, r_count - 1);
+  const double frac = pos - static_cast<double>(lo);
+
+  double t_lo = 0.0, t_hi = 0.0;
+  bool selected = false;
+  if (k_index < ws->hp_cuts.size() && ws->hp_cuts[k_index] > 0.0) {
+    // γ's α-quantile at this query index moves only by sampling noise
+    // between rounds; a small safety margin above last round's cut bounds
+    // the quantile pair with near-certainty (miss → exact fallback below).
+    const double margin =
+        std::max(1.0, 0.2 * std::sqrt(static_cast<double>(k_index + 1)));
+    const double pivot = base + ws->hp_cuts[k_index] + margin;
+    const double* t = targets.data();
+    std::size_t count = 0;
+    for (std::size_t r = 0; r < r_count; ++r) {
+      count += t[r] < pivot ? 1 : 0;
+    }
+    if (count > hi) {
+      // The count elements below the pivot are exactly the count smallest:
+      // ranks lo and hi live inside the prefilter.
+      ws->gather.resize(r_count);
+      double* g = ws->gather.data();
+      std::size_t idx = 0;
+      for (std::size_t r = 0; r < r_count; ++r) {
+        if (t[r] < pivot) g[idx++] = t[r];
+      }
+      SelectOrderStatPair(g, count, lo, hi, &t_lo, &t_hi);
+      selected = true;
+    }
+  }
+  if (!selected) {
+    SelectOrderStatPair(targets.data(), r_count, lo, hi, &t_lo, &t_hi);
+  }
+  if (ws->hp_cuts.size() <= k_index) ws->hp_cuts.resize(k_index + 1, 0.0);
+  ws->hp_cuts[k_index] = t_hi - base;
+
+  RS_ASSIGN_OR_RETURN(const double inv_lo, forecast.InverseCumulative(t_lo));
+  const double slack_lo = std::max(0.0, inv_lo - now) - tau;
+  double slack_hi = slack_lo;
+  if (hi != lo) {
+    RS_ASSIGN_OR_RETURN(const double inv_hi, forecast.InverseCumulative(t_hi));
+    slack_hi = std::max(0.0, inv_hi - now) - tau;
+  }
+  const double x_star = slack_lo * (1.0 - frac) + slack_hi * frac;
+  Decision d;
+  d.feasible = x_star >= 0.0;
+  d.creation_time = std::max(x_star, 0.0);
+  return d;
+}
+
+}  // namespace
+
+void PlanWorkspace::EnsureSize(std::size_t r) {
+  gamma.resize(r);
+  exp_inc.resize(r);
+  targets.resize(r);
+  samples.xi.resize(r);
+  samples.tau.resize(r);
+}
+
+double PlanWorkspace::CumulativeAt(
+    const workload::PiecewiseConstantIntensity& forecast, double now) {
+  if (!cache_valid_ || now != cached_now_) {
+    cached_base_ = forecast.Cumulative(now);
+    cached_now_ = now;
+    cache_valid_ = true;
+  }
+  return cached_base_;
+}
 
 RobustScalerPolicy::RobustScalerPolicy(
     workload::PiecewiseConstantIntensity forecast,
@@ -39,6 +180,18 @@ Result<Decision> RobustScalerPolicy::SolveOne(const McSamples& samples) const {
       return SolveRtConstrained(samples, options_.rt_excess);
     case ScalerVariant::kCost:
       return SolveCostConstrained(samples, options_.idle_budget);
+  }
+  return Status::Invalid("RobustScalerPolicy: unknown variant");
+}
+
+Result<Decision> RobustScalerPolicy::SolveOneInWorkspace() {
+  switch (options_.variant) {
+    case ScalerVariant::kHittingProbability:
+      return workspace_.kernel.SolveHp(options_.alpha);
+    case ScalerVariant::kResponseTime:
+      return workspace_.kernel.SolveRt(options_.rt_excess);
+    case ScalerVariant::kCost:
+      return workspace_.kernel.SolveCost(options_.idle_budget);
   }
   return Status::Invalid("RobustScalerPolicy: unknown variant");
 }
@@ -114,31 +267,91 @@ sim::ScalingAction RobustScalerPolicy::PlanWindow(const sim::SimContext& ctx) {
   // Monte Carlo paths of upcoming arrivals via time rescaling:
   // ξ_j = Λ⁻¹(Λ(now) + γ_j) − now with γ_j a unit-rate Poisson path. The
   // cumulative exposure of the already-covered queries is drawn in one shot
-  // as Gamma(outstanding, 1).
-  const double base = forecast_.Cumulative(now);
-  std::vector<double> gamma(r_count, 0.0);
+  // as Gamma(outstanding, 1); nothing outstanding means no Gamma draws.
+  PlanWorkspace& ws = workspace_;
+  ws.EnsureSize(r_count);
+  const double base = ws.CumulativeAt(forecast_, now);
+  std::fill(ws.gamma.begin(), ws.gamma.end(), 0.0);
   if (outstanding > 0) {
-    for (std::size_t r = 0; r < r_count; ++r) {
-      gamma[r] = stats::SampleGamma(&rng_, static_cast<double>(outstanding), 1.0);
-    }
+    stats::SampleGammaFill(&rng_, static_cast<double>(outstanding), 1.0,
+                           ws.gamma.data(), r_count);
   }
-  McSamples samples;
-  samples.xi.resize(r_count);
-  samples.tau.resize(r_count);
+
+  const bool reference = common::UseReferenceKernels();
+  const bool deterministic_tau =
+      pending_.kind() == stats::DurationDistribution::Kind::kDeterministic;
+  // The reference path keeps the historical cost profile: fresh sample
+  // buffers every round, scalar Result-wrapped inversions, per-solve sorts.
+  McSamples reference_samples;
+  if (reference) {
+    reference_samples.xi.resize(r_count);
+    reference_samples.tau.resize(r_count);
+  }
 
   for (std::size_t k = outstanding; k < depth; ++k) {
-    for (std::size_t r = 0; r < r_count; ++r) {
-      gamma[r] += stats::SampleExponential(&rng_, 1.0);
-      auto inv = forecast_.InverseCumulative(base + gamma[r]);
-      if (!inv.ok()) {
+    AdvanceGamma(&rng_, &ws, r_count);
+    Result<Decision> decision = Decision{};
+    if (reference) {
+      bool sampling_failed = false;
+      for (std::size_t r = 0; r < r_count; ++r) {
+        auto inv = forecast_.InverseCumulative(base + ws.gamma[r]);
+        if (!inv.ok()) {
+          RS_LOG(Warning) << "RobustScalerPolicy: arrival sampling failed: "
+                          << inv.status().ToString();
+          sampling_failed = true;
+          break;
+        }
+        reference_samples.xi[r] = std::max(0.0, inv.ValueOrDie() - now);
+      }
+      if (sampling_failed) return action;
+      FillTau(&rng_, pending_, reference_samples.tau.data(), r_count);
+      decision = SolveOne(reference_samples);
+    } else if (deterministic_tau &&
+               options_.variant == ScalerVariant::kHittingProbability) {
+      for (std::size_t r = 0; r < r_count; ++r) {
+        ws.targets[r] = base + ws.gamma[r];
+      }
+      decision = SolveHpDeterministicTau(forecast_, &ws, now, pending_.Mean(),
+                                         options_.alpha, r_count, k, base);
+    } else if (deterministic_tau) {
+      // RT/cost with constant τ: the pairing of ξ with τ is irrelevant, so
+      // sort the targets in place and invert them in one ascending sweep —
+      // ξ lands pre-sorted and the kernel needs no sort of its own.
+      for (std::size_t r = 0; r < r_count; ++r) {
+        ws.targets[r] = base + ws.gamma[r];
+      }
+      common::RadixSortAscending(ws.targets.data(), r_count, &ws.radix);
+      auto status = forecast_.InverseCumulativeAscending(
+          ws.targets.data(), r_count, ws.samples.xi.data());
+      if (!status.ok()) {
         RS_LOG(Warning) << "RobustScalerPolicy: arrival sampling failed: "
-                        << inv.status().ToString();
+                        << status.ToString();
         return action;
       }
-      samples.xi[r] = std::max(0.0, inv.ValueOrDie() - now);
-      samples.tau[r] = pending_.Sample(&rng_);
+      for (std::size_t r = 0; r < r_count; ++r) {
+        ws.samples.xi[r] = std::max(0.0, ws.samples.xi[r] - now);
+      }
+      FillTau(&rng_, pending_, ws.samples.tau.data(), r_count);
+      ws.kernel.BindAscendingXi(ws.samples);
+      decision = SolveOneInWorkspace();
+    } else {
+      for (std::size_t r = 0; r < r_count; ++r) {
+        ws.targets[r] = base + ws.gamma[r];
+      }
+      auto status = forecast_.InverseCumulativeBatch(ws.targets,
+                                                     &ws.samples.xi, &ws.order);
+      if (!status.ok()) {
+        RS_LOG(Warning) << "RobustScalerPolicy: arrival sampling failed: "
+                        << status.ToString();
+        return action;
+      }
+      for (std::size_t r = 0; r < r_count; ++r) {
+        ws.samples.xi[r] = std::max(0.0, ws.samples.xi[r] - now);
+      }
+      FillTau(&rng_, pending_, ws.samples.tau.data(), r_count);
+      ws.kernel.Bind(ws.samples);
+      decision = SolveOneInWorkspace();
     }
-    auto decision = SolveOne(samples);
     if (!decision.ok()) {
       RS_LOG(Warning) << "RobustScalerPolicy: decision failed: "
                       << decision.status().ToString();
@@ -192,27 +405,60 @@ sim::ScalingAction HpCountScaler::PlanAhead(double now, std::size_t first_j,
   sim::ScalingAction action;
   if (count == 0) return action;
   const std::size_t r_count = options_.mc_samples;
-  const double base = forecast_.Cumulative(now);
+  PlanWorkspace& ws = workspace_;
+  ws.EnsureSize(r_count);
+  const double base = ws.CumulativeAt(forecast_, now);
 
-  std::vector<double> gamma(r_count, 0.0);
+  std::fill(ws.gamma.begin(), ws.gamma.end(), 0.0);
   const std::size_t skip = first_j - 1;
   if (skip > 0) {
-    for (std::size_t r = 0; r < r_count; ++r) {
-      gamma[r] = stats::SampleGamma(&rng_, static_cast<double>(skip), 1.0);
-    }
+    stats::SampleGammaFill(&rng_, static_cast<double>(skip), 1.0,
+                           ws.gamma.data(), r_count);
   }
-  McSamples samples;
-  samples.xi.resize(r_count);
-  samples.tau.resize(r_count);
+
+  const bool reference = common::UseReferenceKernels();
+  const bool deterministic_tau =
+      pending_.kind() == stats::DurationDistribution::Kind::kDeterministic;
+  McSamples reference_samples;
+  if (reference) {
+    reference_samples.xi.resize(r_count);
+    reference_samples.tau.resize(r_count);
+  }
+
   for (std::size_t j = 0; j < count; ++j) {
-    for (std::size_t r = 0; r < r_count; ++r) {
-      gamma[r] += stats::SampleExponential(&rng_, 1.0);
-      auto inv = forecast_.InverseCumulative(base + gamma[r]);
-      if (!inv.ok()) return action;
-      samples.xi[r] = std::max(0.0, inv.ValueOrDie() - now);
-      samples.tau[r] = pending_.Sample(&rng_);
+    AdvanceGamma(&rng_, &ws, r_count);
+    Result<Decision> decision = Decision{};
+    if (reference) {
+      for (std::size_t r = 0; r < r_count; ++r) {
+        auto inv = forecast_.InverseCumulative(base + ws.gamma[r]);
+        if (!inv.ok()) return action;
+        reference_samples.xi[r] = std::max(0.0, inv.ValueOrDie() - now);
+      }
+      FillTau(&rng_, pending_, reference_samples.tau.data(), r_count);
+      decision = SolveHpConstrained(reference_samples, options_.alpha);
+    } else if (deterministic_tau) {
+      for (std::size_t r = 0; r < r_count; ++r) {
+        ws.targets[r] = base + ws.gamma[r];
+      }
+      decision =
+          SolveHpDeterministicTau(forecast_, &ws, now, pending_.Mean(),
+                                  options_.alpha, r_count, skip + j, base);
+    } else {
+      for (std::size_t r = 0; r < r_count; ++r) {
+        ws.targets[r] = base + ws.gamma[r];
+      }
+      if (!forecast_
+               .InverseCumulativeBatch(ws.targets, &ws.samples.xi, &ws.order)
+               .ok()) {
+        return action;
+      }
+      for (std::size_t r = 0; r < r_count; ++r) {
+        ws.samples.xi[r] = std::max(0.0, ws.samples.xi[r] - now);
+      }
+      FillTau(&rng_, pending_, ws.samples.tau.data(), r_count);
+      ws.kernel.Bind(ws.samples);
+      decision = ws.kernel.SolveHp(options_.alpha);
     }
-    auto decision = SolveHpConstrained(samples, options_.alpha);
     if (!decision.ok()) return action;
     action.creation_times.push_back(now + decision->creation_time);
   }

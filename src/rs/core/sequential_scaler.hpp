@@ -10,9 +10,17 @@
 ///    Alg. 3) and cost (Eq. 7) decision rules.
 ///  * HpCountScaler — the literal Algorithm 4: planning every m arrivals,
 ///    always staying κ+1 arrivals ahead; used to validate Proposition 1.
+///
+/// Both planners run their Monte Carlo rounds through a persistent
+/// PlanWorkspace (batched sampling + the allocation-free DecisionKernel).
+/// Setting RS_REFERENCE_KERNELS (see rs/common/kernels.hpp) routes them
+/// through the naive reference kernels instead; under a fixed seed the two
+/// paths emit byte-identical action sequences — the guarantee that keeps
+/// the hot path safe to optimize.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "rs/common/status.hpp"
 #include "rs/core/decision.hpp"
@@ -28,6 +36,37 @@ enum class ScalerVariant {
   kHittingProbability,  ///< RobustScaler-HP: P(hit) >= 1 − α (Eq. 2/3).
   kResponseTime,        ///< RobustScaler-RT: E[RT] <= d (Eq. 4/5).
   kCost,                ///< RobustScaler-cost: E[cost] <= B (Eq. 6/7).
+};
+
+/// \brief Persistent per-policy buffers for the planning hot loop: Monte
+///        Carlo path state, batch-inversion scratch, and the decision
+///        kernel, all reused across rounds so steady-state planning
+///        performs no heap allocation.
+struct PlanWorkspace {
+  std::vector<double> gamma;    ///< Cumulative unit-rate exposure per path.
+  std::vector<double> exp_inc;  ///< Current query's Exp(1) increments.
+  std::vector<double> targets;  ///< base + gamma: batch-inversion input.
+  std::vector<std::uint32_t> order;  ///< Batch-inversion index scratch.
+  std::vector<double> gather;        ///< Pivot-prefilter buffer (HP).
+  /// Previous round's per-query α-quantile of γ — the warm pivot that lets
+  /// the next round's selection pre-filter to ~αR elements.
+  std::vector<double> hp_cuts;
+  common::RadixSortScratch radix;    ///< Target-sort scratch (RT/cost).
+  McSamples samples;                 ///< ξ/τ buffers bound to the kernel.
+  DecisionKernel kernel;
+
+  /// Resizes every per-path buffer to `r` elements (no-op once warm).
+  void EnsureSize(std::size_t r);
+
+  /// Λ(now) memoized on `now`: back-to-back rounds at the same instant
+  /// (initialize + first tick) skip the re-derivation.
+  double CumulativeAt(const workload::PiecewiseConstantIntensity& forecast,
+                      double now);
+
+ private:
+  double cached_now_ = 0.0;
+  double cached_base_ = 0.0;
+  bool cache_valid_ = false;
 };
 
 /// Options for RobustScalerPolicy.
@@ -89,6 +128,10 @@ class RobustScalerPolicy : public sim::Autoscaler {
  private:
   sim::ScalingAction PlanWindow(const sim::SimContext& ctx);
 
+  /// Solves the configured variant on the workspace's bound samples via the
+  /// allocation-free kernel.
+  Result<Decision> SolveOneInWorkspace();
+
   /// Committed look-ahead depth κ + m for the local intensity at
   /// forecast-local time `now`.
   std::size_t CommitDepth(double now);
@@ -97,6 +140,7 @@ class RobustScalerPolicy : public sim::Autoscaler {
   stats::DurationDistribution pending_;
   SequentialScalerOptions options_;
   stats::Rng rng_;
+  PlanWorkspace workspace_;
   // Memoized κ for the last (quantized) local intensity (see CommitDepth).
   bool kappa_cache_valid_ = false;
   double kappa_cache_lambda_ = 0.0;
@@ -143,6 +187,7 @@ class HpCountScaler : public sim::Autoscaler {
   stats::DurationDistribution pending_;
   HpCountScalerOptions options_;
   stats::Rng rng_;
+  PlanWorkspace workspace_;
   std::size_t kappa_ = 0;
   std::size_t arrivals_since_plan_ = 0;
 };

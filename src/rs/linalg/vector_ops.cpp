@@ -7,60 +7,112 @@
 
 namespace rs::linalg {
 
+// The kernels below run inside the PCG/ADMM iteration loops, so they are
+// written the way auto-vectorizers like them: trip counts hoisted into
+// locals, raw-pointer indexing (no operator[] bounds plumbing), and — for
+// the reductions — independent partial accumulators that break the serial
+// floating-point dependence chain. Accumulation order is fixed by the code,
+// never by thread count or target ISA, so results stay deterministic.
+
 double Dot(const Vec& x, const Vec& y) {
   RS_DCHECK(x.size() == y.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  const std::size_t n = x.size();
+  const double* px = x.data();
+  const double* py = y.data();
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += px[i] * py[i];
+    acc1 += px[i + 1] * py[i + 1];
+    acc2 += px[i + 2] * py[i + 2];
+    acc3 += px[i + 3] * py[i + 3];
+  }
+  double acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < n; ++i) acc += px[i] * py[i];
   return acc;
 }
 
 double Norm2(const Vec& x) { return std::sqrt(Dot(x, x)); }
 
 double NormInf(const Vec& x) {
+  const std::size_t n = x.size();
+  const double* px = x.data();
   double m = 0.0;
-  for (double v : x) m = std::max(m, std::abs(v));
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::abs(px[i]));
   return m;
 }
 
 double Norm1(const Vec& x) {
-  double acc = 0.0;
-  for (double v : x) acc += std::abs(v);
+  const std::size_t n = x.size();
+  const double* px = x.data();
+  double acc0 = 0.0, acc1 = 0.0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc0 += std::abs(px[i]);
+    acc1 += std::abs(px[i + 1]);
+  }
+  double acc = acc0 + acc1;
+  for (; i < n; ++i) acc += std::abs(px[i]);
   return acc;
 }
 
 void Axpy(double alpha, const Vec& x, Vec* y) {
   RS_DCHECK(y != nullptr && x.size() == y->size());
-  for (std::size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+  const std::size_t n = x.size();
+  const double* px = x.data();
+  double* py = y->data();
+  for (std::size_t i = 0; i < n; ++i) py[i] += alpha * px[i];
 }
 
 void Scale(double alpha, Vec* x) {
   RS_DCHECK(x != nullptr);
-  for (double& v : *x) v *= alpha;
+  const std::size_t n = x->size();
+  double* px = x->data();
+  for (std::size_t i = 0; i < n; ++i) px[i] *= alpha;
 }
 
 Vec Add(const Vec& x, const Vec& y) {
   RS_DCHECK(x.size() == y.size());
-  Vec z(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] + y[i];
+  const std::size_t n = x.size();
+  Vec z(n);
+  const double* px = x.data();
+  const double* py = y.data();
+  double* pz = z.data();
+  for (std::size_t i = 0; i < n; ++i) pz[i] = px[i] + py[i];
   return z;
 }
 
 Vec Sub(const Vec& x, const Vec& y) {
   RS_DCHECK(x.size() == y.size());
-  Vec z(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] - y[i];
+  const std::size_t n = x.size();
+  Vec z(n);
+  const double* px = x.data();
+  const double* py = y.data();
+  double* pz = z.data();
+  for (std::size_t i = 0; i < n; ++i) pz[i] = px[i] - py[i];
   return z;
 }
 
 Vec Exp(const Vec& x) {
-  Vec z(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) z[i] = std::exp(x[i]);
+  const std::size_t n = x.size();
+  Vec z(n);
+  const double* px = x.data();
+  double* pz = z.data();
+  for (std::size_t i = 0; i < n; ++i) pz[i] = std::exp(px[i]);
   return z;
 }
 
 double Sum(const Vec& x) {
-  double acc = 0.0;
-  for (double v : x) acc += v;
+  const std::size_t n = x.size();
+  const double* px = x.data();
+  double acc0 = 0.0, acc1 = 0.0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc0 += px[i];
+    acc1 += px[i + 1];
+  }
+  double acc = acc0 + acc1;
+  for (; i < n; ++i) acc += px[i];
   return acc;
 }
 

@@ -37,6 +37,94 @@ double SampleGamma(Rng* rng, double shape, double scale) {
   }
 }
 
+void SampleExponentialFill(Rng* rng, double rate, double* out, std::size_t n) {
+  RS_DCHECK(rng != nullptr && rate > 0.0 && (out != nullptr || n == 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = -std::log(rng->NextOpenDouble()) / rate;
+  }
+}
+
+void SampleGammaFill(Rng* rng, double shape, double scale, double* out,
+                     std::size_t n) {
+  RS_DCHECK(rng != nullptr && (out != nullptr || n == 0));
+  for (std::size_t i = 0; i < n; ++i) out[i] = SampleGamma(rng, shape, scale);
+}
+
+namespace {
+
+/// Marsaglia–Tsang 256-layer ziggurat tables for the unit exponential.
+/// Strip idx (1..255) is the rectangle [0, X[idx]] × [e^−X[idx], e^−X[idx+1]],
+/// each of area kZigV; strip 0 is the base rectangle [0, r] × [0, e^−r] plus
+/// the tail x > r, whose combined area is also kZigV (that equation defines
+/// r). X[0] is the virtual base width kZigV / e^−r used to split strip-0
+/// draws between rectangle and tail.
+constexpr double kZigR = 7.69711747013104972;
+constexpr double kZigV = 3.9496598225815571993e-3;
+
+struct ExpZigguratTables {
+  double x[257];
+  double fe[257];          ///< e^−X[idx]; fe[256] = 1.
+  double w[256];           ///< X[idx] · 2⁻⁵³.
+  std::uint64_t k[256];    ///< 53-bit fast-accept thresholds.
+
+  ExpZigguratTables() {
+    x[1] = kZigR;
+    for (int i = 1; i < 255; ++i) {
+      x[i + 1] = -std::log(std::exp(-x[i]) + kZigV / x[i]);
+    }
+    x[256] = 0.0;
+    x[0] = kZigV / std::exp(-kZigR);
+    for (int i = 0; i <= 256; ++i) fe[i] = std::exp(-x[i]);
+    constexpr double kTwo53 = 9007199254740992.0;
+    for (int i = 0; i < 256; ++i) {
+      w[i] = x[i] / kTwo53;
+      k[i] = static_cast<std::uint64_t>(x[i + 1] / x[i] * kTwo53);
+    }
+    // Strip 0 fast-accepts inside the base rectangle (x < r).
+    k[0] = static_cast<std::uint64_t>(kZigR / x[0] * kTwo53);
+  }
+};
+
+const ExpZigguratTables& ZigTables() {
+  static const ExpZigguratTables tables;
+  return tables;
+}
+
+double SampleUnitExponentialZiggurat(Rng* rng) {
+  const ExpZigguratTables& t = ZigTables();
+  for (;;) {
+    const std::uint64_t bits = rng->NextUint64();
+    const std::uint64_t idx = bits & 255;     // Bits 0..7: strip index.
+    const std::uint64_t y = bits >> 11;       // Bits 11..63: 53-bit uniform.
+    const double x = static_cast<double>(y) * t.w[idx];
+    if (y < t.k[idx]) return x;
+    if (idx == 0) {
+      if (x < kZigR) return x;
+      // Tail: memorylessness restarts the exponential at r.
+      return kZigR - std::log(rng->NextOpenDouble());
+    }
+    const double f_x = std::exp(-x);
+    if (rng->NextDouble() * (t.fe[idx + 1] - t.fe[idx]) + t.fe[idx] < f_x) {
+      return x;
+    }
+  }
+}
+
+}  // namespace
+
+double SampleExponentialZiggurat(Rng* rng, double rate) {
+  RS_DCHECK(rng != nullptr && rate > 0.0);
+  return SampleUnitExponentialZiggurat(rng) / rate;
+}
+
+void SampleExponentialZigguratFill(Rng* rng, double rate, double* out,
+                                   std::size_t n) {
+  RS_DCHECK(rng != nullptr && rate > 0.0 && (out != nullptr || n == 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = SampleUnitExponentialZiggurat(rng) / rate;
+  }
+}
+
 namespace {
 
 /// PTRS transformed-rejection Poisson sampler (Hörmann 1993) for mean >= 10.

@@ -4,6 +4,7 @@
 ///        Poisson counts, and log-normal/Weibull service/pending times.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "rs/common/status.hpp"
@@ -17,6 +18,29 @@ double SampleExponential(Rng* rng, double rate);
 /// Sample from Gamma(shape, scale), shape > 0, scale > 0.
 /// Marsaglia–Tsang squeeze for shape >= 1, boosted for shape < 1.
 double SampleGamma(Rng* rng, double shape, double scale);
+
+/// Fills out[0..n) with Exponential(rate) draws. Draw order — and therefore
+/// every value and the generator state afterwards — is identical to calling
+/// SampleExponential n times in index order; the bulk form exists so hot
+/// loops fill a whole Monte Carlo path set in one tight call.
+void SampleExponentialFill(Rng* rng, double rate, double* out, std::size_t n);
+
+/// Exponential(rate) via a 256-layer ziggurat (Marsaglia–Tsang): exactly
+/// exponential, ~3× cheaper per draw than the log-based inverse CDF (one
+/// uint64 + one multiply on the ~98.9% fast path). The draw sequence
+/// differs from SampleExponential — callers that need a specific stream
+/// layout (the planners' Monte Carlo paths) must pick one sampler and use
+/// it on every code path they compare.
+double SampleExponentialZiggurat(Rng* rng, double rate);
+
+/// Bulk ziggurat draws, in the same order as n scalar calls.
+void SampleExponentialZigguratFill(Rng* rng, double rate, double* out,
+                                   std::size_t n);
+
+/// Fills out[0..n) with Gamma(shape, scale) draws, in the same draw order as
+/// n scalar SampleGamma calls.
+void SampleGammaFill(Rng* rng, double shape, double scale, double* out,
+                     std::size_t n);
 
 /// Sample from Poisson(mean), mean >= 0. Knuth multiplication for small
 /// means; PTRS transformed rejection (Hörmann) for mean >= 10.

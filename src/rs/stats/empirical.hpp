@@ -12,8 +12,16 @@
 namespace rs::stats {
 
 /// Linearly-interpolated sample quantile (type-7, as in NumPy default).
-/// `q` in [0, 1]. The input need not be sorted.
+/// `q` in [0, 1]. The input need not be sorted. Selection-based
+/// (std::nth_element, O(n) expected) rather than a full sort — it returns
+/// the exact same value a sort + QuantileSorted would, since only the two
+/// order statistics adjacent to the interpolation point matter.
 Result<double> Quantile(std::vector<double> values, double q);
+
+/// Same, reordering `*values` in place instead of copying (the hot-loop
+/// form: callers reuse their scratch buffer across calls). The element
+/// order afterwards is unspecified.
+Result<double> QuantileInPlace(std::vector<double>* values, double q);
 
 /// Quantile of an already ascending-sorted range (no copy).
 Result<double> QuantileSorted(const std::vector<double>& sorted, double q);

@@ -39,10 +39,14 @@ Result<DetectedPeriod> DetectOnSeries(const std::vector<double>& values,
       static_cast<std::size_t>(static_cast<double>(n) / options.min_cycles);
   RS_ASSIGN_OR_RETURN(auto acf, Autocorrelation(detrended, max_period + 2));
 
-  for (const auto& peak : peaks) {
-    if (peak.p_value > options.significance) continue;
+  // Each spectral candidate's ACF validation is independent of the others.
+  const auto score = [&](const SpectralPeak& peak) {
+    DetectedPeriod rejected;
+    if (peak.p_value > options.significance) return rejected;
     const auto candidate = static_cast<std::size_t>(std::lround(peak.period));
-    if (candidate < options.min_period || candidate > max_period) continue;
+    if (candidate < options.min_period || candidate > max_period) {
+      return rejected;
+    }
 
     // ACF validation: search for a local ACF maximum near the spectral
     // candidate (within ±20% of the lag) and require it to be material.
@@ -53,13 +57,31 @@ Result<DetectedPeriod> DetectOnSeries(const std::vector<double>& values,
                  std::ceil(1.2 * static_cast<double>(candidate))));
     const std::size_t refined = AcfPeakLag(acf, lo, hi);
     const std::size_t lag = refined != 0 ? refined : candidate;
-    if (lag >= acf.size() || acf[lag] < options.min_acf) continue;
+    if (lag >= acf.size() || acf[lag] < options.min_acf) return rejected;
 
     DetectedPeriod found;
     found.period = lag;
     found.acf_value = acf[lag];
     found.p_value = peak.p_value;
     return found;
+  };
+
+  if (options.pool == nullptr || options.pool->threads() == 0) {
+    // Serial: keep the early exit at the first acceptable candidate.
+    for (const auto& peak : peaks) {
+      const DetectedPeriod found = score(peak);
+      if (found.period != 0) return found;
+    }
+    return none;
+  }
+  // Parallel: score every candidate over the shared read-only ACF, then
+  // take the first acceptable one in decreasing-power order — the same
+  // candidate the serial scan selects, for any pool size.
+  std::vector<DetectedPeriod> scored(peaks.size());
+  common::ParallelFor(options.pool, peaks.size(),
+                      [&](std::size_t p) { scored[p] = score(peaks[p]); });
+  for (const auto& found : scored) {
+    if (found.period != 0) return found;
   }
   return none;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "rs/common/status.hpp"
+#include "rs/common/thread_pool.hpp"
 #include "rs/timeseries/aggregate.hpp"
 
 namespace rs::ts {
@@ -32,6 +33,11 @@ struct PeriodicityOptions {
   std::size_t min_period = 4;
   /// Require at least this many full cycles inside the series.
   double min_cycles = 2.0;
+  /// Optional worker pool: spectral candidates are ACF-scored in parallel
+  /// (each candidate independently, results picked in peak-power order, so
+  /// the detected period is identical for any pool size). The pool must
+  /// outlive the DetectPeriod call.
+  common::ThreadPool* pool = nullptr;
 };
 
 /// A detected periodic component.

@@ -70,6 +70,97 @@ Result<double> PiecewiseConstantIntensity::InverseCumulative(
   return static_cast<double>(bin) * dt_ + remaining / rate;
 }
 
+namespace {
+
+/// The monotone inverse-cumulative sweep shared by the batch entry points.
+/// Visits targets in ascending order (as presented by `target_at`): the
+/// "first cumulative boundary >= target" index is then non-decreasing, so
+/// one binary search for the smallest target plus a forward walk replaces R
+/// independent searches. Every per-element formula is the scalar
+/// InverseCumulative one, so results match it bitwise.
+template <typename TargetAt, typename PutResult>
+Status SweepAscending(const std::vector<double>& cum,
+                      const std::vector<double>& rates, double dt,
+                      std::size_t n, const TargetAt& target_at,
+                      const PutResult& put) {
+  const double tail = rates.back();
+  const double total = cum.back();
+  const double h = dt * static_cast<double>(rates.size());
+  std::size_t idx = 0;
+  bool idx_seeded = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double target = target_at(i);
+    if (target < 0.0) return Status::Invalid("InverseCumulative: target < 0");
+    if (target == 0.0) {
+      put(i, 0.0);
+      continue;
+    }
+    if (target > total) {
+      if (tail <= 0.0) {
+        return Status::OutOfRange(
+            "InverseCumulative: target beyond horizon with zero tail rate");
+      }
+      put(i, h + (target - total) / tail);
+      continue;
+    }
+    if (!idx_seeded) {
+      idx = static_cast<std::size_t>(
+          std::lower_bound(cum.begin(), cum.end(), target) - cum.begin());
+      idx_seeded = true;
+    }
+    while (cum[idx] < target) ++idx;
+    if (idx == 0) {
+      put(i, 0.0);
+      continue;
+    }
+    const std::size_t bin = idx - 1;
+    const double remaining = target - cum[bin];
+    const double rate = rates[bin];
+    put(i, rate <= 0.0
+               ? static_cast<double>(idx) * dt
+               : static_cast<double>(bin) * dt + remaining / rate);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status PiecewiseConstantIntensity::InverseCumulativeBatch(
+    const std::vector<double>& targets, std::vector<double>* out,
+    std::vector<std::uint32_t>* order) const {
+  if (out == nullptr || order == nullptr) {
+    return Status::Invalid("InverseCumulativeBatch: null output");
+  }
+  if (rates_.empty()) return Status::Invalid("InverseCumulative: empty");
+  const std::size_t n = targets.size();
+  out->resize(n);
+  order->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (*order)[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(order->begin(), order->end(),
+            [&targets](std::uint32_t a, std::uint32_t b) {
+              return targets[a] < targets[b];
+            });
+  const std::uint32_t* perm = order->data();
+  double* results = out->data();
+  return SweepAscending(
+      cum_, rates_, dt_, n,
+      [&targets, perm](std::size_t i) { return targets[perm[i]]; },
+      [results, perm](std::size_t i, double v) { results[perm[i]] = v; });
+}
+
+Status PiecewiseConstantIntensity::InverseCumulativeAscending(
+    const double* targets, std::size_t n, double* out) const {
+  if (targets == nullptr || out == nullptr) {
+    return Status::Invalid("InverseCumulativeAscending: null buffers");
+  }
+  if (rates_.empty()) return Status::Invalid("InverseCumulative: empty");
+  return SweepAscending(
+      cum_, rates_, dt_, n, [targets](std::size_t i) { return targets[i]; },
+      [out](std::size_t i, double v) { out[i] = v; });
+}
+
 double PiecewiseConstantIntensity::MaxRate() const {
   double m = 0.0;
   for (double r : rates_) m = std::max(m, r);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -40,6 +41,28 @@ class PiecewiseConstantIntensity {
   /// tail beyond the horizon; target must be >= 0 and the tail rate > 0 if
   /// the target exceeds Λ(horizon).
   Result<double> InverseCumulative(double target) const;
+
+  /// \brief Element-wise InverseCumulative over a whole target batch, with
+  ///        bitwise-identical results to the scalar calls.
+  ///
+  /// Sorts the targets once (into `order`, a reusable index scratch buffer)
+  /// and resolves them in a single monotone sweep over the cumulative grid:
+  /// O(R log R + bins touched) total instead of R independent binary
+  /// searches wrapped in Result. `out` is resized to targets.size(); on a
+  /// non-OK status (negative target, empty intensity, or a target beyond
+  /// the horizon with zero tail rate — the scalar failure cases) its
+  /// contents are unspecified.
+  Status InverseCumulativeBatch(const std::vector<double>& targets,
+                                std::vector<double>* out,
+                                std::vector<std::uint32_t>* order) const;
+
+  /// Same monotone sweep over targets the caller guarantees are already
+  /// ascending (e.g. sorted in place because their original order no longer
+  /// matters): no argsort at all. Writes out[i] for targets[i]; results are
+  /// ascending and bitwise-identical to the scalar calls. `out` may alias
+  /// `targets`.
+  Status InverseCumulativeAscending(const double* targets, std::size_t n,
+                                    double* out) const;
 
   /// Max rate over all bins (thinning envelope, κ upper bound λ̄).
   double MaxRate() const;

@@ -1,0 +1,483 @@
+// Property tests for the optimized planning/training hot paths: the batched
+// sampling layer and the allocation-free decision kernel must be *exactly*
+// (bitwise) equivalent to their naive reference implementations, and the
+// pool-parallel training passes must be byte-identical for any worker
+// count. These are the invariants that make the hot path safe to keep
+// optimizing (see rs/common/kernels.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rs/common/kernels.hpp"
+#include "rs/common/thread_pool.hpp"
+#include "rs/core/admm.hpp"
+#include "rs/core/decision.hpp"
+#include "rs/core/kappa.hpp"
+#include "rs/core/pipeline.hpp"
+#include "rs/core/sequential_scaler.hpp"
+#include "rs/stats/distributions.hpp"
+#include "rs/stats/empirical.hpp"
+#include "rs/stats/rng.hpp"
+#include "rs/timeseries/periodicity.hpp"
+#include "rs/workload/intensity.hpp"
+#include "rs/workload/synthetic.hpp"
+#include "rs/workload/trace.hpp"
+
+namespace rs {
+namespace {
+
+using core::DecisionKernel;
+using core::McSamples;
+using workload::PiecewiseConstantIntensity;
+
+PiecewiseConstantIntensity RandomIntensity(stats::Rng* rng, std::size_t bins,
+                                           bool with_zero_bins,
+                                           double tail_rate) {
+  std::vector<double> rates(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    rates[i] = stats::SampleUniform(rng, 0.1, 5.0);
+    if (with_zero_bins && rng->NextDouble() < 0.2) rates[i] = 0.0;
+  }
+  rates.back() = tail_rate;
+  auto made = PiecewiseConstantIntensity::Make(
+      std::move(rates), stats::SampleUniform(rng, 0.5, 90.0));
+  EXPECT_TRUE(made.ok());
+  return *std::move(made);
+}
+
+// --- Batched inverse cumulative --------------------------------------------
+
+TEST(InverseCumulativeBatchTest, MatchesScalarBitwiseOnRandomInputs) {
+  stats::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto intensity =
+        RandomIntensity(&rng, 3 + rng.NextBounded(40), trial % 2 == 1, 1.0);
+    const double top = intensity.Cumulative(intensity.horizon());
+    std::vector<double> targets(1 + rng.NextBounded(200));
+    for (auto& t : targets) {
+      const double u = rng.NextDouble();
+      if (u < 0.05) {
+        t = 0.0;  // Λ(0) boundary.
+      } else if (u < 0.15) {
+        t = top * (1.0 + rng.NextDouble());  // Beyond the horizon (tail).
+      } else if (u < 0.30) {
+        // Exactly on a cumulative-grid boundary: the tie case.
+        const auto bin = rng.NextBounded(
+            static_cast<std::uint64_t>(intensity.bins()));
+        t = intensity.Cumulative(intensity.dt() * static_cast<double>(bin));
+      } else {
+        t = top * rng.NextDouble();
+      }
+    }
+    std::vector<double> batch;
+    std::vector<std::uint32_t> order;
+    ASSERT_TRUE(intensity.InverseCumulativeBatch(targets, &batch, &order).ok());
+    ASSERT_EQ(batch.size(), targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      auto scalar = intensity.InverseCumulative(targets[i]);
+      ASSERT_TRUE(scalar.ok());
+      // Bitwise equality, not near-equality: the batch sweep must replicate
+      // the scalar arithmetic exactly.
+      EXPECT_EQ(batch[i], scalar.ValueOrDie()) << "target " << targets[i];
+    }
+  }
+}
+
+TEST(InverseCumulativeBatchTest, SingleTargetAndErrors) {
+  auto intensity = *PiecewiseConstantIntensity::Make({2.0, 0.0}, 10.0);
+  std::vector<double> out;
+  std::vector<std::uint32_t> order;
+
+  ASSERT_TRUE(intensity.InverseCumulativeBatch({10.0}, &out, &order).ok());
+  EXPECT_EQ(out[0], intensity.InverseCumulative(10.0).ValueOrDie());
+
+  // Negative target and beyond-horizon-with-zero-tail fail like the scalar.
+  EXPECT_FALSE(intensity.InverseCumulativeBatch({-1.0}, &out, &order).ok());
+  EXPECT_FALSE(intensity.InverseCumulativeBatch({21.0}, &out, &order).ok());
+  EXPECT_FALSE(intensity.InverseCumulative(21.0).ok());
+}
+
+// --- Bulk RNG fills ---------------------------------------------------------
+
+TEST(BulkFillTest, ExponentialFillMatchesScalarDrawOrder) {
+  stats::Rng scalar_rng(99), fill_rng(99);
+  std::vector<double> filled(257);
+  stats::SampleExponentialFill(&fill_rng, 0.37, filled.data(), filled.size());
+  for (double v : filled) {
+    EXPECT_EQ(v, stats::SampleExponential(&scalar_rng, 0.37));
+  }
+  // Generator states stayed in lockstep too.
+  EXPECT_EQ(fill_rng.NextUint64(), scalar_rng.NextUint64());
+}
+
+TEST(BulkFillTest, ZigguratExponentialIsStatisticallyExponential) {
+  stats::Rng rng(2718281828);
+  const std::size_t n = 2'000'000;
+  double sum = 0.0, sum_sq = 0.0;
+  std::size_t tail_count = 0, below_log2 = 0;
+  std::vector<double> buf(4096);
+  for (std::size_t done = 0; done < n; done += buf.size()) {
+    stats::SampleExponentialZigguratFill(&rng, 1.0, buf.data(), buf.size());
+    for (double v : buf) {
+      ASSERT_GE(v, 0.0);
+      sum += v;
+      sum_sq += v * v;
+      if (v > 7.69711747013104972) ++tail_count;  // P = e^−r ≈ 4.54e−4.
+      if (v < M_LN2) ++below_log2;                // P = 1/2 exactly.
+    }
+  }
+  const auto dn = static_cast<double>(n);
+  EXPECT_NEAR(sum / dn, 1.0, 0.005);            // Mean 1 (±~7σ).
+  EXPECT_NEAR(sum_sq / dn, 2.0, 0.02);          // E[X²] = 2.
+  EXPECT_NEAR(static_cast<double>(below_log2) / dn, 0.5, 0.002);
+  EXPECT_NEAR(static_cast<double>(tail_count) / dn,
+              std::exp(-7.69711747013104972), 1.5e-4);
+  // Rate scaling is a plain division of the unit draw.
+  stats::Rng a(5), b(5);
+  EXPECT_EQ(stats::SampleExponentialZiggurat(&a, 4.0),
+            stats::SampleExponentialZiggurat(&b, 1.0) / 4.0);
+}
+
+TEST(BulkFillTest, GammaFillMatchesScalarDrawOrder) {
+  stats::Rng scalar_rng(123), fill_rng(123);
+  std::vector<double> filled(64);
+  stats::SampleGammaFill(&fill_rng, 2.5, 1.5, filled.data(), filled.size());
+  for (double v : filled) {
+    EXPECT_EQ(v, stats::SampleGamma(&scalar_rng, 2.5, 1.5));
+  }
+  EXPECT_EQ(fill_rng.NextUint64(), scalar_rng.NextUint64());
+}
+
+// --- Decision kernel vs reference solvers ----------------------------------
+
+McSamples RandomSamples(stats::Rng* rng, std::size_t r_count, bool with_ties) {
+  McSamples s;
+  s.xi.resize(r_count);
+  s.tau.resize(r_count);
+  for (std::size_t r = 0; r < r_count; ++r) {
+    s.xi[r] = stats::SampleUniform(rng, 0.0, 60.0);
+    s.tau[r] = stats::SampleUniform(rng, 0.0, 20.0);
+  }
+  if (with_ties && r_count >= 4) {
+    // Force breakpoint collisions: duplicate arrivals, zero pending times
+    // (slack == ξ cross-family ties), and a repeated slack value.
+    s.xi[1] = s.xi[0];
+    s.tau[1] = s.tau[0];
+    s.tau[2] = 0.0;
+    s.xi[3] = s.xi[2] - s.tau[2] + s.tau[3];
+  }
+  return s;
+}
+
+TEST(DecisionKernelTest, SolversMatchReferenceBitwise) {
+  stats::Rng rng(2022);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t r_count = 1 + rng.NextBounded(120);
+    const McSamples s = RandomSamples(&rng, r_count, trial % 3 == 0);
+    const double alpha = stats::SampleUniform(&rng, 0.01, 0.99);
+    const double rt_excess = stats::SampleUniform(&rng, 0.0, 12.0);
+    const double idle_budget = stats::SampleUniform(&rng, 0.0, 30.0);
+
+    DecisionKernel kernel;
+    kernel.Bind(s);
+
+    auto hp_ref = core::SolveHpConstrained(s, alpha);
+    auto hp_opt = kernel.SolveHp(alpha);
+    ASSERT_TRUE(hp_ref.ok() && hp_opt.ok());
+    EXPECT_EQ(hp_ref->creation_time, hp_opt->creation_time);
+    EXPECT_EQ(hp_ref->feasible, hp_opt->feasible);
+
+    auto rt_ref = core::SolveRtConstrained(s, rt_excess);
+    auto rt_opt = kernel.SolveRt(rt_excess);
+    ASSERT_TRUE(rt_ref.ok() && rt_opt.ok());
+    EXPECT_EQ(rt_ref->creation_time, rt_opt->creation_time);
+    EXPECT_EQ(rt_ref->feasible, rt_opt->feasible);
+    EXPECT_EQ(rt_ref->unbounded, rt_opt->unbounded);
+
+    auto cost_ref = core::SolveCostConstrained(s, idle_budget);
+    auto cost_opt = kernel.SolveCost(idle_budget);
+    ASSERT_TRUE(cost_ref.ok() && cost_opt.ok());
+    EXPECT_EQ(cost_ref->creation_time, cost_opt->creation_time);
+    EXPECT_EQ(cost_ref->unbounded, cost_opt->unbounded);
+
+    // A second solve on the same bind (prepared state now cached) must not
+    // drift either.
+    auto hp_again = kernel.SolveHp(alpha);
+    ASSERT_TRUE(hp_again.ok());
+    EXPECT_EQ(hp_again->creation_time, hp_opt->creation_time);
+  }
+}
+
+TEST(DecisionKernelTest, InfeasibleAndUnboundedEdges) {
+  // All slacks negative: HP infeasible at any level.
+  McSamples s;
+  s.xi = {1.0, 2.0, 0.5};
+  s.tau = {10.0, 10.0, 10.0};
+  DecisionKernel kernel;
+  kernel.Bind(s);
+  auto hp = kernel.SolveHp(0.5);
+  ASSERT_TRUE(hp.ok());
+  EXPECT_FALSE(hp->feasible);
+  EXPECT_EQ(hp->creation_time, 0.0);
+
+  // rt_excess over mean(τ): unbounded, like the reference.
+  auto rt = kernel.SolveRt(11.0);
+  ASSERT_TRUE(rt.ok());
+  EXPECT_TRUE(rt->unbounded);
+  auto rt_ref = core::SolveRtConstrained(s, 11.0);
+  ASSERT_TRUE(rt_ref.ok());
+  EXPECT_TRUE(rt_ref->unbounded);
+
+  // Budget already satisfied at x = 0 (all slack negative → Ĝ(0) = 0).
+  auto cost = kernel.SolveCost(0.0);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(cost->creation_time, 0.0);
+
+  // R = 1.
+  McSamples one;
+  one.xi = {5.0};
+  one.tau = {2.0};
+  kernel.Bind(one);
+  auto hp1 = kernel.SolveHp(0.3);
+  auto hp1_ref = core::SolveHpConstrained(one, 0.3);
+  ASSERT_TRUE(hp1.ok() && hp1_ref.ok());
+  EXPECT_EQ(hp1->creation_time, hp1_ref->creation_time);
+  auto rt1 = kernel.SolveRt(0.5);
+  auto rt1_ref = core::SolveRtConstrained(one, 0.5);
+  ASSERT_TRUE(rt1.ok() && rt1_ref.ok());
+  EXPECT_EQ(rt1->creation_time, rt1_ref->creation_time);
+
+  // Unbound / invalid inputs fail like the free functions.
+  DecisionKernel unbound;
+  EXPECT_FALSE(unbound.SolveHp(0.5).ok());
+  EXPECT_FALSE(kernel.SolveHp(0.0).ok());
+  EXPECT_FALSE(kernel.SolveRt(-1.0).ok());
+  EXPECT_FALSE(kernel.SolveCost(-1.0).ok());
+}
+
+TEST(DecisionKernelTest, CurveQueriesMatchNaiveEstimators) {
+  stats::Rng rng(555);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t r_count = 1 + rng.NextBounded(80);
+    const McSamples s = RandomSamples(&rng, r_count, trial % 4 == 0);
+    DecisionKernel kernel;
+    kernel.Bind(s);
+    for (int c = 0; c < 30; ++c) {
+      // Random candidates plus exact breakpoints (ξ and slack values).
+      double x = stats::SampleUniform(&rng, -5.0, 70.0);
+      if (c % 3 == 1) x = s.xi[rng.NextBounded(r_count)];
+      if (c % 3 == 2) {
+        const auto r = rng.NextBounded(r_count);
+        x = s.xi[r] - s.tau[r];
+      }
+      EXPECT_NEAR(kernel.ExpectedWait(x), core::EstimateExpectedWait(s, x),
+                  1e-9 * static_cast<double>(r_count) + 1e-12);
+      EXPECT_NEAR(kernel.ExpectedIdle(x), core::EstimateExpectedIdle(s, x),
+                  1e-9 * static_cast<double>(r_count) + 1e-12);
+    }
+  }
+}
+
+// --- Planner parity: optimized vs reference kernels ------------------------
+
+std::vector<sim::ScalingAction> DrivePolicy(core::RobustScalerPolicy* policy,
+                                            double planning_interval,
+                                            std::size_t rounds) {
+  std::vector<sim::ScalingAction> actions;
+  std::vector<double> history;
+  sim::SimContext ctx;
+  ctx.arrival_history = &history;
+  actions.push_back(policy->Initialize(ctx));
+  std::size_t outstanding = actions.back().creation_times.size();
+  for (std::size_t i = 1; i <= rounds; ++i) {
+    ctx.now = static_cast<double>(i) * planning_interval;
+    // Exercise both the outstanding > 0 (Gamma draw) and the cold paths.
+    ctx.instances_alive = i % 3 == 0 ? 0 : outstanding / 2;
+    ctx.scheduled_creations = i % 3 == 2 ? outstanding / 4 : 0;
+    actions.push_back(policy->OnPlanningTick(ctx));
+    outstanding =
+        std::max<std::size_t>(actions.back().creation_times.size(), 1);
+  }
+  return actions;
+}
+
+void ExpectSameActions(const std::vector<sim::ScalingAction>& a,
+                       const std::vector<sim::ScalingAction>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].creation_times.size(), b[i].creation_times.size())
+        << "round " << i;
+    for (std::size_t k = 0; k < a[i].creation_times.size(); ++k) {
+      EXPECT_EQ(a[i].creation_times[k], b[i].creation_times[k])
+          << "round " << i << ", creation " << k;
+    }
+    EXPECT_EQ(a[i].deletions, b[i].deletions);
+  }
+}
+
+TEST(PlannerParityTest, ReferenceAndOptimizedKernelsEmitIdenticalActions) {
+  stats::Rng rng(31337);
+  const auto intensity = RandomIntensity(&rng, 64, false, 2.0);
+  const std::vector<stats::DurationDistribution> pendings = {
+      stats::DurationDistribution::Deterministic(13.0),
+      stats::DurationDistribution::Exponential(9.0),
+      stats::DurationDistribution::Uniform(2.0, 8.0),
+  };
+  const std::vector<core::ScalerVariant> variants = {
+      core::ScalerVariant::kHittingProbability,
+      core::ScalerVariant::kResponseTime,
+      core::ScalerVariant::kCost,
+  };
+  for (const auto& pending : pendings) {
+    for (auto variant : variants) {
+      core::SequentialScalerOptions options;
+      options.variant = variant;
+      options.mc_samples = 120;
+      options.planning_interval = 4.0;
+      options.seed = 20260730;
+      options.rt_excess = 0.5;
+      options.idle_budget = 1.0;
+
+      common::ScopedReferenceKernels as_reference(true);
+      core::RobustScalerPolicy reference(intensity, pending, options);
+      const auto ref_actions = DrivePolicy(&reference, 4.0, 24);
+
+      common::SetReferenceKernels(false);
+      core::RobustScalerPolicy optimized(intensity, pending, options);
+      const auto opt_actions = DrivePolicy(&optimized, 4.0, 24);
+
+      ExpectSameActions(ref_actions, opt_actions);
+    }
+  }
+}
+
+TEST(PlannerParityTest, HpCountScalerParity) {
+  stats::Rng rng(40);
+  const auto intensity = RandomIntensity(&rng, 48, false, 1.5);
+  for (const auto& pending : {stats::DurationDistribution::Deterministic(13.0),
+                              stats::DurationDistribution::Exponential(7.0)}) {
+    core::HpCountScalerOptions options;
+    options.mc_samples = 150;
+    options.m = 2;
+    options.seed = 4711;
+
+    const auto drive = [&](bool reference) {
+      common::ScopedReferenceKernels mode(reference);
+      core::HpCountScaler scaler(intensity, pending, options);
+      std::vector<sim::ScalingAction> actions;
+      std::vector<double> history;
+      sim::SimContext ctx;
+      ctx.arrival_history = &history;
+      actions.push_back(scaler.Initialize(ctx));
+      for (std::size_t i = 0; i < 12; ++i) {
+        ctx.now = static_cast<double>(i) * 1.7;
+        actions.push_back(scaler.OnQueryArrival(ctx, false));
+      }
+      return actions;
+    };
+    ExpectSameActions(drive(true), drive(false));
+  }
+}
+
+// --- Training parity across worker counts ----------------------------------
+
+TEST(TrainingParityTest, KappaMonteCarloIdenticalAcrossWorkerCounts) {
+  const auto pending = stats::DurationDistribution::Exponential(13.0);
+  std::vector<std::size_t> kappas;
+  std::vector<std::uint64_t> rng_states;
+  for (std::size_t workers : {std::size_t{0}, std::size_t{1}, std::size_t{8}}) {
+    common::ThreadPool pool(workers);
+    stats::Rng rng(606);
+    auto kappa = core::ComputeKappaMonteCarlo(&rng, 0.1, 3.0, pending, 2000,
+                                              100000, &pool);
+    ASSERT_TRUE(kappa.ok());
+    kappas.push_back(kappa.ValueOrDie());
+    // The caller's generator must also end in the same state (substream
+    // seeds are drawn from it serially, never concurrently).
+    rng_states.push_back(rng.NextUint64());
+  }
+  EXPECT_EQ(kappas[0], kappas[1]);
+  EXPECT_EQ(kappas[0], kappas[2]);
+  EXPECT_GT(kappas[0], 0u);
+  EXPECT_EQ(rng_states[0], rng_states[1]);
+  EXPECT_EQ(rng_states[0], rng_states[2]);
+}
+
+TEST(TrainingParityTest, FitNhppIdenticalAcrossWorkerCounts) {
+  stats::Rng rng(17);
+  std::vector<double> counts(600);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double level =
+        20.0 + 15.0 * std::sin(2.0 * M_PI * static_cast<double>(i % 48) / 48.0);
+    counts[i] = static_cast<double>(stats::SamplePoisson(&rng, level));
+  }
+  core::NhppConfig config;
+  config.dt = 60.0;
+  config.beta1 = 10.0;
+  config.beta2 = 50.0;
+  config.period = 48;
+  core::AdmmOptions options;
+  options.max_iterations = 40;
+
+  std::vector<std::vector<double>> fits;
+  for (std::size_t workers : {std::size_t{0}, std::size_t{1}, std::size_t{8}}) {
+    common::ThreadPool pool(workers);
+    options.pool = &pool;
+    auto model = core::FitNhpp(counts, config, options);
+    ASSERT_TRUE(model.ok());
+    fits.push_back(model->Intensity());
+  }
+  EXPECT_EQ(fits[0], fits[1]);
+  EXPECT_EQ(fits[0], fits[2]);
+}
+
+TEST(TrainingParityTest, FullPipelineIdenticalAcrossWorkerCounts) {
+  auto synth = workload::MakeAlibabaLikeTrace();
+  ASSERT_TRUE(synth.ok());
+  auto split = synth->trace.SplitAt(2.0 * 86400.0);
+
+  std::vector<std::vector<double>> forecasts;
+  std::vector<std::size_t> periods;
+  for (std::size_t workers : {std::size_t{0}, std::size_t{1}, std::size_t{8}}) {
+    common::ThreadPool pool(workers);
+    core::PipelineOptions options;
+    options.dt = 600.0;
+    options.forecast_horizon = 6.0 * 3600.0;
+    options.training_pool = &pool;
+    auto trained = core::TrainRobustScaler(split.first, options);
+    ASSERT_TRUE(trained.ok());
+    forecasts.push_back(trained->forecast.rates());
+    periods.push_back(trained->period.period);
+  }
+  EXPECT_EQ(periods[0], periods[1]);
+  EXPECT_EQ(periods[0], periods[2]);
+  EXPECT_EQ(forecasts[0], forecasts[1]);
+  EXPECT_EQ(forecasts[0], forecasts[2]);
+}
+
+// --- Quantile selection -----------------------------------------------------
+
+TEST(QuantileSelectTest, MatchesFullSortBitwise) {
+  stats::Rng rng(8080);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> values(1 + rng.NextBounded(300));
+    for (auto& v : values) {
+      v = stats::SampleUniform(&rng, -50.0, 50.0);
+      if (rng.NextDouble() < 0.2) v = std::round(v);  // Inject ties.
+    }
+    const double q = rng.NextDouble();
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    auto expected = stats::QuantileSorted(sorted, q);
+    auto via_select = stats::Quantile(values, q);
+    auto in_place = stats::QuantileInPlace(&values, q);
+    ASSERT_TRUE(expected.ok() && via_select.ok() && in_place.ok());
+    EXPECT_EQ(expected.ValueOrDie(), via_select.ValueOrDie());
+    EXPECT_EQ(expected.ValueOrDie(), in_place.ValueOrDie());
+  }
+}
+
+}  // namespace
+}  // namespace rs

@@ -298,6 +298,26 @@ TEST(EmpiricalTest, QuantileRejectsBadInputs) {
   EXPECT_FALSE(Quantile({}, 0.5).ok());
   EXPECT_FALSE(Quantile({1.0}, -0.1).ok());
   EXPECT_FALSE(Quantile({1.0}, 1.1).ok());
+  EXPECT_FALSE(QuantileInPlace(nullptr, 0.5).ok());
+}
+
+// Regression pin for the selection-based Quantile: it must keep the exact
+// type-7 (NumPy default) convention the sort-based implementation had —
+// linear interpolation between the order statistics at floor/ceil of
+// q·(n−1), ties and duplicates included.
+TEST(EmpiricalTest, QuantileSelectionKeepsType7Convention) {
+  std::vector<double> v{7.0, 1.0, 1.0, 3.0, 5.0};  // sorted: 1 1 3 5 7
+  EXPECT_DOUBLE_EQ(*Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(*Quantile(v, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(*Quantile(v, 0.375), 2.0);   // Between the tie and 3.
+  EXPECT_DOUBLE_EQ(*Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(*Quantile(v, 0.625), 4.0);
+  EXPECT_DOUBLE_EQ(*Quantile(v, 0.9), 6.2);     // 0.6·5 + 0.4·7.
+  EXPECT_DOUBLE_EQ(*Quantile(v, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(*Quantile({42.0}, 0.7), 42.0);
+
+  std::vector<double> scratch{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(*QuantileInPlace(&scratch, 0.5), 2.5);
 }
 
 TEST(EmpiricalTest, MeanVarianceMedian) {

@@ -360,6 +360,7 @@ ServingSnapshot Scaler::Snapshot() const {
   snap.history_retention = EffectiveRetention();
   snap.arrivals_retained = serving_->arrivals.size();
   snap.actions_retained = serving_->log.size();
+  snap.planning_workspace_bytes = strategy_->planning_workspace_bytes();
   return snap;
 }
 
@@ -423,6 +424,10 @@ ScalerBuilder& ScalerBuilder::WithPipelineOptions(
 }
 ScalerBuilder& ScalerBuilder::WithTrainingPool(common::ThreadPool* pool) {
   training_pool_ = pool;
+  return *this;
+}
+ScalerBuilder& ScalerBuilder::WithPlanningPool(common::ThreadPool* pool) {
+  planning_pool_ = pool;
   return *this;
 }
 
@@ -511,6 +516,7 @@ Result<Scaler> ScalerBuilder::Build() const {
   context.mc_samples = mc_samples_;
   context.planning_interval = planning_interval_;
   context.seed = seed_;
+  context.planning_pool = planning_pool_;
   RS_ASSIGN_OR_RETURN(auto strategy,
                       StrategyRegistry::Global().Create(spec, context));
 

@@ -59,6 +59,10 @@ struct ServingSnapshot {
   std::size_t arrivals_retained = 0;
   /// ActionLog() entries currently held vs `planning_rounds` (the total).
   std::size_t actions_retained = 0;
+  /// Bytes of persistent planning scratch (Monte Carlo workspaces, decision
+  /// kernels) the strategy retains; tracks the strategy's R and shrinks when
+  /// it drops. FleetSnapshot sums this across tenants.
+  std::size_t planning_workspace_bytes = 0;
 };
 
 /// \brief A trained, ready-to-serve autoscaler (build via ScalerBuilder).
@@ -80,6 +84,18 @@ class Scaler {
   /// Registry-style description of the serving strategy, e.g.
   /// "robust_hp:target=0.9".
   const std::string& strategy_name() const { return strategy_name_; }
+
+  /// \brief Re-points the strategy's internal planning fan-out at `pool`
+  ///        (nullptr plans inline).
+  ///
+  /// Purely a wall-time knob: strategies that honor it keep their emitted
+  /// actions byte-identical for any pool size, so serving behavior never
+  /// depends on the pool. The pool must outlive this Scaler's planning
+  /// calls. ScalerFleet calls this on Register/ReplaceModel to share its
+  /// tenant-batching pool with per-tenant plan shards (one work queue).
+  void SetPlanningPool(common::ThreadPool* pool) {
+    strategy_->SetPlanningPool(pool);
+  }
 
   // -- Batch replay ---------------------------------------------------------
 
@@ -267,6 +283,13 @@ class ScalerBuilder {
   /// time. The pool must outlive Build().
   ScalerBuilder& WithTrainingPool(common::ThreadPool* pool);
 
+  /// Worker pool the serving strategy shards its per-plan Monte Carlo
+  /// rounds over (see core::SequentialScalerOptions::planning_pool).
+  /// Emitted actions are byte-identical for any pool size — purely a
+  /// wall-time knob. The pool must outlive the built Scaler (it can be
+  /// replaced later via Scaler::SetPlanningPool).
+  ScalerBuilder& WithPlanningPool(common::ThreadPool* pool);
+
   /// Expert escape hatch: full pipeline configuration (periodicity, ADMM,
   /// forecast, β weights). WithBinWidth / WithForecastHorizon /
   /// WithAggregateFactor still override their fields regardless of call
@@ -291,6 +314,7 @@ class ScalerBuilder {
   std::size_t mc_samples_ = 300;
   std::uint64_t seed_ = 31;
   common::ThreadPool* training_pool_ = nullptr;
+  common::ThreadPool* planning_pool_ = nullptr;
 };
 
 /// \brief Facade over module 1–3 training for callers that share one fit

@@ -39,6 +39,10 @@ Status ScalerFleet::Register(std::string tenant, Scaler scaler) {
   tenants_.push_back(
       std::make_unique<Tenant>(std::move(tenant), std::move(scaler)));
   index_[tenants_.back()->name] = tenants_.size() - 1;
+  // One work queue at both grains: the tenant's own Monte Carlo shards run
+  // on the fleet pool alongside other tenants' plans.
+  tenants_.back()->scaler.SetPlanningPool(
+      intra_plan_sharding_ ? pool_.get() : nullptr);
   return Status::OK();
 }
 
@@ -59,7 +63,16 @@ Status ScalerFleet::ReplaceModel(const std::string& tenant, Scaler scaler) {
   const std::size_t i = FindIndex(tenant);
   if (i == tenants_.size()) return UnknownTenant("ReplaceModel", tenant);
   tenants_[i]->scaler = std::move(scaler);
+  tenants_[i]->scaler.SetPlanningPool(intra_plan_sharding_ ? pool_.get()
+                                                           : nullptr);
   return Status::OK();
+}
+
+void ScalerFleet::SetIntraPlanSharding(bool enabled) {
+  intra_plan_sharding_ = enabled;
+  for (auto& entry : tenants_) {
+    entry->scaler.SetPlanningPool(enabled ? pool_.get() : nullptr);
+  }
 }
 
 std::vector<std::string> ScalerFleet::Tenants() const {
@@ -141,6 +154,7 @@ FleetSnapshot ScalerFleet::Snapshot() const {
     fleet.planning_rounds += snap.planning_rounds;
     fleet.arrivals_retained += snap.arrivals_retained;
     fleet.actions_retained += snap.actions_retained;
+    fleet.planning_workspace_bytes += snap.planning_workspace_bytes;
     fleet.per_tenant.emplace_back(entry->name, std::move(snap));
   }
   return fleet;

@@ -62,6 +62,10 @@ struct FleetSnapshot {
   // -- Retained state (memory actually held), summed across tenants ---------
   std::size_t arrivals_retained = 0;
   std::size_t actions_retained = 0;
+  /// Planning-workspace bytes retained across tenants (Monte Carlo buffers,
+  /// decision kernels). Workspaces shrink-to-fit when a tenant's R drops,
+  /// so retiring or downsizing large tenants releases this memory.
+  std::size_t planning_workspace_bytes = 0;
 
   /// Per-tenant snapshots in registration order.
   std::vector<std::pair<std::string, ServingSnapshot>> per_tenant;
@@ -69,6 +73,12 @@ struct FleetSnapshot {
 
 /// \brief Owns N named Scaler instances and serves them behind one front
 ///        end, batching planning across tenants on a worker pool.
+///
+/// The pool is shared at both grains: PlanAll fans tenants out over it, and
+/// each tenant's strategy shards its own Monte Carlo rounds into the same
+/// work queue (no nested pools — ParallelFor's caller participation makes
+/// the nesting deadlock-free). A 1-tenant fleet on a 16-thread pool and a
+/// 16-tenant fleet on the same pool therefore both saturate it.
 class ScalerFleet {
  public:
   /// `worker_threads` sizes the internal planning pool; 0 plans inline on
@@ -116,6 +126,16 @@ class ScalerFleet {
   /// First error aborts the sweep and is returned.
   Status ConfigureServingAll(const sim::EngineOptions& options);
 
+  /// \brief Toggles intra-plan Monte Carlo sharding (default on): whether
+  ///        tenant strategies feed their per-plan shards into the fleet's
+  ///        own worker pool.
+  ///
+  /// Off restores tenant-level-only batching (each Plan runs serially on
+  /// its worker). Either setting emits byte-identical actions — this only
+  /// moves where the wall time goes, e.g. benchmarking the two grains
+  /// against each other (bench_fleet_scaling --plan-workers).
+  void SetIntraPlanSharding(bool enabled);
+
   // -- Serving --------------------------------------------------------------
 
   /// Reports one arrival for `tenant` (its own serving clock; clocks are
@@ -162,6 +182,7 @@ class ScalerFleet {
   /// so lookup must not scale with fleet size.
   std::unordered_map<std::string, std::size_t> index_;
   std::unique_ptr<common::ThreadPool> pool_;
+  bool intra_plan_sharding_ = true;
 };
 
 }  // namespace rs::api

@@ -1,5 +1,8 @@
 #include "rs/common/thread_pool.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
 #include <utility>
 
 namespace rs::common {
@@ -60,18 +63,39 @@ void ThreadPool::WorkerLoop() {
 
 void ParallelFor(ThreadPool* pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn) {
-  if (pool == nullptr || pool->threads() == 0) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->threads() == 0 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  Latch done(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    pool->Submit([&fn, &done, i] {
+  // Work-conquering fan-out: indices are claimed from a shared counter by
+  // up to `threads` helper tasks AND the calling thread. The caller always
+  // drains the remaining indices itself, so nested ParallelFor calls on one
+  // shared pool cannot deadlock — a worker running an outer task that fans
+  // out again makes progress on its own indices even while every other
+  // worker is busy (the fleet's one-work-queue planning relies on this).
+  struct SharedState {
+    explicit SharedState(std::size_t count) : done(count) {}
+    std::atomic<std::size_t> next{0};
+    Latch done;
+  };
+  auto state = std::make_shared<SharedState>(n);
+  // Capturing `fn` by reference is safe: a helper only dereferences it
+  // after claiming an index < n, and the latch cannot reach zero (so Wait
+  // cannot return and `fn` cannot die) until that index finishes. Late
+  // helpers that claim >= n touch only their own shared_ptr copy.
+  const auto work = [state, &fn, n] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
       fn(i);
-      done.CountDown();
-    });
-  }
-  done.Wait();
+      state->done.CountDown();
+    }
+  };
+  const std::size_t helpers = std::min(pool->threads(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) pool->Submit(work);
+  work();
+  state->done.Wait();
 }
 
 void ParallelForChunks(

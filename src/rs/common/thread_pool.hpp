@@ -82,10 +82,14 @@ class ThreadPool {
 ///        the calling thread.
 ///
 /// Each index is executed exactly once by exactly one thread, and the
-/// returning Wait() orders every fn(i)'s writes before the caller's reads
-/// — callers may scatter results into a preallocated slot-per-index
-/// buffer without further synchronization (deterministic result ordering
-/// regardless of scheduling).
+/// return orders every fn(i)'s writes before the caller's reads — callers
+/// may scatter results into a preallocated slot-per-index buffer without
+/// further synchronization (deterministic result ordering regardless of
+/// scheduling). The calling thread participates in the work (indices are
+/// claimed from a shared counter), which makes nested ParallelFor calls on
+/// one shared pool deadlock-free: an outer task that fans out again always
+/// progresses on its own indices, so one work queue can serve both
+/// fleet-level tenant batching and intra-plan Monte Carlo shards.
 void ParallelFor(ThreadPool* pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn);
 

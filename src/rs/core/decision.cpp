@@ -406,4 +406,13 @@ double DecisionKernel::ExpectedIdle(double x) {
          static_cast<double>(n);
 }
 
+std::size_t DecisionKernel::WorkspaceBytes() const {
+  return (slack_.capacity() + slack_prefix_.capacity() +
+          sorted_xi_.capacity() + xi_prefix_.capacity() +
+          scratch_.capacity()) *
+             sizeof(double) +
+         (radix_.keys.capacity() + radix_.tmp.capacity()) *
+             sizeof(std::uint64_t);
+}
+
 }  // namespace rs::core

@@ -109,6 +109,10 @@ class DecisionKernel {
   /// Ê[(ξ − τ − x)+] in O(log R) after the same prep.
   double ExpectedIdle(double x);
 
+  /// Bytes of scratch retained across binds (buffer capacities) — the
+  /// kernel's share of a PlanWorkspace's memory accounting.
+  std::size_t WorkspaceBytes() const;
+
  private:
   Status EnsureBound() const;
   void EnsureSlack();        ///< slack_[r] = ξ_r − τ_r (unsorted).

@@ -5,28 +5,32 @@
 
 #include "rs/common/kernels.hpp"
 #include "rs/common/logging.hpp"
+#include "rs/common/thread_pool.hpp"
 #include "rs/core/kappa.hpp"
 
 namespace rs::core {
 
 namespace {
 
-/// Advances every Monte Carlo path by one Exp(1) increment (ziggurat
-/// sampler — the single biggest per-decision cost). Both kernel modes go
-/// through this, so the generator consumes the same draws in the same order
-/// regardless of which kernels solve the decision.
-void AdvanceGamma(stats::Rng* rng, PlanWorkspace* ws, std::size_t r_count) {
-  stats::SampleExponentialZigguratFill(rng, 1.0, ws->exp_inc.data(), r_count);
-  double* gamma = ws->gamma.data();
-  const double* inc = ws->exp_inc.data();
-  for (std::size_t r = 0; r < r_count; ++r) gamma[r] += inc[r];
-}
+/// Rows of γ/τ staged per solve batch: bounds tile memory at kPlanTile × R
+/// doubles per buffer while keeping pool joins infrequent.
+constexpr std::size_t kPlanTile = 32;
 
-/// Draws the pending-time samples (after the round's arrival draws, in both
-/// kernel modes — deterministic distributions consume nothing).
-void FillTau(stats::Rng* rng, const stats::DurationDistribution& pending,
-             double* tau, std::size_t r_count) {
-  for (std::size_t r = 0; r < r_count; ++r) tau[r] = pending.Sample(rng);
+/// Path-block granularity of the counter-based draw substreams: block b of
+/// a query's R Monte Carlo paths always draws from the same substream, so
+/// the blocking — and therefore every drawn byte — depends only on (query
+/// index, R), never on the worker count. 128 gives the paper's R = 1000
+/// eight-way draw parallelism while each task still fills a full tile of
+/// rows per block (microseconds of work, far above scheduling cost).
+constexpr std::size_t kPlanRngBlock = 128;
+
+/// Resize + shrink-to-fit hysteresis: buffers shrink only once they retain
+/// more than twice the live size, so alternating sizes don't thrash
+/// reallocation but a tenant whose R drops stops pinning peak memory.
+template <typename T>
+void FitVector(std::vector<T>* v, std::size_t n) {
+  v->resize(n);
+  if (v->capacity() > 2 * std::max<std::size_t>(n, 1)) v->shrink_to_fit();
 }
 
 /// Exact (v_lo, v_hi) order statistics at ranks lo <= hi of values[0..n) by
@@ -59,17 +63,19 @@ void SelectOrderStatPair(double* values, std::size_t n, std::size_t lo,
 /// selected directly on the cumulative targets and inverted individually:
 /// two inversions instead of R, with exactly the doubles the reference path
 /// computes. The previous round's quantile for the same query index is kept
-/// in ws->hp_cuts as a warm pivot: one branchless counting pass confirms the
+/// in hp_cuts as a warm pivot: one branchless counting pass confirms the
 /// pivot bounds at least hi+1 elements, and the exact selection then runs on
-/// only that ~αR-sized prefilter. `ws->targets` is consumed (reordered).
+/// only that ~αR-sized prefilter. `shard->targets` is consumed (reordered).
+/// hp_cuts must be pre-sized past k_index (slots are written concurrently by
+/// distinct query indices, so no resize may happen here).
 Result<Decision> SolveHpDeterministicTau(
-    const workload::PiecewiseConstantIntensity& forecast, PlanWorkspace* ws,
-    double now, double tau, double alpha, std::size_t r_count,
-    std::size_t k_index, double base) {
+    const workload::PiecewiseConstantIntensity& forecast, PlanShard* shard,
+    std::vector<double>* hp_cuts, double now, double tau, double alpha,
+    std::size_t r_count, std::size_t k_index, double base) {
   if (!(alpha > 0.0) || !(alpha < 1.0)) {
     return Status::Invalid("SolveHpConstrained: alpha must lie in (0, 1)");
   }
-  std::vector<double>& targets = ws->targets;
+  std::vector<double>& targets = shard->targets;
   // The scalar path fails the whole round when any target lies beyond a
   // zero-rate tail; probe the largest target so this path fails identically
   // instead of silently answering from the two selected statistics.
@@ -84,13 +90,14 @@ Result<Decision> SolveHpDeterministicTau(
 
   double t_lo = 0.0, t_hi = 0.0;
   bool selected = false;
-  if (k_index < ws->hp_cuts.size() && ws->hp_cuts[k_index] > 0.0) {
+  RS_DCHECK(k_index < hp_cuts->size());
+  if ((*hp_cuts)[k_index] > 0.0) {
     // γ's α-quantile at this query index moves only by sampling noise
     // between rounds; a small safety margin above last round's cut bounds
     // the quantile pair with near-certainty (miss → exact fallback below).
     const double margin =
         std::max(1.0, 0.2 * std::sqrt(static_cast<double>(k_index + 1)));
-    const double pivot = base + ws->hp_cuts[k_index] + margin;
+    const double pivot = base + (*hp_cuts)[k_index] + margin;
     const double* t = targets.data();
     std::size_t count = 0;
     for (std::size_t r = 0; r < r_count; ++r) {
@@ -99,8 +106,8 @@ Result<Decision> SolveHpDeterministicTau(
     if (count > hi) {
       // The count elements below the pivot are exactly the count smallest:
       // ranks lo and hi live inside the prefilter.
-      ws->gather.resize(r_count);
-      double* g = ws->gather.data();
+      shard->gather.resize(r_count);
+      double* g = shard->gather.data();
       std::size_t idx = 0;
       for (std::size_t r = 0; r < r_count; ++r) {
         if (t[r] < pivot) g[idx++] = t[r];
@@ -112,8 +119,7 @@ Result<Decision> SolveHpDeterministicTau(
   if (!selected) {
     SelectOrderStatPair(targets.data(), r_count, lo, hi, &t_lo, &t_hi);
   }
-  if (ws->hp_cuts.size() <= k_index) ws->hp_cuts.resize(k_index + 1, 0.0);
-  ws->hp_cuts[k_index] = t_hi - base;
+  (*hp_cuts)[k_index] = t_hi - base;
 
   RS_ASSIGN_OR_RETURN(const double inv_lo, forecast.InverseCumulative(t_lo));
   const double slack_lo = std::max(0.0, inv_lo - now) - tau;
@@ -129,14 +135,340 @@ Result<Decision> SolveHpDeterministicTau(
   return d;
 }
 
+/// Everything one planning round needs, shared by both planners and both
+/// kernel modes.
+struct RoundParams {
+  const workload::PiecewiseConstantIntensity* forecast = nullptr;
+  const stats::DurationDistribution* pending = nullptr;
+  common::ThreadPool* pool = nullptr;
+  ScalerVariant variant = ScalerVariant::kHittingProbability;
+  double alpha = 0.1;
+  double rt_excess = 0.0;
+  double idle_budget = 0.0;
+  double now = 0.0;          ///< Forecast-local decision time.
+  double emit_origin = 0.0;  ///< Clock the creation times are emitted on.
+  std::size_t r_count = 0;
+  std::size_t skip = 0;   ///< Upcoming queries already covered this round.
+  std::size_t count = 0;  ///< Decisions to commit this round.
+  bool stop_on_unbounded = false;
+  const char* who = "RobustScaler";
+};
+
+bool DeterministicTau(const RoundParams& p) {
+  return p.pending->kind() ==
+         stats::DurationDistribution::Kind::kDeterministic;
+}
+
+/// \brief Draw phase of one tile: stages the cumulative exposure rows
+///        tile_gamma[j − j_begin][r] = γ_j(r) (and, for stochastic τ, the
+///        pending rows tile_tau) for round-relative query indices
+///        j ∈ [j_begin, j_end).
+///
+/// Every draw comes from a counter-based substream of `draw_base` keyed on
+/// (j, path block): block b of query j draws its Exp(1) increments from
+/// draw_base.SubstreamAt(1 + 2j).SubstreamAt(b) and its τ samples from
+/// draw_base.SubstreamAt(2 + 2j).SubstreamAt(b); the Gamma(skip, 1)
+/// warm-up exposure of the already-covered queries (first tile only) draws
+/// from draw_base.SubstreamAt(0).SubstreamAt(b). The layout depends only
+/// on (j, r_count) — never on the pool — so serial and parallel fills
+/// produce identical bytes, and ws->gamma carries the cumulative γ into
+/// the next tile.
+void FillTile(const RoundParams& p, const stats::Rng& draw_base,
+              std::size_t j_begin, std::size_t j_end, PlanWorkspace* ws,
+              common::ThreadPool* pool) {
+  const std::size_t r_count = p.r_count;
+  const bool stochastic_tau = !DeterministicTau(p);
+  const std::size_t rows = j_end - j_begin;
+  double* tile = ws->tile_gamma.data();
+  double* tile_tau = stochastic_tau ? ws->tile_tau.data() : nullptr;
+  double* carry = ws->gamma.data();
+  common::ParallelForChunks(
+      pool, r_count, kPlanRngBlock,
+      [&](std::size_t block, std::size_t begin, std::size_t end) {
+        const std::size_t len = end - begin;
+        if (j_begin == 0) {
+          if (p.skip > 0) {
+            stats::Rng warmup = draw_base.SubstreamAt(0).SubstreamAt(block);
+            stats::SampleGammaFill(&warmup, static_cast<double>(p.skip), 1.0,
+                                   carry + begin, len);
+          } else {
+            std::fill(carry + begin, carry + end, 0.0);
+          }
+        }
+        for (std::size_t j = j_begin; j < j_end; ++j) {
+          double* row = tile + (j - j_begin) * r_count + begin;
+          stats::Rng exp_rng =
+              draw_base.SubstreamAt(1 + 2 * j).SubstreamAt(block);
+          stats::SampleExponentialZigguratFill(&exp_rng, 1.0, row, len);
+          const double* prev =
+              j == j_begin ? carry + begin
+                           : tile + (j - j_begin - 1) * r_count + begin;
+          for (std::size_t r = 0; r < len; ++r) row[r] += prev[r];
+          if (stochastic_tau) {
+            stats::Rng tau_rng =
+                draw_base.SubstreamAt(2 + 2 * j).SubstreamAt(block);
+            double* tau_row = tile_tau + (j - j_begin) * r_count + begin;
+            for (std::size_t r = 0; r < len; ++r) {
+              tau_row[r] = p.pending->Sample(&tau_rng);
+            }
+          }
+        }
+        const double* last = tile + (rows - 1) * r_count;
+        std::copy(last + begin, last + end, carry + begin);
+      });
+}
+
+Result<Decision> SolveVariant(DecisionKernel* kernel, const RoundParams& p) {
+  switch (p.variant) {
+    case ScalerVariant::kHittingProbability:
+      return kernel->SolveHp(p.alpha);
+    case ScalerVariant::kResponseTime:
+      return kernel->SolveRt(p.rt_excess);
+    case ScalerVariant::kCost:
+      return kernel->SolveCost(p.idle_budget);
+  }
+  return Status::Invalid("RobustScalerPolicy: unknown variant");
+}
+
+/// Optimized-kernel solve of one query's decision on its own shard; safe to
+/// run concurrently with other rows (distinct shards, distinct hp_cuts
+/// slots, const forecast).
+SolvedDecision SolveOptimizedRow(const RoundParams& p, PlanShard* shard,
+                                 std::vector<double>* hp_cuts,
+                                 const double* gamma_row,
+                                 const double* tau_row, std::size_t abs_k,
+                                 double base) {
+  SolvedDecision out;
+  const std::size_t r_count = p.r_count;
+  const bool deterministic_tau = DeterministicTau(p);
+  shard->targets.resize(r_count);
+  double* targets = shard->targets.data();
+  for (std::size_t r = 0; r < r_count; ++r) targets[r] = base + gamma_row[r];
+
+  Result<Decision> decision = Decision{};
+  if (deterministic_tau &&
+      p.variant == ScalerVariant::kHittingProbability) {
+    decision =
+        SolveHpDeterministicTau(*p.forecast, shard, hp_cuts, p.now,
+                                p.pending->Mean(), p.alpha, r_count, abs_k,
+                                base);
+  } else if (deterministic_tau) {
+    // RT/cost with constant τ: the pairing of ξ with τ is irrelevant, so
+    // sort the targets in place and invert them in one ascending sweep —
+    // ξ lands pre-sorted and the kernel needs no sort of its own.
+    common::RadixSortAscending(targets, r_count, &shard->radix);
+    shard->samples.xi.resize(r_count);
+    shard->samples.tau.resize(r_count);
+    Status status = p.forecast->InverseCumulativeAscending(
+        targets, r_count, shard->samples.xi.data());
+    if (!status.ok()) {
+      out.status = std::move(status);
+      return out;
+    }
+    for (std::size_t r = 0; r < r_count; ++r) {
+      shard->samples.xi[r] = std::max(0.0, shard->samples.xi[r] - p.now);
+    }
+    std::fill(shard->samples.tau.begin(), shard->samples.tau.end(),
+              p.pending->Mean());
+    shard->kernel.BindAscendingXi(shard->samples);
+    decision = SolveVariant(&shard->kernel, p);
+  } else {
+    Status status = p.forecast->InverseCumulativeBatch(
+        shard->targets, &shard->samples.xi, &shard->order);
+    if (!status.ok()) {
+      out.status = std::move(status);
+      return out;
+    }
+    shard->samples.tau.resize(r_count);
+    for (std::size_t r = 0; r < r_count; ++r) {
+      shard->samples.xi[r] = std::max(0.0, shard->samples.xi[r] - p.now);
+      shard->samples.tau[r] = tau_row[r];
+    }
+    shard->kernel.Bind(shard->samples);
+    decision = SolveVariant(&shard->kernel, p);
+  }
+  if (!decision.ok()) {
+    out.status = decision.status();
+  } else {
+    out.decision = *decision;
+  }
+  return out;
+}
+
+/// Reference solve of one query's decision: scalar Result-wrapped
+/// inversions and the free-function solvers, on the same drawn bytes.
+SolvedDecision SolveReferenceRow(const RoundParams& p,
+                                 const double* gamma_row,
+                                 const double* tau_row, McSamples* samples,
+                                 double base) {
+  SolvedDecision out;
+  for (std::size_t r = 0; r < p.r_count; ++r) {
+    auto inv = p.forecast->InverseCumulative(base + gamma_row[r]);
+    if (!inv.ok()) {
+      out.status = inv.status();
+      return out;
+    }
+    samples->xi[r] = std::max(0.0, inv.ValueOrDie() - p.now);
+  }
+  const bool deterministic_tau = DeterministicTau(p);
+  for (std::size_t r = 0; r < p.r_count; ++r) {
+    samples->tau[r] = deterministic_tau ? p.pending->Mean() : tau_row[r];
+  }
+  Result<Decision> decision = Decision{};
+  switch (p.variant) {
+    case ScalerVariant::kHittingProbability:
+      decision = SolveHpConstrained(*samples, p.alpha);
+      break;
+    case ScalerVariant::kResponseTime:
+      decision = SolveRtConstrained(*samples, p.rt_excess);
+      break;
+    case ScalerVariant::kCost:
+      decision = SolveCostConstrained(*samples, p.idle_budget);
+      break;
+  }
+  if (!decision.ok()) {
+    out.status = decision.status();
+  } else {
+    out.decision = *decision;
+  }
+  return out;
+}
+
+/// \brief One planning round, tiled and sharded: draw phase over fixed
+///        path blocks, solve phase over per-query shards, k-ordered
+///        reduction.
+///
+/// The master generator advances by exactly one raw draw per round (the
+/// substream epoch), so failures and early stops never shift later rounds'
+/// draws, and the emitted actions are byte-identical for any pool size —
+/// including the reference-kernel mode, which consumes the same drawn
+/// bytes through the naive serial solvers.
+sim::ScalingAction RunMonteCarloRound(const RoundParams& p,
+                                      stats::Rng* master, PlanWorkspace* ws) {
+  sim::ScalingAction action;
+  if (p.count == 0) return action;
+  const std::size_t r_count = p.r_count;
+  ws->EnsureSize(r_count);
+  const double base = ws->CumulativeAt(*p.forecast, p.now);
+  const bool reference = common::UseReferenceKernels();
+  const bool deterministic_tau = DeterministicTau(p);
+  // Serial pre-sizing of everything the fan-out writes into: the warm-pivot
+  // table (distinct slots per query), the γ/τ tiles, the reduction buffer.
+  // Tiles are sized to the round's real depth (shallow rounds keep shallow
+  // tiles), capped at kPlanTile rows.
+  const std::size_t tile_rows = std::min(kPlanTile, p.count);
+  if (deterministic_tau &&
+      p.variant == ScalerVariant::kHittingProbability &&
+      ws->hp_cuts.size() < p.skip + p.count) {
+    ws->hp_cuts.resize(p.skip + p.count, 0.0);
+  }
+  if (ws->tile_gamma.size() < tile_rows * r_count) {
+    ws->tile_gamma.resize(tile_rows * r_count);
+  }
+  if (!deterministic_tau && ws->tile_tau.size() < tile_rows * r_count) {
+    ws->tile_tau.resize(tile_rows * r_count);
+  }
+  if (ws->decisions.size() < tile_rows) ws->decisions.resize(tile_rows);
+
+  // The round's entire draw schedule keys off this snapshot; the master
+  // stream pays one draw per round as the substream epoch.
+  const stats::Rng draw_base = *master;
+  master->NextUint64();
+
+  // Reference mode keeps the historical cost profile: fresh sample buffers
+  // every round, scalar inversions, per-solve sorts, no pool.
+  McSamples reference_samples;
+  if (reference) {
+    reference_samples.xi.resize(r_count);
+    reference_samples.tau.resize(r_count);
+  }
+  common::ThreadPool* pool = reference ? nullptr : p.pool;
+
+  for (std::size_t tile_begin = 0; tile_begin < p.count;
+       tile_begin += kPlanTile) {
+    const std::size_t tile_end = std::min(tile_begin + kPlanTile, p.count);
+    const std::size_t rows = tile_end - tile_begin;
+    FillTile(p, draw_base, tile_begin, tile_end, ws, pool);
+    const auto tau_row = [&](std::size_t c) -> const double* {
+      return deterministic_tau ? nullptr
+                               : ws->tile_tau.data() + c * r_count;
+    };
+    if (reference) {
+      for (std::size_t c = 0; c < rows; ++c) {
+        ws->decisions[c] =
+            SolveReferenceRow(p, ws->tile_gamma.data() + c * r_count,
+                              tau_row(c), &reference_samples, base);
+      }
+    } else {
+      // Inline execution solves rows one after another, so a single shard
+      // serves the whole tile; only a real fan-out needs a shard per row.
+      const bool inline_solve = pool == nullptr || pool->threads() == 0;
+      ws->EnsureShards(inline_solve ? 1 : rows);
+      common::ParallelFor(pool, rows, [&](std::size_t c) {
+        ws->decisions[c] = SolveOptimizedRow(
+            p, &ws->shards[inline_solve ? 0 : c], &ws->hp_cuts,
+            ws->tile_gamma.data() + c * r_count, tau_row(c),
+            p.skip + tile_begin + c, base);
+      });
+    }
+    // k-ordered reduction: replays the serial loop's failure and
+    // early-stop semantics exactly, partial actions included.
+    for (std::size_t c = 0; c < rows; ++c) {
+      SolvedDecision& solved = ws->decisions[c];
+      if (!solved.status.ok()) {
+        RS_LOG(Warning) << p.who << ": decision for upcoming query "
+                        << p.skip + tile_begin + c + 1
+                        << " failed: " << solved.status.ToString();
+        return action;
+      }
+      // Later queries are even more slack, so the round is done.
+      if (p.stop_on_unbounded && solved.decision.unbounded) return action;
+      action.creation_times.push_back(p.emit_origin +
+                                      solved.decision.creation_time);
+    }
+  }
+  return action;
+}
+
 }  // namespace
 
+std::size_t PlanShard::RetainedBytes() const {
+  return (targets.capacity() + gather.capacity() + samples.xi.capacity() +
+          samples.tau.capacity()) *
+             sizeof(double) +
+         order.capacity() * sizeof(std::uint32_t) +
+         (radix.keys.capacity() + radix.tmp.capacity()) *
+             sizeof(std::uint64_t) +
+         kernel.WorkspaceBytes();
+}
+
 void PlanWorkspace::EnsureSize(std::size_t r) {
-  gamma.resize(r);
-  exp_inc.resize(r);
-  targets.resize(r);
-  samples.xi.resize(r);
-  samples.tau.resize(r);
+  FitVector(&gamma, r);
+  // Tiles grow on demand (to the real round depth, capped at kPlanTile
+  // rows) inside RunMonteCarloRound; here they only shrink back under the
+  // cap when R drops.
+  if (tile_gamma.size() > kPlanTile * r) FitVector(&tile_gamma, kPlanTile * r);
+  if (tile_tau.size() > kPlanTile * r) FitVector(&tile_tau, kPlanTile * r);
+  // Shards sized for a larger R are dropped wholesale (their kernels and
+  // scratch rebuilt lazily at the new size).
+  if (!shards.empty() &&
+      shards.front().targets.capacity() > 2 * std::max<std::size_t>(r, 1)) {
+    shards.clear();
+    shards.shrink_to_fit();
+  }
+}
+
+void PlanWorkspace::EnsureShards(std::size_t count) {
+  if (shards.size() < count) shards.resize(count);
+}
+
+std::size_t PlanWorkspace::RetainedBytes() const {
+  std::size_t bytes = (gamma.capacity() + tile_gamma.capacity() +
+                       tile_tau.capacity() + hp_cuts.capacity()) *
+                          sizeof(double) +
+                      decisions.capacity() * sizeof(SolvedDecision);
+  for (const auto& shard : shards) bytes += shard.RetainedBytes();
+  return bytes;
 }
 
 double PlanWorkspace::CumulativeAt(
@@ -180,18 +512,6 @@ Result<Decision> RobustScalerPolicy::SolveOne(const McSamples& samples) const {
       return SolveRtConstrained(samples, options_.rt_excess);
     case ScalerVariant::kCost:
       return SolveCostConstrained(samples, options_.idle_budget);
-  }
-  return Status::Invalid("RobustScalerPolicy: unknown variant");
-}
-
-Result<Decision> RobustScalerPolicy::SolveOneInWorkspace() {
-  switch (options_.variant) {
-    case ScalerVariant::kHittingProbability:
-      return workspace_.kernel.SolveHp(options_.alpha);
-    case ScalerVariant::kResponseTime:
-      return workspace_.kernel.SolveRt(options_.rt_excess);
-    case ScalerVariant::kCost:
-      return workspace_.kernel.SolveCost(options_.idle_budget);
   }
   return Status::Invalid("RobustScalerPolicy: unknown variant");
 }
@@ -249,7 +569,6 @@ std::size_t RobustScalerPolicy::CommitDepth(double now) {
 }
 
 sim::ScalingAction RobustScalerPolicy::PlanWindow(const sim::SimContext& ctx) {
-  sim::ScalingAction action;
   // Forecast queries run on the forecast-local clock; scheduled creation
   // times stay on the simulation clock (the offset cancels in x_rel).
   const double now = ctx.now - options_.forecast_origin;
@@ -259,108 +578,29 @@ sim::ScalingAction RobustScalerPolicy::PlanWindow(const sim::SimContext& ctx) {
   // Algorithm 4): the first `outstanding` upcoming queries already have
   // instances scheduled or alive, so this round plans indices
   // outstanding+1 … depth, where depth = κ(now) + m keeps the scheme the
-  // provably-sufficient κ+1 arrivals ahead.
+  // provably-sufficient κ+1 arrivals ahead. The cumulative exposure of the
+  // already-covered queries is drawn as Gamma(outstanding, 1); each later
+  // query advances every Monte Carlo path by an Exp(1) increment and maps
+  // to arrival time via time rescaling ξ = Λ⁻¹(Λ(now) + γ) − now.
   const std::size_t depth = CommitDepth(now);
-  if (outstanding >= depth) return action;
-  const std::size_t r_count = options_.mc_samples;
+  if (outstanding >= depth) return {};
 
-  // Monte Carlo paths of upcoming arrivals via time rescaling:
-  // ξ_j = Λ⁻¹(Λ(now) + γ_j) − now with γ_j a unit-rate Poisson path. The
-  // cumulative exposure of the already-covered queries is drawn in one shot
-  // as Gamma(outstanding, 1); nothing outstanding means no Gamma draws.
-  PlanWorkspace& ws = workspace_;
-  ws.EnsureSize(r_count);
-  const double base = ws.CumulativeAt(forecast_, now);
-  std::fill(ws.gamma.begin(), ws.gamma.end(), 0.0);
-  if (outstanding > 0) {
-    stats::SampleGammaFill(&rng_, static_cast<double>(outstanding), 1.0,
-                           ws.gamma.data(), r_count);
-  }
-
-  const bool reference = common::UseReferenceKernels();
-  const bool deterministic_tau =
-      pending_.kind() == stats::DurationDistribution::Kind::kDeterministic;
-  // The reference path keeps the historical cost profile: fresh sample
-  // buffers every round, scalar Result-wrapped inversions, per-solve sorts.
-  McSamples reference_samples;
-  if (reference) {
-    reference_samples.xi.resize(r_count);
-    reference_samples.tau.resize(r_count);
-  }
-
-  for (std::size_t k = outstanding; k < depth; ++k) {
-    AdvanceGamma(&rng_, &ws, r_count);
-    Result<Decision> decision = Decision{};
-    if (reference) {
-      bool sampling_failed = false;
-      for (std::size_t r = 0; r < r_count; ++r) {
-        auto inv = forecast_.InverseCumulative(base + ws.gamma[r]);
-        if (!inv.ok()) {
-          RS_LOG(Warning) << "RobustScalerPolicy: arrival sampling failed: "
-                          << inv.status().ToString();
-          sampling_failed = true;
-          break;
-        }
-        reference_samples.xi[r] = std::max(0.0, inv.ValueOrDie() - now);
-      }
-      if (sampling_failed) return action;
-      FillTau(&rng_, pending_, reference_samples.tau.data(), r_count);
-      decision = SolveOne(reference_samples);
-    } else if (deterministic_tau &&
-               options_.variant == ScalerVariant::kHittingProbability) {
-      for (std::size_t r = 0; r < r_count; ++r) {
-        ws.targets[r] = base + ws.gamma[r];
-      }
-      decision = SolveHpDeterministicTau(forecast_, &ws, now, pending_.Mean(),
-                                         options_.alpha, r_count, k, base);
-    } else if (deterministic_tau) {
-      // RT/cost with constant τ: the pairing of ξ with τ is irrelevant, so
-      // sort the targets in place and invert them in one ascending sweep —
-      // ξ lands pre-sorted and the kernel needs no sort of its own.
-      for (std::size_t r = 0; r < r_count; ++r) {
-        ws.targets[r] = base + ws.gamma[r];
-      }
-      common::RadixSortAscending(ws.targets.data(), r_count, &ws.radix);
-      auto status = forecast_.InverseCumulativeAscending(
-          ws.targets.data(), r_count, ws.samples.xi.data());
-      if (!status.ok()) {
-        RS_LOG(Warning) << "RobustScalerPolicy: arrival sampling failed: "
-                        << status.ToString();
-        return action;
-      }
-      for (std::size_t r = 0; r < r_count; ++r) {
-        ws.samples.xi[r] = std::max(0.0, ws.samples.xi[r] - now);
-      }
-      FillTau(&rng_, pending_, ws.samples.tau.data(), r_count);
-      ws.kernel.BindAscendingXi(ws.samples);
-      decision = SolveOneInWorkspace();
-    } else {
-      for (std::size_t r = 0; r < r_count; ++r) {
-        ws.targets[r] = base + ws.gamma[r];
-      }
-      auto status = forecast_.InverseCumulativeBatch(ws.targets,
-                                                     &ws.samples.xi, &ws.order);
-      if (!status.ok()) {
-        RS_LOG(Warning) << "RobustScalerPolicy: arrival sampling failed: "
-                        << status.ToString();
-        return action;
-      }
-      for (std::size_t r = 0; r < r_count; ++r) {
-        ws.samples.xi[r] = std::max(0.0, ws.samples.xi[r] - now);
-      }
-      FillTau(&rng_, pending_, ws.samples.tau.data(), r_count);
-      ws.kernel.Bind(ws.samples);
-      decision = SolveOneInWorkspace();
-    }
-    if (!decision.ok()) {
-      RS_LOG(Warning) << "RobustScalerPolicy: decision failed: "
-                      << decision.status().ToString();
-      return action;
-    }
-    if (decision->unbounded) break;  // Later queries are even more slack.
-    action.creation_times.push_back(ctx.now + decision->creation_time);
-  }
-  return action;
+  RoundParams params;
+  params.forecast = &forecast_;
+  params.pending = &pending_;
+  params.pool = options_.planning_pool;
+  params.variant = options_.variant;
+  params.alpha = options_.alpha;
+  params.rt_excess = options_.rt_excess;
+  params.idle_budget = options_.idle_budget;
+  params.now = now;
+  params.emit_origin = ctx.now;
+  params.r_count = options_.mc_samples;
+  params.skip = outstanding;
+  params.count = depth - outstanding;
+  params.stop_on_unbounded = true;
+  params.who = name();
+  return RunMonteCarloRound(params, &rng_, &workspace_);
 }
 
 HpCountScaler::HpCountScaler(workload::PiecewiseConstantIntensity forecast,
@@ -402,67 +642,20 @@ sim::ScalingAction HpCountScaler::OnQueryArrival(const sim::SimContext& ctx,
 
 sim::ScalingAction HpCountScaler::PlanAhead(double now, std::size_t first_j,
                                             std::size_t count) {
-  sim::ScalingAction action;
-  if (count == 0) return action;
-  const std::size_t r_count = options_.mc_samples;
-  PlanWorkspace& ws = workspace_;
-  ws.EnsureSize(r_count);
-  const double base = ws.CumulativeAt(forecast_, now);
-
-  std::fill(ws.gamma.begin(), ws.gamma.end(), 0.0);
-  const std::size_t skip = first_j - 1;
-  if (skip > 0) {
-    stats::SampleGammaFill(&rng_, static_cast<double>(skip), 1.0,
-                           ws.gamma.data(), r_count);
-  }
-
-  const bool reference = common::UseReferenceKernels();
-  const bool deterministic_tau =
-      pending_.kind() == stats::DurationDistribution::Kind::kDeterministic;
-  McSamples reference_samples;
-  if (reference) {
-    reference_samples.xi.resize(r_count);
-    reference_samples.tau.resize(r_count);
-  }
-
-  for (std::size_t j = 0; j < count; ++j) {
-    AdvanceGamma(&rng_, &ws, r_count);
-    Result<Decision> decision = Decision{};
-    if (reference) {
-      for (std::size_t r = 0; r < r_count; ++r) {
-        auto inv = forecast_.InverseCumulative(base + ws.gamma[r]);
-        if (!inv.ok()) return action;
-        reference_samples.xi[r] = std::max(0.0, inv.ValueOrDie() - now);
-      }
-      FillTau(&rng_, pending_, reference_samples.tau.data(), r_count);
-      decision = SolveHpConstrained(reference_samples, options_.alpha);
-    } else if (deterministic_tau) {
-      for (std::size_t r = 0; r < r_count; ++r) {
-        ws.targets[r] = base + ws.gamma[r];
-      }
-      decision =
-          SolveHpDeterministicTau(forecast_, &ws, now, pending_.Mean(),
-                                  options_.alpha, r_count, skip + j, base);
-    } else {
-      for (std::size_t r = 0; r < r_count; ++r) {
-        ws.targets[r] = base + ws.gamma[r];
-      }
-      if (!forecast_
-               .InverseCumulativeBatch(ws.targets, &ws.samples.xi, &ws.order)
-               .ok()) {
-        return action;
-      }
-      for (std::size_t r = 0; r < r_count; ++r) {
-        ws.samples.xi[r] = std::max(0.0, ws.samples.xi[r] - now);
-      }
-      FillTau(&rng_, pending_, ws.samples.tau.data(), r_count);
-      ws.kernel.Bind(ws.samples);
-      decision = ws.kernel.SolveHp(options_.alpha);
-    }
-    if (!decision.ok()) return action;
-    action.creation_times.push_back(now + decision->creation_time);
-  }
-  return action;
+  RoundParams params;
+  params.forecast = &forecast_;
+  params.pending = &pending_;
+  params.pool = options_.planning_pool;
+  params.variant = ScalerVariant::kHittingProbability;
+  params.alpha = options_.alpha;
+  params.now = now;
+  params.emit_origin = now;
+  params.r_count = options_.mc_samples;
+  params.skip = first_j - 1;
+  params.count = count;
+  params.stop_on_unbounded = false;
+  params.who = name();
+  return RunMonteCarloRound(params, &rng_, &workspace_);
 }
 
 }  // namespace rs::core

@@ -33,7 +33,11 @@ void SampleExponentialFill(Rng* rng, double rate, double* out, std::size_t n);
 /// it on every code path they compare.
 double SampleExponentialZiggurat(Rng* rng, double rate);
 
-/// Bulk ziggurat draws, in the same order as n scalar calls.
+/// Bulk ziggurat draws, bitwise identical (values and generator state) to n
+/// scalar calls. Internally restructured into branch-free 8-wide blocks
+/// with a scalar tail: a block speculates 8 raw draws, vectorizes the strip
+/// lookups and fast-path products, and rolls the generator back to rerun
+/// scalar on the ~9% of blocks where any lane needs the slow path.
 void SampleExponentialZigguratFill(Rng* rng, double rate, double* out,
                                    std::size_t n);
 

@@ -69,4 +69,19 @@ double Rng::NextGaussian() {
 
 Rng Rng::Split() { return Rng(NextUint64() ^ 0xA5A5A5A5A5A5A5A5ULL); }
 
+Rng Rng::SubstreamAt(std::uint64_t index) const {
+  // Fold the full 256-bit state (rotations keep the words from cancelling)
+  // with a golden-ratio-spaced counter, then reseed through the same
+  // SplitMix64 expansion the seeded constructor uses. `index + 1` keeps
+  // substream 0 distinct from the parent's own reseeding of this state.
+  std::uint64_t sm =
+      s_[0] ^ Rotl(s_[1], 13) ^ Rotl(s_[2], 29) ^ Rotl(s_[3], 43);
+  sm ^= (index + 1) * 0x9E3779B97F4A7C15ULL;
+  Rng child(0);
+  for (auto& word : child.s_) word = SplitMix64(&sm);
+  child.have_cached_gaussian_ = false;
+  child.cached_gaussian_ = 0.0;
+  return child;
+}
+
 }  // namespace rs::stats

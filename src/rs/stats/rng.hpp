@@ -40,7 +40,21 @@ class Rng {
   double NextGaussian();
 
   /// Derives an independent child generator (for parallel streams).
+  /// Consumes one draw from this generator.
   Rng Split();
+
+  /// \brief Counter-based substream derivation: the `index`-th child stream
+  ///        of this generator's *current state*.
+  ///
+  /// Pure — never advances this generator — and deterministic: two
+  /// generators in the same state derive bitwise-identical children for the
+  /// same index, and distinct indices give decorrelated streams (the state
+  /// is folded with golden-ratio-spaced counters through SplitMix64). This
+  /// is the primitive behind the planners' fixed work blocking: block b of
+  /// a round always draws from SubstreamAt(b), so the same bytes come out
+  /// no matter how many threads evaluate the blocks or in what order, and a
+  /// serial evaluation reproduces the parallel one bit-for-bit.
+  Rng SubstreamAt(std::uint64_t index) const;
 
  private:
   std::uint64_t s_[4];

@@ -238,6 +238,7 @@ TEST(ScalerFleetTest, SnapshotSumsPerTenantCounters) {
     sum.scheduled_creations += tenant_snap.scheduled_creations;
     sum.arrivals_retained += tenant_snap.arrivals_retained;
     sum.actions_retained += tenant_snap.actions_retained;
+    sum.planning_workspace_bytes += tenant_snap.planning_workspace_bytes;
   }
   EXPECT_EQ(snap.queries_observed, sum.queries_observed);
   EXPECT_GT(snap.queries_observed, 0u);
@@ -254,6 +255,10 @@ TEST(ScalerFleetTest, SnapshotSumsPerTenantCounters) {
   EXPECT_LE(snap.arrivals_retained, snap.queries_observed);
   EXPECT_EQ(snap.actions_retained, sum.actions_retained);
   EXPECT_LE(snap.actions_retained, snap.planning_rounds);
+  // The robust_hp tenant planned, so it retains Monte Carlo workspace; the
+  // aggregate must surface those bytes.
+  EXPECT_EQ(snap.planning_workspace_bytes, sum.planning_workspace_bytes);
+  EXPECT_GT(snap.planning_workspace_bytes, 0u);
 }
 
 // ---------------------------------------------------------------------------

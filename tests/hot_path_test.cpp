@@ -140,6 +140,64 @@ TEST(BulkFillTest, ZigguratExponentialIsStatisticallyExponential) {
             stats::SampleExponentialZiggurat(&b, 1.0) / 4.0);
 }
 
+TEST(BulkFillTest, BlockedZigguratFillMatchesScalarBitwise) {
+  // The fill is restructured into 8-wide blocks with a scalar tail; every
+  // block length 0..7 of tail and every fill size around the block width
+  // must reproduce the scalar draw sequence (values AND generator state)
+  // bitwise, including when a block hits the ziggurat slow path and the
+  // generator is rolled back.
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    for (std::size_t n = 0; n <= 40; ++n) {
+      for (double rate : {1.0, 0.37, 1e-8, 1e8}) {
+        stats::Rng fill_rng(seed * 7919 + n);
+        stats::Rng scalar_rng(seed * 7919 + n);
+        std::vector<double> filled(n + 1, -1.0);
+        stats::SampleExponentialZigguratFill(&fill_rng, rate, filled.data(),
+                                             n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(filled[i],
+                    stats::SampleExponentialZiggurat(&scalar_rng, rate))
+              << "seed " << seed << ", n " << n << ", rate " << rate
+              << ", index " << i;
+        }
+        EXPECT_EQ(filled[n], -1.0) << "wrote past the end";
+        EXPECT_EQ(fill_rng.NextUint64(), scalar_rng.NextUint64());
+      }
+    }
+  }
+  // A long fill is statistically certain to exercise the slow path and the
+  // tail restart (P ≈ 1.1% per draw): the states must still be in lockstep.
+  stats::Rng fill_rng(424242), scalar_rng(424242);
+  std::vector<double> filled(100000);
+  stats::SampleExponentialZigguratFill(&fill_rng, 1.0, filled.data(),
+                                       filled.size());
+  for (std::size_t i = 0; i < filled.size(); ++i) {
+    ASSERT_EQ(filled[i], stats::SampleExponentialZiggurat(&scalar_rng, 1.0));
+  }
+  EXPECT_EQ(fill_rng.NextUint64(), scalar_rng.NextUint64());
+}
+
+TEST(BulkFillTest, SubstreamAtIsPureAndDeterministic) {
+  stats::Rng a(1234), b(1234);
+  // Same state + same index → bitwise-identical children; the derivation
+  // never advances the parent.
+  stats::Rng child_a = a.SubstreamAt(7);
+  stats::Rng child_b = b.SubstreamAt(7);
+  EXPECT_EQ(child_a.NextUint64(), child_b.NextUint64());
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());  // Parents still in lockstep.
+
+  // Distinct indices decorrelate; distinct parent states decorrelate.
+  stats::Rng c(1234);
+  EXPECT_NE(c.SubstreamAt(0).NextUint64(), c.SubstreamAt(1).NextUint64());
+  stats::Rng d(1234);
+  (void)d.NextUint64();
+  EXPECT_NE(c.SubstreamAt(3).NextUint64(), d.SubstreamAt(3).NextUint64());
+
+  // Two-level derivation (per-query, per-block) is deterministic too.
+  EXPECT_EQ(c.SubstreamAt(5).SubstreamAt(9).NextUint64(),
+            c.SubstreamAt(5).SubstreamAt(9).NextUint64());
+}
+
 TEST(BulkFillTest, GammaFillMatchesScalarDrawOrder) {
   stats::Rng scalar_rng(123), fill_rng(123);
   std::vector<double> filled(64);
@@ -353,6 +411,78 @@ TEST(PlannerParityTest, ReferenceAndOptimizedKernelsEmitIdenticalActions) {
   }
 }
 
+TEST(PlannerParityTest, ActionsIdenticalAcrossPlanningPoolWorkers) {
+  // The pool-sharded Monte Carlo round must emit byte-identical actions for
+  // any worker count — and match the reference kernels — for every variant
+  // under both deterministic and stochastic τ. Run in the TSan CI job, this
+  // also race-checks the draw/solve fan-out.
+  stats::Rng rng(90210);
+  const auto intensity = RandomIntensity(&rng, 48, false, 2.0);
+  const std::vector<stats::DurationDistribution> pendings = {
+      stats::DurationDistribution::Deterministic(4.0),
+      stats::DurationDistribution::Exponential(3.0),
+  };
+  const std::vector<core::ScalerVariant> variants = {
+      core::ScalerVariant::kHittingProbability,
+      core::ScalerVariant::kResponseTime,
+      core::ScalerVariant::kCost,
+  };
+  for (const auto& pending : pendings) {
+    for (auto variant : variants) {
+      core::SequentialScalerOptions options;
+      options.variant = variant;
+      options.mc_samples = 64;
+      options.planning_interval = 4.0;
+      options.seed = 20260730;
+      options.rt_excess = 0.5;
+      options.idle_budget = 1.0;
+
+      common::ScopedReferenceKernels as_reference(true);
+      core::RobustScalerPolicy reference(intensity, pending, options);
+      const auto ref_actions = DrivePolicy(&reference, 4.0, 8);
+      common::SetReferenceKernels(false);
+
+      for (std::size_t workers :
+           {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        common::ThreadPool pool(workers);
+        options.planning_pool = &pool;
+        core::RobustScalerPolicy sharded(intensity, pending, options);
+        const auto actions = DrivePolicy(&sharded, 4.0, 8);
+        ExpectSameActions(ref_actions, actions);
+        EXPECT_GT(sharded.planning_workspace_bytes(), 0u);
+      }
+    }
+  }
+}
+
+TEST(PlannerParityTest, WorkspaceShrinksWhenRDrops) {
+  // Drive a real policy so the tile buffers, shards, and kernels all warm
+  // up at the large R, then shrink the bare workspace via EnsureSize.
+  stats::Rng rng(11);
+  const auto intensity = RandomIntensity(&rng, 32, false, 2.0);
+  core::SequentialScalerOptions options;
+  options.mc_samples = 4000;
+  options.planning_interval = 4.0;
+  core::RobustScalerPolicy policy(
+      intensity, stats::DurationDistribution::Exponential(5.0), options);
+  std::vector<double> history;
+  sim::SimContext ctx;
+  ctx.arrival_history = &history;
+  (void)policy.Initialize(ctx);
+  const std::size_t large = policy.planning_workspace_bytes();
+  EXPECT_GT(large, 4000u * sizeof(double));
+
+  core::PlanWorkspace ws;
+  ws.EnsureSize(10000);
+  ws.tile_gamma.resize(32 * 10000);  // As a deep round at R=10000 leaves it.
+  const std::size_t warm = ws.RetainedBytes();
+  ws.EnsureSize(100);
+  const std::size_t shrunk = ws.RetainedBytes();
+  // Shrink-to-fit: a tenant whose R drops must stop pinning peak memory.
+  EXPECT_LT(shrunk, warm / 10);
+  EXPECT_GT(shrunk, 0u);
+}
+
 TEST(PlannerParityTest, HpCountScalerParity) {
   stats::Rng rng(40);
   const auto intensity = RandomIntensity(&rng, 48, false, 1.5);
@@ -363,8 +493,9 @@ TEST(PlannerParityTest, HpCountScalerParity) {
     options.m = 2;
     options.seed = 4711;
 
-    const auto drive = [&](bool reference) {
+    const auto drive = [&](bool reference, common::ThreadPool* pool) {
       common::ScopedReferenceKernels mode(reference);
+      options.planning_pool = pool;
       core::HpCountScaler scaler(intensity, pending, options);
       std::vector<sim::ScalingAction> actions;
       std::vector<double> history;
@@ -377,7 +508,10 @@ TEST(PlannerParityTest, HpCountScalerParity) {
       }
       return actions;
     };
-    ExpectSameActions(drive(true), drive(false));
+    const auto reference_actions = drive(true, nullptr);
+    ExpectSameActions(reference_actions, drive(false, nullptr));
+    common::ThreadPool pool(2);
+    ExpectSameActions(reference_actions, drive(false, &pool));
   }
 }
 

@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Perf trend gate: compare a fresh BENCH_*.json against a committed baseline.
+
+The perf-smoke CI job regenerates BENCH_plan.json / BENCH_training.json /
+BENCH_fleet.json on every PR; this script diffs them against the baselines
+committed under bench/baselines/ and fails (exit 1) when a gated metric
+regresses by more than --tolerance (default 0.25 = 25%).
+
+Shared CI runners make absolute throughput noisy, so the *gated* metrics are
+ratios measured within one run of one binary on one machine — they cancel
+the machine out and collapse only when the optimization itself regresses:
+
+  plan_hot_path  : per-(variant, R) `speedup` (reference kernels vs
+                   optimized kernels) and per-worker-count
+                   `plan_workers[].speedup_vs_serial`;
+  fleet_scaling  : per-(threads, plan_sharding) `speedup` over the run's own
+                   1-thread baseline;
+  training_time  : per-scenario `decision_ms` (the paper's "< 5 ms per
+                   decision" claim; absolute, so give it a wider tolerance).
+
+Absolute decisions/sec are *reported* (the one-line per-variant summary in
+the job log and the delta report artifact) but only gated with
+--gate-absolute.
+
+Usage:
+  tools/bench_gate.py --baseline bench/baselines/BENCH_plan.baseline.json \
+      --current BENCH_plan.json [--tolerance 0.25] [--report delta.json] \
+      [--gate-absolute]
+
+Updating the baseline after an intentional perf change:
+  re-run the bench with the CI invocation (see .github/workflows/ci.yml,
+  perf-smoke job), copy the fresh JSON over the matching
+  bench/baselines/*.baseline.json, and commit it with the change.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fmt_key(key):
+    return ", ".join(f"{k}={v}" for k, v in key)
+
+
+class Gate:
+    def __init__(self, tolerance, allow_missing=False):
+        self.tolerance = tolerance
+        self.allow_missing = allow_missing
+        self.rows = []
+
+    def missing(self, key):
+        """A baseline row absent from the current run: lost coverage.
+
+        Fails by default — a configuration the baseline gates must keep
+        being measured, otherwise a regression there could never fail CI.
+        Returns 1 when this counts as a regression.
+        """
+        level = "WARNING" if self.allow_missing else "FAIL"
+        print(f"bench_gate: {level}: {fmt_key(key)} is in the baseline but "
+              "missing from the current run — bench invocation drifted from "
+              "the committed baseline (update bench/baselines/ together with "
+              "the CI flags, or pass --allow-missing)")
+        self.rows.append({
+            "key": fmt_key(key),
+            "metric": "<row missing from current run>",
+            "baseline": None,
+            "current": None,
+            "delta_pct": None,
+            "gated": not self.allow_missing,
+            "regressed": not self.allow_missing,
+        })
+        return 0 if self.allow_missing else 1
+
+    def compare(self, key, metric, baseline, current, gated,
+                higher_is_better=True):
+        """Records one metric comparison; returns True when it regressed."""
+        if baseline is None or current is None or baseline <= 0:
+            return False
+        delta = (current - baseline) / baseline
+        if higher_is_better:
+            regressed = gated and current < baseline * (1.0 - self.tolerance)
+        else:
+            regressed = gated and current > baseline * (1.0 + self.tolerance)
+        self.rows.append({
+            "key": fmt_key(key),
+            "metric": metric,
+            "baseline": baseline,
+            "current": current,
+            "delta_pct": round(100.0 * delta, 2),
+            "gated": gated,
+            "regressed": regressed,
+        })
+        return regressed
+
+
+def index_rows(rows, key_fields):
+    out = {}
+    for row in rows:
+        out[tuple((f, row.get(f)) for f in key_fields)] = row
+    return out
+
+
+def gate_plan(baseline, current, gate, gate_absolute):
+    regressions = 0
+    base_rows = index_rows(baseline.get("results", []), ("variant", "mc"))
+    cur_rows = index_rows(current.get("results", []), ("variant", "mc"))
+    for key, base in base_rows.items():
+        cur = cur_rows.get(key)
+        if cur is None:
+            regressions += gate.missing(key)
+            continue
+        regressions += gate.compare(key, "speedup", base.get("speedup"),
+                                    cur.get("speedup"), gated=True)
+        regressions += gate.compare(
+            key, "optimized_decisions_per_s",
+            base.get("optimized_decisions_per_s"),
+            cur.get("optimized_decisions_per_s"), gated=gate_absolute)
+        base_pw = {p["workers"]: p for p in base.get("plan_workers", [])}
+        cur_pw = {p["workers"]: p for p in cur.get("plan_workers", [])}
+        for workers, base_point in base_pw.items():
+            cur_point = cur_pw.get(workers)
+            if cur_point is None:
+                continue
+            regressions += gate.compare(
+                key + (("plan_workers", workers),), "speedup_vs_serial",
+                base_point.get("speedup_vs_serial"),
+                cur_point.get("speedup_vs_serial"), gated=True)
+        # The one-line job-log summary: old vs new decisions/sec.
+        print(f"bench_gate: {fmt_key(key)}: "
+              f"{cur.get('optimized_decisions_per_s', 0):.0f} dec/s "
+              f"(baseline {base.get('optimized_decisions_per_s', 0):.0f}), "
+              f"speedup {cur.get('speedup', 0):.2f}x "
+              f"(baseline {base.get('speedup', 0):.2f}x)")
+    return regressions
+
+
+def gate_fleet(baseline, current, gate, gate_absolute):
+    regressions = 0
+    key_fields = ("threads", "plan_sharding")
+    base_rows = index_rows(baseline.get("results", []), key_fields)
+    cur_rows = index_rows(current.get("results", []), key_fields)
+    for key, base in base_rows.items():
+        cur = cur_rows.get(key)
+        if cur is None:
+            regressions += gate.missing(key)
+            continue
+        regressions += gate.compare(key, "speedup", base.get("speedup"),
+                                    cur.get("speedup"), gated=True)
+        regressions += gate.compare(key, "plans_per_s",
+                                    base.get("plans_per_s"),
+                                    cur.get("plans_per_s"),
+                                    gated=gate_absolute)
+        print(f"bench_gate: {fmt_key(key)}: "
+              f"{cur.get('plans_per_s', 0):.0f} plans/s "
+              f"(baseline {base.get('plans_per_s', 0):.0f})")
+    return regressions
+
+
+def gate_training(baseline, current, gate, gate_absolute):
+    del gate_absolute  # decision_ms is the only (absolute) gated metric.
+    regressions = 0
+    base_rows = index_rows(baseline.get("scenarios", []), ("trace",))
+    cur_rows = index_rows(current.get("scenarios", []), ("trace",))
+    for key, base in base_rows.items():
+        cur = cur_rows.get(key)
+        if cur is None:
+            regressions += gate.missing(key)
+            continue
+        regressions += gate.compare(key, "decision_ms",
+                                    base.get("decision_ms"),
+                                    cur.get("decision_ms"), gated=True,
+                                    higher_is_better=False)
+        print(f"bench_gate: {fmt_key(key)}: "
+              f"decision {cur.get('decision_ms', 0):.3f} ms "
+              f"(baseline {base.get('decision_ms', 0):.3f} ms)")
+    return regressions
+
+
+GATES = {
+    "plan_hot_path": gate_plan,
+    "fleet_scaling": gate_fleet,
+    "training_time": gate_training,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative regression (0.25 = 25%%)")
+    parser.add_argument("--report", default="",
+                        help="write the full delta report JSON here")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="downgrade baseline rows absent from the "
+                             "current run to warnings instead of failures")
+    parser.add_argument("--gate-absolute", action="store_true",
+                        help="also gate absolute throughput metrics "
+                             "(meaningful on dedicated hardware only)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.current) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_gate: cannot load inputs: {err}", file=sys.stderr)
+        return 2
+
+    kind = current.get("bench", "")
+    if baseline.get("bench", "") != kind:
+        print(f"bench_gate: baseline is for '{baseline.get('bench')}' but "
+              f"current is '{kind}'", file=sys.stderr)
+        return 2
+    if kind not in GATES:
+        print(f"bench_gate: unknown bench kind '{kind}'", file=sys.stderr)
+        return 2
+
+    gate = Gate(args.tolerance, args.allow_missing)
+    regressions = GATES[kind](baseline, current, gate, args.gate_absolute)
+
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump({
+                "bench": kind,
+                "tolerance": args.tolerance,
+                "regressions": regressions,
+                "ok": regressions == 0,
+                "rows": gate.rows,
+            }, f, indent=2)
+            f.write("\n")
+
+    if regressions:
+        worst = [r for r in gate.rows if r["regressed"]]
+        print(f"bench_gate: FAIL — {regressions} metric(s) regressed more "
+              f"than {100 * args.tolerance:.0f}% vs {args.baseline}:",
+              file=sys.stderr)
+        for row in worst:
+            if row["baseline"] is None:
+                print(f"  {row['key']}: {row['metric']}", file=sys.stderr)
+            else:
+                print(f"  {row['key']}: {row['metric']} "
+                      f"{row['baseline']:.3f} -> {row['current']:.3f} "
+                      f"({row['delta_pct']:+.1f}%)", file=sys.stderr)
+        print("bench_gate: if this change intentionally trades this perf "
+              "away, re-run the bench with the CI invocation and commit the "
+              "fresh JSON over the baseline file (see tools/bench_gate.py "
+              "docstring).", file=sys.stderr)
+        return 1
+    print(f"bench_gate: OK — no gated metric regressed more than "
+          f"{100 * args.tolerance:.0f}% vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

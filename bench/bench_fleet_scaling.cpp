@@ -12,7 +12,7 @@
 //   bench_fleet_scaling [--tenants=8] [--threads=1,2,4] [--cycles=2]
 //                       [--qps=2] [--mc=200] [--plan-workers=0,1]
 //                       [--strategy=robust_hp:target=0.9]
-//                       [--json=BENCH_fleet.json]
+//                       [--snapshot-interval=0] [--json=BENCH_fleet.json]
 //
 // --plan-workers sweeps intra-plan Monte Carlo sharding: 0 = tenant-level
 // batching only (each tenant's Plan runs serially on its worker), 1 = each
@@ -20,6 +20,12 @@
 // (one work queue — a 1-tenant fleet then saturates a many-thread pool
 // too). Every (threads, plan-workers) run must emit byte-identical
 // per-tenant actions; the bench aborts on any divergence.
+//
+// --snapshot-interval=N (seconds of serving time; 0 = off) additionally
+// calls SaveFleet every N seconds and reports the cumulative snapshot wall
+// time and the last snapshot's size (snapshot_ms / snapshot_bytes in the
+// JSON — informational, not gated, so enabling it never churns the perf
+// baseline).
 //
 // Per-tick planning work scales with traffic (~qps·Δ Monte-Carlo
 // decisions per tenant per tick), so --qps and --mc set the grain of the
@@ -32,6 +38,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -53,6 +60,8 @@ struct Options {
   /// the fleet pool.
   std::vector<std::size_t> plan_workers = {0, 1};
   std::string strategy = "robust_hp:target=0.9";
+  /// Serving-time seconds between SaveFleet calls; 0 disables snapshotting.
+  double snapshot_interval = 0.0;
   std::string json_path;      ///< Empty: stdout table only.
 };
 
@@ -89,6 +98,8 @@ Options ParseArgs(int argc, char** argv) {
       options.plan_workers = bench::ParseSizeList(value());
     } else if (arg.rfind("--strategy=", 0) == 0) {
       options.strategy = value();
+    } else if (arg.rfind("--snapshot-interval=", 0) == 0) {
+      options.snapshot_interval = std::stod(value());
     } else if (arg.rfind("--json=", 0) == 0) {
       options.json_path = value();
     } else {
@@ -124,6 +135,10 @@ struct RunResult {
   std::size_t plan_batches = 0;
   std::size_t planning_rounds = 0;  ///< Strategy callbacks, all tenants.
   std::size_t observes = 0;
+  // --snapshot-interval metrics (all zero when snapshotting is off).
+  double snapshot_s = 0.0;          ///< Cumulative SaveFleet wall time.
+  std::size_t snapshot_bytes = 0;   ///< Size of the last fleet snapshot.
+  std::size_t snapshots = 0;
   std::vector<std::vector<sim::ScalingAction>> logs;  ///< Per tenant.
 };
 
@@ -192,6 +207,7 @@ RunResult RunOnce(const Options& options,
   // on the caller thread.
   const double plan_every = 2.0;
   double next_plan = plan_every;
+  double next_snapshot = options.snapshot_interval;
   Stopwatch serve_watch;
   Stopwatch phase_watch;
   const auto plan_batch = [&](double t) {
@@ -203,11 +219,24 @@ RunResult RunOnce(const Options& options,
     run.plan_s += phase_watch.ElapsedSeconds();
     ++run.plan_batches;
   };
+  const auto maybe_snapshot = [&](double t) {
+    if (options.snapshot_interval <= 0.0) return;
+    while (next_snapshot <= t) {
+      phase_watch.Reset();
+      std::ostringstream sink;
+      RS_CHECK(fleet.SaveFleet(sink).ok());
+      run.snapshot_s += phase_watch.ElapsedSeconds();
+      run.snapshot_bytes = sink.str().size();
+      ++run.snapshots;
+      next_snapshot += options.snapshot_interval;
+    }
+  };
   for (const auto& event : events) {
     while (next_plan <= event.t) {
       plan_batch(next_plan);
       next_plan += plan_every;
     }
+    maybe_snapshot(event.t);
     phase_watch.Reset();
     auto outcome = fleet.Observe(names[event.tenant], event.t);
     RS_CHECK(outcome.ok()) << outcome.status().ToString();
@@ -270,8 +299,15 @@ void WriteJson(const Options& options, const std::vector<RunResult>& runs,
         << ", \"plan_batches\": " << run.plan_batches
         << ", \"planning_rounds\": " << run.planning_rounds
         << ", \"plans_per_s\": "
-        << static_cast<double>(run.planning_rounds) / run.serve_s
-        << ", \"speedup\": " << base / run.serve_s << "}"
+        << static_cast<double>(run.planning_rounds) / run.serve_s;
+    if (options.snapshot_interval > 0.0) {
+      // Reported, not gated: the perf baseline predates these fields and
+      // bench_gate.py only compares keys present in the baseline rows.
+      out << ", \"snapshot_ms\": " << 1000.0 * run.snapshot_s
+          << ", \"snapshot_bytes\": " << run.snapshot_bytes
+          << ", \"snapshots\": " << run.snapshots;
+    }
+    out << ", \"speedup\": " << base / run.serve_s << "}"
         << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

@@ -1,0 +1,287 @@
+// Durable serving: crash-recovery with rs::persist snapshots.
+//
+// A Scaler serves a scripted stream of arrivals and planning polls while
+// periodically saving its state (SaveState) plus a tiny cursor sidecar
+// recording how many script steps the snapshot covers and the FNV-1a hash
+// of every action emitted up to it. Killing the process mid-stream and
+// restoring from the last snapshot then continues the action sequence
+// byte-identically — the final hash matches an uninterrupted run.
+//
+// Subcommands (the CI smoke test drives the first three):
+//   crash <dir>     serve, snapshotting every K steps; _Exit(3) mid-stream.
+//   resume <dir>    restore the last snapshot, finish, print final_hash=...
+//   control         uninterrupted run, print final_hash=...
+//   parity          (default) in-process snapshot/restore halfway through,
+//                   compare the action stream against an uninterrupted run.
+//
+// Build & run:  ./build/examples/example_durable_serving
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rs/api/scaler.hpp"
+#include "rs/stats/rng.hpp"
+#include "rs/workload/synthetic.hpp"
+#include "rs/workload/trace.hpp"
+
+namespace {
+
+using namespace rs;
+
+constexpr double kPlanEvery = 2.0;  // Seconds between Plan() polls.
+constexpr int kSnapshotEverykSteps = 40;
+constexpr int kCrashAtStep = 100;
+
+// One scripted serving step: an arrival to Observe or a Plan poll.
+struct Step {
+  bool is_plan = false;
+  double time = 0.0;
+};
+
+// FNV-1a over the bytes of everything the scaler hands back to the caller:
+// observe outcomes, creation times, deletion counts.
+struct ActionHash {
+  std::uint64_t h = 14695981039346656037ULL;
+  void Bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  void U64(std::uint64_t v) { Bytes(&v, sizeof v); }
+  void Double(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    U64(bits);
+  }
+};
+
+workload::Trace MakeWorkload(double* split_at) {
+  const double period_s = 1800.0, dt = 30.0;
+  const double horizon = 8.0 * period_s;
+  std::vector<double> rates;
+  for (double t = 0.5 * dt; t < horizon; t += dt) {
+    const double phase = std::fmod(t, period_s) / period_s;
+    rates.push_back(0.5 + 0.4 * std::sin(2.0 * M_PI * phase));
+  }
+  auto intensity = *workload::PiecewiseConstantIntensity::Make(rates, dt);
+  stats::Rng rng(20220414);
+  auto trace = *workload::MakeTraceFromIntensity(
+      &rng, intensity, stats::DurationDistribution::Exponential(25.0));
+  *split_at = horizon - 2.0 * period_s;
+  return trace;
+}
+
+// Arrivals merged with Plan polls every kPlanEvery seconds (tick first on a
+// tie, matching the engine's event order), ending with one final poll.
+std::vector<Step> MakeScript(const workload::Trace& test) {
+  std::vector<Step> script;
+  double next_plan = kPlanEvery;
+  for (const double arrival : test.ArrivalTimes()) {
+    while (next_plan <= arrival) {
+      script.push_back({true, next_plan});
+      next_plan += kPlanEvery;
+    }
+    script.push_back({false, arrival});
+  }
+  script.push_back({true, next_plan});
+  return script;
+}
+
+Result<api::Scaler> BuildScaler(const workload::Trace& train,
+                                double forecast_horizon) {
+  return api::ScalerBuilder()
+      .WithTrace(train)
+      .WithBinWidth(30.0)
+      .WithForecastHorizon(forecast_horizon)
+      .WithTarget(api::HitRate{0.9})
+      .WithPlanningInterval(1.0)
+      .WithMcSamples(60)
+      .WithSeed(11)
+      .Build();
+}
+
+// Runs script steps [from, to), folding every outcome into `hash`. When
+// `actions` is non-null, the drained creation times / deletions are also
+// appended there (the parity subcommand compares them element-wise).
+Status RunSteps(api::Scaler* scaler, const std::vector<Step>& script,
+                std::size_t from, std::size_t to, ActionHash* hash,
+                std::vector<double>* actions) {
+  for (std::size_t i = from; i < to; ++i) {
+    const Step& step = script[i];
+    if (step.is_plan) {
+      RS_ASSIGN_OR_RETURN(const sim::ScalingAction action,
+                          scaler->Plan(step.time));
+      hash->U64(action.creation_times.size());
+      for (const double t : action.creation_times) {
+        hash->Double(t);
+        if (actions != nullptr) actions->push_back(t);
+      }
+      hash->U64(action.deletions);
+      if (actions != nullptr) {
+        actions->push_back(-static_cast<double>(action.deletions));
+      }
+    } else {
+      RS_ASSIGN_OR_RETURN(const api::Scaler::ObserveOutcome outcome,
+                          scaler->Observe(step.time));
+      hash->U64((outcome.cold_start ? 1u : 0u) |
+                (outcome.cancel_earliest_scheduled ? 2u : 0u));
+    }
+  }
+  return Status::OK();
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "durable_serving: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// crash: serve with periodic snapshots, then die abruptly mid-stream.
+int RunCrash(const std::string& dir) {
+  double split_at = 0.0;
+  const auto trace = MakeWorkload(&split_at);
+  auto [train, test] = trace.SplitAt(split_at);
+  auto scaler = BuildScaler(train, test.horizon());
+  if (!scaler.ok()) return Fail(scaler.status());
+  const auto script = MakeScript(test);
+  ActionHash hash;
+  for (int i = 0; i < kCrashAtStep && i < static_cast<int>(script.size());
+       ++i) {
+    if (i > 0 && i % kSnapshotEverykSteps == 0) {
+      std::ofstream snap(dir + "/scaler.rsnp", std::ios::binary);
+      if (Status st = scaler->SaveState(snap); !st.ok()) return Fail(st);
+      std::ofstream cursor(dir + "/cursor.txt");
+      cursor << i << ' ' << hash.h << '\n';
+    }
+    if (Status st = RunSteps(&scaler.ValueOrDie(), script, i, i + 1, &hash,
+                             nullptr);
+        !st.ok()) {
+      return Fail(st);
+    }
+  }
+  std::fprintf(stderr, "crashing at step %d (last snapshot covers step %d)\n",
+               kCrashAtStep,
+               (kCrashAtStep / kSnapshotEverykSteps) * kSnapshotEverykSteps);
+  std::_Exit(3);  // No destructors, no flush: a real crash.
+}
+
+// resume: restore the last snapshot and finish the stream.
+int RunResume(const std::string& dir) {
+  double split_at = 0.0;
+  const auto trace = MakeWorkload(&split_at);
+  auto [train, test] = trace.SplitAt(split_at);
+  const auto script = MakeScript(test);
+
+  std::ifstream cursor(dir + "/cursor.txt");
+  std::size_t steps_done = 0;
+  ActionHash hash;
+  if (!(cursor >> steps_done >> hash.h)) {
+    std::fprintf(stderr, "durable_serving: cannot read %s/cursor.txt\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::ifstream snap(dir + "/scaler.rsnp", std::ios::binary);
+  auto scaler = api::ScalerBuilder::RestoreState(snap);
+  if (!scaler.ok()) return Fail(scaler.status());
+  if (Status st = RunSteps(&scaler.ValueOrDie(), script, steps_done,
+                           script.size(), &hash, nullptr);
+      !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("final_hash=%llu\n", static_cast<unsigned long long>(hash.h));
+  return 0;
+}
+
+// control: the uninterrupted run the recovery must match.
+int RunControl() {
+  double split_at = 0.0;
+  const auto trace = MakeWorkload(&split_at);
+  auto [train, test] = trace.SplitAt(split_at);
+  auto scaler = BuildScaler(train, test.horizon());
+  if (!scaler.ok()) return Fail(scaler.status());
+  const auto script = MakeScript(test);
+  ActionHash hash;
+  if (Status st = RunSteps(&scaler.ValueOrDie(), script, 0, script.size(),
+                           &hash, nullptr);
+      !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("final_hash=%llu\n", static_cast<unsigned long long>(hash.h));
+  return 0;
+}
+
+// parity: self-contained snapshot/restore check, no files, no _Exit.
+int RunParity() {
+  double split_at = 0.0;
+  const auto trace = MakeWorkload(&split_at);
+  auto [train, test] = trace.SplitAt(split_at);
+  const auto script = MakeScript(test);
+  const std::size_t cut = script.size() / 2;
+
+  auto control = BuildScaler(train, test.horizon());
+  if (!control.ok()) return Fail(control.status());
+  ActionHash control_hash;
+  std::vector<double> control_actions;
+  if (Status st = RunSteps(&control.ValueOrDie(), script, 0, script.size(),
+                           &control_hash, &control_actions);
+      !st.ok()) {
+    return Fail(st);
+  }
+
+  auto interrupted = BuildScaler(train, test.horizon());
+  if (!interrupted.ok()) return Fail(interrupted.status());
+  ActionHash resumed_hash;
+  std::vector<double> resumed_actions;
+  if (Status st = RunSteps(&interrupted.ValueOrDie(), script, 0, cut,
+                           &resumed_hash, &resumed_actions);
+      !st.ok()) {
+    return Fail(st);
+  }
+  std::stringstream snapshot;
+  if (Status st = interrupted->SaveState(snapshot); !st.ok()) return Fail(st);
+  std::printf("snapshot at step %zu/%zu: %zu bytes\n", cut, script.size(),
+              static_cast<std::size_t>(snapshot.str().size()));
+  auto restored = api::ScalerBuilder::RestoreState(snapshot);
+  if (!restored.ok()) return Fail(restored.status());
+  if (Status st = RunSteps(&restored.ValueOrDie(), script, cut, script.size(),
+                           &resumed_hash, &resumed_actions);
+      !st.ok()) {
+    return Fail(st);
+  }
+
+  if (control_actions != resumed_actions ||
+      control_hash.h != resumed_hash.h) {
+    std::fprintf(stderr,
+                 "PARITY FAILURE: restored run diverged from control "
+                 "(%zu vs %zu actions)\n",
+                 resumed_actions.size(), control_actions.size());
+    return 1;
+  }
+  std::printf(
+      "parity OK: %zu action values identical across the snapshot cut "
+      "(hash %llu)\n",
+      control_actions.size(),
+      static_cast<unsigned long long>(control_hash.h));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "parity";
+  if (mode == "crash" && argc > 2) return RunCrash(argv[2]);
+  if (mode == "resume" && argc > 2) return RunResume(argv[2]);
+  if (mode == "control") return RunControl();
+  if (mode == "parity") return RunParity();
+  std::fprintf(stderr,
+               "usage: example_durable_serving [crash <dir> | resume <dir> | "
+               "control | parity]\n");
+  return 2;
+}

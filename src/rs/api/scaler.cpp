@@ -10,13 +10,35 @@
 #include <utility>
 #include <vector>
 
+#include "rs/persist/persist.hpp"
 #include "rs/stats/rng.hpp"
 
 namespace rs::api {
 
 namespace {
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Layout version of the SCLR record (independent of the container's
+/// persist::kFormatVersion); bump when the section contents change and
+/// branch on the read value to migrate old snapshots.
+constexpr std::uint32_t kScalerLayerVersion = 1;
+
+void WriteDuration(persist::Writer* writer,
+                   const stats::DurationDistribution& d) {
+  writer->WriteU8(static_cast<std::uint8_t>(d.kind()));
+  writer->WriteDouble(d.param1());
+  writer->WriteDouble(d.param2());
 }
+
+Result<stats::DurationDistribution> ReadDuration(persist::Reader* reader) {
+  RS_ASSIGN_OR_RETURN(const std::uint8_t kind, reader->ReadU8());
+  RS_ASSIGN_OR_RETURN(const double p1, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(const double p2, reader->ReadDouble());
+  return stats::DurationDistribution::FromRawParams(kind, p1, p2);
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Online serving state: a faithful mirror of the engine's Algorithm-1
@@ -88,11 +110,14 @@ struct Scaler::Serving {
 };
 
 Scaler::Scaler(core::TrainedPipeline trained,
-               std::unique_ptr<sim::Autoscaler> strategy,
-               std::string strategy_name, sim::EngineOptions serve_defaults)
+               std::unique_ptr<sim::Autoscaler> strategy, StrategySpec spec,
+               StrategyBuildContext build_context,
+               sim::EngineOptions serve_defaults)
     : trained_(std::move(trained)),
       strategy_(std::move(strategy)),
-      strategy_name_(std::move(strategy_name)),
+      spec_(std::move(spec)),
+      build_context_(build_context),
+      strategy_name_(FormatStrategySpec(spec_)),
       serve_defaults_(serve_defaults),
       serving_(std::make_unique<Serving>(serve_defaults)) {}
 
@@ -373,6 +398,231 @@ Status Scaler::ResetServing() {
   return Status::OK();
 }
 
+// -- Durable state ----------------------------------------------------------
+
+Status Scaler::SaveState(std::ostream& out) const {
+  persist::Writer writer;
+  RS_RETURN_NOT_OK(SaveStateSection(&writer));
+  return writer.Finish(out);
+}
+
+Status Scaler::SaveStateSection(persist::Writer* writer) const {
+  writer->BeginSection(persist::kTagScaler);
+  writer->WriteU32(kScalerLayerVersion);
+
+  // SPEC: the structured strategy spec (bit-exact parameter values; the
+  // formatted name string is lossy).
+  writer->BeginSection(persist::kTagSpec);
+  writer->WriteString(spec_.name);
+  writer->WriteU64(spec_.params.size());
+  for (const auto& [key, value] : spec_.params) {
+    writer->WriteString(key);
+    writer->WriteDouble(value);
+  }
+  writer->EndSection();
+
+  // CTXT: the builder-time factory defaults Build() fed the registry.
+  writer->BeginSection(persist::kTagBuildContext);
+  WriteDuration(writer, build_context_.pending);
+  writer->WriteU64(build_context_.mc_samples);
+  writer->WriteDouble(build_context_.planning_interval);
+  writer->WriteU64(build_context_.seed);
+  writer->EndSection();
+
+  // TRND: the forecast (the only training artifact serving reads) plus the
+  // detected period for reports.
+  writer->BeginSection(persist::kTagTrained);
+  writer->WriteDouble(trained_.forecast.dt());
+  writer->WriteDoubleVector(trained_.forecast.rates());
+  writer->WriteU64(trained_.period.period);
+  writer->WriteDouble(trained_.period.acf_value);
+  writer->WriteDouble(trained_.period.p_value);
+  writer->EndSection();
+
+  // STRA: the strategy's mutable model state.
+  writer->BeginSection(persist::kTagStrategyModel);
+  RS_RETURN_NOT_OK(strategy_->SerializeModel(writer));
+  writer->EndSection();
+
+  // MIRR: the serving mirror.
+  RS_RETURN_NOT_OK(SaveServingState(writer));
+
+  writer->EndSection();
+  return Status::OK();
+}
+
+Status Scaler::SaveServingState(persist::Writer* writer) const {
+  const Serving& s = *serving_;
+  writer->BeginSection(persist::kTagMirror);
+
+  // Engine options (the clock pointer itself cannot travel; a flag records
+  // whether one was injected so restore can demand a replacement).
+  WriteDuration(writer, s.options.pending);
+  writer->WriteU64(s.options.seed);
+  writer->WriteBool(s.options.charge_decision_wall_time);
+  writer->WriteDouble(s.options.creation_latency);
+  writer->WriteDouble(s.options.pending_jitter);
+  writer->WriteBool(s.options.charge_idle_until_horizon);
+  writer->WriteBool(s.options.decision_clock != nullptr);
+  writer->WriteDouble(retention_override_);
+
+  // Event-loop position and lifetime counters.
+  writer->WriteBool(s.started);
+  writer->WriteDouble(s.now);
+  writer->WriteDouble(s.next_tick);
+  writer->WriteU64(s.total_arrivals);
+  writer->WriteU64(s.cold_starts);
+  writer->WriteU64(s.creations_requested);
+  writer->WriteU64(s.deletions_requested);
+  writer->WriteU64(s.next_seq);
+  writer->WriteU64(s.drain_watermark);
+  writer->WriteU64(s.total_callbacks);
+
+  // The mirror's own RNG (pending-time draws) and the decision clock's
+  // logical position (deterministic clocks only; a steady clock exports
+  // nothing and resumes on real wall time).
+  persist::WriteRngState(writer, s.rng);
+  double clock_time = 0.0;
+  std::uint64_t clock_readings = 0;
+  const bool has_clock_position =
+      s.clock->ExportPosition(&clock_time, &clock_readings);
+  writer->WriteBool(has_clock_position);
+  writer->WriteDouble(clock_time);
+  writer->WriteU64(clock_readings);
+
+  // Scheduled future creations, drained from a copy in (time, seq) order.
+  auto schedule = s.schedule;
+  writer->WriteU64(schedule.size());
+  while (!schedule.empty()) {
+    const Serving::ScheduledCreation top = schedule.top();
+    schedule.pop();
+    writer->WriteDouble(top.time);
+    writer->WriteU64(top.seq);
+  }
+
+  // Live instances (ready times, creation order), retained arrival window,
+  // the undrained Plan() buffer, and the retained parity-log suffix.
+  writer->WriteU64(s.live.size());
+  for (const double ready : s.live) writer->WriteDouble(ready);
+  writer->WriteDoubleVector(s.arrivals);
+  writer->WriteDoubleVector(s.buffered.creation_times);
+  writer->WriteU64(s.buffered.deletions);
+  writer->WriteU64Vector(s.buffered_seqs);
+  writer->WriteU64(s.log.size());
+  for (const sim::ScalingAction& action : s.log) {
+    writer->WriteDoubleVector(action.creation_times);
+    writer->WriteU64(action.deletions);
+  }
+  writer->WriteDoubleVector(s.log_times);
+
+  writer->EndSection();
+  return Status::OK();
+}
+
+Status Scaler::LoadServingState(persist::Reader* reader,
+                                sim::DecisionClock* restore_clock) {
+  RS_RETURN_NOT_OK(reader->EnterSection(persist::kTagMirror));
+
+  sim::EngineOptions options;
+  RS_ASSIGN_OR_RETURN(options.pending, ReadDuration(reader));
+  RS_ASSIGN_OR_RETURN(options.seed, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(options.charge_decision_wall_time, reader->ReadBool());
+  RS_ASSIGN_OR_RETURN(options.creation_latency, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(options.pending_jitter, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(options.charge_idle_until_horizon, reader->ReadBool());
+  RS_ASSIGN_OR_RETURN(const bool had_injected_clock, reader->ReadBool());
+  if (had_injected_clock && restore_clock == nullptr) {
+    return Status::Invalid(
+        "snapshot was taken with an injected DecisionClock; pass a "
+        "replacement via ScalerRestoreOptions::decision_clock (restoring "
+        "onto wall time would silently break the deterministic "
+        "continuation)");
+  }
+  options.decision_clock = restore_clock;
+  RS_RETURN_NOT_OK(sim::ValidateEngineOptions(options));
+  RS_ASSIGN_OR_RETURN(const double retention, reader->ReadDouble());
+  if (std::isnan(retention) || retention < 0.0) {
+    return Status::Invalid(
+        "snapshot carries a negative or NaN history-retention override");
+  }
+  retention_override_ = retention;
+
+  serving_ = std::make_unique<Serving>(options);
+  Serving& s = *serving_;
+  RS_ASSIGN_OR_RETURN(s.started, reader->ReadBool());
+  RS_ASSIGN_OR_RETURN(s.now, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(s.next_tick, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t total_arrivals, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t cold_starts, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t creations, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t deletions, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(s.next_seq, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(s.drain_watermark, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t callbacks, reader->ReadU64());
+  s.total_arrivals = static_cast<std::size_t>(total_arrivals);
+  s.cold_starts = static_cast<std::size_t>(cold_starts);
+  s.creations_requested = static_cast<std::size_t>(creations);
+  s.deletions_requested = static_cast<std::size_t>(deletions);
+  s.total_callbacks = static_cast<std::size_t>(callbacks);
+
+  RS_RETURN_NOT_OK(persist::ReadRngState(reader, &s.rng));
+  RS_ASSIGN_OR_RETURN(const bool has_clock_position, reader->ReadBool());
+  RS_ASSIGN_OR_RETURN(const double clock_time, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t clock_readings, reader->ReadU64());
+  if (has_clock_position) {
+    if (restore_clock == nullptr) {
+      return Status::Invalid(
+          "snapshot carries a decision-clock position but no clock flag; "
+          "the file is corrupt");
+    }
+    RS_RETURN_NOT_OK(
+        restore_clock->ImportPosition(clock_time, clock_readings));
+  }
+
+  RS_ASSIGN_OR_RETURN(const std::uint64_t schedule_size, reader->ReadU64());
+  for (std::uint64_t i = 0; i < schedule_size; ++i) {
+    Serving::ScheduledCreation entry;
+    RS_ASSIGN_OR_RETURN(entry.time, reader->ReadDouble());
+    RS_ASSIGN_OR_RETURN(entry.seq, reader->ReadU64());
+    s.schedule.push(entry);
+  }
+
+  RS_ASSIGN_OR_RETURN(const std::uint64_t live_size, reader->ReadU64());
+  for (std::uint64_t i = 0; i < live_size; ++i) {
+    RS_ASSIGN_OR_RETURN(const double ready, reader->ReadDouble());
+    s.live.push_back(ready);
+  }
+  RS_RETURN_NOT_OK(reader->ReadDoubleVector(&s.arrivals));
+  RS_RETURN_NOT_OK(reader->ReadDoubleVector(&s.buffered.creation_times));
+  RS_ASSIGN_OR_RETURN(const std::uint64_t buffered_deletions,
+                      reader->ReadU64());
+  s.buffered.deletions = static_cast<std::size_t>(buffered_deletions);
+  RS_RETURN_NOT_OK(reader->ReadU64Vector(&s.buffered_seqs));
+  if (s.buffered_seqs.size() != s.buffered.creation_times.size()) {
+    return Status::Invalid(
+        "snapshot's undrained action buffer is inconsistent (creation "
+        "times and emission numbers differ in length)");
+  }
+
+  RS_ASSIGN_OR_RETURN(const std::uint64_t log_size, reader->ReadU64());
+  for (std::uint64_t i = 0; i < log_size; ++i) {
+    sim::ScalingAction action;
+    RS_RETURN_NOT_OK(reader->ReadDoubleVector(&action.creation_times));
+    RS_ASSIGN_OR_RETURN(const std::uint64_t action_deletions,
+                        reader->ReadU64());
+    action.deletions = static_cast<std::size_t>(action_deletions);
+    s.log.push_back(std::move(action));
+  }
+  RS_RETURN_NOT_OK(reader->ReadDoubleVector(&s.log_times));
+  if (s.log_times.size() != s.log.size()) {
+    return Status::Invalid(
+        "snapshot's parity log is inconsistent (entries and timestamps "
+        "differ in length)");
+  }
+
+  return reader->ExitSection();
+}
+
 // ---------------------------------------------------------------------------
 // ScalerBuilder
 // ---------------------------------------------------------------------------
@@ -522,8 +772,98 @@ Result<Scaler> ScalerBuilder::Build() const {
 
   sim::EngineOptions serve_defaults;
   serve_defaults.pending = pending_;
-  return Scaler(std::move(trained), std::move(strategy),
-                FormatStrategySpec(spec), serve_defaults);
+  Scaler::StrategyBuildContext build_context;
+  build_context.pending = pending_;
+  build_context.mc_samples = mc_samples_;
+  build_context.planning_interval = planning_interval_;
+  build_context.seed = seed_;
+  return Scaler(std::move(trained), std::move(strategy), std::move(spec),
+                build_context, serve_defaults);
+}
+
+Result<Scaler> ScalerBuilder::RestoreState(std::istream& in,
+                                           const ScalerRestoreOptions& options) {
+  RS_ASSIGN_OR_RETURN(persist::Reader reader, persist::Reader::FromStream(in));
+  return RestoreStateSection(&reader, options);
+}
+
+Result<Scaler> ScalerBuilder::RestoreStateSection(
+    persist::Reader* reader, const ScalerRestoreOptions& options) {
+  RS_RETURN_NOT_OK(reader->EnterSection(persist::kTagScaler));
+  RS_ASSIGN_OR_RETURN(const std::uint32_t layer_version, reader->ReadU32());
+  if (layer_version == 0 || layer_version > kScalerLayerVersion) {
+    return Status::Invalid("Scaler snapshot record version " +
+                           std::to_string(layer_version) +
+                           " is newer than this build understands");
+  }
+
+  // SPEC: the structured strategy spec.
+  RS_RETURN_NOT_OK(reader->EnterSection(persist::kTagSpec));
+  StrategySpec spec;
+  RS_ASSIGN_OR_RETURN(spec.name, reader->ReadString());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t param_count, reader->ReadU64());
+  for (std::uint64_t i = 0; i < param_count; ++i) {
+    RS_ASSIGN_OR_RETURN(std::string key, reader->ReadString());
+    RS_ASSIGN_OR_RETURN(const double value, reader->ReadDouble());
+    spec.params[std::move(key)] = value;
+  }
+  RS_RETURN_NOT_OK(reader->ExitSection());
+
+  // CTXT: factory defaults.
+  RS_RETURN_NOT_OK(reader->EnterSection(persist::kTagBuildContext));
+  Scaler::StrategyBuildContext build_context;
+  RS_ASSIGN_OR_RETURN(build_context.pending, ReadDuration(reader));
+  RS_ASSIGN_OR_RETURN(const std::uint64_t mc_samples, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(build_context.planning_interval, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(build_context.seed, reader->ReadU64());
+  if (mc_samples == 0 || !(build_context.planning_interval > 0.0)) {
+    return Status::Invalid(
+        "snapshot carries out-of-domain strategy build defaults "
+        "(mc_samples must be >= 1, planning interval > 0 s)");
+  }
+  build_context.mc_samples = static_cast<std::size_t>(mc_samples);
+  RS_RETURN_NOT_OK(reader->ExitSection());
+
+  // TRND: the forecast. Make() re-runs the full domain validation.
+  RS_RETURN_NOT_OK(reader->EnterSection(persist::kTagTrained));
+  core::TrainedPipeline trained;
+  RS_ASSIGN_OR_RETURN(const double dt, reader->ReadDouble());
+  std::vector<double> rates;
+  RS_RETURN_NOT_OK(reader->ReadDoubleVector(&rates));
+  RS_ASSIGN_OR_RETURN(
+      trained.forecast,
+      workload::PiecewiseConstantIntensity::Make(std::move(rates), dt));
+  RS_ASSIGN_OR_RETURN(const std::uint64_t detected_period, reader->ReadU64());
+  trained.period.period = static_cast<std::size_t>(detected_period);
+  RS_ASSIGN_OR_RETURN(trained.period.acf_value, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(trained.period.p_value, reader->ReadDouble());
+  RS_RETURN_NOT_OK(reader->ExitSection());
+
+  // Rebuild the strategy through the registry (re-running every factory
+  // validation), then overlay the snapshot's mutable model state.
+  StrategyContext context;
+  context.forecast = &trained.forecast;
+  context.pending = build_context.pending;
+  context.mc_samples = build_context.mc_samples;
+  context.planning_interval = build_context.planning_interval;
+  context.seed = build_context.seed;
+  context.planning_pool = options.planning_pool;
+  RS_ASSIGN_OR_RETURN(auto strategy,
+                      StrategyRegistry::Global().Create(spec, context));
+  RS_RETURN_NOT_OK(reader->EnterSection(persist::kTagStrategyModel));
+  RS_RETURN_NOT_OK(strategy->DeserializeModel(reader));
+  RS_RETURN_NOT_OK(reader->ExitSection());
+
+  // The policies copy the forecast at construction, so moving `trained`
+  // into the Scaler afterwards is safe.
+  sim::EngineOptions serve_defaults;
+  serve_defaults.pending = build_context.pending;
+  Scaler scaler(std::move(trained), std::move(strategy), std::move(spec),
+                build_context, serve_defaults);
+  RS_RETURN_NOT_OK(
+      scaler.LoadServingState(reader, options.decision_clock));
+  RS_RETURN_NOT_OK(reader->ExitSection());
+  return scaler;
 }
 
 Result<core::TrainedPipeline> TrainPipeline(

@@ -33,7 +33,31 @@
 #include "rs/simulator/metrics.hpp"
 #include "rs/workload/trace.hpp"
 
+namespace rs::persist {
+class Writer;
+class Reader;
+}  // namespace rs::persist
+
 namespace rs::api {
+
+/// \brief Process-local resources a restored Scaler needs re-injected.
+///
+/// A snapshot is self-contained *data*; pointers into the old process
+/// (injected decision clocks, planning pools) obviously cannot travel with
+/// it. Restore re-binds them here: a snapshot taken with an injected
+/// DecisionClock refuses to restore without one (silently falling back to
+/// wall time would break the deterministic-continuation contract), while
+/// the planning pool is optional — it is purely a wall-time knob and can
+/// also be attached later via Scaler::SetPlanningPool / fleet Register.
+struct ScalerRestoreOptions {
+  /// Clock to restore the snapshot's decision-clock position onto (see
+  /// sim::DecisionClock::ImportPosition). Required iff the snapshot was
+  /// taken with an injected clock; must outlive the restored Scaler.
+  sim::DecisionClock* decision_clock = nullptr;
+  /// Worker pool for the strategy's planning fan-out (nullptr plans
+  /// inline). Must outlive the restored Scaler's planning calls.
+  common::ThreadPool* planning_pool = nullptr;
+};
 
 /// Read-only view of the online serving state (for dashboards / tests).
 struct ServingSnapshot {
@@ -174,6 +198,13 @@ class Scaler {
   /// preserve the full parity log); note a later, smaller setting re-arms
   /// compaction and already-discarded history cannot come back. May be
   /// called at any time; applies from the next compaction.
+  ///
+  /// Interaction with durable snapshots: the retained window is exactly
+  /// what SaveState() serializes, so widening retention grows every
+  /// subsequent snapshot proportionally — with sim::kUnboundedHistory the
+  /// snapshot grows without bound as traffic accumulates. Long-running
+  /// deployments that snapshot periodically should keep the default
+  /// (strategy-floor) retention unless they need the full log.
   Status ConfigureHistoryRetention(double lookback_seconds);
 
   /// What the caller must do in response to an observed arrival (the
@@ -210,13 +241,53 @@ class Scaler {
   /// bit-identical action replays.
   Status ResetServing();
 
+  // -- Durable state --------------------------------------------------------
+
+  /// \brief Writes a complete snapshot of this scaler — strategy spec,
+  ///        forecast, strategy model state, and the entire serving mirror
+  ///        (schedule, live set, retained arrival/action windows, RNG
+  ///        position, decision-clock position) — as one rs::persist record.
+  ///
+  /// The contract: ScalerBuilder::RestoreState of this snapshot in a fresh
+  /// process continues the serving session with a byte-identical action
+  /// sequence to this instance never having stopped, under any planning-
+  /// pool size and with RS_REFERENCE_KERNELS on or off (both are wall-time
+  /// knobs, never behavior). Const: taking a snapshot perturbs nothing, so
+  /// it can run on a live scaler between events.
+  ///
+  /// Size scales with the retained serving window (see
+  /// ConfigureHistoryRetention) plus the forecast length. Training
+  /// diagnostics (raw counts, NHPP parameters, ADMM info) are not
+  /// persisted — serving only needs the forecast; retrain if you need them.
+  Status SaveState(std::ostream& out) const;
+
  private:
   friend class ScalerBuilder;
+  friend class ScalerFleet;  // Nests SaveStateSection into fleet records.
   struct Serving;
 
+  /// Builder-time strategy-construction defaults that a snapshot must carry
+  /// to rebuild the same strategy in a fresh process: RestoreState replays
+  /// them through the registry exactly like Build() (explicit spec params
+  /// still win over these defaults).
+  struct StrategyBuildContext {
+    stats::DurationDistribution pending =
+        stats::DurationDistribution::Deterministic(13.0);
+    std::size_t mc_samples = 300;
+    double planning_interval = 1.0;
+    std::uint64_t seed = 31;
+  };
+
   Scaler(core::TrainedPipeline trained,
-         std::unique_ptr<sim::Autoscaler> strategy, std::string strategy_name,
-         sim::EngineOptions serve_defaults);
+         std::unique_ptr<sim::Autoscaler> strategy, StrategySpec spec,
+         StrategyBuildContext build_context, sim::EngineOptions serve_defaults);
+
+  /// SaveState minus the container framing, so fleet snapshots can nest
+  /// per-tenant scaler records inside their own sections.
+  Status SaveStateSection(persist::Writer* writer) const;
+  Status SaveServingState(persist::Writer* writer) const;
+  Status LoadServingState(persist::Reader* reader,
+                          sim::DecisionClock* restore_clock);
 
   void EnsureStarted();
   void AdvanceTo(double t);
@@ -228,6 +299,12 @@ class Scaler {
 
   core::TrainedPipeline trained_;
   std::unique_ptr<sim::Autoscaler> strategy_;
+  /// The structured spec the strategy was created from. SaveState persists
+  /// this, not strategy_name_: FormatStrategySpec rounds parameters to six
+  /// significant digits, and restore must feed the registry bit-exact
+  /// values.
+  StrategySpec spec_;
+  StrategyBuildContext build_context_;
   std::string strategy_name_;
   sim::EngineOptions serve_defaults_;
   /// ConfigureHistoryRetention value; the effective window is the max of
@@ -299,6 +376,27 @@ class ScalerBuilder {
   /// Validates all options together, trains modules 1–3, and constructs the
   /// serving strategy (module 4).
   Result<Scaler> Build() const;
+
+  // -- Durable state --------------------------------------------------------
+
+  /// \brief Reconstructs a Scaler from a Scaler::SaveState snapshot — no
+  ///        retraining, no traffic replay.
+  ///
+  /// The strategy is rebuilt through the StrategyRegistry from the
+  /// serialized spec (so all factory validation re-runs), its mutable model
+  /// state is overlaid via Autoscaler::DeserializeModel, and the serving
+  /// mirror resumes at the exact event position it was saved at: the next
+  /// Observe()/Plan() continues the action sequence byte-for-byte.
+  /// Corrupt, truncated, or future-versioned snapshots fail with a
+  /// descriptive Status, never UB.
+  static Result<Scaler> RestoreState(std::istream& in,
+                                     const ScalerRestoreOptions& options = {});
+
+  /// Building block behind RestoreState and ScalerFleet::RestoreTenant:
+  /// reads one scaler record at the reader's current position (the record
+  /// written by Scaler::SaveStateSection). Most callers want RestoreState.
+  static Result<Scaler> RestoreStateSection(persist::Reader* reader,
+                                            const ScalerRestoreOptions& options);
 
  private:
   std::optional<workload::Trace> train_;

@@ -1,10 +1,18 @@
 #include "rs/api/scaler_fleet.hpp"
 
+#include <istream>
+#include <ostream>
 #include <sstream>
+
+#include "rs/persist/persist.hpp"
 
 namespace rs::api {
 
 namespace {
+
+/// Layout version of the FLET record (the TENT record has no version of its
+/// own: its two fields are a name and a versioned SCLR record).
+constexpr std::uint32_t kFleetLayerVersion = 1;
 
 Status UnknownTenant(const char* op, const std::string& tenant) {
   std::ostringstream msg;
@@ -158,6 +166,109 @@ FleetSnapshot ScalerFleet::Snapshot() const {
     fleet.per_tenant.emplace_back(entry->name, std::move(snap));
   }
   return fleet;
+}
+
+// -- Durability & migration -------------------------------------------------
+
+Status ScalerFleet::WriteTenantRecord(persist::Writer* writer,
+                                      std::size_t index) const {
+  const Tenant& tenant = *tenants_[index];
+  writer->BeginSection(persist::kTagTenant);
+  writer->WriteString(tenant.name);
+  RS_RETURN_NOT_OK(tenant.scaler.SaveStateSection(writer));
+  writer->EndSection();
+  return Status::OK();
+}
+
+Result<std::pair<std::string, Scaler>> ScalerFleet::ReadTenantRecord(
+    persist::Reader* reader,
+    const std::function<sim::DecisionClock*(const std::string&)>& clock_for) {
+  RS_RETURN_NOT_OK(reader->EnterSection(persist::kTagTenant));
+  RS_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+  if (name.empty()) {
+    return Status::Invalid(
+        "tenant snapshot carries an empty tenant name; the file is corrupt");
+  }
+  ScalerRestoreOptions restore;
+  if (clock_for) restore.decision_clock = clock_for(name);
+  RS_ASSIGN_OR_RETURN(Scaler scaler,
+                      ScalerBuilder::RestoreStateSection(reader, restore));
+  RS_RETURN_NOT_OK(reader->ExitSection());
+  return std::make_pair(std::move(name), std::move(scaler));
+}
+
+Status ScalerFleet::SnapshotTenant(const std::string& tenant,
+                                   std::ostream& out) const {
+  const std::size_t i = FindIndex(tenant);
+  if (i == tenants_.size()) return UnknownTenant("SnapshotTenant", tenant);
+  persist::Writer writer;
+  RS_RETURN_NOT_OK(WriteTenantRecord(&writer, i));
+  return writer.Finish(out);
+}
+
+Status ScalerFleet::RestoreTenant(std::istream& in,
+                                  const TenantRestoreOptions& options) {
+  RS_ASSIGN_OR_RETURN(persist::Reader reader, persist::Reader::FromStream(in));
+  auto clock_for = [&options](const std::string&) {
+    return options.decision_clock;
+  };
+  RS_ASSIGN_OR_RETURN(auto record, ReadTenantRecord(&reader, clock_for));
+  const std::string& name =
+      options.rename.empty() ? record.first : options.rename;
+  // Register re-points the restored strategy's planning shards at this
+  // fleet's pool and rejects duplicate names before any state changes.
+  return Register(name, std::move(record.second));
+}
+
+Status ScalerFleet::SaveFleet(std::ostream& out) const {
+  persist::Writer writer;
+  writer.BeginSection(persist::kTagFleet);
+  writer.WriteU32(kFleetLayerVersion);
+  writer.WriteU64(tenants_.size());
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    RS_RETURN_NOT_OK(WriteTenantRecord(&writer, i));
+  }
+  writer.EndSection();
+  return writer.Finish(out);
+}
+
+Result<ScalerFleet> ScalerFleet::LoadFleet(std::istream& in,
+                                           const FleetRestoreOptions& options) {
+  RS_ASSIGN_OR_RETURN(persist::Reader reader, persist::Reader::FromStream(in));
+  RS_RETURN_NOT_OK(reader.EnterSection(persist::kTagFleet));
+  RS_ASSIGN_OR_RETURN(const std::uint32_t layer_version, reader.ReadU32());
+  if (layer_version == 0 || layer_version > kFleetLayerVersion) {
+    return Status::Invalid("fleet snapshot record version " +
+                           std::to_string(layer_version) +
+                           " is newer than this build understands");
+  }
+  RS_ASSIGN_OR_RETURN(const std::uint64_t count, reader.ReadU64());
+  ScalerFleet fleet(options.worker_threads);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RS_ASSIGN_OR_RETURN(auto record,
+                        ReadTenantRecord(&reader, options.decision_clock_for));
+    RS_RETURN_NOT_OK(fleet.Register(record.first, std::move(record.second)));
+  }
+  RS_RETURN_NOT_OK(reader.ExitSection());
+  return fleet;
+}
+
+Status ScalerFleet::MigrateTenant(const std::string& tenant,
+                                  ScalerFleet* target,
+                                  const TenantRestoreOptions& options) {
+  if (target == nullptr || target == this) {
+    return Status::Invalid(
+        "ScalerFleet::MigrateTenant: target must be a different live fleet");
+  }
+  const std::size_t i = FindIndex(tenant);
+  if (i == tenants_.size()) return UnknownTenant("MigrateTenant", tenant);
+  // Snapshot → restore → retire. Any restore failure (bad clock, name
+  // collision in the target) surfaces before the source drops the tenant,
+  // so a failed migration leaves both fleets exactly as they were.
+  std::stringstream buffer;
+  RS_RETURN_NOT_OK(SnapshotTenant(tenant, buffer));
+  RS_RETURN_NOT_OK(target->RestoreTenant(buffer, options));
+  return Retire(tenant);
 }
 
 }  // namespace rs::api

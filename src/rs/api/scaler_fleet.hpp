@@ -26,6 +26,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -69,6 +71,30 @@ struct FleetSnapshot {
 
   /// Per-tenant snapshots in registration order.
   std::vector<std::pair<std::string, ServingSnapshot>> per_tenant;
+};
+
+/// Per-tenant restore knobs (ScalerFleet::RestoreTenant / MigrateTenant).
+struct TenantRestoreOptions {
+  /// Register the restored tenant under this name instead of the one in
+  /// the snapshot (empty keeps the snapshot's name). Lets a migration land
+  /// next to an existing tenant without a collision.
+  std::string rename;
+  /// Replacement decision clock for a tenant whose snapshot was taken with
+  /// an injected DecisionClock (required then; see
+  /// ScalerRestoreOptions::decision_clock).
+  sim::DecisionClock* decision_clock = nullptr;
+};
+
+/// Fleet-wide restore knobs (ScalerFleet::LoadFleet).
+struct FleetRestoreOptions {
+  /// Worker-pool size for the restored fleet (same meaning as the
+  /// ScalerFleet constructor argument).
+  std::size_t worker_threads = 0;
+  /// Optional per-tenant decision-clock factory, consulted for tenants
+  /// whose snapshot carried an injected clock. Returning nullptr for such a
+  /// tenant fails that tenant's restore.
+  std::function<sim::DecisionClock*(const std::string& tenant)>
+      decision_clock_for;
 };
 
 /// \brief Owns N named Scaler instances and serves them behind one front
@@ -164,6 +190,41 @@ class ScalerFleet {
   /// Aggregated serving state across all tenants.
   FleetSnapshot Snapshot() const;
 
+  // -- Durability & migration (rs::persist) ---------------------------------
+  //
+  // A tenant snapshot is one self-contained rs::persist container (magic,
+  // versioned sections, CRC32 trailer) holding the tenant's name plus its
+  // Scaler's full durable state — see Scaler::SaveState for the continuation
+  // guarantee. A fleet snapshot is the same records for every tenant, in
+  // registration order.
+
+  /// Writes one tenant's durable state (name + Scaler record) to `out`.
+  Status SnapshotTenant(const std::string& tenant, std::ostream& out) const;
+
+  /// Reads one tenant snapshot from `in` and registers it (at the end of
+  /// the registration order, like any new Register). The restored scaler's
+  /// planning shards feed this fleet's pool. On any error the fleet is
+  /// unchanged.
+  Status RestoreTenant(std::istream& in,
+                       const TenantRestoreOptions& options = {});
+
+  /// Writes every tenant's durable state, in registration order.
+  Status SaveFleet(std::ostream& out) const;
+
+  /// Rebuilds a whole fleet from a SaveFleet stream; tenants come back in
+  /// their original registration order.
+  static Result<ScalerFleet> LoadFleet(std::istream& in,
+                                       const FleetRestoreOptions& options = {});
+
+  /// \brief Moves one tenant to another live fleet: snapshot → restore into
+  ///        `target` → retire here. The tenant's action sequence continues
+  ///        byte-identically across the cut (same guarantee as
+  ///        Scaler::SaveState). Succeeds or leaves *both* fleets unchanged —
+  ///        the source keeps the tenant whenever the restore into `target`
+  ///        fails (e.g. a name collision without `options.rename`).
+  Status MigrateTenant(const std::string& tenant, ScalerFleet* target,
+                       const TenantRestoreOptions& options = {});
+
  private:
   struct Tenant {
     std::string name;
@@ -174,6 +235,16 @@ class ScalerFleet {
 
   /// Index into tenants_, or tenants_.size() if unknown.
   std::size_t FindIndex(const std::string& tenant) const;
+
+  /// Writes one TENT record (name + Scaler state) into an open writer.
+  Status WriteTenantRecord(persist::Writer* writer, std::size_t index) const;
+
+  /// Reads one TENT record. `clock_for` maps the snapshot's tenant name to
+  /// the replacement decision clock (may yield nullptr — then a snapshot
+  /// that needs one fails cleanly inside the Scaler restore).
+  static Result<std::pair<std::string, Scaler>> ReadTenantRecord(
+      persist::Reader* reader,
+      const std::function<sim::DecisionClock*(const std::string&)>& clock_for);
 
   /// Registration order; unique_ptr keeps tenant addresses stable across
   /// vector reshuffles, so worker tasks and Find() pointers stay valid.

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "rs/common/logging.hpp"
+#include "rs/persist/persist.hpp"
 
 namespace rs::baseline {
+
+namespace {
+constexpr std::uint32_t kModelVersion = 1;
+}  // namespace
 
 AdaptiveBackupPool::AdaptiveBackupPool(double multiplier,
                                        double update_interval,
@@ -52,6 +58,39 @@ sim::ScalingAction AdaptiveBackupPool::OnQueryArrival(
     action.creation_times.assign(target_ - outstanding, ctx.now);
   }
   return action;
+}
+
+Status AdaptiveBackupPool::SerializeModel(persist::Writer* writer) const {
+  writer->BeginSection(persist::kTagAdaptiveModel);
+  writer->WriteU32(kModelVersion);
+  writer->WriteDouble(multiplier_);
+  writer->WriteDouble(update_interval_);
+  writer->WriteDouble(estimate_window_);
+  writer->WriteU64(target_);
+  writer->EndSection();
+  return Status::OK();
+}
+
+Status AdaptiveBackupPool::DeserializeModel(persist::Reader* reader) {
+  RS_RETURN_NOT_OK(reader->EnterSection(persist::kTagAdaptiveModel));
+  RS_ASSIGN_OR_RETURN(const std::uint32_t version, reader->ReadU32());
+  if (version == 0 || version > kModelVersion) {
+    return Status::Invalid("AdapBP model record version " +
+                           std::to_string(version) +
+                           " is newer than this build understands");
+  }
+  RS_ASSIGN_OR_RETURN(multiplier_, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(update_interval_, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(estimate_window_, reader->ReadDouble());
+  if (!(multiplier_ >= 0.0) || !(update_interval_ > 0.0) ||
+      !(estimate_window_ > 0.0)) {
+    return Status::Invalid(
+        "AdapBP snapshot carries out-of-domain parameters (multiplier must "
+        "be >= 0, intervals positive)");
+  }
+  RS_ASSIGN_OR_RETURN(const std::uint64_t target, reader->ReadU64());
+  target_ = static_cast<std::size_t>(target);
+  return reader->ExitSection();
 }
 
 }  // namespace rs::baseline

@@ -27,6 +27,11 @@ class AdaptiveBackupPool : public sim::Autoscaler {
   sim::ScalingAction OnQueryArrival(const sim::SimContext& ctx,
                                     bool cold_start) override;
 
+  /// AdapBP's mutable model is the currently targeted pool size (the last
+  /// OnPlanningTick resize); parameters ride along for the inspector.
+  Status SerializeModel(persist::Writer* writer) const override;
+  Status DeserializeModel(persist::Reader* reader) override;
+
   /// Pool size currently targeted (for tests).
   std::size_t current_target() const { return target_; }
 

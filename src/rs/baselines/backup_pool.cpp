@@ -1,6 +1,14 @@
 #include "rs/baselines/backup_pool.hpp"
 
+#include <string>
+
+#include "rs/persist/persist.hpp"
+
 namespace rs::baseline {
+
+namespace {
+constexpr std::uint32_t kModelVersion = 1;
+}  // namespace
 
 sim::ScalingAction BackupPool::Initialize(const sim::SimContext& ctx) {
   sim::ScalingAction action;
@@ -21,6 +29,32 @@ sim::ScalingAction BackupPool::OnQueryArrival(const sim::SimContext& ctx,
   }
   (void)cold_start;
   return action;
+}
+
+Status BackupPool::SerializeModel(persist::Writer* writer) const {
+  writer->BeginSection(persist::kTagBackupPoolModel);
+  writer->WriteU32(kModelVersion);
+  writer->WriteU64(pool_size_);
+  writer->EndSection();
+  return Status::OK();
+}
+
+Status BackupPool::DeserializeModel(persist::Reader* reader) {
+  RS_RETURN_NOT_OK(reader->EnterSection(persist::kTagBackupPoolModel));
+  RS_ASSIGN_OR_RETURN(const std::uint32_t version, reader->ReadU32());
+  if (version == 0 || version > kModelVersion) {
+    return Status::Invalid("BP model record version " +
+                           std::to_string(version) +
+                           " is newer than this build understands");
+  }
+  RS_ASSIGN_OR_RETURN(const std::uint64_t pool_size, reader->ReadU64());
+  if (pool_size != pool_size_) {
+    return Status::Invalid(
+        "BP snapshot/spec mismatch: snapshot was taken with pool_size=" +
+        std::to_string(pool_size) + " but the spec rebuilt pool_size=" +
+        std::to_string(pool_size_));
+  }
+  return reader->ExitSection();
 }
 
 }  // namespace rs::baseline

@@ -23,6 +23,12 @@ class BackupPool : public sim::Autoscaler {
   sim::ScalingAction OnQueryArrival(const sim::SimContext& ctx,
                                     bool cold_start) override;
 
+  /// BP is stateless beyond its pool size; the snapshot record carries the
+  /// size so the inspector can describe it and restore can cross-check it
+  /// against the rebuilt spec.
+  Status SerializeModel(persist::Writer* writer) const override;
+  Status DeserializeModel(persist::Reader* reader) override;
+
   std::size_t pool_size() const { return pool_size_; }
 
  private:

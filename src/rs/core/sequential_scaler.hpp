@@ -177,6 +177,17 @@ class RobustScalerPolicy : public sim::Autoscaler {
   /// benches can time a single decision update — Fig. 8).
   Result<Decision> SolveOne(const McSamples& samples) const;
 
+  /// \brief Durable-snapshot support (rs::persist): the policy's mutable
+  ///        model is its RNG position; option scalars ride along so restore
+  ///        can cross-check them against the rebuilt spec.
+  ///
+  /// The PlanWorkspace (γ tiles, shards, hp_cuts warm pivots) and the κ
+  /// memo are pure scratch — they change planning *speed*, never the
+  /// emitted actions (the reference-kernel parity tests pin this) — so they
+  /// are deliberately not persisted and restart cold.
+  Status SerializeModel(persist::Writer* writer) const override;
+  Status DeserializeModel(persist::Reader* reader) override;
+
   const SequentialScalerOptions& options() const { return options_; }
 
  private:
@@ -235,6 +246,12 @@ class HpCountScaler : public sim::Autoscaler {
 
   /// The κ computed at initialization (for tests).
   std::size_t kappa() const { return kappa_; }
+
+  /// Durable-snapshot support: RNG position plus the committed κ and the
+  /// arrivals-since-plan counter (both fix *when* the next plan fires, so
+  /// they are model state, not scratch). The workspace restarts cold.
+  Status SerializeModel(persist::Writer* writer) const override;
+  Status DeserializeModel(persist::Reader* reader) override;
 
  private:
   /// Plans x for the (first_j)-th … (first_j + count − 1)-th upcoming

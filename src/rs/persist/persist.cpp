@@ -1,0 +1,348 @@
+#include "rs/persist/persist.hpp"
+
+#include <array>
+#include <bit>
+#include <iterator>
+#include <sstream>
+#include <utility>
+
+#include "rs/common/logging.hpp"
+
+namespace rs::persist {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8;   // magic + format version.
+constexpr std::size_t kTrailerBytes = 4;  // CRC32.
+constexpr std::size_t kSectionHeaderBytes = 12;  // tag (u32) + length (u64).
+
+/// Builds a Status message from heterogeneous pieces (the Status factories
+/// take a single string).
+template <typename... Args>
+std::string Cat(Args&&... args) {
+  std::ostringstream msg;
+  (msg << ... << args);
+  return msg.str();
+}
+
+void AppendLe(std::string* buffer, std::uint64_t value, std::size_t width) {
+  for (std::size_t i = 0; i < width; ++i) {
+    buffer->push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PatchLe64(std::string* buffer, std::size_t offset, std::uint64_t value) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    (*buffer)[offset + i] = static_cast<char>((value >> (8 * i)) & 0xFFu);
+  }
+}
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string TagToString(std::uint32_t tag) {
+  std::string out;
+  out.reserve(6);
+  out.push_back('\'');
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((tag >> (8 * i)) & 0xFFu);
+    out.push_back((c >= 0x20 && c < 0x7F) ? c : '?');
+  }
+  out.push_back('\'');
+  return out;
+}
+
+std::uint32_t Crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = MakeCrcTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+Writer::Writer() {
+  AppendLe(&buffer_, kMagic, 4);
+  AppendLe(&buffer_, kFormatVersion, 4);
+}
+
+void Writer::WriteU8(std::uint8_t value) { AppendLe(&buffer_, value, 1); }
+
+void Writer::WriteBool(bool value) { WriteU8(value ? 1 : 0); }
+
+void Writer::WriteU32(std::uint32_t value) { AppendLe(&buffer_, value, 4); }
+
+void Writer::WriteU64(std::uint64_t value) { AppendLe(&buffer_, value, 8); }
+
+void Writer::WriteDouble(double value) {
+  WriteU64(std::bit_cast<std::uint64_t>(value));
+}
+
+void Writer::WriteString(std::string_view value) {
+  WriteU64(value.size());
+  buffer_.append(value.data(), value.size());
+}
+
+void Writer::WriteDoubleVector(const std::vector<double>& values) {
+  WriteU64(values.size());
+  for (const double v : values) WriteDouble(v);
+}
+
+void Writer::WriteU64Vector(const std::vector<std::uint64_t>& values) {
+  WriteU64(values.size());
+  for (const std::uint64_t v : values) WriteU64(v);
+}
+
+void Writer::BeginSection(std::uint32_t tag) {
+  WriteU32(tag);
+  open_.push_back(buffer_.size());
+  WriteU64(0);  // Length placeholder, backpatched by EndSection().
+}
+
+void Writer::EndSection() {
+  RS_CHECK(!open_.empty()) << "EndSection() without a matching BeginSection()";
+  const std::size_t length_offset = open_.back();
+  open_.pop_back();
+  PatchLe64(&buffer_, length_offset, buffer_.size() - (length_offset + 8));
+}
+
+Status Writer::Finish(std::ostream& out) {
+  RS_CHECK(open_.empty()) << "Finish() with an unclosed section";
+  const std::uint32_t crc = Crc32(buffer_.data(), buffer_.size());
+  std::string trailer;
+  AppendLe(&trailer, crc, 4);
+  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  out.write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError(Cat("failed to write snapshot (",
+                               buffer_.size() + kTrailerBytes,
+                               " bytes) to output stream"));
+  }
+  return Status::OK();
+}
+
+Result<Reader> Reader::FromStream(std::istream& in) {
+  std::string bytes(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>{});
+  if (in.bad()) {
+    return Status::IoError("failed to read snapshot from input stream");
+  }
+  return FromBytes(std::move(bytes));
+}
+
+Result<Reader> Reader::FromBytes(std::string bytes) {
+  if (bytes.size() < kHeaderBytes + kTrailerBytes) {
+    return Status::Invalid(Cat("snapshot truncated: ", bytes.size(),
+                               " bytes is smaller than the ",
+                               kHeaderBytes + kTrailerBytes,
+                               "-byte header + CRC trailer"));
+  }
+  Reader reader;
+  reader.bytes_ = std::move(bytes);
+  reader.payload_end_ = reader.bytes_.size() - kTrailerBytes;
+  reader.cursor_ = 0;
+  const auto read_u32 = [&reader](std::size_t offset) {
+    std::uint32_t value = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(reader.bytes_[offset + i]))
+               << (8 * i);
+    }
+    return value;
+  };
+  const std::uint32_t magic = read_u32(0);
+  if (magic != kMagic) {
+    return Status::Invalid(
+        Cat("not a RobustScaler snapshot: bad magic 0x", std::hex, magic,
+            " (expected \"RSNP\"); the file is corrupt or of a different "
+            "format"));
+  }
+  reader.version_ = read_u32(4);
+  if (reader.version_ == 0 || reader.version_ > kFormatVersion) {
+    return Status::Invalid(
+        Cat("unsupported snapshot format version ", reader.version_,
+            " (this build reads versions 1..", kFormatVersion,
+            "); the snapshot was written by a newer rs::persist — upgrade "
+            "the reader instead of discarding the snapshot"));
+  }
+  const std::uint32_t stored_crc = read_u32(reader.payload_end_);
+  const std::uint32_t actual_crc =
+      Crc32(reader.bytes_.data(), reader.payload_end_);
+  if (stored_crc != actual_crc) {
+    return Status::Invalid(Cat("snapshot CRC mismatch (stored 0x", std::hex,
+                               stored_crc, ", computed 0x", actual_crc,
+                               "): the file was truncated or corrupted in "
+                               "transit"));
+  }
+  reader.cursor_ = kHeaderBytes;
+  return reader;
+}
+
+Result<std::uint64_t> Reader::ReadRaw(std::size_t width) {
+  if (limit() - cursor_ < width) {
+    return Status::Invalid(Cat("snapshot section underflow: need ", width,
+                               " bytes but only ", limit() - cursor_,
+                               " remain before the section boundary"));
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(bytes_[cursor_ + i]))
+             << (8 * i);
+  }
+  cursor_ += width;
+  return value;
+}
+
+Result<std::uint8_t> Reader::ReadU8() {
+  RS_ASSIGN_OR_RETURN(const std::uint64_t raw, ReadRaw(1));
+  return static_cast<std::uint8_t>(raw);
+}
+
+Result<bool> Reader::ReadBool() {
+  RS_ASSIGN_OR_RETURN(const std::uint64_t raw, ReadRaw(1));
+  if (raw > 1) {
+    return Status::Invalid(
+        Cat("corrupt boolean in snapshot (byte value ", raw, ")"));
+  }
+  return raw == 1;
+}
+
+Result<std::uint32_t> Reader::ReadU32() {
+  RS_ASSIGN_OR_RETURN(const std::uint64_t raw, ReadRaw(4));
+  return static_cast<std::uint32_t>(raw);
+}
+
+Result<std::uint64_t> Reader::ReadU64() { return ReadRaw(8); }
+
+Result<double> Reader::ReadDouble() {
+  RS_ASSIGN_OR_RETURN(const std::uint64_t raw, ReadRaw(8));
+  return std::bit_cast<double>(raw);
+}
+
+Result<std::string> Reader::ReadString() {
+  RS_ASSIGN_OR_RETURN(const std::uint64_t length, ReadU64());
+  if (length > limit() - cursor_) {
+    return Status::Invalid(Cat("corrupt string length in snapshot: ", length,
+                               " bytes claimed but only ", limit() - cursor_,
+                               " remain in the section"));
+  }
+  std::string out = bytes_.substr(cursor_, length);
+  cursor_ += length;
+  return out;
+}
+
+Status Reader::ReadDoubleVector(std::vector<double>* out) {
+  RS_ASSIGN_OR_RETURN(const std::uint64_t count, ReadU64());
+  if (count > (limit() - cursor_) / 8) {
+    return Status::Invalid(Cat("corrupt vector length in snapshot: ", count,
+                               " doubles claimed but only ",
+                               limit() - cursor_,
+                               " bytes remain in the section"));
+  }
+  out->clear();
+  out->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RS_ASSIGN_OR_RETURN(const double value, ReadDouble());
+    out->push_back(value);
+  }
+  return Status::OK();
+}
+
+Status Reader::ReadU64Vector(std::vector<std::uint64_t>* out) {
+  RS_ASSIGN_OR_RETURN(const std::uint64_t count, ReadU64());
+  if (count > (limit() - cursor_) / 8) {
+    return Status::Invalid(Cat("corrupt vector length in snapshot: ", count,
+                               " words claimed but only ", limit() - cursor_,
+                               " bytes remain in the section"));
+  }
+  out->clear();
+  out->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RS_ASSIGN_OR_RETURN(const std::uint64_t value, ReadU64());
+    out->push_back(value);
+  }
+  return Status::OK();
+}
+
+Result<std::uint32_t> Reader::PeekSectionTag() const {
+  if (limit() - cursor_ < kSectionHeaderBytes) {
+    return Status::Invalid(
+        Cat("snapshot ends where a section header was expected (",
+            remaining(), " bytes remain)"));
+  }
+  std::uint32_t tag = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    tag |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes_[cursor_ + i]))
+           << (8 * i);
+  }
+  return tag;
+}
+
+Status Reader::EnterSection(std::uint32_t expected) {
+  RS_ASSIGN_OR_RETURN(const std::uint32_t tag, ReadU32());
+  if (tag != expected) {
+    return Status::Invalid(
+        Cat("snapshot section mismatch: expected ", TagToString(expected),
+            " but found ", TagToString(tag),
+            " — the file is corrupt or from an incompatible layer layout"));
+  }
+  RS_ASSIGN_OR_RETURN(const std::uint64_t length, ReadU64());
+  if (length > limit() - cursor_) {
+    return Status::Invalid(Cat("corrupt section length for ",
+                               TagToString(tag), ": ", length,
+                               " bytes claimed but only ", limit() - cursor_,
+                               " remain"));
+  }
+  ends_.push_back(cursor_ + length);
+  return Status::OK();
+}
+
+Status Reader::ExitSection() {
+  if (ends_.empty()) {
+    return Status::Invalid("ExitSection() without an open snapshot section");
+  }
+  cursor_ = ends_.back();
+  ends_.pop_back();
+  return Status::OK();
+}
+
+Status Reader::SkipSection() {
+  RS_ASSIGN_OR_RETURN(const std::uint32_t tag, PeekSectionTag());
+  RS_RETURN_NOT_OK(EnterSection(tag));
+  return ExitSection();
+}
+
+void WriteRngState(Writer* writer, const stats::Rng& rng) {
+  const stats::Rng::State state = rng.SaveState();
+  for (const std::uint64_t word : state.s) writer->WriteU64(word);
+  writer->WriteBool(state.have_cached_gaussian);
+  writer->WriteDouble(state.cached_gaussian);
+}
+
+Status ReadRngState(Reader* reader, stats::Rng* rng) {
+  stats::Rng::State state;
+  for (std::uint64_t& word : state.s) {
+    RS_ASSIGN_OR_RETURN(word, reader->ReadU64());
+  }
+  RS_ASSIGN_OR_RETURN(state.have_cached_gaussian, reader->ReadBool());
+  RS_ASSIGN_OR_RETURN(state.cached_gaussian, reader->ReadDouble());
+  rng->RestoreState(state);
+  return Status::OK();
+}
+
+}  // namespace rs::persist

@@ -1,0 +1,175 @@
+/// \file persist.hpp
+/// \brief Versioned, checksummed binary codec for durable serving state.
+///
+/// Snapshots (api::Scaler::SaveState, api::ScalerFleet::SaveFleet, tenant
+/// migration records) are encoded as:
+///
+///   magic (u32, "RSNP")  format version (u32)
+///   section*                                  tag (u32) + length (u64) + payload
+///   crc32 (u32)                               over every preceding byte
+///
+/// All integers are explicit little-endian; doubles are the IEEE-754 bit
+/// pattern as a little-endian u64, so a snapshot written on one machine
+/// restores bit-identically on another. Sections nest freely (a fleet
+/// snapshot holds tenant sections holding scaler sections); readers that
+/// understand a section's prefix may ExitSection() early and the remaining
+/// bytes are skipped, which is how newer writers stay readable by the
+/// layer-version migration paths.
+///
+/// Version handshake: Reader::FromStream rejects snapshots whose format
+/// version is newer than kFormatVersion with a descriptive Status (never a
+/// crash); older versions are accepted and exposed via Reader::version() so
+/// per-layer deserializers can migrate them. Corruption (truncation, bit
+/// flips, wrong magic, section lengths past the buffer) is detected by the
+/// CRC trailer and by bounds checks on every read — all failure modes
+/// surface as a clean Status.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rs/common/status.hpp"
+#include "rs/stats/rng.hpp"
+
+namespace rs::persist {
+
+/// File magic "RSNP" and the codec-level format version. Bump the format
+/// version only for incompatible *container* changes (header/section/crc
+/// layout); layout changes inside one layer's sections bump that layer's
+/// own version word instead (kScalerLayerVersion and friends live with the
+/// layer serializers).
+inline constexpr std::uint32_t kMagic = 0x504E5352u;  // "RSNP" little-endian.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// FourCC section tag, e.g. MakeTag('S','C','L','R').
+constexpr std::uint32_t MakeTag(char a, char b, char c, char d) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24);
+}
+
+/// "SCLR" → printable form of a tag for error messages / the inspector.
+std::string TagToString(std::uint32_t tag);
+
+// Registry of section tags (kept in one place so layers cannot collide).
+inline constexpr std::uint32_t kTagScaler = MakeTag('S', 'C', 'L', 'R');
+inline constexpr std::uint32_t kTagSpec = MakeTag('S', 'P', 'E', 'C');
+inline constexpr std::uint32_t kTagBuildContext = MakeTag('C', 'T', 'X', 'T');
+inline constexpr std::uint32_t kTagTrained = MakeTag('T', 'R', 'N', 'D');
+inline constexpr std::uint32_t kTagStrategyModel = MakeTag('S', 'T', 'R', 'A');
+inline constexpr std::uint32_t kTagMirror = MakeTag('M', 'I', 'R', 'R');
+inline constexpr std::uint32_t kTagTenant = MakeTag('T', 'E', 'N', 'T');
+inline constexpr std::uint32_t kTagFleet = MakeTag('F', 'L', 'E', 'T');
+inline constexpr std::uint32_t kTagRobustModel = MakeTag('R', 'O', 'B', 'S');
+inline constexpr std::uint32_t kTagBackupPoolModel = MakeTag('B', 'P', 'M', 'D');
+inline constexpr std::uint32_t kTagAdaptiveModel = MakeTag('A', 'B', 'P', 'M');
+inline constexpr std::uint32_t kTagHpCountModel = MakeTag('H', 'P', 'C', 'M');
+
+/// CRC-32 (IEEE reflected, poly 0xEDB88320) over `n` bytes; chainable via
+/// `seed`. Exposed for the snapshot inspector and corruption tests.
+std::uint32_t Crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+/// \brief Buffered snapshot encoder.
+///
+/// Accumulates the encoded bytes in memory (section lengths are backpatched
+/// when a section closes), then Finish() appends the CRC trailer and writes
+/// the whole snapshot to the output stream in one pass — a failed or
+/// interrupted write can therefore never leave a half-written header that
+/// looks valid.
+class Writer {
+ public:
+  Writer();
+
+  void WriteU8(std::uint8_t value);
+  void WriteBool(bool value);
+  void WriteU32(std::uint32_t value);
+  void WriteU64(std::uint64_t value);
+  void WriteDouble(double value);
+  void WriteString(std::string_view value);
+  void WriteDoubleVector(const std::vector<double>& values);
+  void WriteU64Vector(const std::vector<std::uint64_t>& values);
+
+  /// Opens a tagged section; sections nest. Every BeginSection must be
+  /// matched by EndSection before Finish().
+  void BeginSection(std::uint32_t tag);
+  void EndSection();
+
+  /// Appends the CRC trailer and writes the snapshot to `out`.
+  Status Finish(std::ostream& out);
+
+  /// Encoded size so far (header + sections, without the CRC trailer).
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  std::vector<std::size_t> open_;  ///< Offsets of unpatched section lengths.
+};
+
+/// \brief Bounds-checked snapshot decoder.
+///
+/// FromStream() loads the whole snapshot, then validates magic, format
+/// version, and CRC before any field is decoded. Every subsequent read is
+/// bounds-checked against the innermost open section, so corrupt lengths
+/// (truncation, overflow) fail with a Status instead of reading out of
+/// bounds.
+class Reader {
+ public:
+  /// Reads all of `in` and validates the container (magic, version, CRC).
+  static Result<Reader> FromStream(std::istream& in);
+
+  /// Same validation over an in-memory snapshot (tests, inspector).
+  static Result<Reader> FromBytes(std::string bytes);
+
+  /// Format version of the loaded snapshot (<= kFormatVersion).
+  std::uint32_t version() const { return version_; }
+
+  Result<std::uint8_t> ReadU8();
+  Result<bool> ReadBool();
+  Result<std::uint32_t> ReadU32();
+  Result<std::uint64_t> ReadU64();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  Status ReadDoubleVector(std::vector<double>* out);
+  Status ReadU64Vector(std::vector<std::uint64_t>* out);
+
+  /// Tag of the next section without consuming it.
+  Result<std::uint32_t> PeekSectionTag() const;
+
+  /// Opens the next section, which must carry `expected` as its tag.
+  Status EnterSection(std::uint32_t expected);
+
+  /// Closes the innermost section, skipping any bytes the caller did not
+  /// read (forward compatibility for layer-version migrations).
+  Status ExitSection();
+
+  /// Skips the next section wholesale (unknown tags in the inspector).
+  Status SkipSection();
+
+  /// Bytes left before the innermost open section (or the snapshot) ends.
+  std::size_t remaining() const { return limit() - cursor_; }
+
+ private:
+  Result<std::uint64_t> ReadRaw(std::size_t width);
+  std::size_t limit() const {
+    return ends_.empty() ? payload_end_ : ends_.back();
+  }
+
+  std::string bytes_;
+  std::size_t cursor_ = 0;
+  std::size_t payload_end_ = 0;  ///< bytes_.size() minus the CRC trailer.
+  std::uint32_t version_ = 0;
+  std::vector<std::size_t> ends_;  ///< End offsets of open sections.
+};
+
+/// Serializes the exact generator state (256-bit xoshiro words + the
+/// Box–Muller cache) so a restored stream continues bit-for-bit.
+void WriteRngState(Writer* writer, const stats::Rng& rng);
+Status ReadRngState(Reader* reader, stats::Rng* rng);
+
+}  // namespace rs::persist

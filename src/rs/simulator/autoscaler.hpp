@@ -5,11 +5,19 @@
 
 #include <cstddef>
 #include <limits>
+#include <string>
 #include <vector>
+
+#include "rs/common/status.hpp"
 
 namespace rs::common {
 class ThreadPool;
 }  // namespace rs::common
+
+namespace rs::persist {
+class Writer;
+class Reader;
+}  // namespace rs::persist
 
 namespace rs::sim {
 
@@ -93,6 +101,37 @@ class Autoscaler {
   /// snapshots aggregate this so long-lived fleets can watch workspace
   /// memory track tenant sizes.
   virtual std::size_t planning_workspace_bytes() const { return 0; }
+
+  /// \brief Writes the strategy's *mutable* model state (adaptive targets,
+  ///        RNG position, learned estimates) into a durable snapshot.
+  ///
+  /// Construction-time parameters travel separately (the api layer
+  /// re-creates the strategy from its StrategySpec before deserializing),
+  /// so implementations persist exactly what a freshly constructed instance
+  /// would not already have. Purely derived caches and planning scratch
+  /// (kappa memoization, Monte Carlo workspaces) must NOT be serialized:
+  /// they only affect speed, never the emitted actions. The default refuses
+  /// with NotImplemented so strategies that opt out fail loudly at snapshot
+  /// time, never silently restoring half a model.
+  virtual Status SerializeModel(persist::Writer* writer) const {
+    (void)writer;
+    return Status::NotImplemented(
+        std::string("strategy '") + name() +
+        "' does not implement model serialization; it cannot be included in "
+        "a durable serving snapshot");
+  }
+
+  /// Restores the state written by SerializeModel() onto a strategy rebuilt
+  /// from the same StrategySpec; the continuation is byte-identical to the
+  /// snapshotted instance. Must validate what it reads (snapshots can be
+  /// old or corrupt) and return Status rather than crash.
+  virtual Status DeserializeModel(persist::Reader* reader) {
+    (void)reader;
+    return Status::NotImplemented(
+        std::string("strategy '") + name() +
+        "' does not implement model deserialization; snapshots containing "
+        "it cannot be restored");
+  }
 
   virtual ScalingAction Initialize(const SimContext& ctx) {
     (void)ctx;

@@ -9,7 +9,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+
+#include "rs/common/status.hpp"
 
 namespace rs::sim {
 
@@ -25,6 +28,34 @@ class DecisionClock {
 
   /// Current monotonic time in seconds. Successive calls must not decrease.
   virtual double Now() = 0;
+
+  /// \brief Exports the clock's logical position (current time + readings
+  ///        taken) into a durable snapshot, if it has one.
+  ///
+  /// Returns false when the clock has no meaningful position to persist —
+  /// the SteadyDecisionClock default, whose readings are genuine wall time
+  /// that a restored process cannot (and must not) resume. Deterministic
+  /// clocks override this so that snapshot/restore keeps charged decision
+  /// latencies — and therefore the action sequence — bit-identical across
+  /// the cut.
+  virtual bool ExportPosition(double* time, std::uint64_t* readings) const {
+    (void)time;
+    (void)readings;
+    return false;
+  }
+
+  /// Restores a position previously captured by ExportPosition(). The
+  /// default refuses: restoring a scripted position onto a wall clock would
+  /// silently break determinism, so only clocks that export a position
+  /// accept one.
+  virtual Status ImportPosition(double time, std::uint64_t readings) {
+    (void)time;
+    (void)readings;
+    return Status::NotImplemented(
+        "this DecisionClock has no restorable position (inject a "
+        "deterministic clock, e.g. FakeDecisionClock, to restore a snapshot "
+        "taken with one)");
+  }
 };
 
 /// \brief Runs one planning decision, charging its wall time when enabled.
@@ -75,6 +106,18 @@ class FakeDecisionClock final : public DecisionClock {
   /// Number of readings taken so far (tests assert the clock was consulted
   /// only when charging is enabled).
   std::size_t readings() const { return readings_; }
+
+  bool ExportPosition(double* time, std::uint64_t* readings) const override {
+    *time = time_;
+    *readings = readings_;
+    return true;
+  }
+
+  Status ImportPosition(double time, std::uint64_t readings) override {
+    time_ = time;
+    readings_ = static_cast<std::size_t>(readings);
+    return Status::OK();
+  }
 
  private:
   double step_;

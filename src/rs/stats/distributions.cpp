@@ -242,6 +242,40 @@ DurationDistribution DurationDistribution::Uniform(double lo, double hi) {
   return DurationDistribution(Kind::kUniform, lo, hi);
 }
 
+Result<DurationDistribution> DurationDistribution::FromRawParams(
+    std::uint8_t kind, double p1, double p2) {
+  const auto make = [&](Kind k) { return DurationDistribution(k, p1, p2); };
+  switch (static_cast<Kind>(kind)) {
+    case Kind::kDeterministic:
+      if (!(p1 >= 0.0)) {
+        return Status::Invalid("deterministic duration must be >= 0");
+      }
+      return make(Kind::kDeterministic);
+    case Kind::kExponential:
+      if (!(p1 > 0.0)) {
+        return Status::Invalid("exponential mean must be positive");
+      }
+      return make(Kind::kExponential);
+    case Kind::kLogNormal:
+      if (!(std::isfinite(p1) && p2 >= 0.0)) {
+        return Status::Invalid("lognormal requires finite mu and sigma >= 0");
+      }
+      return make(Kind::kLogNormal);
+    case Kind::kWeibull:
+      if (!(p1 > 0.0 && p2 > 0.0)) {
+        return Status::Invalid("weibull parameters must be positive");
+      }
+      return make(Kind::kWeibull);
+    case Kind::kUniform:
+      if (!(p1 >= 0.0 && p1 <= p2)) {
+        return Status::Invalid("uniform requires 0 <= lo <= hi");
+      }
+      return make(Kind::kUniform);
+  }
+  return Status::Invalid("unknown duration distribution kind byte " +
+                         std::to_string(static_cast<unsigned>(kind)));
+}
+
 double DurationDistribution::Sample(Rng* rng) const {
   switch (kind_) {
     case Kind::kDeterministic:

@@ -80,6 +80,18 @@ class DurationDistribution {
   /// Uniform(lo, hi), 0 <= lo <= hi.
   static DurationDistribution Uniform(double lo, double hi);
 
+  /// \brief Reconstructs a distribution from its internal (kind, p1, p2)
+  ///        representation, validating the parameters.
+  ///
+  /// Snapshot round-trips must be exact: the public LogNormal(mean, cv)
+  /// factory converts to log-space (mu, sigma), so re-deriving mean/cv and
+  /// feeding them back through it would lose bits. This factory takes the
+  /// raw fields from param1()/param2() instead and restores the identical
+  /// sampler. Returns Invalid for out-of-domain parameters or an unknown
+  /// kind byte (corrupt snapshots must fail cleanly, not abort).
+  static Result<DurationDistribution> FromRawParams(std::uint8_t kind,
+                                                    double p1, double p2);
+
   /// Draws one duration (always >= 0).
   double Sample(Rng* rng) const;
 
@@ -87,6 +99,12 @@ class DurationDistribution {
   double Mean() const;
 
   Kind kind() const { return kind_; }
+
+  /// Raw internal parameters, for exact serialization via FromRawParams().
+  /// Their meaning depends on kind(): e.g. (value, unused) for
+  /// deterministic, (mu, sigma) for log-normal.
+  double param1() const { return p1_; }
+  double param2() const { return p2_; }
 
  private:
   DurationDistribution(Kind kind, double p1, double p2)

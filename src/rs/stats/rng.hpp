@@ -56,6 +56,37 @@ class Rng {
   /// serial evaluation reproduces the parallel one bit-for-bit.
   Rng SubstreamAt(std::uint64_t index) const;
 
+  /// \brief Complete generator position, exportable for durable snapshots.
+  ///
+  /// The four xoshiro256++ state words plus the Box–Muller second-deviate
+  /// cache are the *entire* observable state: SubstreamAt() is a pure
+  /// function of `s`, so the substream cursor needs no separate field — a
+  /// restored generator derives bitwise-identical substreams.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool have_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+
+  /// Exports the current position (pure; never advances the generator).
+  State SaveState() const {
+    State state;
+    for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+    state.have_cached_gaussian = have_cached_gaussian_;
+    state.cached_gaussian = cached_gaussian_;
+    return state;
+  }
+
+  /// Overwrites this generator's position; the continuation is bit-for-bit
+  /// identical to the generator SaveState() was called on. Accepts any
+  /// state, including the all-zero degenerate one (callers restoring from
+  /// untrusted snapshots are protected by the codec's CRC, not here).
+  void RestoreState(const State& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+    have_cached_gaussian_ = state.have_cached_gaussian;
+    cached_gaussian_ = state.cached_gaussian;
+  }
+
  private:
   std::uint64_t s_[4];
   bool have_cached_gaussian_ = false;

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -259,6 +260,51 @@ TEST(ScalerFleetTest, SnapshotSumsPerTenantCounters) {
   // aggregate must surface those bytes.
   EXPECT_EQ(snap.planning_workspace_bytes, sum.planning_workspace_bytes);
   EXPECT_GT(snap.planning_workspace_bytes, 0u);
+}
+
+TEST(ScalerFleetTest, SnapshotAggregationUnchangedAfterTenantRestore) {
+  // Snapshot → retire → restore of one tenant must leave the FleetSnapshot
+  // sums exactly where they were: the restored mirror carries the same
+  // counters, retained windows, instances and schedule. Only the
+  // registration position (and the cold planning workspace) may change.
+  const Workload w = MakeFleetWorkload(27);
+  ScalerFleet fleet(2);
+  ASSERT_TRUE(
+      fleet.Register("svc-a", BuildTenantScaler(w, "robust_hp:target=0.9"))
+          .ok());
+  ASSERT_TRUE(
+      fleet.Register("svc-b", BuildTenantScaler(w, "backup_pool:pool_size=1"))
+          .ok());
+  for (const auto& q : w.test.queries()) {
+    if (q.arrival_time > 400.0) break;
+    ASSERT_TRUE(fleet.Observe("svc-a", q.arrival_time).ok());
+    ASSERT_TRUE(fleet.Observe("svc-b", q.arrival_time).ok());
+  }
+  (void)fleet.PlanAll(400.0);
+
+  const FleetSnapshot before = fleet.Snapshot();
+  std::stringstream tenant_snapshot;
+  ASSERT_TRUE(fleet.SnapshotTenant("svc-a", tenant_snapshot).ok());
+  ASSERT_TRUE(fleet.Retire("svc-a").ok());
+  ASSERT_TRUE(fleet.RestoreTenant(tenant_snapshot).ok());
+
+  const FleetSnapshot after = fleet.Snapshot();
+  EXPECT_EQ(after.tenants, before.tenants);
+  EXPECT_EQ(after.tenants_started, before.tenants_started);
+  EXPECT_EQ(after.queries_observed, before.queries_observed);
+  EXPECT_EQ(after.instances_alive, before.instances_alive);
+  EXPECT_EQ(after.instances_ready, before.instances_ready);
+  EXPECT_EQ(after.scheduled_creations, before.scheduled_creations);
+  EXPECT_EQ(after.cold_starts, before.cold_starts);
+  EXPECT_EQ(after.creations_requested, before.creations_requested);
+  EXPECT_EQ(after.deletions_requested, before.deletions_requested);
+  EXPECT_EQ(after.planning_rounds, before.planning_rounds);
+  EXPECT_EQ(after.arrivals_retained, before.arrivals_retained);
+  EXPECT_EQ(after.actions_retained, before.actions_retained);
+  // Registration order: the restored tenant re-registers at the end.
+  ASSERT_EQ(after.per_tenant.size(), 2u);
+  EXPECT_EQ(after.per_tenant[0].first, "svc-b");
+  EXPECT_EQ(after.per_tenant[1].first, "svc-a");
 }
 
 // ---------------------------------------------------------------------------

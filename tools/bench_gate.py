@@ -150,9 +150,29 @@ def gate_fleet(baseline, current, gate, gate_absolute):
                                     base.get("plans_per_s"),
                                     cur.get("plans_per_s"),
                                     gated=gate_absolute)
+        # Snapshot metrics (--snapshot-interval runs) are reported, never
+        # gated: snapshot cost is machine-dependent and the committed
+        # baselines predate the field. gate.compare() quietly skips them
+        # for baselines without the field, so also surface them directly.
+        snapshot_note = ""
+        if cur.get("snapshots"):
+            gate.rows.append({
+                "key": fmt_key(key),
+                "metric": "snapshot_ms (report only)",
+                "baseline": base.get("snapshot_ms"),
+                "current": cur.get("snapshot_ms"),
+                "delta_pct": None,
+                "gated": False,
+                "regressed": False,
+            })
+            snapshot_note = (
+                f", {cur['snapshots']} snapshots "
+                f"({cur.get('snapshot_ms', 0):.1f} ms total, "
+                f"{cur.get('snapshot_bytes', 0)} bytes last)")
         print(f"bench_gate: {fmt_key(key)}: "
               f"{cur.get('plans_per_s', 0):.0f} plans/s "
-              f"(baseline {base.get('plans_per_s', 0):.0f})")
+              f"(baseline {base.get('plans_per_s', 0):.0f})"
+              f"{snapshot_note}")
     return regressions
 
 

@@ -1,0 +1,225 @@
+/// \file rs_snapshot.cpp
+/// \brief Snapshot inspector: prints the section tree and headline state of
+///        an rs::persist snapshot (Scaler, tenant, or fleet container).
+///
+/// Usage:  rs_snapshot <snapshot-file>
+///
+/// The inspector understands the current section layouts but degrades
+/// gracefully: unknown top-level tags are skipped wholesale, and known
+/// sections whose tail carries fields this build predates are closed with
+/// ExitSection (the codec skips the unread bytes). It never mutates the
+/// snapshot and never crashes on corrupt input — the codec's CRC and bounds
+/// checks turn every malformation into a printed error.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "rs/persist/persist.hpp"
+
+namespace {
+
+using rs::Status;
+using rs::persist::Reader;
+
+const char* DurationKindName(std::uint8_t kind) {
+  switch (kind) {
+    case 0:
+      return "deterministic";
+    case 1:
+      return "exponential";
+    case 2:
+      return "lognormal";
+    case 3:
+      return "weibull";
+    case 4:
+      return "uniform";
+    default:
+      return "?";
+  }
+}
+
+std::string Indent(int depth) { return std::string(2 * depth, ' '); }
+
+// Prints "pending: lognormal(mu, sigma)" style summaries.
+Status PrintDuration(Reader* reader, int depth, const char* label) {
+  RS_ASSIGN_OR_RETURN(const std::uint8_t kind, reader->ReadU8());
+  RS_ASSIGN_OR_RETURN(const double p1, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(const double p2, reader->ReadDouble());
+  std::cout << Indent(depth) << label << ": " << DurationKindName(kind) << '('
+            << p1 << ", " << p2 << ")\n";
+  return Status::OK();
+}
+
+Status PrintSpec(Reader* reader, int depth) {
+  RS_RETURN_NOT_OK(reader->EnterSection(rs::persist::kTagSpec));
+  RS_ASSIGN_OR_RETURN(const std::string name, reader->ReadString());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t params, reader->ReadU64());
+  std::cout << Indent(depth) << "SPEC strategy: " << name << '\n';
+  for (std::uint64_t i = 0; i < params; ++i) {
+    RS_ASSIGN_OR_RETURN(const std::string key, reader->ReadString());
+    RS_ASSIGN_OR_RETURN(const double value, reader->ReadDouble());
+    std::cout << Indent(depth + 1) << key << " = " << value << '\n';
+  }
+  return reader->ExitSection();
+}
+
+Status PrintBuildContext(Reader* reader, int depth) {
+  RS_RETURN_NOT_OK(reader->EnterSection(rs::persist::kTagBuildContext));
+  std::cout << Indent(depth) << "CTXT build defaults:\n";
+  RS_RETURN_NOT_OK(PrintDuration(reader, depth + 1, "pending"));
+  RS_ASSIGN_OR_RETURN(const std::uint64_t mc, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const double interval, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t seed, reader->ReadU64());
+  std::cout << Indent(depth + 1) << "mc_samples = " << mc
+            << ", planning_interval = " << interval << " s, seed = " << seed
+            << '\n';
+  return reader->ExitSection();
+}
+
+Status PrintTrained(Reader* reader, int depth) {
+  RS_RETURN_NOT_OK(reader->EnterSection(rs::persist::kTagTrained));
+  RS_ASSIGN_OR_RETURN(const double dt, reader->ReadDouble());
+  std::vector<double> rates;
+  RS_RETURN_NOT_OK(reader->ReadDoubleVector(&rates));
+  RS_ASSIGN_OR_RETURN(const std::uint64_t period, reader->ReadU64());
+  std::cout << Indent(depth) << "TRND forecast: " << rates.size()
+            << " bins x " << dt << " s (horizon "
+            << dt * static_cast<double>(rates.size())
+            << " s), detected period = " << period << " bins\n";
+  return reader->ExitSection();
+}
+
+Status PrintStrategyModel(Reader* reader, int depth) {
+  RS_RETURN_NOT_OK(reader->EnterSection(rs::persist::kTagStrategyModel));
+  RS_ASSIGN_OR_RETURN(const std::uint32_t tag, reader->PeekSectionTag());
+  std::cout << Indent(depth) << "STRA model record: "
+            << rs::persist::TagToString(tag) << " ("
+            << reader->remaining() << " bytes)\n";
+  return reader->ExitSection();
+}
+
+Status PrintMirror(Reader* reader, int depth) {
+  RS_RETURN_NOT_OK(reader->EnterSection(rs::persist::kTagMirror));
+  std::cout << Indent(depth) << "MIRR serving mirror ("
+            << reader->remaining() << " bytes):\n";
+  RS_RETURN_NOT_OK(PrintDuration(reader, depth + 1, "pending"));
+  RS_ASSIGN_OR_RETURN(const std::uint64_t seed, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const bool charge_wall, reader->ReadBool());
+  RS_ASSIGN_OR_RETURN(const double creation_latency, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(const double pending_jitter, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(const bool charge_idle, reader->ReadBool());
+  RS_ASSIGN_OR_RETURN(const bool had_clock, reader->ReadBool());
+  RS_ASSIGN_OR_RETURN(const double retention, reader->ReadDouble());
+  std::cout << Indent(depth + 1) << "seed = " << seed
+            << ", creation_latency = " << creation_latency
+            << " s, pending_jitter = " << pending_jitter << '\n'
+            << Indent(depth + 1) << "charge_decision_wall_time = "
+            << (charge_wall ? "yes" : "no")
+            << ", charge_idle_until_horizon = " << (charge_idle ? "yes" : "no")
+            << ", injected clock = " << (had_clock ? "yes" : "no")
+            << ", retention override = " << retention << " s\n";
+  RS_ASSIGN_OR_RETURN(const bool started, reader->ReadBool());
+  RS_ASSIGN_OR_RETURN(const double now, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(const double next_tick, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t arrivals, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t cold_starts, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t creations, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t deletions, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t next_seq, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t watermark, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t callbacks, reader->ReadU64());
+  std::cout << Indent(depth + 1)
+            << (started ? "started" : "not yet started") << ", now = " << now
+            << " s, next planning tick = " << next_tick << " s\n"
+            << Indent(depth + 1) << "arrivals = " << arrivals
+            << ", cold starts = " << cold_starts
+            << ", creations = " << creations << ", deletions = " << deletions
+            << '\n'
+            << Indent(depth + 1) << "planning callbacks = " << callbacks
+            << ", emissions = " << next_seq
+            << " (drained through " << watermark << ")\n";
+  // RNG words, schedule, live set, windows: sizes only matter here; let
+  // ExitSection skip the payload.
+  return reader->ExitSection();
+}
+
+Status PrintScaler(Reader* reader, int depth) {
+  RS_RETURN_NOT_OK(reader->EnterSection(rs::persist::kTagScaler));
+  RS_ASSIGN_OR_RETURN(const std::uint32_t layer_version, reader->ReadU32());
+  std::cout << Indent(depth) << "SCLR scaler record (layer version "
+            << layer_version << "):\n";
+  RS_RETURN_NOT_OK(PrintSpec(reader, depth + 1));
+  RS_RETURN_NOT_OK(PrintBuildContext(reader, depth + 1));
+  RS_RETURN_NOT_OK(PrintTrained(reader, depth + 1));
+  RS_RETURN_NOT_OK(PrintStrategyModel(reader, depth + 1));
+  RS_RETURN_NOT_OK(PrintMirror(reader, depth + 1));
+  return reader->ExitSection();
+}
+
+Status PrintTenant(Reader* reader, int depth) {
+  RS_RETURN_NOT_OK(reader->EnterSection(rs::persist::kTagTenant));
+  RS_ASSIGN_OR_RETURN(const std::string name, reader->ReadString());
+  std::cout << Indent(depth) << "TENT tenant \"" << name << "\":\n";
+  RS_RETURN_NOT_OK(PrintScaler(reader, depth + 1));
+  return reader->ExitSection();
+}
+
+Status PrintFleet(Reader* reader, int depth) {
+  RS_RETURN_NOT_OK(reader->EnterSection(rs::persist::kTagFleet));
+  RS_ASSIGN_OR_RETURN(const std::uint32_t layer_version, reader->ReadU32());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t count, reader->ReadU64());
+  std::cout << Indent(depth) << "FLET fleet record (layer version "
+            << layer_version << "), " << count << " tenant(s):\n";
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RS_RETURN_NOT_OK(PrintTenant(reader, depth + 1));
+  }
+  return reader->ExitSection();
+}
+
+Status Inspect(Reader* reader) {
+  std::cout << "format version " << reader->version() << ", payload "
+            << reader->remaining() << " bytes\n";
+  while (reader->remaining() > 0) {
+    RS_ASSIGN_OR_RETURN(const std::uint32_t tag, reader->PeekSectionTag());
+    if (tag == rs::persist::kTagFleet) {
+      RS_RETURN_NOT_OK(PrintFleet(reader, 0));
+    } else if (tag == rs::persist::kTagTenant) {
+      RS_RETURN_NOT_OK(PrintTenant(reader, 0));
+    } else if (tag == rs::persist::kTagScaler) {
+      RS_RETURN_NOT_OK(PrintScaler(reader, 0));
+    } else {
+      std::cout << "(skipping unknown section "
+                << rs::persist::TagToString(tag) << ")\n";
+      RS_RETURN_NOT_OK(reader->SkipSection());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: rs_snapshot <snapshot-file>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::cerr << "rs_snapshot: cannot open " << argv[1] << '\n';
+    return 1;
+  }
+  auto reader = Reader::FromStream(in);
+  if (!reader.ok()) {
+    std::cerr << "rs_snapshot: " << reader.status().message() << '\n';
+    return 1;
+  }
+  const Status st = Inspect(&reader.ValueOrDie());
+  if (!st.ok()) {
+    std::cerr << "rs_snapshot: " << st.message() << '\n';
+    return 1;
+  }
+  return 0;
+}

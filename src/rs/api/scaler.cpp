@@ -12,6 +12,7 @@
 
 #include "rs/persist/persist.hpp"
 #include "rs/stats/rng.hpp"
+#include "rs/train/training_session.hpp"
 
 namespace rs::api {
 
@@ -124,6 +125,33 @@ Scaler::Scaler(core::TrainedPipeline trained,
 Scaler::Scaler(Scaler&&) noexcept = default;
 Scaler& Scaler::operator=(Scaler&&) noexcept = default;
 Scaler::~Scaler() = default;
+
+Result<Scaler> Scaler::FromTrainedPipeline(core::TrainedPipeline trained,
+                                           StrategySpec spec,
+                                           StrategyBuildContext build_context,
+                                           common::ThreadPool* planning_pool) {
+  StrategyContext context;
+  context.forecast = &trained.forecast;
+  context.pending = build_context.pending;
+  context.mc_samples = build_context.mc_samples;
+  context.planning_interval = build_context.planning_interval;
+  context.seed = build_context.seed;
+  context.planning_pool = planning_pool;
+  RS_ASSIGN_OR_RETURN(auto strategy,
+                      StrategyRegistry::Global().Create(spec, context));
+  sim::EngineOptions serve_defaults;
+  serve_defaults.pending = build_context.pending;
+  // The policies copy the forecast at construction, so moving `trained`
+  // into the Scaler afterwards is safe (same as RestoreStateSection).
+  return Scaler(std::move(trained), std::move(strategy), std::move(spec),
+                build_context, serve_defaults);
+}
+
+const sim::EngineOptions& Scaler::serving_options() const {
+  return serving_->options;
+}
+sim::DecisionClock* Scaler::serving_clock() const { return serving_->clock; }
+bool Scaler::serving_started() const { return serving_->started; }
 
 // -- Batch replay -----------------------------------------------------------
 
@@ -741,8 +769,14 @@ Result<Scaler> ScalerBuilder::Build() const {
         "set the target as a strategy parameter instead");
   }
 
-  // Train modules 1–3.
-  RS_ASSIGN_OR_RETURN(auto trained, core::TrainRobustScaler(*train_, pipeline));
+  // Train modules 1–3 through the training service. The builder is a thin
+  // client of a one-shot session: a cold Fit() on the binned trace is
+  // byte-identical to the old direct TrainRobustScaler call (the fleet's
+  // freshness loop runs long-lived sessions of the same class and
+  // warm-starts them — see rs/train/training_session.hpp).
+  RS_ASSIGN_OR_RETURN(auto session,
+                      train::TrainingSession::FromTrace(*train_, pipeline));
+  RS_ASSIGN_OR_RETURN(auto trained, session.Fit());
 
   // Construct the serving strategy (module 4) through the registry so the
   // target semantics live in exactly one place.

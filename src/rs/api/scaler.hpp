@@ -282,6 +282,23 @@ class Scaler {
          std::unique_ptr<sim::Autoscaler> strategy, StrategySpec spec,
          StrategyBuildContext build_context, sim::EngineOptions serve_defaults);
 
+  /// Builds a ready-to-serve scaler around an externally trained pipeline —
+  /// the fleet's background-retrain path. The strategy is rebuilt through
+  /// the registry from the retiring scaler's spec + build context (exactly
+  /// like RestoreStateSection), with a fresh serving mirror; the caller
+  /// layers the retiring scaler's serving config on top.
+  static Result<Scaler> FromTrainedPipeline(core::TrainedPipeline trained,
+                                            StrategySpec spec,
+                                            StrategyBuildContext build_context,
+                                            common::ThreadPool* planning_pool);
+
+  // Views into the pimpl'd Serving (defined only in scaler.cpp) that
+  // ScalerFleet needs to carry serving configuration across a model swap.
+  const sim::EngineOptions& serving_options() const;
+  sim::DecisionClock* serving_clock() const;
+  bool serving_started() const;
+  double retention_override() const { return retention_override_; }
+
   /// SaveState minus the container framing, so fleet snapshots can nest
   /// per-tenant scaler records inside their own sections.
   Status SaveStateSection(persist::Writer* writer) const;

@@ -1,6 +1,10 @@
 #include "rs/api/scaler_fleet.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <istream>
+#include <limits>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 
@@ -11,8 +15,14 @@ namespace rs::api {
 namespace {
 
 /// Layout version of the FLET record (the TENT record has no version of its
-/// own: its two fields are a name and a versioned SCLR record).
-constexpr std::uint32_t kFleetLayerVersion = 1;
+/// own: its fields are a name, a versioned SCLR record, and an optional
+/// versioned FRSH section). v2 added the freshness policy + per-tenant
+/// freshness state; v1 files load as freshness-disabled fleets.
+constexpr std::uint32_t kFleetLayerVersion = 2;
+/// Payload layout inside kTagFreshness (per-tenant loop state).
+constexpr std::uint32_t kFreshnessVersion = 1;
+/// Payload layout inside kTagFreshnessPolicy.
+constexpr std::uint32_t kPolicyVersion = 1;
 
 Status UnknownTenant(const char* op, const std::string& tenant) {
   std::ostringstream msg;
@@ -20,7 +30,145 @@ Status UnknownTenant(const char* op, const std::string& tenant) {
   return Status::Invalid(msg.str());
 }
 
+/// Builds the drift detector a tenant serves against: the trained model's
+/// forecast rates on the forecast grid anchored at serving time `base`,
+/// with the bins already elapsed by `now` skipped (origin lands on the
+/// first bin boundary at or after `now`), so the gap between the fit
+/// window's end and the swap boundary is never misread as silence.
+Result<ts::DriftDetector> MakeDetectorFor(const ts::DriftDetectorOptions& opts,
+                                          const core::TrainedPipeline& trained,
+                                          double base, double now) {
+  const auto& forecast = trained.forecast;
+  const double dt = forecast.dt();
+  const auto& rates = forecast.rates();
+  std::size_t skip = 0;
+  if (now > base) {
+    skip = static_cast<std::size_t>(std::ceil((now - base) / dt - 1e-9));
+  }
+  std::vector<double> expected;
+  if (skip < rates.size()) {
+    expected.assign(rates.begin() + static_cast<std::ptrdiff_t>(skip),
+                    rates.end());
+  } else {
+    // The forecast ran out before serving caught up; hold its last level.
+    expected.assign(1, rates.back());
+  }
+  const double origin = base + static_cast<double>(skip) * dt;
+  return ts::DriftDetector::Make(opts, std::move(expected), dt,
+                                 trained.period.period, origin);
+}
+
+void WritePolicy(persist::Writer* writer, const FreshnessPolicy& policy) {
+  writer->BeginSection(persist::kTagFreshnessPolicy);
+  writer->WriteU32(kPolicyVersion);
+  // Pipeline subset: exactly the knobs the background refit consumes.
+  writer->WriteDouble(policy.pipeline.dt);
+  writer->WriteDouble(policy.pipeline.beta1);
+  writer->WriteDouble(policy.pipeline.beta2);
+  writer->WriteDouble(policy.pipeline.forecast_horizon);
+  writer->WriteDouble(policy.pipeline.admm.rho);
+  writer->WriteU64(policy.pipeline.admm.max_iterations);
+  writer->WriteDouble(policy.pipeline.admm.primal_tolerance);
+  writer->WriteDouble(policy.pipeline.admm.dual_tolerance);
+  writer->WriteDouble(policy.pipeline.admm.r_clamp);
+  writer->WriteU64(policy.pipeline.periodicity.aggregate_factor);
+  writer->WriteU64(policy.detector.warmup_bins);
+  writer->WriteDouble(policy.detector.min_rate);
+  writer->WriteDouble(policy.detector.delta);
+  writer->WriteDouble(policy.detector.threshold);
+  writer->WriteDouble(policy.detector.min_profile_correlation);
+  writer->WriteDouble(policy.detector.profile_cusum_threshold);
+  writer->WriteBool(policy.detector.check_periodicity);
+  writer->WriteDouble(policy.min_retrain_interval);
+  writer->WriteU64(policy.retrain_workers);
+  writer->EndSection();
+}
+
+Result<FreshnessPolicy> ReadPolicy(persist::Reader* reader) {
+  RS_RETURN_NOT_OK(reader->EnterSection(persist::kTagFreshnessPolicy));
+  RS_ASSIGN_OR_RETURN(const std::uint32_t version, reader->ReadU32());
+  if (version == 0 || version > kPolicyVersion) {
+    return Status::Invalid("fleet snapshot freshness-policy version " +
+                           std::to_string(version) +
+                           " is newer than this build understands");
+  }
+  FreshnessPolicy policy;
+  RS_ASSIGN_OR_RETURN(policy.pipeline.dt, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(policy.pipeline.beta1, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(policy.pipeline.beta2, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(policy.pipeline.forecast_horizon, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(policy.pipeline.admm.rho, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t max_iter, reader->ReadU64());
+  policy.pipeline.admm.max_iterations = static_cast<std::size_t>(max_iter);
+  RS_ASSIGN_OR_RETURN(policy.pipeline.admm.primal_tolerance,
+                      reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(policy.pipeline.admm.dual_tolerance,
+                      reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(policy.pipeline.admm.r_clamp, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t aggregate, reader->ReadU64());
+  policy.pipeline.periodicity.aggregate_factor =
+      static_cast<std::size_t>(aggregate);
+  RS_ASSIGN_OR_RETURN(const std::uint64_t warmup, reader->ReadU64());
+  policy.detector.warmup_bins = static_cast<std::size_t>(warmup);
+  RS_ASSIGN_OR_RETURN(policy.detector.min_rate, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(policy.detector.delta, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(policy.detector.threshold, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(policy.detector.min_profile_correlation,
+                      reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(policy.detector.profile_cusum_threshold,
+                      reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(policy.detector.check_periodicity, reader->ReadBool());
+  RS_ASSIGN_OR_RETURN(policy.min_retrain_interval, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t workers, reader->ReadU64());
+  policy.retrain_workers = static_cast<std::size_t>(workers);
+  RS_RETURN_NOT_OK(reader->ExitSection());
+  return policy;
+}
+
 }  // namespace
+
+/// Output slot of one background retrain. The pool task owns its own
+/// point-in-time session copy, does nothing but the fit, and publishes the
+/// result here under `mu`; all scaler construction and serving carry happen
+/// on the caller thread at the swap boundary (the injected decision clock
+/// is never touched from the pool).
+struct ScalerFleet::RetrainJob {
+  std::mutex mu;
+  bool done = false;
+  Status status;
+  std::optional<core::TrainedPipeline> trained;
+  /// Fleet serving time of the refit window's end — the replacement's
+  /// forecast origin, so the new serving base after the swap.
+  double base = 0.0;
+};
+
+struct ScalerFleet::FreshState {
+  ts::DriftDetector detector;
+  train::TrainingSession session;
+  /// Session (trace) time = fleet serving time + shift. Fixed at attach:
+  /// fleet time `base` maps to the session window's end.
+  double shift = 0.0;
+  /// Fleet serving time of the live model's forecast origin. The tenant's
+  /// Scaler is driven at `fleet_time - base`; creation times come back
+  /// rebased by `+ base`. 0 until the first background swap.
+  double base = 0.0;
+  double last_attempt = -std::numeric_limits<double>::infinity();
+  bool drift_counted = false;  ///< Current latch already in drift_events.
+  /// True once AttachFreshness built the detector + session (a state
+  /// created only to hold a deferred manual replacement has neither).
+  bool loop_attached = false;
+  std::size_t drift_events = 0;
+  std::size_t retrains_completed = 0;
+  std::size_t retrain_failures = 0;
+  std::size_t swaps_applied = 0;
+  double last_swap_time = 0.0;
+  std::shared_ptr<RetrainJob> job;  ///< In-flight retrain, if any.
+  std::optional<Scaler> pending_manual;  ///< Deferred ReplaceModelAtNextPlan.
+};
+
+ScalerFleet::Tenant::Tenant(std::string n, Scaler s)
+    : name(std::move(n)), scaler(std::move(s)) {}
+ScalerFleet::Tenant::~Tenant() = default;
 
 ScalerFleet::ScalerFleet(std::size_t worker_threads)
     : pool_(std::make_unique<common::ThreadPool>(worker_threads)) {}
@@ -35,28 +183,51 @@ std::size_t ScalerFleet::FindIndex(const std::string& tenant) const {
 }
 
 Status ScalerFleet::Register(std::string tenant, Scaler scaler) {
-  if (tenant.empty()) {
+  return RegisterTenant(
+      std::make_unique<Tenant>(std::move(tenant), std::move(scaler)));
+}
+
+Status ScalerFleet::RegisterTenant(std::unique_ptr<Tenant> tenant) {
+  if (tenant->name.empty()) {
     return Status::Invalid("ScalerFleet::Register: tenant name is empty");
   }
-  if (FindIndex(tenant) != tenants_.size()) {
+  if (FindIndex(tenant->name) != tenants_.size()) {
     std::ostringstream msg;
-    msg << "ScalerFleet::Register: tenant \"" << tenant
+    msg << "ScalerFleet::Register: tenant \"" << tenant->name
         << "\" already registered (Retire or ReplaceModel it instead)";
     return Status::Invalid(msg.str());
   }
-  tenants_.push_back(
-      std::make_unique<Tenant>(std::move(tenant), std::move(scaler)));
+  tenants_.push_back(std::move(tenant));
   index_[tenants_.back()->name] = tenants_.size() - 1;
   // One work queue at both grains: the tenant's own Monte Carlo shards run
   // on the fleet pool alongside other tenants' plans.
-  tenants_.back()->scaler.SetPlanningPool(
-      intra_plan_sharding_ ? pool_.get() : nullptr);
+  Tenant* entry = tenants_.back().get();
+  entry->scaler.SetPlanningPool(intra_plan_sharding_ ? pool_.get() : nullptr);
+  if (policy_.has_value()) {
+    if (entry->fresh != nullptr && entry->fresh->loop_attached) {
+      // A restored tenant brought its own loop state; rebind the knobs to
+      // this fleet's policy without touching the statistics.
+      entry->fresh->session.set_options(policy_->pipeline);
+      entry->fresh->detector.set_options(policy_->detector);
+    } else {
+      const double base = entry->fresh != nullptr ? entry->fresh->base : 0.0;
+      Status attached =
+          AttachFreshness(entry, entry->scaler.Snapshot().now + base);
+      if (!attached.ok()) {
+        index_.erase(entry->name);
+        tenants_.pop_back();
+        return attached;
+      }
+    }
+  }
   return Status::OK();
 }
 
 Status ScalerFleet::Retire(const std::string& tenant) {
   const std::size_t i = FindIndex(tenant);
   if (i == tenants_.size()) return UnknownTenant("Retire", tenant);
+  // An in-flight retrain job keeps itself alive through the task's own
+  // shared_ptr; dropping the tenant just discards the eventual result.
   tenants_.erase(tenants_.begin() + static_cast<std::ptrdiff_t>(i));
   // Every later tenant shifted down one slot; lifecycle is rare, arrival
   // routing is not, so pay the O(T) reindex here.
@@ -70,9 +241,23 @@ Status ScalerFleet::Retire(const std::string& tenant) {
 Status ScalerFleet::ReplaceModel(const std::string& tenant, Scaler scaler) {
   const std::size_t i = FindIndex(tenant);
   if (i == tenants_.size()) return UnknownTenant("ReplaceModel", tenant);
-  tenants_[i]->scaler = std::move(scaler);
-  tenants_[i]->scaler.SetPlanningPool(intra_plan_sharding_ ? pool_.get()
-                                                           : nullptr);
+  const FreshState* fresh = tenants_[i]->fresh.get();
+  const double now =
+      tenants_[i]->scaler.Snapshot().now + (fresh != nullptr ? fresh->base : 0);
+  return InstallReplacement(i, std::move(scaler), /*new_base=*/0.0, now,
+                            /*reset_session=*/true);
+}
+
+Status ScalerFleet::ReplaceModelAtNextPlan(const std::string& tenant,
+                                           Scaler scaler) {
+  const std::size_t i = FindIndex(tenant);
+  if (i == tenants_.size()) {
+    return UnknownTenant("ReplaceModelAtNextPlan", tenant);
+  }
+  Tenant& entry = *tenants_[i];
+  // A bare FreshState can hold the pending swap even with freshness off.
+  if (entry.fresh == nullptr) entry.fresh = std::make_unique<FreshState>();
+  entry.fresh->pending_manual = std::move(scaler);
   return Status::OK();
 }
 
@@ -82,6 +267,260 @@ void ScalerFleet::SetIntraPlanSharding(bool enabled) {
     entry->scaler.SetPlanningPool(enabled ? pool_.get() : nullptr);
   }
 }
+
+// -- Model freshness ----------------------------------------------------------
+
+Status ScalerFleet::EnableFreshness(const FreshnessPolicy& policy) {
+  if (!(policy.pipeline.dt > 0.0)) {
+    return Status::Invalid("ScalerFleet::EnableFreshness: pipeline.dt <= 0");
+  }
+  if (!std::isfinite(policy.min_retrain_interval) ||
+      policy.min_retrain_interval < 0.0) {
+    return Status::Invalid(
+        "ScalerFleet::EnableFreshness: min_retrain_interval must be finite "
+        "and >= 0");
+  }
+  policy_ = policy;
+  // Refits run on the retrain pool's threads (or inline at the enqueue
+  // point); a caller-supplied training pool must not leak into them.
+  policy_->pipeline.training_pool = nullptr;
+  policy_->pipeline.periodicity.pool = nullptr;
+  policy_->pipeline.admm.pool = nullptr;
+  // Recreating the pool joins any old one first; results of old-policy
+  // jobs stay published in their RetrainJob slots and still swap in.
+  retrain_pool_ = std::make_unique<common::ThreadPool>(policy.retrain_workers);
+  for (auto& entry : tenants_) {
+    if (entry->fresh != nullptr && entry->fresh->loop_attached) {
+      entry->fresh->session.set_options(policy_->pipeline);
+      entry->fresh->detector.set_options(policy_->detector);
+      continue;
+    }
+    const double base = entry->fresh != nullptr ? entry->fresh->base : 0.0;
+    RS_RETURN_NOT_OK(
+        AttachFreshness(entry.get(), entry->scaler.Snapshot().now + base));
+  }
+  return Status::OK();
+}
+
+Status ScalerFleet::AttachFreshness(Tenant* tenant, double now) {
+  if (tenant->fresh == nullptr) {
+    tenant->fresh = std::make_unique<FreshState>();
+  }
+  FreshState& fresh = *tenant->fresh;
+  fresh.session = train::TrainingSession::FromTrained(tenant->scaler.trained(),
+                                                      policy_->pipeline);
+  // Fleet time `base` corresponds to the end of the trained window.
+  fresh.shift = fresh.session.window_end() - fresh.base;
+  RS_ASSIGN_OR_RETURN(fresh.detector,
+                      MakeDetectorFor(policy_->detector,
+                                      tenant->scaler.trained(), fresh.base,
+                                      now));
+  fresh.loop_attached = true;
+  return Status::OK();
+}
+
+Result<TenantFreshness> ScalerFleet::Freshness(
+    const std::string& tenant) const {
+  const std::size_t i = FindIndex(tenant);
+  if (i == tenants_.size()) return UnknownTenant("Freshness", tenant);
+  TenantFreshness out;
+  const FreshState* fresh = tenants_[i]->fresh.get();
+  if (fresh == nullptr) return out;
+  out.enabled = policy_.has_value() && fresh->loop_attached;
+  if (fresh->loop_attached) {
+    out.drift = fresh->detector.kind();
+    out.drift_time = fresh->detector.fired_time();
+    out.window_end = fresh->session.window_end() - fresh->shift;
+  }
+  out.retrain_inflight = fresh->job != nullptr;
+  out.drift_events = fresh->drift_events;
+  if (fresh->loop_attached && fresh->detector.fired() &&
+      !fresh->drift_counted) {
+    // The pre-plan pass has not folded the current latch in yet.
+    out.drift_events += 1;
+  }
+  out.retrains_completed = fresh->retrains_completed;
+  out.retrain_failures = fresh->retrain_failures;
+  out.swaps_applied = fresh->swaps_applied;
+  out.last_swap_time = fresh->last_swap_time;
+  out.model_origin = fresh->base;
+  return out;
+}
+
+Status ScalerFleet::RequestRetrain(const std::string& tenant) {
+  const std::size_t i = FindIndex(tenant);
+  if (i == tenants_.size()) return UnknownTenant("RequestRetrain", tenant);
+  if (!policy_.has_value()) {
+    return Status::Invalid(
+        "ScalerFleet::RequestRetrain: freshness is not enabled (call "
+        "EnableFreshness first)");
+  }
+  Tenant& entry = *tenants_[i];
+  if (entry.fresh == nullptr || !entry.fresh->loop_attached) {
+    const double base = entry.fresh != nullptr ? entry.fresh->base : 0.0;
+    RS_RETURN_NOT_OK(
+        AttachFreshness(&entry, entry.scaler.Snapshot().now + base));
+  }
+  FreshState& fresh = *entry.fresh;
+  const double now = entry.scaler.Snapshot().now + fresh.base;
+  RS_RETURN_NOT_OK(fresh.session.ExtendTo(now + fresh.shift));
+  MaybeEnqueueRetrain(i, now, /*forced=*/true);
+  return Status::OK();
+}
+
+void ScalerFleet::FreshnessPrePlan(std::size_t i, double now) {
+  FreshState* fresh = tenants_[i]->fresh.get();
+  if (fresh == nullptr) return;
+  // Order matters: a finished result swaps in first (the boundary is the
+  // earliest tear-free point), then the detector closes the bins up to the
+  // boundary so silence counts as evidence, then drift may enqueue.
+  MaybeApplySwap(i, now);
+  fresh = tenants_[i]->fresh.get();
+  if (fresh == nullptr || !fresh->loop_attached || !policy_.has_value()) {
+    return;
+  }
+  fresh->detector.AdvanceTo(now);
+  (void)fresh->session.ExtendTo(now + fresh->shift);
+  MaybeEnqueueRetrain(i, now, /*forced=*/false);
+}
+
+void ScalerFleet::MaybeApplySwap(std::size_t i, double now) {
+  FreshState& fresh = *tenants_[i]->fresh;
+  if (fresh.pending_manual.has_value()) {
+    // A deferred manual replacement outranks a background result (the
+    // caller decided; the stale background fit is dropped with the job).
+    Scaler replacement = std::move(*fresh.pending_manual);
+    fresh.pending_manual.reset();
+    fresh.job.reset();
+    Status st = InstallReplacement(i, std::move(replacement), /*new_base=*/0.0,
+                                   now, /*reset_session=*/true);
+    if (!st.ok()) ++tenants_[i]->fresh->retrain_failures;
+    return;
+  }
+  if (fresh.job == nullptr) return;
+  core::TrainedPipeline trained;
+  double base = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(fresh.job->mu);
+    if (!fresh.job->done) return;  // Still fitting; keep serving the old model.
+    if (!fresh.job->status.ok()) {
+      ++fresh.retrain_failures;
+      fresh.job.reset();
+      return;
+    }
+    trained = std::move(*fresh.job->trained);
+    base = fresh.job->base;
+  }
+  fresh.job.reset();
+  // The live session adopts the fit's iterate so the *next* refit warm-starts
+  // from it, while keeping the arrivals accumulated since the job's copy.
+  fresh.session.AdoptFit(trained);
+  Scaler& retiring = tenants_[i]->scaler;
+  auto built = Scaler::FromTrainedPipeline(
+      std::move(trained), retiring.spec_, retiring.build_context_,
+      intra_plan_sharding_ ? pool_.get() : nullptr);
+  if (!built.ok()) {
+    ++fresh.retrain_failures;
+    return;
+  }
+  Scaler replacement = std::move(built).ValueOrDie();
+  // Background swaps keep the tenant's full serving configuration (the
+  // replacement is unstarted, so ConfigureServing accepts it; the injected
+  // decision clock rides along inside the options).
+  Status configured = replacement.ConfigureServing(retiring.serving_options());
+  if (!configured.ok()) {
+    ++fresh.retrain_failures;
+    return;
+  }
+  Status installed = InstallReplacement(i, std::move(replacement), base, now,
+                                        /*reset_session=*/false);
+  if (!installed.ok()) {
+    ++tenants_[i]->fresh->retrain_failures;
+    return;
+  }
+  ++tenants_[i]->fresh->retrains_completed;
+}
+
+void ScalerFleet::MaybeEnqueueRetrain(std::size_t i, double now, bool forced) {
+  FreshState& fresh = *tenants_[i]->fresh;
+  if (!policy_.has_value() || !fresh.loop_attached) return;
+  if (fresh.detector.fired() && !fresh.drift_counted) {
+    ++fresh.drift_events;
+    fresh.drift_counted = true;
+  }
+  if (fresh.job != nullptr) return;  // One in-flight job per tenant.
+  if (!forced) {
+    if (!fresh.detector.fired()) return;
+    if (now - fresh.last_attempt < policy_->min_retrain_interval) return;
+  }
+  fresh.last_attempt = now;
+  // The job fits a point-in-time copy truncated to complete bins, so the
+  // live session keeps accumulating while the fit runs.
+  train::TrainingSession copy = fresh.session;
+  if (!copy.ExtendTo(now + fresh.shift).ok()) return;
+  copy.TruncateToCompleteBins(now + fresh.shift);
+  if (copy.bins() < 3) return;  // Too little window to fit; try again later.
+  auto job = std::make_shared<RetrainJob>();
+  job->base = copy.window_end() - fresh.shift;
+  fresh.job = job;
+  retrain_pool_->Submit([job, session = std::move(copy)]() mutable {
+    auto fitted = session.Refit();
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (fitted.ok()) {
+      job->trained = std::move(fitted).ValueOrDie();
+    } else {
+      job->status = fitted.status();
+    }
+    job->done = true;
+  });
+}
+
+Status ScalerFleet::InstallReplacement(std::size_t i, Scaler replacement,
+                                       double new_base, double now,
+                                       bool reset_session) {
+  Tenant& tenant = *tenants_[i];
+  CarryServingConfig(tenant.scaler, &replacement);
+  tenant.scaler = std::move(replacement);
+  tenant.scaler.SetPlanningPool(intra_plan_sharding_ ? pool_.get() : nullptr);
+  if (tenant.fresh == nullptr) return Status::OK();
+  FreshState& fresh = *tenant.fresh;
+  fresh.base = new_base;
+  fresh.swaps_applied += 1;
+  fresh.last_swap_time = now;
+  fresh.drift_counted = false;
+  if (!policy_.has_value()) return Status::OK();
+  if (reset_session) {
+    // Manual swap: the incoming model's own training window seeds the loop.
+    return AttachFreshness(&tenant, now);
+  }
+  // Background swap: keep the accumulated session (it already adopted the
+  // fit); only the detector restarts, against the new model's forecast.
+  RS_ASSIGN_OR_RETURN(
+      fresh.detector, MakeDetectorFor(policy_->detector,
+                                      tenant.scaler.trained(), new_base, now));
+  return Status::OK();
+}
+
+void ScalerFleet::CarryServingConfig(const Scaler& retiring,
+                                     Scaler* replacement) {
+  // A ConfigureHistoryRetention widening survives the swap (never narrows
+  // a wider replacement setting).
+  replacement->retention_override_ =
+      std::max(replacement->retention_override_, retiring.retention_override());
+  // Decision-clock position: deterministic clocks export one; carrying it
+  // keeps charged decision time monotone across the swap. Steady clocks
+  // export nothing (wall time resumes naturally), and a replacement whose
+  // clock refuses the import just starts fresh — both are fine to ignore.
+  double time = 0.0;
+  std::uint64_t readings = 0;
+  if (retiring.serving_clock()->ExportPosition(&time, &readings)) {
+    Status imported = replacement->serving_clock()->ImportPosition(time,
+                                                                   readings);
+    (void)imported;
+  }
+}
+
+// -- Serving ------------------------------------------------------------------
 
 std::vector<std::string> ScalerFleet::Tenants() const {
   std::vector<std::string> names;
@@ -114,19 +553,43 @@ Status ScalerFleet::ConfigureServingAll(const sim::EngineOptions& options) {
 
 Result<Scaler::ObserveOutcome> ScalerFleet::Observe(const std::string& tenant,
                                                     double arrival_time) {
-  Scaler* scaler = Find(tenant);
-  if (scaler == nullptr) return UnknownTenant("Observe", tenant);
-  return scaler->Observe(arrival_time);
+  const std::size_t i = FindIndex(tenant);
+  if (i == tenants_.size()) return UnknownTenant("Observe", tenant);
+  Tenant& entry = *tenants_[i];
+  FreshState* fresh = entry.fresh.get();
+  const double base = fresh != nullptr ? fresh->base : 0.0;
+  auto outcome = entry.scaler.Observe(arrival_time - base);
+  if (!outcome.ok()) return outcome;
+  if (fresh != nullptr && fresh->loop_attached && policy_.has_value()) {
+    // The same arrival feeds the drift statistics and the retrain window.
+    fresh->detector.Observe(arrival_time);
+    (void)fresh->session.AppendArrival(arrival_time + fresh->shift);
+  }
+  return outcome;
 }
 
 Result<sim::ScalingAction> ScalerFleet::Plan(const std::string& tenant,
                                              double now) {
-  Scaler* scaler = Find(tenant);
-  if (scaler == nullptr) return UnknownTenant("Plan", tenant);
-  return scaler->Plan(now);
+  const std::size_t i = FindIndex(tenant);
+  if (i == tenants_.size()) return UnknownTenant("Plan", tenant);
+  FreshnessPrePlan(i, now);
+  Tenant& entry = *tenants_[i];
+  const double base = entry.fresh != nullptr ? entry.fresh->base : 0.0;
+  auto planned = entry.scaler.Plan(now - base);
+  if (!planned.ok()) return planned;
+  sim::ScalingAction action = std::move(planned).ValueOrDie();
+  if (base != 0.0) {
+    // Back onto the caller's serving clock.
+    for (double& t : action.creation_times) t += base;
+  }
+  return action;
 }
 
 std::vector<ScalerFleet::TenantPlan> ScalerFleet::PlanAll(double now) {
+  // The freshness pre-pass (swap / drift bookkeeping / enqueue) runs on the
+  // caller thread in registration order — deterministic regardless of the
+  // worker count — before any planning fans out.
+  for (std::size_t i = 0; i < tenants_.size(); ++i) FreshnessPrePlan(i, now);
   // Slot-per-tenant output: workers scatter into their own index, the
   // ParallelFor join publishes the writes, and the returned order is the
   // registration order no matter which worker finished first.
@@ -135,9 +598,13 @@ std::vector<ScalerFleet::TenantPlan> ScalerFleet::PlanAll(double now) {
     Tenant& tenant = *tenants_[i];
     TenantPlan& plan = plans[i];
     plan.tenant = tenant.name;
-    auto planned = tenant.scaler.Plan(now);
+    const double base = tenant.fresh != nullptr ? tenant.fresh->base : 0.0;
+    auto planned = tenant.scaler.Plan(now - base);
     if (planned.ok()) {
       plan.action = std::move(planned).ValueOrDie();
+      if (base != 0.0) {
+        for (double& t : plan.action.creation_times) t += base;
+      }
     } else {
       plan.status = planned.status();
     }
@@ -176,13 +643,34 @@ Status ScalerFleet::WriteTenantRecord(persist::Writer* writer,
   writer->BeginSection(persist::kTagTenant);
   writer->WriteString(tenant.name);
   RS_RETURN_NOT_OK(tenant.scaler.SaveStateSection(writer));
+  if (tenant.fresh != nullptr && tenant.fresh->loop_attached) {
+    // In-flight jobs and pending manual replacements are deliberately not
+    // persisted: a latched drift survives, so a restored fleet simply
+    // re-enqueues the retrain at its first plan boundary.
+    const FreshState& fresh = *tenant.fresh;
+    writer->BeginSection(persist::kTagFreshness);
+    writer->WriteU32(kFreshnessVersion);
+    writer->WriteDouble(fresh.base);
+    writer->WriteDouble(fresh.shift);
+    writer->WriteDouble(fresh.last_attempt);
+    writer->WriteBool(fresh.drift_counted);
+    writer->WriteU64(fresh.drift_events);
+    writer->WriteU64(fresh.retrains_completed);
+    writer->WriteU64(fresh.retrain_failures);
+    writer->WriteU64(fresh.swaps_applied);
+    writer->WriteDouble(fresh.last_swap_time);
+    fresh.detector.Serialize(writer);
+    fresh.session.Serialize(writer);
+    writer->EndSection();
+  }
   writer->EndSection();
   return Status::OK();
 }
 
-Result<std::pair<std::string, Scaler>> ScalerFleet::ReadTenantRecord(
+Result<std::unique_ptr<ScalerFleet::Tenant>> ScalerFleet::ReadTenantRecord(
     persist::Reader* reader,
-    const std::function<sim::DecisionClock*(const std::string&)>& clock_for) {
+    const std::function<sim::DecisionClock*(const std::string&)>& clock_for,
+    const FreshnessPolicy* policy) {
   RS_RETURN_NOT_OK(reader->EnterSection(persist::kTagTenant));
   RS_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
   if (name.empty()) {
@@ -193,8 +681,48 @@ Result<std::pair<std::string, Scaler>> ScalerFleet::ReadTenantRecord(
   if (clock_for) restore.decision_clock = clock_for(name);
   RS_ASSIGN_OR_RETURN(Scaler scaler,
                       ScalerBuilder::RestoreStateSection(reader, restore));
+  auto tenant = std::make_unique<Tenant>(std::move(name), std::move(scaler));
+  if (reader->remaining() > 0) {
+    auto tag = reader->PeekSectionTag();
+    if (tag.ok() && tag.ValueOrDie() == persist::kTagFreshness) {
+      RS_RETURN_NOT_OK(reader->EnterSection(persist::kTagFreshness));
+      RS_ASSIGN_OR_RETURN(const std::uint32_t version, reader->ReadU32());
+      if (version == 0 || version > kFreshnessVersion) {
+        return Status::Invalid("tenant snapshot freshness version " +
+                               std::to_string(version) +
+                               " is newer than this build understands");
+      }
+      auto fresh = std::make_unique<FreshState>();
+      RS_ASSIGN_OR_RETURN(fresh->base, reader->ReadDouble());
+      RS_ASSIGN_OR_RETURN(fresh->shift, reader->ReadDouble());
+      RS_ASSIGN_OR_RETURN(fresh->last_attempt, reader->ReadDouble());
+      RS_ASSIGN_OR_RETURN(fresh->drift_counted, reader->ReadBool());
+      RS_ASSIGN_OR_RETURN(const std::uint64_t drift_events, reader->ReadU64());
+      fresh->drift_events = static_cast<std::size_t>(drift_events);
+      RS_ASSIGN_OR_RETURN(const std::uint64_t completed, reader->ReadU64());
+      fresh->retrains_completed = static_cast<std::size_t>(completed);
+      RS_ASSIGN_OR_RETURN(const std::uint64_t failures, reader->ReadU64());
+      fresh->retrain_failures = static_cast<std::size_t>(failures);
+      RS_ASSIGN_OR_RETURN(const std::uint64_t swaps, reader->ReadU64());
+      fresh->swaps_applied = static_cast<std::size_t>(swaps);
+      RS_ASSIGN_OR_RETURN(fresh->last_swap_time, reader->ReadDouble());
+      const ts::DriftDetectorOptions detector_options =
+          policy != nullptr ? policy->detector : ts::DriftDetectorOptions{};
+      RS_ASSIGN_OR_RETURN(
+          fresh->detector,
+          ts::DriftDetector::Deserialize(reader, detector_options));
+      const core::PipelineOptions pipeline_options =
+          policy != nullptr ? policy->pipeline : core::PipelineOptions{};
+      RS_ASSIGN_OR_RETURN(
+          fresh->session,
+          train::TrainingSession::Deserialize(reader, pipeline_options));
+      fresh->loop_attached = true;
+      RS_RETURN_NOT_OK(reader->ExitSection());
+      tenant->fresh = std::move(fresh);
+    }
+  }
   RS_RETURN_NOT_OK(reader->ExitSection());
-  return std::make_pair(std::move(name), std::move(scaler));
+  return tenant;
 }
 
 Status ScalerFleet::SnapshotTenant(const std::string& tenant,
@@ -212,18 +740,22 @@ Status ScalerFleet::RestoreTenant(std::istream& in,
   auto clock_for = [&options](const std::string&) {
     return options.decision_clock;
   };
-  RS_ASSIGN_OR_RETURN(auto record, ReadTenantRecord(&reader, clock_for));
-  const std::string& name =
-      options.rename.empty() ? record.first : options.rename;
-  // Register re-points the restored strategy's planning shards at this
+  RS_ASSIGN_OR_RETURN(auto tenant,
+                      ReadTenantRecord(&reader, clock_for,
+                                       policy_.has_value() ? &*policy_
+                                                           : nullptr));
+  if (!options.rename.empty()) tenant->name = options.rename;
+  // RegisterTenant re-points the restored strategy's planning shards at this
   // fleet's pool and rejects duplicate names before any state changes.
-  return Register(name, std::move(record.second));
+  return RegisterTenant(std::move(tenant));
 }
 
 Status ScalerFleet::SaveFleet(std::ostream& out) const {
   persist::Writer writer;
   writer.BeginSection(persist::kTagFleet);
   writer.WriteU32(kFleetLayerVersion);
+  writer.WriteBool(policy_.has_value());
+  if (policy_.has_value()) WritePolicy(&writer, *policy_);
   writer.WriteU64(tenants_.size());
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     RS_RETURN_NOT_OK(WriteTenantRecord(&writer, i));
@@ -242,12 +774,24 @@ Result<ScalerFleet> ScalerFleet::LoadFleet(std::istream& in,
                            std::to_string(layer_version) +
                            " is newer than this build understands");
   }
-  RS_ASSIGN_OR_RETURN(const std::uint64_t count, reader.ReadU64());
   ScalerFleet fleet(options.worker_threads);
+  if (layer_version >= 2) {
+    RS_ASSIGN_OR_RETURN(const bool has_freshness, reader.ReadBool());
+    if (has_freshness) {
+      RS_ASSIGN_OR_RETURN(FreshnessPolicy policy, ReadPolicy(&reader));
+      // Enable before registering, so every restored tenant's loop state
+      // binds to the policy as it lands.
+      RS_RETURN_NOT_OK(fleet.EnableFreshness(policy));
+    }
+  }
+  RS_ASSIGN_OR_RETURN(const std::uint64_t count, reader.ReadU64());
   for (std::uint64_t i = 0; i < count; ++i) {
-    RS_ASSIGN_OR_RETURN(auto record,
-                        ReadTenantRecord(&reader, options.decision_clock_for));
-    RS_RETURN_NOT_OK(fleet.Register(record.first, std::move(record.second)));
+    RS_ASSIGN_OR_RETURN(
+        auto tenant,
+        ReadTenantRecord(&reader, options.decision_clock_for,
+                         fleet.policy_.has_value() ? &*fleet.policy_
+                                                   : nullptr));
+    RS_RETURN_NOT_OK(fleet.RegisterTenant(std::move(tenant)));
   }
   RS_RETURN_NOT_OK(reader.ExitSection());
   return fleet;

@@ -29,6 +29,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -38,6 +39,8 @@
 #include "rs/common/status.hpp"
 #include "rs/common/thread_pool.hpp"
 #include "rs/simulator/engine.hpp"
+#include "rs/timeseries/drift.hpp"
+#include "rs/train/training_session.hpp"
 
 namespace rs::api {
 
@@ -97,6 +100,47 @@ struct FleetRestoreOptions {
       decision_clock_for;
 };
 
+/// \brief How a fleet keeps tenants' models fresh (ScalerFleet::
+///        EnableFreshness): drift detection on the served arrival stream,
+///        warm-start background retraining, tear-free hot swap.
+struct FreshnessPolicy {
+  /// Pipeline configuration of background refits (β weights, ADMM knobs,
+  /// forecast horizon of the replacement model; `dt` is the bin width of a
+  /// tenant whose trained pipeline carries no counts — tenants trained in
+  /// this process refit at their trained bin width).
+  core::PipelineOptions pipeline;
+  /// Drift-detector knobs, shared across tenants. Per-tenant geometry —
+  /// bin width, expected rates, detected period — comes from each tenant's
+  /// trained model, not from here.
+  ts::DriftDetectorOptions detector;
+  /// Rate limit: at least this much serving time between retrain attempts
+  /// of one tenant (0 = every planning boundary may enqueue).
+  double min_retrain_interval = 0.0;
+  /// Threads of the dedicated retrain pool — NOT the planning pool, so
+  /// retrains never contend with Plan(t). 0 fits inline at the enqueue
+  /// point: fully deterministic, which is what the parity tests pin.
+  std::size_t retrain_workers = 0;
+};
+
+/// Per-tenant freshness status (ScalerFleet::Freshness). Times are fleet
+/// serving times.
+struct TenantFreshness {
+  bool enabled = false;
+  ts::DriftKind drift = ts::DriftKind::kNone;  ///< Currently latched drift.
+  double drift_time = 0.0;   ///< When the current drift latched.
+  bool retrain_inflight = false;
+  std::size_t drift_events = 0;  ///< Lifetime drift latches.
+  std::size_t retrains_completed = 0;
+  std::size_t retrain_failures = 0;
+  std::size_t swaps_applied = 0;
+  double last_swap_time = 0.0;  ///< Plan boundary of the last model swap.
+  /// Serving time the live model's forecast starts at (0 until the first
+  /// background swap; grows to the end of each refit window after).
+  double model_origin = 0.0;
+  /// End of the training window accumulated for the next refit.
+  double window_end = 0.0;
+};
+
 /// \brief Owns N named Scaler instances and serves them behind one front
 ///        end, batching planning across tenants on a worker pool.
 ///
@@ -131,9 +175,20 @@ class ScalerFleet {
 
   /// Swaps in a newly trained scaler for an existing tenant (model
   /// refresh), keeping the tenant's name and registration position. The
-  /// replacement starts serving from a fresh state — the old model's
-  /// mirror is discarded with it.
+  /// replacement starts serving from a fresh mirror, but the retiring
+  /// tenant's serving configuration is carried over: a
+  /// ConfigureHistoryRetention widening and the decision-clock position
+  /// (when the replacement's clock accepts one) survive the swap instead of
+  /// silently resetting.
   Status ReplaceModel(const std::string& tenant, Scaler scaler);
+
+  /// Like ReplaceModel, but the swap is deferred to the tenant's next plan
+  /// boundary (its next Plan/PlanAll call): the in-flight plan is never
+  /// torn. Before the boundary the tenant's actions are byte-identical to
+  /// an unswapped control; from the boundary on they are byte-identical to
+  /// a fresh-model control. A second call before the boundary replaces the
+  /// still-pending scaler.
+  Status ReplaceModelAtNextPlan(const std::string& tenant, Scaler scaler);
 
   std::size_t size() const { return tenants_.size(); }
 
@@ -161,6 +216,42 @@ class ScalerFleet {
   /// moves where the wall time goes, e.g. benchmarking the two grains
   /// against each other (bench_fleet_scaling --plan-workers).
   void SetIntraPlanSharding(bool enabled);
+
+  // -- Model freshness ------------------------------------------------------
+  //
+  // With a FreshnessPolicy enabled, every tenant gets a streaming
+  // DriftDetector fed from its Observe stream and a warm-start
+  // TrainingSession accumulating the same arrivals. When the detector
+  // latches, a retrain job is enqueued on the dedicated retrain pool
+  // (ordinary pool task, fully off the planning path); the finished model
+  // is swapped in at the tenant's next plan boundary with the full
+  // ReplaceModel carry (retention widening, decision-clock position,
+  // serving configuration). Swap semantics are tear-free by construction:
+  // the swap happens only between plans, never inside one, so each
+  // tenant's action stream is byte-identical to an unswapped control up to
+  // the boundary and to a fresh-model control after it — under any fleet
+  // worker count and both RS_REFERENCE_KERNELS modes
+  // (tests/freshness_test.cpp pins this).
+  //
+  // After a swap the tenant's plans are served by the refit model, whose
+  // forecast starts at the end of the refit window. The fleet rebases
+  // times internally: callers keep passing the same monotone serving
+  // clock to Observe/Plan, and returned creation times stay on that clock.
+
+  /// Enables the freshness loop for all current and future tenants.
+  /// Call again to replace the policy (in-flight retrain results of the
+  /// old policy are still swapped in).
+  Status EnableFreshness(const FreshnessPolicy& policy);
+
+  bool freshness_enabled() const { return policy_.has_value(); }
+
+  /// One tenant's freshness status.
+  Result<TenantFreshness> Freshness(const std::string& tenant) const;
+
+  /// Enqueues a retrain for `tenant` now, drift or not (subject to one
+  /// in-flight job per tenant; not rate-limited). The result swaps in at
+  /// the tenant's next plan boundary like any drift-triggered retrain.
+  Status RequestRetrain(const std::string& tenant);
 
   // -- Serving --------------------------------------------------------------
 
@@ -226,25 +317,70 @@ class ScalerFleet {
                        const TenantRestoreOptions& options = {});
 
  private:
+  /// Output slot of one background retrain (shared with the pool task; the
+  /// mutex publishes the result to the swap boundary's reader).
+  struct RetrainJob;
+  /// Per-tenant freshness state: detector, live training session, time
+  /// rebase, counters, the in-flight job, a pending deferred replacement.
+  struct FreshState;
+
   struct Tenant {
     std::string name;
     Scaler scaler;
-    Tenant(std::string n, Scaler s)
-        : name(std::move(n)), scaler(std::move(s)) {}
+    std::unique_ptr<FreshState> fresh;  ///< Null until freshness attaches.
+    // Out of line: FreshState is complete only in scaler_fleet.cpp.
+    Tenant(std::string n, Scaler s);
+    ~Tenant();
   };
 
   /// Index into tenants_, or tenants_.size() if unknown.
   std::size_t FindIndex(const std::string& tenant) const;
 
-  /// Writes one TENT record (name + Scaler state) into an open writer.
+  /// Appends a fully-formed tenant (Register and the restore paths share
+  /// this): validates the name, indexes it, points its planning shards at
+  /// the fleet pool, and attaches/rebinds freshness state per the policy.
+  Status RegisterTenant(std::unique_ptr<Tenant> tenant);
+
+  /// (Re)builds `tenant`'s freshness loop state from its current trained
+  /// model, with the detector resuming at the first forecast bin boundary
+  /// at or after serving time `now`. Preserves counters and any pending
+  /// deferred replacement already in the state.
+  Status AttachFreshness(Tenant* tenant, double now);
+
+  /// The caller-thread pre-plan pass for tenant `i` at boundary `now`:
+  /// apply a finished swap, advance the detector through the silent gap,
+  /// and enqueue a retrain if drift latched (in that order).
+  void FreshnessPrePlan(std::size_t i, double now);
+  void MaybeApplySwap(std::size_t i, double now);
+  void MaybeEnqueueRetrain(std::size_t i, double now, bool forced);
+
+  /// Installs `replacement` for tenant `i` with the ReplaceModel carry and
+  /// rebases the tenant's serving clock to `new_base`; `now` stamps the
+  /// swap counters. `reset_session` restarts the freshness loop from the
+  /// replacement's own trained pipeline (manual swaps) instead of keeping
+  /// the accumulated session (background swaps, which already adopted the
+  /// fit).
+  Status InstallReplacement(std::size_t i, Scaler replacement,
+                            double new_base, double now, bool reset_session);
+
+  /// The ReplaceModel carry: retention widening + decision-clock position
+  /// from the retiring scaler onto its replacement.
+  static void CarryServingConfig(const Scaler& retiring, Scaler* replacement);
+
+  /// Writes one TENT record (name + Scaler state + freshness state) into
+  /// an open writer.
   Status WriteTenantRecord(persist::Writer* writer, std::size_t index) const;
 
   /// Reads one TENT record. `clock_for` maps the snapshot's tenant name to
   /// the replacement decision clock (may yield nullptr — then a snapshot
-  /// that needs one fails cleanly inside the Scaler restore).
-  static Result<std::pair<std::string, Scaler>> ReadTenantRecord(
+  /// that needs one fails cleanly inside the Scaler restore). A trailing
+  /// freshness section, when present, is decoded against `policy` (null
+  /// falls back to default detector/session knobs — the statistic state
+  /// itself is policy-independent).
+  static Result<std::unique_ptr<Tenant>> ReadTenantRecord(
       persist::Reader* reader,
-      const std::function<sim::DecisionClock*(const std::string&)>& clock_for);
+      const std::function<sim::DecisionClock*(const std::string&)>& clock_for,
+      const FreshnessPolicy* policy);
 
   /// Registration order; unique_ptr keeps tenant addresses stable across
   /// vector reshuffles, so worker tasks and Find() pointers stay valid.
@@ -254,6 +390,10 @@ class ScalerFleet {
   std::unordered_map<std::string, std::size_t> index_;
   std::unique_ptr<common::ThreadPool> pool_;
   bool intra_plan_sharding_ = true;
+  std::optional<FreshnessPolicy> policy_;
+  /// Dedicated retrain pool (policy_.retrain_workers threads); planning
+  /// never waits on it.
+  std::unique_ptr<common::ThreadPool> retrain_pool_;
 };
 
 }  // namespace rs::api

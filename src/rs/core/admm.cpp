@@ -81,10 +81,17 @@ Result<NhppModel> FitNhpp(const std::vector<double>& counts,
                                                  : RSubproblemSolver::kBandedCholesky;
   }
 
-  // Initialization: r0 = log((Q + 0.5) / Δt), a standard smoothed start.
+  // Initialization: r0 = log((Q + 0.5) / Δt), a standard smoothed start —
+  // unless a warm start supplies the iterate of a previous fit on a prefix
+  // of this series (appended bins keep the smoothed default).
   Vec r(t);
+  const std::vector<double>* warm = options.warm_start;
   for (std::size_t i = 0; i < t; ++i) {
-    r[i] = std::log((counts[i] + 0.5) / config.dt);
+    if (warm != nullptr && i < warm->size() && std::isfinite((*warm)[i])) {
+      r[i] = (*warm)[i];
+    } else {
+      r[i] = std::log((counts[i] + 0.5) / config.dt);
+    }
   }
   Clamp(&r, options.r_clamp, pool);
 

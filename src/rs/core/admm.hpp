@@ -46,6 +46,14 @@ struct AdmmOptions {
   /// byte-identical for any pool size (null/inline included). The pool must
   /// outlive the FitNhpp call.
   common::ThreadPool* pool = nullptr;
+  /// Optional initial iterate r₀ (log-intensity, aligned with `counts`): a
+  /// warm start from a previous fit on a prefix of the same series. Bins
+  /// beyond its length — and non-finite entries — fall back to the smoothed
+  /// default start; everything is clamped to ±r_clamp either way. Reusing
+  /// the previous iterate typically cuts iterations several-fold on small
+  /// appended windows (the per-iterate warm start the PCG path already
+  /// exploits, lifted to whole refits). Not owned; must outlive the call.
+  const std::vector<double>* warm_start = nullptr;
 };
 
 /// Fit diagnostics.

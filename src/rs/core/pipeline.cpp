@@ -15,10 +15,19 @@ Result<TrainedPipeline> TrainRobustScaler(const workload::Trace& training,
     return Status::Invalid("TrainRobustScaler: dt must be > 0");
   }
 
-  // Module 1a: aggregate events into Q_t.
+  // Module 1a: aggregate events into Q_t; modules 1b–3 run on the counts.
   RS_ASSIGN_OR_RETURN(auto counts,
                       ts::AggregateEvents(training.ArrivalTimes(), options.dt,
                                           training.horizon()));
+  return TrainRobustScalerFromCounts(std::move(counts), options);
+}
+
+Result<TrainedPipeline> TrainRobustScalerFromCounts(
+    ts::CountSeries counts, const PipelineOptions& options,
+    const std::vector<double>* warm_start) {
+  if (!(counts.dt > 0.0)) {
+    return Status::Invalid("TrainRobustScalerFromCounts: dt must be > 0");
+  }
 
   // Module 1b: robust periodicity detection.
   ts::PeriodicityOptions periodicity = options.periodicity;
@@ -27,9 +36,10 @@ Result<TrainedPipeline> TrainRobustScaler(const workload::Trace& training,
   }
   RS_ASSIGN_OR_RETURN(auto period, ts::DetectPeriod(counts, periodicity));
 
-  // Module 2: regularized NHPP fit via ADMM.
+  // Module 2: regularized NHPP fit via ADMM (warm-started when the caller
+  // carries the iterate of a previous fit on a prefix of this series).
   NhppConfig config;
-  config.dt = options.dt;
+  config.dt = counts.dt;
   config.beta1 = options.beta1;
   config.beta2 = options.beta2;
   config.period = period.period;
@@ -37,12 +47,13 @@ Result<TrainedPipeline> TrainRobustScaler(const workload::Trace& training,
   if (options.training_pool != nullptr) {
     admm.pool = options.training_pool;
   }
+  admm.warm_start = warm_start;
   AdmmInfo info;
   RS_ASSIGN_OR_RETURN(auto model, FitNhpp(counts.counts, config, admm, &info));
 
   // Module 3: extrapolate the intensity past the training window.
   const auto horizon_bins = static_cast<std::size_t>(
-      std::ceil(options.forecast_horizon / options.dt));
+      std::ceil(options.forecast_horizon / counts.dt));
   RS_ASSIGN_OR_RETURN(
       auto forecast,
       ForecastIntensity(model, std::max<std::size_t>(horizon_bins, 1),

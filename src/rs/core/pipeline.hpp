@@ -16,6 +16,7 @@
 #include "rs/core/forecast.hpp"
 #include "rs/core/nhpp_model.hpp"
 #include "rs/core/sequential_scaler.hpp"
+#include "rs/timeseries/aggregate.hpp"
 #include "rs/timeseries/periodicity.hpp"
 #include "rs/workload/trace.hpp"
 
@@ -63,6 +64,18 @@ struct TrainedPipeline {
 /// forecast covers [0, forecast_horizon) of post-training time.
 Result<TrainedPipeline> TrainRobustScaler(const workload::Trace& training,
                                           const PipelineOptions& options = {});
+
+/// \brief Modules 1b–3 on an already-aggregated count series (the counts
+///        own the bin width; `options.dt` is ignored).
+///
+/// This is the refit entry point rs::train::TrainingSession drives: the
+/// session accumulates counts incrementally and passes the previous fit's
+/// iterate as `warm_start` (see AdmmOptions::warm_start; nullptr = the cold
+/// start TrainRobustScaler uses). The returned forecast's local time 0 is
+/// the end of `counts`.
+Result<TrainedPipeline> TrainRobustScalerFromCounts(
+    ts::CountSeries counts, const PipelineOptions& options,
+    const std::vector<double>* warm_start = nullptr);
 
 /// Builds the scaling policy (module 4) from a trained pipeline.
 std::unique_ptr<RobustScalerPolicy> MakeRobustScalerPolicy(

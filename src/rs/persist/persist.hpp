@@ -70,6 +70,10 @@ inline constexpr std::uint32_t kTagRobustModel = MakeTag('R', 'O', 'B', 'S');
 inline constexpr std::uint32_t kTagBackupPoolModel = MakeTag('B', 'P', 'M', 'D');
 inline constexpr std::uint32_t kTagAdaptiveModel = MakeTag('A', 'B', 'P', 'M');
 inline constexpr std::uint32_t kTagHpCountModel = MakeTag('H', 'P', 'C', 'M');
+inline constexpr std::uint32_t kTagFreshnessPolicy = MakeTag('F', 'P', 'O', 'L');
+inline constexpr std::uint32_t kTagFreshness = MakeTag('F', 'R', 'S', 'H');
+inline constexpr std::uint32_t kTagDriftDetector = MakeTag('D', 'R', 'F', 'T');
+inline constexpr std::uint32_t kTagTrainSession = MakeTag('T', 'S', 'E', 'S');
 
 /// CRC-32 (IEEE reflected, poly 0xEDB88320) over `n` bytes; chainable via
 /// `seed`. Exposed for the snapshot inspector and corruption tests.

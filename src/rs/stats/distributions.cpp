@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "rs/common/logging.hpp"
+#include "rs/stats/special_functions.hpp"
 
 namespace rs::stats {
 
@@ -174,7 +175,7 @@ std::int64_t SamplePoissonPtrs(Rng* rng, double mean) {
     if (us >= 0.07 && v <= vr) return static_cast<std::int64_t>(k);
     if (k < 0.0 || (us < 0.013 && v > us)) continue;
     if (std::log(v * inv_alpha / (a / (us * us) + b)) <=
-        k * std::log(mean) - mean - std::lgamma(k + 1.0)) {
+        k * std::log(mean) - mean - LogGamma(k + 1.0)) {
       return static_cast<std::int64_t>(k);
     }
   }

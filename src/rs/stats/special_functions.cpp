@@ -1,5 +1,7 @@
 #include "rs/stats/special_functions.hpp"
 
+#include <math.h>
+
 #include <cmath>
 #include <limits>
 #include <string>
@@ -27,7 +29,7 @@ double GammaPSeries(double a, double x) {
     sum += del;
     if (std::abs(del) < std::abs(sum) * kEpsilon) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
 }
 
 /// Upper incomplete gamma by Lentz continued fraction (for x >= a + 1).
@@ -48,10 +50,20 @@ double GammaQContinuedFraction(double a, double x) {
     h *= del;
     if (std::abs(del - 1.0) < kEpsilon) break;
   }
-  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+  return std::exp(-x + a * std::log(x) - LogGamma(a)) * h;
 }
 
 }  // namespace
+
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__unix__) || defined(__APPLE__)
+  // POSIX reentrant variant: same result, no write to the global signgam.
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 double RegularizedGammaP(double a, double x) {
   if (!(a > 0.0) || x < 0.0 || !std::isfinite(a)) {

@@ -8,6 +8,12 @@
 
 namespace rs::stats {
 
+/// ln Γ(x), bitwise-equal to std::lgamma but thread-safe: glibc's lgamma
+/// writes the process-global `signgam`, so concurrent planning ticks (fleet
+/// worker pool, background retrains) must route through the reentrant
+/// variant instead.
+double LogGamma(double x);
+
 /// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a), a > 0, x >= 0.
 /// Series expansion for x < a + 1, continued fraction otherwise
 /// (Numerical Recipes gammp).

@@ -16,7 +16,17 @@ the machine out and collapse only when the optimization itself regresses:
   fleet_scaling  : per-(threads, plan_sharding) `speedup` over the run's own
                    1-thread baseline;
   training_time  : per-scenario `decision_ms` (the paper's "< 5 ms per
-                   decision" claim; absolute, so give it a wider tolerance).
+                   decision" claim; absolute, so give it a wider tolerance);
+  freshness      : per-retrain_workers `detection_rate` (must not drop),
+                   `throughput_vs_no_freshness` (the freshness loop's tax on
+                   fleet planning, a within-run ratio), and for the
+                   synchronous retrain_workers=0 row `staleness_mean_s`
+                   (lower is better; background rows are wall-clock
+                   scheduling dependent so only reported).
+
+fleet_scaling also trend-gates `snapshot_ms` and `snapshot_bytes` once the
+committed baseline carries them (rows or baselines without the fields stay
+report-only, so pre-snapshot baselines keep working).
 
 Absolute decisions/sec are *reported* (the one-line per-variant summary in
 the job log and the delta report artifact) but only gated with
@@ -150,21 +160,19 @@ def gate_fleet(baseline, current, gate, gate_absolute):
                                     base.get("plans_per_s"),
                                     cur.get("plans_per_s"),
                                     gated=gate_absolute)
-        # Snapshot metrics (--snapshot-interval runs) are reported, never
-        # gated: snapshot cost is machine-dependent and the committed
-        # baselines predate the field. gate.compare() quietly skips them
-        # for baselines without the field, so also surface them directly.
+        # Snapshot metrics (--snapshot-interval runs) trend-gate once the
+        # committed baseline carries them; gate.compare() quietly skips
+        # rows whose baseline predates the fields, keeping old baselines
+        # working as report-only.
         snapshot_note = ""
         if cur.get("snapshots"):
-            gate.rows.append({
-                "key": fmt_key(key),
-                "metric": "snapshot_ms (report only)",
-                "baseline": base.get("snapshot_ms"),
-                "current": cur.get("snapshot_ms"),
-                "delta_pct": None,
-                "gated": False,
-                "regressed": False,
-            })
+            regressions += gate.compare(
+                key, "snapshot_ms", base.get("snapshot_ms"),
+                cur.get("snapshot_ms"), gated=True, higher_is_better=False)
+            regressions += gate.compare(
+                key, "snapshot_bytes", base.get("snapshot_bytes"),
+                cur.get("snapshot_bytes"), gated=True,
+                higher_is_better=False)
             snapshot_note = (
                 f", {cur['snapshots']} snapshots "
                 f"({cur.get('snapshot_ms', 0):.1f} ms total, "
@@ -196,10 +204,50 @@ def gate_training(baseline, current, gate, gate_absolute):
     return regressions
 
 
+def gate_freshness(baseline, current, gate, gate_absolute):
+    regressions = 0
+    base_rows = index_rows(baseline.get("results", []), ("retrain_workers",))
+    cur_rows = index_rows(current.get("results", []), ("retrain_workers",))
+    for key, base in base_rows.items():
+        cur = cur_rows.get(key)
+        if cur is None:
+            regressions += gate.missing(key)
+            continue
+        regressions += gate.compare(key, "detection_rate",
+                                    base.get("detection_rate"),
+                                    cur.get("detection_rate"), gated=True)
+        regressions += gate.compare(key, "throughput_vs_no_freshness",
+                                    base.get("throughput_vs_no_freshness"),
+                                    cur.get("throughput_vs_no_freshness"),
+                                    gated=True)
+        # Staleness is simulated-time for retrain_workers=0 (the swap
+        # happens at a deterministic plan boundary) but wall-clock
+        # scheduling dependent for background rows, so only the
+        # synchronous row gates it.
+        synchronous = dict(key).get("retrain_workers") == 0
+        regressions += gate.compare(key, "staleness_mean_s",
+                                    base.get("staleness_mean_s"),
+                                    cur.get("staleness_mean_s"),
+                                    gated=synchronous,
+                                    higher_is_better=False)
+        regressions += gate.compare(key, "plans_per_s",
+                                    base.get("plans_per_s"),
+                                    cur.get("plans_per_s"),
+                                    gated=gate_absolute)
+        print(f"bench_gate: {fmt_key(key)}: "
+              f"detection {100 * cur.get('detection_rate', 0):.0f}%, "
+              f"staleness {cur.get('staleness_mean_s', 0):.0f} s, "
+              f"throughput {cur.get('throughput_vs_no_freshness', 0):.2f}x "
+              f"of control (baseline "
+              f"{base.get('throughput_vs_no_freshness', 0):.2f}x)")
+    return regressions
+
+
 GATES = {
     "plan_hot_path": gate_plan,
     "fleet_scaling": gate_fleet,
     "training_time": gate_training,
+    "freshness": gate_freshness,
 }
 
 

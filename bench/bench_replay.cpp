@@ -1,0 +1,471 @@
+// Production-shaped trace capture + replay throughput: how much does the
+// rs::trace Recorder tax live serving, and how fast does trace::Replay()
+// re-drive a capture relative to the live session it verifies?
+//
+// The workload is Azure-Functions-shaped: per-tenant base rates drawn from
+// a heavy-tailed lognormal (a few hot functions dominate, a long tail
+// idles along), modulated by a shared diurnal sinusoid with per-tenant
+// phase, plus short random burst windows (4-10x for 30-90 s). Tenant
+// models are clones of a few trained archetypes (Scaler::SaveState /
+// ScalerBuilder::RestoreState buffers), so 100+ tenants set up in
+// milliseconds instead of 100 trainings.
+//
+// Per worker-thread count the bench runs the same serving session three
+// ways and self-checks parity before reporting:
+//   1. tap off  — plain fleet serving (the control);
+//   2. tap on   — the identical session with a trace::Recorder attached;
+//   3. replay   — trace::Replay() of the capture, which verifies every
+//                 recorded outcome/action/clock byte-for-byte as it goes.
+// The tap-on run must emit byte-identical actions to the control (and to
+// the first thread count's runs — the fleet parity guarantee), and the
+// replay must report zero divergence; the bench aborts otherwise.
+//
+// Gated metrics are within-run ratios (machine-portable, see
+// tools/bench_gate.py): tap_overhead (serve_on/serve_off wall time),
+// replay_vs_live (replay/serve_on), and bytes_per_event (capture size over
+// event count — format bloat, not speed). Absolute arrivals/sec are
+// reported, gated only with --gate-absolute.
+//
+// Usage:
+//   bench_replay [--tenants=100] [--target-arrivals=1000000]
+//                [--threads=0,4] [--serve-s=3600] [--diurnal-s=3600]
+//                [--plan-every=60] [--plan-interval=10] [--mc=20]
+//                [--archetypes=4] [--capture-out=session.rstrace]
+//                [--json=BENCH_replay.json]
+//
+// --capture-out writes the last run's capture to disk for inspection with
+// `rs_snapshot <file>` or `rs_trace info <file>` (see README.md). The
+// defaults synthesize ~1M arrivals; CI's perf-smoke invocation is in
+// .github/workflows/ci.yml and the recipe in EXPERIMENTS.md.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rs/common/stopwatch.hpp"
+#include "rs/trace/trace.hpp"
+
+namespace {
+
+using namespace rs;
+
+/// Rate-curve bin width for the synthesized intensities (also the cloned
+/// archetypes' model bin width).
+constexpr double kBinS = 30.0;
+
+/// Training window of the archetype models; serving starts at this time.
+constexpr double kTrainS = 3600.0;
+
+struct Options {
+  std::size_t tenants = 100;
+  double target_arrivals = 1e6;  ///< Expected total; actual is Poisson.
+  std::vector<std::size_t> threads = {0, 4};
+  double serve_s = 3600.0;       ///< Serving window length.
+  double diurnal_s = 3600.0;     ///< Compressed "day" for the sinusoid.
+  double plan_every = 60.0;      ///< PlanAll batch cadence (seconds).
+  double plan_interval = 10.0;   ///< Per-tenant planning interval Δ.
+  std::size_t mc_samples = 20;
+  std::size_t archetypes = 4;    ///< Distinct trained models to clone.
+  std::string capture_out;       ///< Empty: don't persist a capture.
+  std::string json_path;         ///< Empty: stdout table only.
+};
+
+Options ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg] { return arg.substr(arg.find('=') + 1); };
+    if (arg.rfind("--tenants=", 0) == 0) {
+      options.tenants = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg.rfind("--target-arrivals=", 0) == 0) {
+      options.target_arrivals = std::stod(value());
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads = bench::ParseSizeList(value());
+    } else if (arg.rfind("--serve-s=", 0) == 0) {
+      options.serve_s = std::stod(value());
+    } else if (arg.rfind("--diurnal-s=", 0) == 0) {
+      options.diurnal_s = std::stod(value());
+    } else if (arg.rfind("--plan-every=", 0) == 0) {
+      options.plan_every = std::stod(value());
+    } else if (arg.rfind("--plan-interval=", 0) == 0) {
+      options.plan_interval = std::stod(value());
+    } else if (arg.rfind("--mc=", 0) == 0) {
+      options.mc_samples = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg.rfind("--archetypes=", 0) == 0) {
+      options.archetypes = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg.rfind("--capture-out=", 0) == 0) {
+      options.capture_out = value();
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options.json_path = value();
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  RS_CHECK(options.tenants > 0);
+  RS_CHECK(options.target_arrivals > 0.0);
+  RS_CHECK(!options.threads.empty());
+  RS_CHECK(options.serve_s > 300.0) << "--serve-s too short for bursts";
+  RS_CHECK(options.diurnal_s > 0.0);
+  RS_CHECK(options.plan_every > 0.0 && options.plan_interval > 0.0);
+  RS_CHECK(options.archetypes > 0 && options.archetypes <= options.tenants);
+  return options;
+}
+
+/// Arrival event in the merged serving stream.
+struct Event {
+  double t;
+  std::size_t tenant;
+};
+
+/// One tenant's piecewise-constant intensity over [0, kTrainS + serve_s):
+/// zero through the archetypes' training window, then lognormal base rate
+/// x diurnal sinusoid x burst windows. Deterministic per tenant index.
+std::vector<double> TenantRateBins(std::size_t tenant, const Options& o) {
+  stats::Rng rng(9000 + tenant);
+  // Heavy tail: lognormal(mu=0, sigma=1), median 1 QPS before the global
+  // rescale to --target-arrivals. The clamp keeps a single draw from
+  // swallowing the whole arrival budget.
+  const double base = std::clamp(std::exp(rng.NextGaussian()), 0.05, 50.0);
+  const double phase = rng.NextDouble();
+  struct Burst {
+    double start, len, mult;
+  };
+  std::vector<Burst> bursts(1 + rng.NextBounded(3));
+  for (auto& b : bursts) {
+    b.start = rng.NextDouble() * (o.serve_s - 120.0);
+    b.len = 30.0 + 60.0 * rng.NextDouble();
+    b.mult = 4.0 + 6.0 * rng.NextDouble();
+  }
+  const auto bins = static_cast<std::size_t>((kTrainS + o.serve_s) / kBinS);
+  std::vector<double> rates(bins, 0.0);
+  for (std::size_t bin = 0; bin < bins; ++bin) {
+    const double s = (static_cast<double>(bin) + 0.5) * kBinS - kTrainS;
+    if (s < 0.0) continue;  // Quiet training window: serving starts later.
+    double r = base *
+               (1.0 + 0.6 * std::sin(2.0 * M_PI * (s / o.diurnal_s + phase)));
+    for (const auto& b : bursts) {
+      if (s >= b.start && s < b.start + b.len) r *= b.mult;
+    }
+    rates[bin] = r;
+  }
+  return rates;
+}
+
+const char* kArchetypeSpecs[] = {
+    "robust_hp:target=0.9",
+    "robust_rt:target=1.0",
+    "robust_cost:target=2.0",
+    "backup_pool:pool_size=2",
+};
+
+/// Trains one archetype model on a plain sinusoidal trace and returns its
+/// Scaler::SaveState buffer; tenant i restores buffer i % archetypes.
+std::string TrainArchetype(std::size_t k, const Options& options) {
+  const double period = 600.0;
+  std::vector<double> rates;
+  for (double t = 0.5 * kBinS; t < kTrainS; t += kBinS) {
+    const double phase = std::fmod(t, period) / period;
+    rates.push_back(1.0 + 0.6 * std::sin(2.0 * M_PI *
+                                         (phase + static_cast<double>(k) /
+                                                      7.3)));
+  }
+  auto intensity = *workload::PiecewiseConstantIntensity::Make(rates, kBinS);
+  stats::Rng rng(500 + k);
+  auto trace = *workload::MakeTraceFromIntensity(
+      &rng, intensity, stats::DurationDistribution::Exponential(15.0));
+  auto spec = api::ParseStrategySpec(
+      kArchetypeSpecs[k % (sizeof(kArchetypeSpecs) /
+                           sizeof(kArchetypeSpecs[0]))]);
+  RS_CHECK(spec.ok()) << spec.status().ToString();
+  auto scaler = api::ScalerBuilder()
+                    .WithTrace(trace)
+                    .WithBinWidth(kBinS)
+                    .WithForecastHorizon(kTrainS + options.serve_s)
+                    .WithStrategy(*spec)
+                    .WithPlanningInterval(options.plan_interval)
+                    .WithMcSamples(options.mc_samples)
+                    .Build();
+  RS_CHECK(scaler.ok()) << scaler.status().ToString();
+  std::ostringstream out;
+  RS_CHECK(scaler->SaveState(out).ok());
+  return out.str();
+}
+
+/// Registers `names.size()` tenants into `fleet`, each restored from its
+/// archetype buffer (round-robin). Unbounded history retention keeps the
+/// full action log for the parity cross-checks.
+void PopulateFleet(api::ScalerFleet* fleet,
+                   const std::vector<std::string>& names,
+                   const std::vector<std::string>& buffers) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::istringstream in(buffers[i % buffers.size()]);
+    auto scaler = api::ScalerBuilder::RestoreState(in);
+    RS_CHECK(scaler.ok()) << scaler.status().ToString();
+    RS_CHECK(fleet->Register(names[i], std::move(scaler).ValueOrDie()).ok());
+    RS_CHECK(fleet->Find(names[i])
+                 ->ConfigureHistoryRetention(sim::kUnboundedHistory)
+                 .ok());
+  }
+}
+
+struct DriveStats {
+  double serve_s = 0.0;
+  std::size_t plan_batches = 0;
+};
+
+/// The serving session every mode re-runs: the merged arrival stream with a
+/// PlanAll batch every plan_every seconds, closed by a final batch at the
+/// horizon. Identical call sequence across tap-off/tap-on runs by
+/// construction, which is what makes their action logs comparable.
+DriveStats Drive(api::ScalerFleet* fleet,
+                 const std::vector<std::string>& names,
+                 const std::vector<Event>& events, double horizon,
+                 double plan_every) {
+  DriveStats stats;
+  double next_plan = kTrainS + plan_every;
+  Stopwatch watch;
+  const auto plan_batch = [&](double t) {
+    for (const auto& plan : fleet->PlanAll(t)) {
+      RS_CHECK(plan.status.ok())
+          << plan.tenant << ": " << plan.status.ToString();
+    }
+    ++stats.plan_batches;
+  };
+  for (const auto& event : events) {
+    while (next_plan <= event.t) {
+      plan_batch(next_plan);
+      next_plan += plan_every;
+    }
+    auto outcome = fleet->Observe(names[event.tenant], event.t);
+    RS_CHECK(outcome.ok()) << outcome.status().ToString();
+  }
+  plan_batch(horizon);
+  stats.serve_s = watch.ElapsedSeconds();
+  return stats;
+}
+
+struct RunResult {
+  std::size_t threads = 0;
+  double serve_off_s = 0.0;  ///< Control: no tap attached.
+  double serve_on_s = 0.0;   ///< Same session with the Recorder attached.
+  double replay_s = 0.0;     ///< trace::Replay() of the capture.
+  double attach_ms = 0.0;    ///< Recorder::Attach (tenant snapshots).
+  double encode_ms = 0.0;    ///< Capture::ToBytes (container encode).
+  std::size_t plan_batches = 0;
+  std::size_t events = 0;        ///< Capture event count.
+  std::size_t capture_bytes = 0; ///< Encoded container size.
+  std::vector<std::vector<sim::ScalingAction>> logs;  ///< Per tenant.
+};
+
+/// Byte-identical action-log comparison between two runs (worker counts
+/// and the tap must change wall time, never actions).
+void CheckParity(const RunResult& baseline, const RunResult& run,
+                 const char* what) {
+  RS_CHECK(baseline.logs.size() == run.logs.size());
+  for (std::size_t i = 0; i < baseline.logs.size(); ++i) {
+    const auto& a = baseline.logs[i];
+    const auto& b = run.logs[i];
+    RS_CHECK(a.size() == b.size())
+        << what << ": tenant " << i << ": " << a.size() << " vs " << b.size()
+        << " actions";
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      RS_CHECK(a[k].deletions == b[k].deletions &&
+               a[k].creation_times == b[k].creation_times)
+          << what << ": tenant " << i << ", action " << k << " diverged";
+    }
+  }
+}
+
+RunResult RunOnce(const Options& options,
+                  const std::vector<std::string>& names,
+                  const std::vector<std::string>& buffers,
+                  const std::vector<Event>& events, std::size_t threads,
+                  trace::Capture* capture_out) {
+  RunResult run;
+  run.threads = threads;
+  const double horizon = kTrainS + options.serve_s;
+  Stopwatch watch;
+
+  // 1. Control: the session with no tap.
+  RunResult control;
+  {
+    api::ScalerFleet fleet(threads);
+    PopulateFleet(&fleet, names, buffers);
+    const DriveStats stats =
+        Drive(&fleet, names, events, horizon, options.plan_every);
+    run.serve_off_s = stats.serve_s;
+    run.plan_batches = stats.plan_batches;
+    for (const auto& name : names) {
+      control.logs.push_back(fleet.Find(name)->ActionLog());
+    }
+  }
+  control.threads = threads;
+
+  // 2. The identical session with a Recorder attached.
+  trace::Capture capture;
+  {
+    api::ScalerFleet fleet(threads);
+    PopulateFleet(&fleet, names, buffers);
+    trace::Recorder recorder("bench_replay synthetic session");
+    watch.Reset();
+    RS_CHECK(recorder.Attach(&fleet).ok());
+    run.attach_ms = 1000.0 * watch.ElapsedSeconds();
+    const DriveStats stats =
+        Drive(&fleet, names, events, horizon, options.plan_every);
+    run.serve_on_s = stats.serve_s;
+    recorder.Detach();
+    capture = recorder.TakeCapture();
+    for (const auto& name : names) {
+      run.logs.push_back(fleet.Find(name)->ActionLog());
+    }
+  }
+  CheckParity(control, run, "tap-on vs tap-off");
+  run.events = capture.events.size();
+
+  watch.Reset();
+  auto bytes = capture.ToBytes();
+  RS_CHECK(bytes.ok()) << bytes.status().ToString();
+  run.encode_ms = 1000.0 * watch.ElapsedSeconds();
+  run.capture_bytes = bytes->size();
+
+  // 3. Replay the capture; Replay() verifies byte parity as it re-drives.
+  trace::ReplayOptions replay_options;
+  replay_options.worker_threads = threads;
+  watch.Reset();
+  auto report = trace::Replay(capture, replay_options);
+  run.replay_s = watch.ElapsedSeconds();
+  RS_CHECK(report.ok()) << report.status().ToString();
+  RS_CHECK(!report->diverged)
+      << "replay diverged at event #" << report->divergence_event << ": "
+      << report->detail;
+  RS_CHECK(report->events_applied == run.events);
+
+  if (capture_out != nullptr) *capture_out = std::move(capture);
+  return run;
+}
+
+void WriteJson(const Options& options, const std::vector<RunResult>& runs,
+               std::size_t total_arrivals) {
+  std::ofstream out(options.json_path);
+  RS_CHECK(static_cast<bool>(out)) << "cannot open " << options.json_path;
+  out.precision(6);
+  out << "{\n"
+      << "  \"bench\": \"replay\",\n"
+      << "  \"tenants\": " << options.tenants << ",\n"
+      << "  \"archetypes\": " << options.archetypes << ",\n"
+      << "  \"arrivals\": " << total_arrivals << ",\n"
+      << "  \"serve_window_s\": " << options.serve_s << ",\n"
+      << "  \"plan_every_s\": " << options.plan_every << ",\n"
+      << "  \"mc_samples\": " << options.mc_samples << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    out << "    {\"threads\": " << run.threads
+        << ", \"serve_off_s\": " << run.serve_off_s
+        << ", \"serve_on_s\": " << run.serve_on_s
+        << ", \"replay_s\": " << run.replay_s
+        << ", \"tap_overhead\": " << run.serve_on_s / run.serve_off_s
+        << ", \"replay_vs_live\": " << run.replay_s / run.serve_on_s
+        << ", \"arrivals_per_s\": "
+        << static_cast<double>(total_arrivals) / run.serve_off_s
+        << ", \"events\": " << run.events
+        << ", \"capture_bytes\": " << run.capture_bytes
+        << ", \"bytes_per_event\": "
+        << static_cast<double>(run.capture_bytes) /
+               static_cast<double>(run.events)
+        << ", \"plan_batches\": " << run.plan_batches
+        << ", \"attach_ms\": " << run.attach_ms
+        << ", \"encode_ms\": " << run.encode_ms << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  RS_CHECK(static_cast<bool>(out)) << "write failed: " << options.json_path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = ParseArgs(argc, argv);
+
+  // Synthesize the production-shaped stream: build every tenant's rate
+  // curve, rescale so the expected total hits --target-arrivals, then draw
+  // the NHPP arrivals. Everything is seeded per tenant index, so two runs
+  // of this binary produce the same stream bit-for-bit.
+  std::vector<std::vector<double>> rates;
+  double expected = 0.0;
+  for (std::size_t i = 0; i < options.tenants; ++i) {
+    rates.push_back(TenantRateBins(i, options));
+    for (double r : rates.back()) expected += r * kBinS;
+  }
+  const double scale = options.target_arrivals / expected;
+  std::vector<Event> events;
+  for (std::size_t i = 0; i < options.tenants; ++i) {
+    for (double& r : rates[i]) r *= scale;
+    auto intensity = *workload::PiecewiseConstantIntensity::Make(rates[i],
+                                                                 kBinS);
+    stats::Rng rng(777 + i);
+    auto trace = *workload::MakeTraceFromIntensity(
+        &rng, intensity, stats::DurationDistribution::Exponential(15.0));
+    for (const auto& q : trace.queries()) {
+      events.push_back({q.arrival_time, i});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.t != b.t ? a.t < b.t : a.tenant < b.tenant;
+  });
+
+  Stopwatch train_watch;
+  std::vector<std::string> buffers;
+  for (std::size_t k = 0; k < options.archetypes; ++k) {
+    buffers.push_back(TrainArchetype(k, options));
+  }
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < options.tenants; ++i) {
+    names.push_back("fn-" + std::to_string(i));
+  }
+  std::printf(
+      "replay: %zu tenants (%zu archetypes, trained in %.2f s), "
+      "%zu arrivals over %.0f s serving (target %.0f), PlanAll every "
+      "%.0f s, R=%zu\n\n",
+      options.tenants, options.archetypes, train_watch.ElapsedSeconds(),
+      events.size(), options.serve_s, options.target_arrivals,
+      options.plan_every, options.mc_samples);
+
+  std::vector<RunResult> runs;
+  trace::Capture last_capture;
+  std::printf("%8s %12s %12s %8s %10s %8s %12s %10s\n", "threads",
+              "serve_off_s", "serve_on_s", "tap", "replay_s", "r/live",
+              "capture_MB", "B/event");
+  for (std::size_t threads : options.threads) {
+    runs.push_back(RunOnce(options, names, buffers, events, threads,
+                           &last_capture));
+    const auto& run = runs.back();
+    CheckParity(runs.front(), run, "across thread counts");
+    std::printf("%8zu %12.3f %12.3f %7.3fx %10.3f %7.3fx %12.2f %10.1f\n",
+                run.threads, run.serve_off_s, run.serve_on_s,
+                run.serve_on_s / run.serve_off_s, run.replay_s,
+                run.replay_s / run.serve_on_s,
+                static_cast<double>(run.capture_bytes) / 1e6,
+                static_cast<double>(run.capture_bytes) /
+                    static_cast<double>(run.events));
+  }
+
+  if (!options.capture_out.empty()) {
+    std::ofstream out(options.capture_out, std::ios::binary);
+    RS_CHECK(static_cast<bool>(out)) << "cannot open " << options.capture_out;
+    RS_CHECK(last_capture.Save(out).ok());
+    std::printf("\nwrote capture %s\n", options.capture_out.c_str());
+  }
+  if (!options.json_path.empty()) {
+    WriteJson(options, runs, events.size());
+    std::printf("\nwrote %s\n", options.json_path.c_str());
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "rs/api/serving_tap.hpp"
 #include "rs/persist/persist.hpp"
 
 namespace rs::api {
@@ -220,6 +221,7 @@ Status ScalerFleet::RegisterTenant(std::unique_ptr<Tenant> tenant) {
       }
     }
   }
+  if (tap_ != nullptr) tap_->OnRegister(entry->name, entry->scaler);
   return Status::OK();
 }
 
@@ -235,6 +237,7 @@ Status ScalerFleet::Retire(const std::string& tenant) {
   for (auto& [name, index] : index_) {
     if (index > i) --index;
   }
+  if (tap_ != nullptr) tap_->OnRetire(tenant);
   return Status::OK();
 }
 
@@ -244,8 +247,13 @@ Status ScalerFleet::ReplaceModel(const std::string& tenant, Scaler scaler) {
   const FreshState* fresh = tenants_[i]->fresh.get();
   const double now =
       tenants_[i]->scaler.Snapshot().now + (fresh != nullptr ? fresh->base : 0);
-  return InstallReplacement(i, std::move(scaler), /*new_base=*/0.0, now,
-                            /*reset_session=*/true);
+  RS_RETURN_NOT_OK(InstallReplacement(i, std::move(scaler), /*new_base=*/0.0,
+                                      now, /*reset_session=*/true));
+  if (tap_ != nullptr) {
+    // Post-install, post-carry: exactly the state a re-drive swaps in.
+    tap_->OnReplaceModel(tenant, tenants_[i]->scaler, /*at_next_plan=*/false);
+  }
+  return Status::OK();
 }
 
 Status ScalerFleet::ReplaceModelAtNextPlan(const std::string& tenant,
@@ -258,6 +266,10 @@ Status ScalerFleet::ReplaceModelAtNextPlan(const std::string& tenant,
   // A bare FreshState can hold the pending swap even with freshness off.
   if (entry.fresh == nullptr) entry.fresh = std::make_unique<FreshState>();
   entry.fresh->pending_manual = std::move(scaler);
+  if (tap_ != nullptr) {
+    tap_->OnReplaceModel(tenant, *entry.fresh->pending_manual,
+                         /*at_next_plan=*/true);
+  }
   return Status::OK();
 }
 
@@ -271,6 +283,12 @@ void ScalerFleet::SetIntraPlanSharding(bool enabled) {
 // -- Model freshness ----------------------------------------------------------
 
 Status ScalerFleet::EnableFreshness(const FreshnessPolicy& policy) {
+  if (tap_ != nullptr) {
+    return Status::Invalid(
+        "ScalerFleet::EnableFreshness: a serving tap is attached; background "
+        "retrains finish at wall-time-dependent moments that no recorded "
+        "event stream could re-drive deterministically (DetachTap first)");
+  }
   if (!(policy.pipeline.dt > 0.0)) {
     return Status::Invalid("ScalerFleet::EnableFreshness: pipeline.dt <= 0");
   }
@@ -520,6 +538,38 @@ void ScalerFleet::CarryServingConfig(const Scaler& retiring,
   }
 }
 
+// -- Serving tap --------------------------------------------------------------
+
+Status ScalerFleet::AttachTap(ServingTap* tap) {
+  if (tap == nullptr) {
+    return Status::Invalid(
+        "ScalerFleet::AttachTap: tap is null (use DetachTap to detach)");
+  }
+  if (tap_ != nullptr && tap_ != tap) {
+    return Status::Invalid(
+        "ScalerFleet::AttachTap: another tap is already attached (one tap at "
+        "a time; DetachTap it first)");
+  }
+  if (policy_.has_value()) {
+    return Status::Invalid(
+        "ScalerFleet::AttachTap: the freshness loop is enabled; its "
+        "background retrains land at wall-time-dependent moments that no "
+        "recorded event stream could re-drive deterministically (use manual "
+        "ReplaceModel swaps under a tap instead)");
+  }
+  tap_ = tap;
+  return Status::OK();
+}
+
+void ScalerFleet::DetachTap() { tap_ = nullptr; }
+
+TapClockMark ScalerFleet::TapMark(const Scaler& scaler) {
+  TapClockMark mark;
+  mark.has_position =
+      scaler.serving_clock()->ExportPosition(&mark.time, &mark.readings);
+  return mark;
+}
+
 // -- Serving ------------------------------------------------------------------
 
 std::vector<std::string> ScalerFleet::Tenants() const {
@@ -565,6 +615,9 @@ Result<Scaler::ObserveOutcome> ScalerFleet::Observe(const std::string& tenant,
     fresh->detector.Observe(arrival_time);
     (void)fresh->session.AppendArrival(arrival_time + fresh->shift);
   }
+  if (tap_ != nullptr) {
+    tap_->OnObserve(tenant, arrival_time, outcome.ValueOrDie());
+  }
   return outcome;
 }
 
@@ -581,6 +634,9 @@ Result<sim::ScalingAction> ScalerFleet::Plan(const std::string& tenant,
   if (base != 0.0) {
     // Back onto the caller's serving clock.
     for (double& t : action.creation_times) t += base;
+  }
+  if (tap_ != nullptr) {
+    tap_->OnPlan(tenant, now, action, TapMark(entry.scaler));
   }
   return action;
 }
@@ -609,6 +665,15 @@ std::vector<ScalerFleet::TenantPlan> ScalerFleet::PlanAll(double now) {
       plan.status = planned.status();
     }
   });
+  if (tap_ != nullptr) {
+    // After the join, on the caller thread: clocks are quiescent and the
+    // batch result is final, so the tap sees exactly what the caller gets.
+    std::vector<TapClockMark> clocks(tenants_.size());
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+      clocks[i] = TapMark(tenants_[i]->scaler);
+    }
+    tap_->OnPlanAll(now, plans, clocks);
+  }
   return plans;
 }
 

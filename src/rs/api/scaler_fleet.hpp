@@ -44,6 +44,9 @@
 
 namespace rs::api {
 
+class ServingTap;
+struct TapClockMark;
+
 /// Aggregated view of every tenant's serving state. The sums follow
 /// ServingSnapshot's retained-vs-total split: `queries_observed` /
 /// `planning_rounds` count lifetime totals while `arrivals_retained` /
@@ -253,6 +256,25 @@ class ScalerFleet {
   /// the tenant's next plan boundary like any drift-triggered retrain.
   Status RequestRetrain(const std::string& tenant);
 
+  // -- Serving tap (rs::trace capture hook) ----------------------------------
+
+  /// \brief Attaches an observer that sees every successful serving-facing
+  ///        operation from here on (see ServingTap for the callback
+  ///        contract). One tap at a time; must outlive its attachment.
+  ///
+  /// Mutually exclusive with the freshness loop: background retrains land
+  /// at wall-time-dependent moments no event stream could re-drive, so a
+  /// tap on a freshness-enabled fleet (or EnableFreshness under a tap)
+  /// fails with Invalid. Attaching does not replay the past — a recorder
+  /// that wants already-registered tenants snapshots them itself
+  /// (rs::trace::Recorder::Attach does).
+  Status AttachTap(ServingTap* tap);
+
+  /// Detaches the current tap (no-op when none is attached).
+  void DetachTap();
+
+  ServingTap* tap() const { return tap_; }
+
   // -- Serving --------------------------------------------------------------
 
   /// Reports one arrival for `tenant` (its own serving clock; clocks are
@@ -367,6 +389,10 @@ class ScalerFleet {
   /// from the retiring scaler onto its replacement.
   static void CarryServingConfig(const Scaler& retiring, Scaler* replacement);
 
+  /// The tenant's decision-clock position for tap callbacks (steady clocks
+  /// have none; deterministic clocks export time + reading count).
+  static TapClockMark TapMark(const Scaler& scaler);
+
   /// Writes one TENT record (name + Scaler state + freshness state) into
   /// an open writer.
   Status WriteTenantRecord(persist::Writer* writer, std::size_t index) const;
@@ -394,6 +420,8 @@ class ScalerFleet {
   /// Dedicated retrain pool (policy_.retrain_workers threads); planning
   /// never waits on it.
   std::unique_ptr<common::ThreadPool> retrain_pool_;
+  /// Attached serving observer (AttachTap), or null. Not owned.
+  ServingTap* tap_ = nullptr;
 };
 
 }  // namespace rs::api

@@ -74,6 +74,10 @@ inline constexpr std::uint32_t kTagFreshnessPolicy = MakeTag('F', 'P', 'O', 'L')
 inline constexpr std::uint32_t kTagFreshness = MakeTag('F', 'R', 'S', 'H');
 inline constexpr std::uint32_t kTagDriftDetector = MakeTag('D', 'R', 'F', 'T');
 inline constexpr std::uint32_t kTagTrainSession = MakeTag('T', 'S', 'E', 'S');
+// rs::trace serving captures (docs/TRACE_FORMAT.md is the normative spec).
+inline constexpr std::uint32_t kTagTraceCapture = MakeTag('T', 'R', 'C', 'E');
+inline constexpr std::uint32_t kTagTraceMeta = MakeTag('T', 'M', 'E', 'T');
+inline constexpr std::uint32_t kTagTraceEvents = MakeTag('T', 'E', 'V', 'T');
 
 /// CRC-32 (IEEE reflected, poly 0xEDB88320) over `n` bytes; chainable via
 /// `seed`. Exposed for the snapshot inspector and corruption tests.

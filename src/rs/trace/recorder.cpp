@@ -1,0 +1,157 @@
+/// \file recorder.cpp
+/// \brief ServingTap implementation that appends capture events as a live
+///        fleet serves.
+#include <sstream>
+#include <utility>
+
+#include "rs/trace/trace.hpp"
+
+namespace rs::trace {
+
+Recorder::Recorder(std::string label) {
+  capture_.producer = "robustscaler rs::trace";
+  capture_.label = std::move(label);
+}
+
+Status Recorder::Attach(api::ScalerFleet* fleet) {
+  if (fleet == nullptr) {
+    return Status::Invalid("Recorder::Attach: fleet is null");
+  }
+  if (fleet_ != nullptr) {
+    return Status::Invalid(
+        "Recorder::Attach: already attached (Detach first; one recorder "
+        "records one fleet at a time)");
+  }
+  RS_RETURN_NOT_OK(fleet->AttachTap(this));
+  fleet_ = fleet;
+  // Snapshot the tenants that are already serving, in registration order:
+  // replay restores these and continues byte-identically from the attach
+  // point, so mid-session captures are as self-contained as fresh ones.
+  for (const std::string& tenant : fleet->Tenants()) {
+    const api::Scaler* scaler = fleet->Find(tenant);
+    auto state = SerializeScaler(*scaler);
+    if (!state.ok()) {
+      Detach();
+      std::ostringstream msg;
+      msg << "Recorder::Attach: tenant \"" << tenant
+          << "\" cannot be snapshotted: " << state.status().message();
+      return Status(state.status().code(), msg.str());
+    }
+    Event event;
+    event.kind = EventKind::kRegister;
+    event.id = next_id_++;
+    event.name = tenant;
+    event.state = std::move(state).ValueOrDie();
+    ids_[tenant] = event.id;
+    capture_.events.push_back(std::move(event));
+  }
+  return Status::OK();
+}
+
+void Recorder::Detach() {
+  if (fleet_ == nullptr) return;
+  fleet_->DetachTap();
+  fleet_ = nullptr;
+}
+
+Capture Recorder::TakeCapture() {
+  Capture out = std::move(capture_);
+  capture_ = Capture{};
+  capture_.producer = out.producer;
+  capture_.label = out.label;
+  ids_.clear();
+  next_id_ = 1;
+  return out;
+}
+
+std::uint32_t Recorder::InternId(const std::string& tenant) const {
+  const auto it = ids_.find(tenant);
+  // The fleet only fires callbacks for tenants it holds, and every way a
+  // tenant can land in the fleet fires OnRegister first, so the lookup
+  // cannot miss; 0 (never a valid id) keeps a corrupted stream decodable.
+  return it == ids_.end() ? 0 : it->second;
+}
+
+Result<std::string> Recorder::SerializeScaler(const api::Scaler& scaler) const {
+  std::ostringstream out(std::ios::binary);
+  RS_RETURN_NOT_OK(scaler.SaveState(out));
+  return std::move(out).str();
+}
+
+void Recorder::OnRegister(const std::string& tenant,
+                          const api::Scaler& scaler) {
+  Event event;
+  event.kind = EventKind::kRegister;
+  event.id = next_id_++;
+  event.name = tenant;
+  auto state = SerializeScaler(scaler);
+  // A scaler whose strategy cannot serialize is caught at Attach for
+  // existing tenants; for one registered mid-capture the event records an
+  // empty state, which replay rejects with a descriptive error rather than
+  // silently dropping the tenant.
+  if (state.ok()) event.state = std::move(state).ValueOrDie();
+  ids_[tenant] = event.id;
+  capture_.events.push_back(std::move(event));
+}
+
+void Recorder::OnRetire(const std::string& tenant) {
+  Event event;
+  event.kind = EventKind::kRetire;
+  event.id = InternId(tenant);
+  ids_.erase(tenant);
+  capture_.events.push_back(std::move(event));
+}
+
+void Recorder::OnReplaceModel(const std::string& tenant,
+                              const api::Scaler& incoming, bool at_next_plan) {
+  Event event;
+  event.kind = EventKind::kReplaceModel;
+  event.id = InternId(tenant);
+  event.at_next_plan = at_next_plan;
+  auto state = SerializeScaler(incoming);
+  if (state.ok()) event.state = std::move(state).ValueOrDie();
+  capture_.events.push_back(std::move(event));
+}
+
+void Recorder::OnObserve(const std::string& tenant, double arrival_time,
+                         const api::Scaler::ObserveOutcome& outcome) {
+  Event event;
+  event.kind = EventKind::kObserve;
+  event.id = InternId(tenant);
+  event.time = arrival_time;
+  event.cold_start = outcome.cold_start;
+  event.cancel_earliest = outcome.cancel_earliest_scheduled;
+  capture_.events.push_back(std::move(event));
+}
+
+void Recorder::OnPlan(const std::string& tenant, double now,
+                      const sim::ScalingAction& action,
+                      const ClockMark& clock) {
+  Event event;
+  event.kind = EventKind::kPlan;
+  event.id = InternId(tenant);
+  event.time = now;
+  event.clock = clock;
+  event.action = action;
+  capture_.events.push_back(std::move(event));
+}
+
+void Recorder::OnPlanAll(double now,
+                         const std::vector<api::ScalerFleet::TenantPlan>& plans,
+                         const std::vector<ClockMark>& clocks) {
+  Event event;
+  event.kind = EventKind::kPlanAll;
+  event.time = now;
+  event.plans.reserve(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    PlannedTenant plan;
+    plan.id = InternId(plans[i].tenant);
+    plan.ok = plans[i].status.ok();
+    plan.clock = i < clocks.size() ? clocks[i] : ClockMark{};
+    if (plan.ok) plan.action = plans[i].action;
+    event.plans.push_back(std::move(plan));
+  }
+  capture_.events.push_back(std::move(event));
+}
+
+}  // namespace rs::trace

@@ -1,0 +1,345 @@
+/// \file replay.cpp
+/// \brief Re-drives a fresh fleet from a capture and verifies byte-identical
+///        action parity against the recording.
+#include <bit>
+#include <cstring>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "rs/trace/trace.hpp"
+
+namespace rs::trace {
+
+namespace {
+
+/// Bitwise double equality: the parity contract is bytes, never an epsilon
+/// (and NaN payloads must round-trip too).
+bool SameBits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+std::string Bits(double v) {
+  std::ostringstream out;
+  out << v << " (0x" << std::hex << std::bit_cast<std::uint64_t>(v) << ")";
+  return out.str();
+}
+
+bool SameAction(const sim::ScalingAction& recorded,
+                const sim::ScalingAction& replayed, std::string* why) {
+  if (recorded.deletions != replayed.deletions) {
+    std::ostringstream out;
+    out << "deletions recorded " << recorded.deletions << ", replayed "
+        << replayed.deletions;
+    *why = out.str();
+    return false;
+  }
+  if (recorded.creation_times.size() != replayed.creation_times.size()) {
+    std::ostringstream out;
+    out << "creation count recorded " << recorded.creation_times.size()
+        << ", replayed " << replayed.creation_times.size();
+    *why = out.str();
+    return false;
+  }
+  for (std::size_t i = 0; i < recorded.creation_times.size(); ++i) {
+    if (!SameBits(recorded.creation_times[i], replayed.creation_times[i])) {
+      std::ostringstream out;
+      out << "creation_times[" << i << "] recorded "
+          << Bits(recorded.creation_times[i]) << ", replayed "
+          << Bits(replayed.creation_times[i]);
+      *why = out.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameClock(const ClockMark& recorded, const ClockMark& replayed,
+               std::string* why) {
+  if (recorded.has_position != replayed.has_position) {
+    *why = std::string("decision clock ") +
+           (recorded.has_position
+                ? "recorded a position but the replayed clock exports none "
+                  "(inject a deterministic clock via "
+                  "ReplayOptions::decision_clock_for)"
+                : "recorded no position but the replayed clock exports one "
+                  "(the original session ran on wall time)");
+    return false;
+  }
+  if (!recorded.has_position) return true;
+  if (!SameBits(recorded.time, replayed.time) ||
+      recorded.readings != replayed.readings) {
+    std::ostringstream out;
+    out << "decision clock recorded (t=" << Bits(recorded.time)
+        << ", readings=" << recorded.readings << "), replayed (t="
+        << Bits(replayed.time) << ", readings=" << replayed.readings << ")";
+    *why = out.str();
+    return false;
+  }
+  return true;
+}
+
+/// The replay side of the recording tap: armed with the expected event
+/// before each re-driven call, it compares what the fleet emits against
+/// what the capture says it emitted.
+class Verifier final : public api::ServingTap {
+ public:
+  void Arm(const Event* expected) {
+    expected_ = expected;
+    fired_ = false;
+  }
+
+  bool fired() const { return fired_; }
+  bool diverged() const { return diverged_; }
+  const std::string& detail() const { return detail_; }
+
+  void SetNames(const std::unordered_map<std::uint32_t, std::string>* names) {
+    names_ = names;
+  }
+
+  void OnObserve(const std::string& tenant, double arrival_time,
+                 const api::Scaler::ObserveOutcome& outcome) override {
+    (void)tenant;
+    (void)arrival_time;
+    if (!Armed(EventKind::kObserve)) return;
+    fired_ = true;
+    if (outcome.cold_start != expected_->cold_start ||
+        outcome.cancel_earliest_scheduled != expected_->cancel_earliest) {
+      std::ostringstream out;
+      out << "observe outcome recorded (cold_start=" << expected_->cold_start
+          << ", cancel=" << expected_->cancel_earliest << "), replayed ("
+          << outcome.cold_start << ", " << outcome.cancel_earliest_scheduled
+          << ")";
+      Diverge(out.str());
+    }
+  }
+
+  void OnPlan(const std::string& tenant, double now,
+              const sim::ScalingAction& action,
+              const ClockMark& clock) override {
+    (void)tenant;
+    (void)now;
+    if (!Armed(EventKind::kPlan)) return;
+    fired_ = true;
+    std::string why;
+    if (!SameAction(expected_->action, action, &why) ||
+        !SameClock(expected_->clock, clock, &why)) {
+      Diverge(why);
+    }
+  }
+
+  void OnPlanAll(double now,
+                 const std::vector<api::ScalerFleet::TenantPlan>& plans,
+                 const std::vector<ClockMark>& clocks) override {
+    (void)now;
+    if (!Armed(EventKind::kPlanAll)) return;
+    fired_ = true;
+    if (plans.size() != expected_->plans.size()) {
+      std::ostringstream out;
+      out << "plan-all batch recorded " << expected_->plans.size()
+          << " tenants, replayed " << plans.size();
+      Diverge(out.str());
+      return;
+    }
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      const PlannedTenant& recorded = expected_->plans[i];
+      const auto name = names_->find(recorded.id);
+      if (name == names_->end() || name->second != plans[i].tenant) {
+        std::ostringstream out;
+        out << "plan-all slot " << i << " recorded tenant \""
+            << (name == names_->end() ? "<unknown id>" : name->second)
+            << "\", replayed \"" << plans[i].tenant << '"';
+        Diverge(out.str());
+        return;
+      }
+      if (recorded.ok != plans[i].status.ok()) {
+        std::ostringstream out;
+        out << "plan-all tenant \"" << plans[i].tenant << "\" recorded "
+            << (recorded.ok ? "success" : "failure") << ", replayed "
+            << (plans[i].status.ok() ? "success"
+                                     : "failure: " + plans[i].status.message());
+        Diverge(out.str());
+        return;
+      }
+      std::string why;
+      if (recorded.ok && !SameAction(recorded.action, plans[i].action, &why)) {
+        Diverge("tenant \"" + plans[i].tenant + "\": " + why);
+        return;
+      }
+      if (i < clocks.size() && !SameClock(recorded.clock, clocks[i], &why)) {
+        Diverge("tenant \"" + plans[i].tenant + "\": " + why);
+        return;
+      }
+    }
+  }
+
+ private:
+  bool Armed(EventKind kind) const {
+    return expected_ != nullptr && expected_->kind == kind && !diverged_;
+  }
+
+  void Diverge(std::string why) {
+    diverged_ = true;
+    detail_ = std::move(why);
+  }
+
+  const Event* expected_ = nullptr;
+  const std::unordered_map<std::uint32_t, std::string>* names_ = nullptr;
+  bool fired_ = false;
+  bool diverged_ = false;
+  std::string detail_;
+};
+
+Status CorruptEvent(std::size_t index, const Event& event,
+                    const std::string& what) {
+  std::ostringstream out;
+  out << "trace replay: event #" << index << " (" << EventKindName(event.kind)
+      << "): " << what;
+  return Status::Invalid(out.str());
+}
+
+Result<api::Scaler> RestoreEmbedded(const Event& event,
+                                    const std::string& tenant,
+                                    const ReplayOptions& options) {
+  api::ScalerRestoreOptions restore;
+  if (options.decision_clock_for) {
+    restore.decision_clock = options.decision_clock_for(tenant);
+  }
+  std::istringstream in(event.state, std::ios::binary);
+  return api::ScalerBuilder::RestoreState(in, restore);
+}
+
+}  // namespace
+
+Result<ReplayReport> Replay(const Capture& capture,
+                            const ReplayOptions& options) {
+  api::ScalerFleet fleet(options.worker_threads);
+  std::unordered_map<std::uint32_t, std::string> names;
+  Verifier verifier;
+  verifier.SetNames(&names);
+  RS_RETURN_NOT_OK(fleet.AttachTap(&verifier));
+
+  ReplayReport report;
+  report.events_total = capture.events.size();
+  std::size_t limit = capture.events.size();
+  if (options.max_events != 0 && options.max_events < limit) {
+    limit = options.max_events;
+  }
+
+  const auto diverge = [&report](std::size_t index, const Event& event,
+                                 std::string detail) {
+    report.diverged = true;
+    report.divergence_event = index;
+    std::ostringstream out;
+    out << "event #" << index << " (" << EventKindName(event.kind)
+        << ", t=" << event.time << "): " << detail;
+    report.detail = out.str();
+  };
+
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Event& event = capture.events[i];
+    const auto name_of = [&names](std::uint32_t id) -> const std::string* {
+      const auto it = names.find(id);
+      return it == names.end() ? nullptr : &it->second;
+    };
+    switch (event.kind) {
+      case EventKind::kRegister: {
+        if (event.state.empty()) {
+          return CorruptEvent(i, event,
+                              "carries no scaler state (the recording side "
+                              "failed to serialize this tenant)");
+        }
+        // Re-registering an id, or re-registering a live name, is a corrupt
+        // capture; Register itself rejects the duplicate name.
+        names[event.id] = event.name;
+        auto restored = RestoreEmbedded(event, event.name, options);
+        if (!restored.ok()) {
+          return CorruptEvent(
+              i, event, "embedded snapshot: " + restored.status().message());
+        }
+        Status registered =
+            fleet.Register(event.name, std::move(restored).ValueOrDie());
+        if (!registered.ok()) {
+          return CorruptEvent(i, event, registered.message());
+        }
+        break;
+      }
+      case EventKind::kRetire: {
+        const std::string* tenant = name_of(event.id);
+        if (tenant == nullptr) {
+          return CorruptEvent(i, event, "unknown tenant id");
+        }
+        Status retired = fleet.Retire(*tenant);
+        if (!retired.ok()) return CorruptEvent(i, event, retired.message());
+        break;
+      }
+      case EventKind::kReplaceModel: {
+        const std::string* tenant = name_of(event.id);
+        if (tenant == nullptr) {
+          return CorruptEvent(i, event, "unknown tenant id");
+        }
+        if (event.state.empty()) {
+          return CorruptEvent(i, event,
+                              "carries no scaler state (the recording side "
+                              "failed to serialize the incoming model)");
+        }
+        auto restored = RestoreEmbedded(event, *tenant, options);
+        if (!restored.ok()) {
+          return CorruptEvent(
+              i, event, "embedded snapshot: " + restored.status().message());
+        }
+        Status swapped =
+            event.at_next_plan
+                ? fleet.ReplaceModelAtNextPlan(*tenant,
+                                               std::move(restored).ValueOrDie())
+                : fleet.ReplaceModel(*tenant, std::move(restored).ValueOrDie());
+        if (!swapped.ok()) return CorruptEvent(i, event, swapped.message());
+        break;
+      }
+      case EventKind::kObserve: {
+        const std::string* tenant = name_of(event.id);
+        if (tenant == nullptr) {
+          return CorruptEvent(i, event, "unknown tenant id");
+        }
+        verifier.Arm(&event);
+        auto outcome = fleet.Observe(*tenant, event.time);
+        if (!outcome.ok()) {
+          diverge(i, event,
+                  "recorded success, replay failed: " +
+                      outcome.status().message());
+        }
+        break;
+      }
+      case EventKind::kPlan: {
+        const std::string* tenant = name_of(event.id);
+        if (tenant == nullptr) {
+          return CorruptEvent(i, event, "unknown tenant id");
+        }
+        verifier.Arm(&event);
+        auto planned = fleet.Plan(*tenant, event.time);
+        if (!planned.ok()) {
+          diverge(i, event,
+                  "recorded success, replay failed: " +
+                      planned.status().message());
+        }
+        break;
+      }
+      case EventKind::kPlanAll: {
+        verifier.Arm(&event);
+        (void)fleet.PlanAll(event.time);
+        break;
+      }
+    }
+    if (verifier.diverged()) {
+      diverge(i, event, verifier.detail());
+    }
+    if (report.diverged) break;
+    verifier.Arm(nullptr);
+    report.events_applied = i + 1;
+  }
+
+  fleet.DetachTap();
+  return report;
+}
+
+}  // namespace rs::trace

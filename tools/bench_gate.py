@@ -22,7 +22,11 @@ the machine out and collapse only when the optimization itself regresses:
                    fleet planning, a within-run ratio), and for the
                    synchronous retrain_workers=0 row `staleness_mean_s`
                    (lower is better; background rows are wall-clock
-                   scheduling dependent so only reported).
+                   scheduling dependent so only reported);
+  replay         : per-threads `tap_overhead` (the trace Recorder's serving
+                   tax), `replay_vs_live` (trace::Replay wall time over the
+                   tap-on session it verifies), and `bytes_per_event`
+                   (capture size — moves only when the wire format changes).
 
 fleet_scaling also trend-gates `snapshot_ms` and `snapshot_bytes` once the
 committed baseline carries them (rows or baselines without the fields stay
@@ -243,11 +247,52 @@ def gate_freshness(baseline, current, gate, gate_absolute):
     return regressions
 
 
+def gate_replay(baseline, current, gate, gate_absolute):
+    regressions = 0
+    base_rows = index_rows(baseline.get("results", []), ("threads",))
+    cur_rows = index_rows(current.get("results", []), ("threads",))
+    for key, base in base_rows.items():
+        cur = cur_rows.get(key)
+        if cur is None:
+            regressions += gate.missing(key)
+            continue
+        # All three gated metrics are lower-is-better within-run ratios:
+        # the recorder's serving tax, replay speed relative to the live
+        # session it verifies, and the capture's encoded size per event
+        # (format bloat — deterministic given the bench config, so it only
+        # moves when the wire encoding itself changes).
+        regressions += gate.compare(key, "tap_overhead",
+                                    base.get("tap_overhead"),
+                                    cur.get("tap_overhead"), gated=True,
+                                    higher_is_better=False)
+        regressions += gate.compare(key, "replay_vs_live",
+                                    base.get("replay_vs_live"),
+                                    cur.get("replay_vs_live"), gated=True,
+                                    higher_is_better=False)
+        regressions += gate.compare(key, "bytes_per_event",
+                                    base.get("bytes_per_event"),
+                                    cur.get("bytes_per_event"), gated=True,
+                                    higher_is_better=False)
+        regressions += gate.compare(key, "arrivals_per_s",
+                                    base.get("arrivals_per_s"),
+                                    cur.get("arrivals_per_s"),
+                                    gated=gate_absolute)
+        print(f"bench_gate: {fmt_key(key)}: "
+              f"tap {cur.get('tap_overhead', 0):.2f}x "
+              f"(baseline {base.get('tap_overhead', 0):.2f}x), "
+              f"replay {cur.get('replay_vs_live', 0):.2f}x of live "
+              f"(baseline {base.get('replay_vs_live', 0):.2f}x), "
+              f"{cur.get('bytes_per_event', 0):.1f} B/event "
+              f"(baseline {base.get('bytes_per_event', 0):.1f})")
+    return regressions
+
+
 GATES = {
     "plan_hot_path": gate_plan,
     "fleet_scaling": gate_fleet,
     "training_time": gate_training,
     "freshness": gate_freshness,
+    "replay": gate_replay,
 }
 
 

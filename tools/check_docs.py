@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Docs hygiene checker: dead relative markdown links and stale repo-path
+references in README.md, EXPERIMENTS.md, and docs/. CI runs this in the
+format-check job so documentation rot fails the build, not a reader.
+
+Two checks, both against the working tree:
+  1. every relative markdown link target `[text](path)` must exist
+     (resolved against the linking file's directory, anchors stripped);
+  2. every backtick-quoted repo path (a token rooted at a known top-level
+     directory, or any token with a path separator and a source-like
+     extension) must exist — wildcards, placeholders, and generated paths
+     under build/ are skipped.
+
+Usage: check_docs.py [repo_root]     (defaults to the script's parent dir)
+"""
+
+import os
+import re
+import sys
+
+DOC_FILES = ["README.md", "EXPERIMENTS.md"]
+DOC_DIRS = ["docs"]
+
+# Tokens rooted at these directories are repo paths even without an
+# extension (e.g. `tools/bench_gate.py`, `src/rs/trace/`).
+ROOTED_DIRS = ("src/", "tools/", "bench/", "tests/", "docs/", "examples/",
+               ".github/")
+PATHY_EXTENSIONS = (".md", ".py", ".cpp", ".hpp", ".h", ".json", ".yml",
+                    ".yaml", ".txt", ".rstrace", ".cmake")
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`([^`\n]+)`")
+
+
+def doc_files(root):
+    out = [p for p in DOC_FILES if os.path.isfile(os.path.join(root, p))]
+    for d in DOC_DIRS:
+        top = os.path.join(root, d)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, _, names in os.walk(top):
+            for name in sorted(names):
+                if name.endswith(".md"):
+                    out.append(
+                        os.path.relpath(os.path.join(dirpath, name), root))
+    return out
+
+
+def is_repo_path(token):
+    """Heuristic: does this backtick span name a file in the repository?"""
+    if any(c in token for c in " *<>$(){}|\\@=,;'\""):
+        return False
+    if token.startswith(("http://", "https://", "/", "~", "-")):
+        return False
+    if token.startswith("build/"):
+        return False  # generated, not in the tree
+    if token.startswith(ROOTED_DIRS) or token.startswith("rs/"):
+        return True
+    return "/" in token and token.rstrip("/").endswith(PATHY_EXTENSIONS)
+
+
+def exists_in_repo(root, token):
+    token = token.rstrip("/")
+    # `rs/api/api.hpp` in prose is an include path, rooted at src/.
+    candidates = [token, os.path.join("src", token)]
+    # `tools/rs_snapshot` in prose names the built binary; accept it when
+    # the tool's source file exists.
+    candidates += [token + ".cpp", token + ".py"]
+    return any(os.path.exists(os.path.join(root, c)) for c in candidates)
+
+
+def check_file(root, rel):
+    errors = []
+    path = os.path.join(root, rel)
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1).split("#", 1)[0]
+            if not target or "://" in target or target.startswith("mailto:"):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(root, os.path.dirname(rel), target))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}:{lineno}: dead link ({target})")
+        for match in CODE_SPAN_RE.finditer(line):
+            token = match.group(1).strip()
+            if not is_repo_path(token):
+                continue
+            if not exists_in_repo(root, token):
+                errors.append(f"{rel}:{lineno}: stale file reference "
+                              f"(`{token}`)")
+    return errors
+
+
+def main(argv):
+    root = os.path.abspath(argv[1] if len(argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), os.pardir))
+    files = doc_files(root)
+    if not files:
+        print(f"check_docs: no documentation files under {root}",
+              file=sys.stderr)
+        return 2
+    errors = []
+    for rel in files:
+        errors.extend(check_file(root, rel))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"check_docs: {len(files)} files, "
+          f"{len(errors)} problem(s)" + (" — FAIL" if errors else ""))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,8 +1,9 @@
 /// \file rs_snapshot.cpp
 /// \brief Snapshot inspector: prints the section tree and headline state of
-///        an rs::persist snapshot (Scaler, tenant, or fleet container).
+///        an rs::persist container (Scaler, tenant, fleet, or rs::trace
+///        serving capture).
 ///
-/// Usage:  rs_snapshot <snapshot-file>
+/// Usage:  rs_snapshot [--verify] <snapshot-file>
 ///
 /// The inspector understands the current section layouts but degrades
 /// gracefully: unknown top-level tags are skipped wholesale, and known
@@ -312,6 +313,153 @@ Status PrintFleet(Reader* reader, int depth) {
   return reader->ExitSection();
 }
 
+// rs::trace serving capture: metadata, event histogram, and the first few
+// events in decoded form (the full event grammar lives in
+// docs/TRACE_FORMAT.md; rs_trace info/replay operate on the decoded form).
+Status PrintTraceCapture(Reader* reader, int depth) {
+  RS_RETURN_NOT_OK(reader->EnterSection(rs::persist::kTagTraceCapture));
+  RS_ASSIGN_OR_RETURN(const std::uint32_t version, reader->ReadU32());
+  std::cout << Indent(depth) << "TRCE serving capture (trace layer version "
+            << version << "):\n";
+
+  RS_RETURN_NOT_OK(reader->EnterSection(rs::persist::kTagTraceMeta));
+  RS_ASSIGN_OR_RETURN(const std::string producer, reader->ReadString());
+  RS_ASSIGN_OR_RETURN(const std::string label, reader->ReadString());
+  std::cout << Indent(depth + 1) << "TMET producer \"" << producer
+            << "\", label \"" << label << "\"\n";
+  RS_RETURN_NOT_OK(reader->ExitSection());
+
+  RS_RETURN_NOT_OK(reader->EnterSection(rs::persist::kTagTraceEvents));
+  RS_ASSIGN_OR_RETURN(const std::uint64_t count, reader->ReadU64());
+  std::cout << Indent(depth + 1) << "TEVT " << count << " event(s):\n";
+  constexpr std::uint64_t kShown = 8;
+  std::uint64_t histogram[7] = {0, 0, 0, 0, 0, 0, 0};
+  static const char* const kKindNames[7] = {
+      "?", "register", "retire", "replace-model", "observe", "plan",
+      "plan-all"};
+  const auto read_clock = [reader](bool* has, double* time,
+                                   std::uint64_t* readings) -> Status {
+    RS_ASSIGN_OR_RETURN(*has, reader->ReadBool());
+    RS_ASSIGN_OR_RETURN(*time, reader->ReadDouble());
+    RS_ASSIGN_OR_RETURN(*readings, reader->ReadU64());
+    return Status::OK();
+  };
+  const auto read_action = [reader](std::uint64_t* creations,
+                                    std::uint64_t* deletions) -> Status {
+    std::vector<double> times;
+    RS_RETURN_NOT_OK(reader->ReadDoubleVector(&times));
+    *creations = times.size();
+    RS_ASSIGN_OR_RETURN(*deletions, reader->ReadU64());
+    return Status::OK();
+  };
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RS_ASSIGN_OR_RETURN(const std::uint8_t kind, reader->ReadU8());
+    if (kind < 1 || kind > 6) {
+      return Status::Invalid("unknown trace event kind " +
+                             std::to_string(kind));
+    }
+    histogram[kind]++;
+    const bool show = i < kShown;
+    if (show) {
+      std::cout << Indent(depth + 2) << '#' << i << ' ' << kKindNames[kind];
+    }
+    switch (kind) {
+      case 1: {  // register
+        RS_ASSIGN_OR_RETURN(const std::uint32_t id, reader->ReadU32());
+        RS_ASSIGN_OR_RETURN(const std::string name, reader->ReadString());
+        RS_ASSIGN_OR_RETURN(const std::string state, reader->ReadString());
+        if (show) {
+          std::cout << " \"" << name << "\" -> id " << id << " ("
+                    << state.size() << "-byte scaler snapshot)";
+        }
+        break;
+      }
+      case 2: {  // retire
+        RS_ASSIGN_OR_RETURN(const std::uint32_t id, reader->ReadU32());
+        if (show) std::cout << " id " << id;
+        break;
+      }
+      case 3: {  // replace-model
+        RS_ASSIGN_OR_RETURN(const std::uint32_t id, reader->ReadU32());
+        RS_ASSIGN_OR_RETURN(const bool at_next_plan, reader->ReadBool());
+        RS_ASSIGN_OR_RETURN(const std::string state, reader->ReadString());
+        if (show) {
+          std::cout << " id " << id
+                    << (at_next_plan ? " at next plan" : " immediate") << " ("
+                    << state.size() << "-byte scaler snapshot)";
+        }
+        break;
+      }
+      case 4: {  // observe
+        RS_ASSIGN_OR_RETURN(const std::uint32_t id, reader->ReadU32());
+        RS_ASSIGN_OR_RETURN(const double time, reader->ReadDouble());
+        RS_ASSIGN_OR_RETURN(const std::uint8_t outcome, reader->ReadU8());
+        if (show) {
+          std::cout << " id " << id << " t=" << time
+                    << ((outcome & 1u) ? " cold-start" : "")
+                    << ((outcome & 2u) ? " cancel-earliest" : "");
+        }
+        break;
+      }
+      case 5: {  // plan
+        RS_ASSIGN_OR_RETURN(const std::uint32_t id, reader->ReadU32());
+        RS_ASSIGN_OR_RETURN(const double time, reader->ReadDouble());
+        bool has = false;
+        double clock_time = 0.0;
+        std::uint64_t readings = 0;
+        RS_RETURN_NOT_OK(read_clock(&has, &clock_time, &readings));
+        std::uint64_t creations = 0, deletions = 0;
+        RS_RETURN_NOT_OK(read_action(&creations, &deletions));
+        if (show) {
+          std::cout << " id " << id << " t=" << time << " -> " << creations
+                    << " creation(s), " << deletions << " deletion(s)";
+          if (has) std::cout << " [clock " << clock_time << "/" << readings
+                             << ']';
+        }
+        break;
+      }
+      case 6: {  // plan-all
+        RS_ASSIGN_OR_RETURN(const double time, reader->ReadDouble());
+        RS_ASSIGN_OR_RETURN(const std::uint64_t tenants, reader->ReadU64());
+        std::uint64_t creations_total = 0, failures = 0;
+        for (std::uint64_t j = 0; j < tenants; ++j) {
+          RS_RETURN_NOT_OK(reader->ReadU32().status());
+          RS_ASSIGN_OR_RETURN(const bool ok, reader->ReadBool());
+          bool has = false;
+          double clock_time = 0.0;
+          std::uint64_t readings = 0;
+          RS_RETURN_NOT_OK(read_clock(&has, &clock_time, &readings));
+          if (ok) {
+            std::uint64_t creations = 0, deletions = 0;
+            RS_RETURN_NOT_OK(read_action(&creations, &deletions));
+            creations_total += creations;
+          } else {
+            failures++;
+          }
+        }
+        if (show) {
+          std::cout << " t=" << time << " over " << tenants << " tenant(s): "
+                    << creations_total << " creation(s)";
+          if (failures > 0) std::cout << ", " << failures << " failed";
+        }
+        break;
+      }
+    }
+    if (show) std::cout << '\n';
+  }
+  if (count > kShown) {
+    std::cout << Indent(depth + 2) << "... " << count - kShown << " more\n";
+  }
+  std::cout << Indent(depth + 1) << "histogram:";
+  for (int kind = 1; kind <= 6; ++kind) {
+    if (histogram[kind] == 0) continue;
+    std::cout << ' ' << kKindNames[kind] << '=' << histogram[kind];
+  }
+  std::cout << '\n';
+  RS_RETURN_NOT_OK(reader->ExitSection());
+  return reader->ExitSection();
+}
+
 Status Inspect(Reader* reader) {
   std::cout << "format version " << reader->version() << ", payload "
             << reader->remaining() << " bytes\n";
@@ -323,6 +471,8 @@ Status Inspect(Reader* reader) {
       RS_RETURN_NOT_OK(PrintTenant(reader, 0));
     } else if (tag == rs::persist::kTagScaler) {
       RS_RETURN_NOT_OK(PrintScaler(reader, 0));
+    } else if (tag == rs::persist::kTagTraceCapture) {
+      RS_RETURN_NOT_OK(PrintTraceCapture(reader, 0));
     } else {
       std::cout << "(skipping unknown section "
                 << rs::persist::TagToString(tag) << ")\n";

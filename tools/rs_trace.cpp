@@ -1,0 +1,275 @@
+/// \file rs_trace.cpp
+/// \brief Trace-capture workbench: record a deterministic demo session,
+///        inspect / replay / shrink capture files, and render them into
+///        generated regression tests.
+///
+/// Usage:
+///   rs_trace demo <out.rstrace>            deterministic demo session capture
+///   rs_trace tiny <out.rstrace>            minimal capture for the format spec
+///   rs_trace info <file.rstrace>           metadata + event histogram
+///   rs_trace replay <file.rstrace> [N...]  replay under worker counts N...
+///                                          (default: 0 1 8); exit 1 on any
+///                                          divergence
+///   rs_trace shrink <in.rstrace> <out.rstrace>
+///                                          reduce a failing capture to its
+///                                          minimal failing prefix
+///   rs_trace gen-test <file.rstrace> <TestName>
+///                                          print a self-contained regression
+///                                          test (tests/generated/) to stdout
+///
+/// `demo` and `tiny` are seeded end to end, so they write byte-identical
+/// files on every run — the committed artifacts under tests/data/ and the
+/// worked hexdump in docs/TRACE_FORMAT.md come from them.
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "rs/api/api.hpp"
+#include "rs/stats/rng.hpp"
+#include "rs/trace/trace.hpp"
+
+namespace {
+
+using rs::Status;
+using rs::trace::Capture;
+using rs::trace::Event;
+using rs::trace::EventKind;
+using rs::trace::EventKindName;
+
+int Fail(const Status& st) {
+  std::cerr << "rs_trace: " << st.message() << '\n';
+  return 1;
+}
+
+int Usage() {
+  std::cerr << "usage: rs_trace demo|tiny <out.rstrace>\n"
+            << "       rs_trace info <file.rstrace>\n"
+            << "       rs_trace replay <file.rstrace> [workers...]\n"
+            << "       rs_trace shrink <in.rstrace> <out.rstrace>\n"
+            << "       rs_trace gen-test <file.rstrace> <TestName>\n";
+  return 2;
+}
+
+rs::Result<Capture> LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  return Capture::Load(in);
+}
+
+Status SaveFile(const Capture& capture, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  RS_RETURN_NOT_OK(capture.Save(out));
+  out.flush();
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// demo: a seeded two-tenant serving session, small enough to commit.
+// ---------------------------------------------------------------------------
+
+rs::Result<rs::api::Scaler> BuildDemoScaler(const rs::workload::Trace& train,
+                                            double forecast_horizon,
+                                            const char* spec_string) {
+  RS_ASSIGN_OR_RETURN(const auto spec, rs::api::ParseStrategySpec(spec_string));
+  return rs::api::ScalerBuilder()
+      .WithTrace(train)
+      .WithBinWidth(30.0)
+      .WithForecastHorizon(forecast_horizon)
+      .WithStrategy(spec)
+      .WithPlanningInterval(2.0)
+      .WithMcSamples(40)
+      .Build();
+}
+
+rs::Result<Capture> RecordDemoSession() {
+  const double period_s = 600.0, dt = 30.0;
+  const double horizon = 6.0 * period_s;
+  std::vector<double> rates;
+  for (double t = 0.5 * dt; t < horizon; t += dt) {
+    const double phase = std::fmod(t, period_s) / period_s;
+    rates.push_back(0.3 + 0.2 * std::sin(2.0 * M_PI * phase));
+  }
+  RS_ASSIGN_OR_RETURN(const auto intensity,
+                      rs::workload::PiecewiseConstantIntensity::Make(rates,
+                                                                     dt));
+  rs::stats::Rng rng(2026);
+  RS_ASSIGN_OR_RETURN(
+      const auto trace,
+      rs::workload::MakeTraceFromIntensity(
+          &rng, intensity,
+          rs::stats::DurationDistribution::Exponential(15.0)));
+  auto [train, serve] = trace.SplitAt(horizon - 2.0 * period_s);
+
+  rs::api::ScalerFleet fleet(0);
+  rs::trace::Recorder recorder("rs_trace demo session (seed 2026)");
+  RS_RETURN_NOT_OK(recorder.Attach(&fleet));
+  RS_ASSIGN_OR_RETURN(
+      auto hp, BuildDemoScaler(train, serve.horizon(), "robust_hp:target=0.9"));
+  RS_RETURN_NOT_OK(fleet.Register("checkout", std::move(hp)));
+  RS_ASSIGN_OR_RETURN(auto pool, BuildDemoScaler(train, serve.horizon(),
+                                                 "backup_pool:pool_size=2"));
+  RS_RETURN_NOT_OK(fleet.Register("thumbnails", std::move(pool)));
+
+  double next_batch = 30.0;
+  for (const auto& q : serve.queries()) {
+    if (q.arrival_time > 150.0) break;
+    while (q.arrival_time >= next_batch) {
+      for (const auto& plan : fleet.PlanAll(next_batch)) {
+        RS_RETURN_NOT_OK(plan.status);
+      }
+      next_batch += 30.0;
+    }
+    RS_RETURN_NOT_OK(fleet.Observe("checkout", q.arrival_time).status());
+    RS_RETURN_NOT_OK(fleet.Observe("thumbnails", q.arrival_time).status());
+  }
+  RS_RETURN_NOT_OK(fleet.Plan("checkout", next_batch).status());
+  for (const auto& plan : fleet.PlanAll(next_batch + 15.0)) {
+    RS_RETURN_NOT_OK(plan.status);
+  }
+  recorder.Detach();
+  return recorder.TakeCapture();
+}
+
+/// The spec's worked example: the smallest well-formed capture that still
+/// exercises every container layer (header, nested sections, one event,
+/// CRC). Not replayable — there is no register event — but structurally
+/// valid, which is all the on-disk spec governs.
+Capture TinyCapture() {
+  Capture capture;
+  capture.producer = "robustscaler rs::trace";
+  capture.label = "spec example";
+  Event observe;
+  observe.kind = EventKind::kObserve;
+  observe.id = 1;
+  observe.time = 2.5;
+  observe.cold_start = true;
+  observe.cancel_earliest = false;
+  capture.events.push_back(observe);
+  return capture;
+}
+
+// ---------------------------------------------------------------------------
+// info
+// ---------------------------------------------------------------------------
+
+int Info(const std::string& path) {
+  auto capture = LoadFile(path);
+  if (!capture.ok()) return Fail(capture.status());
+  const Capture& c = capture.ValueOrDie();
+  std::cout << path << ":\n"
+            << "  producer: " << c.producer << '\n'
+            << "  label:    " << c.label << '\n'
+            << "  events:   " << c.events.size() << '\n';
+  std::size_t counts[7] = {0, 0, 0, 0, 0, 0, 0};
+  std::size_t snapshot_bytes = 0;
+  double last_time = 0.0;
+  std::vector<std::string> tenants;
+  for (const Event& event : c.events) {
+    counts[static_cast<std::size_t>(event.kind)]++;
+    snapshot_bytes += event.state.size();
+    if (event.kind == EventKind::kRegister) tenants.push_back(event.name);
+    if (event.time > last_time) last_time = event.time;
+  }
+  for (std::size_t kind = 1; kind <= 6; ++kind) {
+    if (counts[kind] == 0) continue;
+    std::cout << "    " << EventKindName(static_cast<EventKind>(kind)) << ": "
+              << counts[kind] << '\n';
+  }
+  std::cout << "  embedded snapshots: " << snapshot_bytes << " bytes\n"
+            << "  last event time:    " << last_time << " s\n"
+            << "  tenants:";
+  for (const std::string& tenant : tenants) std::cout << ' ' << tenant;
+  std::cout << '\n';
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// replay / shrink / gen-test
+// ---------------------------------------------------------------------------
+
+int ReplayFile(const std::string& path,
+               const std::vector<std::size_t>& worker_counts) {
+  auto capture = LoadFile(path);
+  if (!capture.ok()) return Fail(capture.status());
+  bool all_parity = true;
+  for (const std::size_t workers : worker_counts) {
+    rs::trace::ReplayOptions options;
+    options.worker_threads = workers;
+    auto report = rs::trace::Replay(capture.ValueOrDie(), options);
+    if (!report.ok()) return Fail(report.status());
+    if (report->diverged) {
+      all_parity = false;
+      std::cout << "workers=" << workers << ": DIVERGED at "
+                << report->divergence_event << "/" << report->events_total
+                << " — " << report->detail << '\n';
+    } else {
+      std::cout << "workers=" << workers << ": PARITY ("
+                << report->events_applied << " events)\n";
+    }
+  }
+  return all_parity ? 0 : 1;
+}
+
+int ShrinkFile(const std::string& in_path, const std::string& out_path) {
+  auto capture = LoadFile(in_path);
+  if (!capture.ok()) return Fail(capture.status());
+  auto shrunk = rs::trace::Shrink(capture.ValueOrDie());
+  if (!shrunk.ok()) return Fail(shrunk.status());
+  const Status saved = SaveFile(shrunk->capture, out_path);
+  if (!saved.ok()) return Fail(saved);
+  std::cout << "shrunk " << capture->events.size() << " events to "
+            << shrunk->minimal_events << " (divergence: "
+            << shrunk->report.detail << ")\n"
+            << "wrote " << out_path << '\n';
+  return 0;
+}
+
+int GenTest(const std::string& path, const std::string& test_name) {
+  auto capture = LoadFile(path);
+  if (!capture.ok()) return Fail(capture.status());
+  const Status st =
+      rs::trace::EmitRegressionTest(capture.ValueOrDie(), test_name,
+                                    std::cout);
+  if (!st.ok()) return Fail(st);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  if (command == "demo" && argc == 3) {
+    auto capture = RecordDemoSession();
+    if (!capture.ok()) return Fail(capture.status());
+    const Status saved = SaveFile(capture.ValueOrDie(), argv[2]);
+    if (!saved.ok()) return Fail(saved);
+    std::cout << "wrote " << argv[2] << " (" << capture->events.size()
+              << " events)\n";
+    return 0;
+  }
+  if (command == "tiny" && argc == 3) {
+    const Status saved = SaveFile(TinyCapture(), argv[2]);
+    if (!saved.ok()) return Fail(saved);
+    std::cout << "wrote " << argv[2] << '\n';
+    return 0;
+  }
+  if (command == "info" && argc == 3) return Info(argv[2]);
+  if (command == "replay") {
+    std::vector<std::size_t> workers;
+    for (int i = 3; i < argc; ++i) {
+      workers.push_back(static_cast<std::size_t>(std::stoul(argv[i])));
+    }
+    if (workers.empty()) workers = {0, 1, 8};
+    return ReplayFile(argv[2], workers);
+  }
+  if (command == "shrink" && argc == 4) return ShrinkFile(argv[2], argv[3]);
+  if (command == "gen-test" && argc == 4) return GenTest(argv[2], argv[3]);
+  return Usage();
+}

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Independent decoder for rs::trace capture files, written from
+docs/TRACE_FORMAT.md alone — it deliberately shares no code with the C++
+implementation. CI runs it against the committed example captures; if this
+decoder and the C++ writer ever disagree, either the spec or the code
+drifted, and the job fails.
+
+Usage: trace_spec_check.py <capture.rstrace> [more...]
+
+Exit status 0 iff every file decodes: container magic/version/CRC valid,
+every section consumed exactly, every event well-formed.
+"""
+
+import struct
+import sys
+import zlib
+
+MAGIC = 0x504E5352  # "RSNP" little-endian
+CONTAINER_VERSION = 1
+TRACE_LAYER_VERSION = 1
+
+# Section tags are fourCCs stored little-endian: tag('T','R','C','E')
+# compares equal to the bytes b"TRCE" read as a LE u32.
+TAG_TRCE = int.from_bytes(b"TRCE", "little")
+TAG_TMET = int.from_bytes(b"TMET", "little")
+TAG_TEVT = int.from_bytes(b"TEVT", "little")
+
+EVENT_NAMES = {
+    1: "register",
+    2: "retire",
+    3: "replace-model",
+    4: "observe",
+    5: "plan",
+    6: "plan-all",
+}
+
+
+class SpecError(Exception):
+    pass
+
+
+class Cursor:
+    """Bounds-checked little-endian reads over one section's payload."""
+
+    def __init__(self, data, start, end, what):
+        self.data = data
+        self.pos = start
+        self.end = end
+        self.what = what
+
+    def take(self, n):
+        if self.pos + n > self.end:
+            raise SpecError(
+                f"{self.what}: read of {n} bytes overruns the section "
+                f"({self.end - self.pos} left)")
+        out = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def u8(self):
+        return self.take(1)[0]
+
+    def boolean(self):
+        value = self.u8()
+        if value > 1:
+            raise SpecError(f"{self.what}: bool byte is {value}, not 0/1")
+        return value == 1
+
+    def u32(self):
+        return struct.unpack("<I", self.take(4))[0]
+
+    def u64(self):
+        return struct.unpack("<Q", self.take(8))[0]
+
+    def f64(self):
+        return struct.unpack("<d", self.take(8))[0]
+
+    def bytes_field(self):
+        """Length-prefixed raw bytes (u64 count + payload)."""
+        return self.take(self.u64())
+
+    def string(self):
+        """A bytes_field holding UTF-8 text (names, labels)."""
+        return self.bytes_field().decode("utf-8", errors="strict")
+
+    def section(self, expected_tag):
+        tag = self.u32()
+        if tag != expected_tag:
+            raise SpecError(
+                f"{self.what}: section tag {tag.to_bytes(4, 'little')!r}, "
+                f"expected {expected_tag.to_bytes(4, 'little')!r}")
+        length = self.u64()
+        if self.pos + length > self.end:
+            raise SpecError(f"{self.what}: section length {length} overruns")
+        inner = Cursor(self.data, self.pos, self.pos + length,
+                       expected_tag.to_bytes(4, "little").decode())
+        self.pos += length
+        return inner
+
+    def remaining(self):
+        return self.end - self.pos
+
+
+def read_clock(cur):
+    has_position = cur.boolean()
+    cur.f64()  # time
+    cur.u64()  # readings
+    return has_position
+
+
+def read_action(cur):
+    creations = cur.u64()
+    if creations > cur.remaining() // 8:
+        raise SpecError(f"{cur.what}: action claims {creations} creations")
+    cur.take(8 * creations)
+    cur.u64()  # deletions
+    return creations
+
+
+def read_event(cur):
+    kind = cur.u8()
+    if kind not in EVENT_NAMES:
+        raise SpecError(f"{cur.what}: unknown event kind {kind}")
+    if kind == 1:  # register
+        cur.u32()
+        name = cur.string()
+        if not name:
+            raise SpecError(f"{cur.what}: register with empty tenant name")
+        cur.bytes_field()  # embedded scaler snapshot, opaque at this layer
+    elif kind == 2:  # retire
+        cur.u32()
+    elif kind == 3:  # replace-model
+        cur.u32()
+        cur.boolean()
+        cur.bytes_field()
+    elif kind == 4:  # observe
+        cur.u32()
+        cur.f64()
+        outcome = cur.u8()
+        if outcome > 3:
+            raise SpecError(f"{cur.what}: observe outcome bits {outcome}")
+    elif kind == 5:  # plan
+        cur.u32()
+        cur.f64()
+        read_clock(cur)
+        read_action(cur)
+    elif kind == 6:  # plan-all
+        cur.f64()
+        tenants = cur.u64()
+        for _ in range(tenants):
+            cur.u32()
+            ok = cur.boolean()
+            read_clock(cur)
+            if ok:
+                read_action(cur)
+    return kind
+
+
+def check(path):
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    if len(blob) < 12:
+        raise SpecError("file shorter than header + CRC trailer")
+    (crc,) = struct.unpack("<I", blob[-4:])
+    if crc != zlib.crc32(blob[:-4]) & 0xFFFFFFFF:
+        raise SpecError("CRC32 trailer mismatch")
+    top = Cursor(blob, 0, len(blob) - 4, "container")
+    if top.u32() != MAGIC:
+        raise SpecError("bad magic (not an rs::persist container)")
+    version = top.u32()
+    if version != CONTAINER_VERSION:
+        raise SpecError(f"container format version {version}, expected "
+                        f"{CONTAINER_VERSION}")
+
+    trce = top.section(TAG_TRCE)
+    if top.remaining() != 0:
+        raise SpecError(f"{top.remaining()} stray bytes after TRCE section")
+    layer = trce.u32()
+    if layer != TRACE_LAYER_VERSION:
+        raise SpecError(f"trace layer version {layer}, this checker reads "
+                        f"{TRACE_LAYER_VERSION}")
+
+    tmet = trce.section(TAG_TMET)
+    producer = tmet.string()
+    tmet.string()  # label; a newer writer may append more — that's legal
+
+    tevt = trce.section(TAG_TEVT)
+    count = tevt.u64()
+    histogram = {}
+    for _ in range(count):
+        kind = read_event(tevt)
+        histogram[kind] = histogram.get(kind, 0) + 1
+    if tevt.remaining() != 0:
+        raise SpecError(f"{tevt.remaining()} stray bytes after the last event")
+    if trce.remaining() != 0:
+        raise SpecError(f"{trce.remaining()} stray bytes in the TRCE section")
+
+    summary = ", ".join(f"{EVENT_NAMES[k]}={n}"
+                        for k, n in sorted(histogram.items()))
+    print(f"{path}: OK ({count} events: {summary or 'none'}; "
+          f"producer \"{producer}\")")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[-4].strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            check(path)
+        except (SpecError, OSError, UnicodeDecodeError, struct.error) as err:
+            print(f"{path}: FAIL — {err}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -325,6 +325,15 @@ void Scaler::CompactServingState() {
 }
 
 Result<Scaler::ObserveOutcome> Scaler::Observe(double arrival_time) {
+  if (!std::isfinite(arrival_time)) {
+    // Reject before EnsureStarted/AdvanceTo: NaN slips past the
+    // monotonicity check below (NaN < x is false) and +inf would spin the
+    // planning-tick loop forever. The serving mirror must stay untouched.
+    std::ostringstream msg;
+    msg << "Scaler::Observe: arrival time " << arrival_time
+        << " is not finite";
+    return Status::Invalid(msg.str());
+  }
   EnsureStarted();
   if (arrival_time < serving_->now) {
     std::ostringstream msg;
@@ -379,6 +388,13 @@ Result<Scaler::ObserveOutcome> Scaler::Observe(double arrival_time) {
 }
 
 Result<sim::ScalingAction> Scaler::Plan(double now) {
+  if (!std::isfinite(now)) {
+    // Same hardening as Observe: a NaN/inf plan clock must never reach
+    // AdvanceTo.
+    std::ostringstream msg;
+    msg << "Scaler::Plan: time " << now << " is not finite";
+    return Status::Invalid(msg.str());
+  }
   EnsureStarted();
   if (now < serving_->now) {
     std::ostringstream msg;

@@ -1,7 +1,9 @@
 #include "rs/api/scaler_fleet.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <fstream>
 #include <istream>
 #include <limits>
 #include <mutex>
@@ -9,6 +11,8 @@
 #include <sstream>
 
 #include "rs/api/serving_tap.hpp"
+#include "rs/fault/fault.hpp"
+#include "rs/persist/atomic_file.hpp"
 #include "rs/persist/persist.hpp"
 
 namespace rs::api {
@@ -16,14 +20,44 @@ namespace rs::api {
 namespace {
 
 /// Layout version of the FLET record (the TENT record has no version of its
-/// own: its fields are a name, a versioned SCLR record, and an optional
-/// versioned FRSH section). v2 added the freshness policy + per-tenant
-/// freshness state; v1 files load as freshness-disabled fleets.
-constexpr std::uint32_t kFleetLayerVersion = 2;
+/// own: its fields are a name, a versioned SCLR record, and optional
+/// versioned FRSH / HLTH sections). v2 added the freshness policy +
+/// per-tenant freshness state; v3 added the per-tenant HLTH health section.
+/// v1/v2 files load as freshness-disabled / default-health fleets.
+constexpr std::uint32_t kFleetLayerVersion = 3;
 /// Payload layout inside kTagFreshness (per-tenant loop state).
 constexpr std::uint32_t kFreshnessVersion = 1;
 /// Payload layout inside kTagFreshnessPolicy.
 constexpr std::uint32_t kPolicyVersion = 1;
+/// Payload layout inside kTagHealth (per-tenant degradation state).
+constexpr std::uint32_t kHealthVersion = 1;
+
+/// SplitMix64 step — the per-tenant backoff-jitter stream. Self-contained so
+/// the jitter sequence is pinned by this file, not by a library's
+/// distribution implementation.
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double NextUnit(std::uint64_t* state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// Seeds one tenant's jitter stream from the policy seed and the tenant
+/// name (FNV-1a, not std::hash: the stream must not depend on the standard
+/// library build, or replay across toolchains would drift).
+std::uint64_t JitterSeed(std::uint64_t seed, const std::string& name) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  std::uint64_t state = seed ^ h;
+  return SplitMix64(&state);
+}
 
 Status UnknownTenant(const char* op, const std::string& tenant) {
   std::ostringstream msg;
@@ -126,7 +160,40 @@ Result<FreshnessPolicy> ReadPolicy(persist::Reader* reader) {
   return policy;
 }
 
+/// HealthState → its public TenantHealthInfo projection (template so the
+/// private nested type needs no name here).
+template <typename HealthT>
+TenantHealthInfo ProjectHealth(const HealthT& h) {
+  TenantHealthInfo info;
+  info.health = h.health;
+  info.consecutive_plan_failures = h.consecutive_plan_failures;
+  info.plan_failures = h.plan_failures;
+  info.fallbacks_served = h.fallbacks_served;
+  info.rejected_observations = h.rejected_observations;
+  info.breaker_opens = h.breaker_opens;
+  info.probes = h.probes;
+  info.deadline_overruns = h.deadline_overruns;
+  info.consecutive_retrain_failures = h.consecutive_retrain_failures;
+  info.freshness_errors = h.freshness_errors;
+  info.retry_at = h.retry_at;
+  info.retrain_retry_at = h.retrain_retry_at;
+  info.last_error = h.last_error;
+  return info;
+}
+
 }  // namespace
+
+const char* TenantHealthToString(TenantHealth health) {
+  switch (health) {
+    case TenantHealth::kHealthy:
+      return "healthy";
+    case TenantHealth::kDegraded:
+      return "degraded";
+    case TenantHealth::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
 
 /// Output slot of one background retrain. The pool task owns its own
 /// point-in-time session copy, does nothing but the fit, and publishes the
@@ -204,6 +271,12 @@ Status ScalerFleet::RegisterTenant(std::unique_ptr<Tenant> tenant) {
   // on the fleet pool alongside other tenants' plans.
   Tenant* entry = tenants_.back().get();
   entry->scaler.SetPlanningPool(intra_plan_sharding_ ? pool_.get() : nullptr);
+  if (entry->health.jitter_rng == 0) {
+    // Fresh tenant: seed its backoff-jitter stream. A restored tenant
+    // brought a persisted stream position (never 0 after SplitMix64) and
+    // keeps it, so replay across save/load stays deterministic.
+    entry->health.jitter_rng = JitterSeed(robustness_.jitter_seed, entry->name);
+  }
   if (policy_.has_value()) {
     if (entry->fresh != nullptr && entry->fresh->loop_attached) {
       // A restored tenant brought its own loop state; rebind the knobs to
@@ -398,12 +471,32 @@ void ScalerFleet::FreshnessPrePlan(std::size_t i, double now) {
     return;
   }
   fresh->detector.AdvanceTo(now);
-  (void)fresh->session.ExtendTo(now + fresh->shift);
+  if (!fresh->session.ExtendTo(now + fresh->shift).ok()) {
+    ++tenants_[i]->health.freshness_errors;
+  }
   MaybeEnqueueRetrain(i, now, /*forced=*/false);
 }
 
 void ScalerFleet::MaybeApplySwap(std::size_t i, double now) {
   FreshState& fresh = *tenants_[i]->fresh;
+  HealthState& health = tenants_[i]->health;
+  // A failed retrain never evicts the last-good model: the tenant keeps
+  // serving whatever it has, the failure is counted, and the next attempt
+  // waits out a capped exponential backoff (off by default — base 0 keeps
+  // the pre-existing retry-at-next-boundary behavior).
+  const auto note_retrain_failure = [&](const Status& st) {
+    ++fresh.retrain_failures;
+    ++health.consecutive_retrain_failures;
+    health.last_error = st;
+    if (robustness_.retrain_backoff_base > 0.0) {
+      const int doublings = static_cast<int>(std::min<std::uint64_t>(
+          health.consecutive_retrain_failures - 1, 1024));
+      health.retrain_retry_at =
+          now + std::min(robustness_.retrain_backoff_max,
+                         robustness_.retrain_backoff_base *
+                             std::ldexp(1.0, doublings));
+    }
+  };
   if (fresh.pending_manual.has_value()) {
     // A deferred manual replacement outranks a background result (the
     // caller decided; the stale background fit is dropped with the job).
@@ -412,24 +505,29 @@ void ScalerFleet::MaybeApplySwap(std::size_t i, double now) {
     fresh.job.reset();
     Status st = InstallReplacement(i, std::move(replacement), /*new_base=*/0.0,
                                    now, /*reset_session=*/true);
-    if (!st.ok()) ++tenants_[i]->fresh->retrain_failures;
+    if (!st.ok()) note_retrain_failure(st);
     return;
   }
   if (fresh.job == nullptr) return;
   core::TrainedPipeline trained;
   double base = 0.0;
+  Status job_status = Status::OK();
   {
     std::lock_guard<std::mutex> lock(fresh.job->mu);
     if (!fresh.job->done) return;  // Still fitting; keep serving the old model.
-    if (!fresh.job->status.ok()) {
-      ++fresh.retrain_failures;
-      fresh.job.reset();
-      return;
+    job_status = fresh.job->status;
+    if (job_status.ok()) {
+      trained = std::move(*fresh.job->trained);
+      base = fresh.job->base;
     }
-    trained = std::move(*fresh.job->trained);
-    base = fresh.job->base;
   }
+  // Reset only after the guard released: dropping the last reference inside
+  // the lock scope would destroy the mutex while it is still held.
   fresh.job.reset();
+  if (!job_status.ok()) {
+    note_retrain_failure(job_status);
+    return;
+  }
   // The live session adopts the fit's iterate so the *next* refit warm-starts
   // from it, while keeping the arrivals accumulated since the job's copy.
   fresh.session.AdoptFit(trained);
@@ -438,7 +536,7 @@ void ScalerFleet::MaybeApplySwap(std::size_t i, double now) {
       std::move(trained), retiring.spec_, retiring.build_context_,
       intra_plan_sharding_ ? pool_.get() : nullptr);
   if (!built.ok()) {
-    ++fresh.retrain_failures;
+    note_retrain_failure(built.status());
     return;
   }
   Scaler replacement = std::move(built).ValueOrDie();
@@ -447,16 +545,18 @@ void ScalerFleet::MaybeApplySwap(std::size_t i, double now) {
   // decision clock rides along inside the options).
   Status configured = replacement.ConfigureServing(retiring.serving_options());
   if (!configured.ok()) {
-    ++fresh.retrain_failures;
+    note_retrain_failure(configured);
     return;
   }
   Status installed = InstallReplacement(i, std::move(replacement), base, now,
                                         /*reset_session=*/false);
   if (!installed.ok()) {
-    ++tenants_[i]->fresh->retrain_failures;
+    note_retrain_failure(installed);
     return;
   }
   ++tenants_[i]->fresh->retrains_completed;
+  health.consecutive_retrain_failures = 0;
+  health.retrain_retry_at = -std::numeric_limits<double>::infinity();
 }
 
 void ScalerFleet::MaybeEnqueueRetrain(std::size_t i, double now, bool forced) {
@@ -470,6 +570,9 @@ void ScalerFleet::MaybeEnqueueRetrain(std::size_t i, double now, bool forced) {
   if (!forced) {
     if (!fresh.detector.fired()) return;
     if (now - fresh.last_attempt < policy_->min_retrain_interval) return;
+    // Failed-retrain backoff (RobustnessPolicy::retrain_backoff_base):
+    // drift stays latched, so the attempt re-enqueues once this expires.
+    if (now < tenants_[i]->health.retrain_retry_at) return;
   }
   fresh.last_attempt = now;
   // The job fits a point-in-time copy truncated to complete bins, so the
@@ -481,13 +584,37 @@ void ScalerFleet::MaybeEnqueueRetrain(std::size_t i, double now, bool forced) {
   auto job = std::make_shared<RetrainJob>();
   job->base = copy.window_end() - fresh.shift;
   fresh.job = job;
-  retrain_pool_->Submit([job, session = std::move(copy)]() mutable {
-    auto fitted = session.Refit();
+  retrain_pool_->Submit([job, name = tenants_[i]->name,
+                         session = std::move(copy)]() mutable {
+    // Everything — injected faults, throws, a fit that "succeeds" with a
+    // poisoned forecast — must land in job->status with job->done set: a
+    // job stuck not-done would block this tenant's retrains forever.
+    Status result;
+    std::optional<core::TrainedPipeline> trained;
+    try {
+      result = [&]() -> Status {
+        RS_FAULT_POINT_SCOPED("train.refit", name);
+        RS_ASSIGN_OR_RETURN(core::TrainedPipeline fitted, session.Refit());
+        for (const double rate : fitted.forecast.rates()) {
+          if (!(std::isfinite(rate) && rate >= 0.0)) {
+            return Status::NotConverged(
+                "refit produced a non-finite or negative forecast rate; "
+                "keeping the last-good model");
+          }
+        }
+        trained = std::move(fitted);
+        return Status::OK();
+      }();
+    } catch (const std::exception& e) {
+      result = Status::RuntimeError(std::string("retrain threw: ") + e.what());
+    } catch (...) {
+      result = Status::RuntimeError("retrain threw (non-std)");
+    }
     std::lock_guard<std::mutex> lock(job->mu);
-    if (fitted.ok()) {
-      job->trained = std::move(fitted).ValueOrDie();
+    if (result.ok()) {
+      job->trained = std::move(trained);
     } else {
-      job->status = fitted.status();
+      job->status = std::move(result);
     }
     job->done = true;
   });
@@ -536,6 +663,158 @@ void ScalerFleet::CarryServingConfig(const Scaler& retiring,
                                                                    readings);
     (void)imported;
   }
+}
+
+// -- Graceful degradation -----------------------------------------------------
+
+void ScalerFleet::ConfigureRobustness(const RobustnessPolicy& policy) {
+  robustness_ = policy;
+  // Re-seed every tenant's jitter stream so the policy change pins a fresh,
+  // reproducible backoff schedule.
+  for (auto& entry : tenants_) {
+    entry->health.jitter_rng = JitterSeed(policy.jitter_seed, entry->name);
+  }
+}
+
+Result<TenantHealthInfo> ScalerFleet::Health(const std::string& tenant) const {
+  const std::size_t i = FindIndex(tenant);
+  if (i == tenants_.size()) return UnknownTenant("Health", tenant);
+  return ProjectHealth(tenants_[i]->health);
+}
+
+bool ScalerFleet::BreakerGate(std::size_t i, double now, TenantPlan* plan) {
+  Tenant& tenant = *tenants_[i];
+  HealthState& health = tenant.health;
+  plan->tenant = tenant.name;
+  if (health.health != TenantHealth::kQuarantined) return false;
+  if (now >= health.retry_at) {
+    // Backoff expired: half-open probe. Let the real plan run; its outcome
+    // (in NotePlanOutcome) decides recovery vs. re-open.
+    ++health.probes;
+    health.probe_inflight = true;
+    return false;
+  }
+  // Quarantined: the scaler is not touched at all — its mirror clock holds,
+  // and the deterministic catch-up happens at whichever boundary probes it
+  // back in. The boundary itself is served (fallback, last-good plan).
+  plan->degraded = true;
+  ++health.fallbacks_served;
+  return true;
+}
+
+void ScalerFleet::PlanTenant(std::size_t i, double now, TenantPlan* plan) {
+  Tenant& tenant = *tenants_[i];
+  const double base = tenant.fresh != nullptr ? tenant.fresh->base : 0.0;
+  const bool timed = std::isfinite(robustness_.plan_deadline);
+  const auto started = timed ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
+  try {
+#if !defined(RS_NO_FAULT_INJECTION)
+    // Before the scaler is touched: an injected boundary failure must leave
+    // the mirror clock where it was, so the eventual recovery replays the
+    // same catch-up under every worker count.
+    Status injected = rs::fault::Hit("fleet.plan", tenant.name);
+    if (!injected.ok()) {
+      plan->status = std::move(injected);
+      return;
+    }
+#endif
+    auto planned = tenant.scaler.Plan(now - base);
+    if (!planned.ok()) {
+      plan->status = planned.status();
+      return;
+    }
+    plan->action = std::move(planned).ValueOrDie();
+    if (base != 0.0) {
+      for (double& t : plan->action.creation_times) t += base;
+    }
+  } catch (const std::exception& e) {
+    plan->action = {};
+    plan->status =
+        Status::RuntimeError(std::string("plan boundary threw: ") + e.what());
+    return;
+  } catch (...) {
+    plan->action = {};
+    plan->status = Status::RuntimeError("plan boundary threw (non-std)");
+    return;
+  }
+  if (timed) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    if (elapsed > robustness_.plan_deadline) {
+      // Too late to act on: discard the computed action and let the
+      // outcome pass serve fallback. Worker-side counter bump is safe —
+      // exactly one worker owns tenant i this batch.
+      std::ostringstream msg;
+      msg << "plan boundary overran its deadline (" << elapsed << " s > "
+          << robustness_.plan_deadline << " s)";
+      plan->action = {};
+      plan->status = Status::RuntimeError(msg.str());
+      ++tenant.health.deadline_overruns;
+    }
+  }
+}
+
+void ScalerFleet::NotePlanOutcome(std::size_t i, double now, TenantPlan* plan) {
+  Tenant& tenant = *tenants_[i];
+  HealthState& health = tenant.health;
+  if (plan->degraded) return;  // Breaker-gated: bookkept in BreakerGate.
+  if (plan->status.ok()) {
+    health.consecutive_plan_failures = 0;
+    if (health.probe_inflight) {
+      // The half-open probe succeeded: full recovery.
+      health.probe_inflight = false;
+      health.open_count = 0;
+      health.retry_at = -std::numeric_limits<double>::infinity();
+    }
+    health.health = TenantHealth::kHealthy;
+    return;
+  }
+  if (plan->status.code() == StatusCode::kInvalidArgument) {
+    // Caller bug (regressive/non-finite clock): propagate the error, never
+    // feed the breaker — with faults off this is the only failure mode, so
+    // the machinery stays byte-invisible. An Invalid probe neither recovers
+    // nor re-opens; the next boundary probes again.
+    health.probe_inflight = false;
+    health.last_error = plan->status;
+    return;
+  }
+  // Real failure: count it, serve fallback (the last-good plan stays in
+  // effect; this boundary hands back an empty action with OK status).
+  health.last_error = plan->status;
+  ++health.plan_failures;
+  ++health.consecutive_plan_failures;
+  ++health.fallbacks_served;
+  plan->status = Status::OK();
+  plan->action = {};
+  plan->degraded = true;
+  const bool tripped =
+      health.probe_inflight ||
+      health.consecutive_plan_failures >=
+          static_cast<std::uint64_t>(robustness_.breaker_threshold);
+  health.probe_inflight = false;
+  if (!tripped) {
+    health.health = TenantHealth::kDegraded;
+    return;
+  }
+  // Trip (or re-trip) the breaker: quarantine under jittered exponential
+  // backoff. The jitter draw comes from the tenant's own deterministic
+  // stream, so the schedule replays exactly — but tenants that failed
+  // together still spread their probes over distinct boundaries.
+  health.health = TenantHealth::kQuarantined;
+  ++health.breaker_opens;
+  ++health.open_count;
+  const int doublings = static_cast<int>(
+      std::min<std::uint64_t>(health.open_count - 1, 1024));
+  const double backoff = std::min(robustness_.backoff_max,
+                                  robustness_.backoff_base *
+                                      std::ldexp(1.0, doublings));
+  const double jitter =
+      robustness_.backoff_jitter * NextUnit(&health.jitter_rng);
+  health.retry_at = now + backoff * (1.0 + jitter);
+  health.consecutive_plan_failures = 0;  // The breaker absorbed the streak.
 }
 
 // -- Serving tap --------------------------------------------------------------
@@ -606,14 +885,36 @@ Result<Scaler::ObserveOutcome> ScalerFleet::Observe(const std::string& tenant,
   const std::size_t i = FindIndex(tenant);
   if (i == tenants_.size()) return UnknownTenant("Observe", tenant);
   Tenant& entry = *tenants_[i];
+#if !defined(RS_NO_FAULT_INJECTION)
+  {
+    // Direct Hit() so the rejection is counted like any malformed input.
+    Status injected = rs::fault::Hit("fleet.observe", entry.name);
+    if (!injected.ok()) {
+      ++entry.health.rejected_observations;
+      entry.health.last_error = injected;
+      return injected;
+    }
+  }
+#endif
   FreshState* fresh = entry.fresh.get();
   const double base = fresh != nullptr ? fresh->base : 0.0;
   auto outcome = entry.scaler.Observe(arrival_time - base);
-  if (!outcome.ok()) return outcome;
+  if (!outcome.ok()) {
+    // Malformed arrival (NaN, ±inf, regressive time): the scaler rejected
+    // it before its mirror was touched — count and refuse. One bad input
+    // never poisons the tenant's serving state.
+    ++entry.health.rejected_observations;
+    entry.health.last_error = outcome.status();
+    return outcome;
+  }
   if (fresh != nullptr && fresh->loop_attached && policy_.has_value()) {
     // The same arrival feeds the drift statistics and the retrain window.
     fresh->detector.Observe(arrival_time);
-    (void)fresh->session.AppendArrival(arrival_time + fresh->shift);
+    if (!fresh->session.AppendArrival(arrival_time + fresh->shift).ok()) {
+      // The serving path must not fail on retrain bookkeeping; count it so
+      // the operator sees a freshness loop quietly losing arrivals.
+      ++entry.health.freshness_errors;
+    }
   }
   if (tap_ != nullptr) {
     tap_->OnObserve(tenant, arrival_time, outcome.ValueOrDie());
@@ -626,19 +927,17 @@ Result<sim::ScalingAction> ScalerFleet::Plan(const std::string& tenant,
   const std::size_t i = FindIndex(tenant);
   if (i == tenants_.size()) return UnknownTenant("Plan", tenant);
   FreshnessPrePlan(i, now);
-  Tenant& entry = *tenants_[i];
-  const double base = entry.fresh != nullptr ? entry.fresh->base : 0.0;
-  auto planned = entry.scaler.Plan(now - base);
-  if (!planned.ok()) return planned;
-  sim::ScalingAction action = std::move(planned).ValueOrDie();
-  if (base != 0.0) {
-    // Back onto the caller's serving clock.
-    for (double& t : action.creation_times) t += base;
+  // Same three-step boundary as one PlanAll slot: gate, plan, bookkeep.
+  TenantPlan plan;
+  if (!BreakerGate(i, now, &plan)) {
+    PlanTenant(i, now, &plan);
+    NotePlanOutcome(i, now, &plan);
   }
+  if (!plan.status.ok()) return plan.status;
   if (tap_ != nullptr) {
-    tap_->OnPlan(tenant, now, action, TapMark(entry.scaler));
+    tap_->OnPlan(tenant, now, plan.action, TapMark(tenants_[i]->scaler));
   }
-  return action;
+  return std::move(plan.action);
 }
 
 std::vector<ScalerFleet::TenantPlan> ScalerFleet::PlanAll(double now) {
@@ -649,22 +948,22 @@ std::vector<ScalerFleet::TenantPlan> ScalerFleet::PlanAll(double now) {
   // Slot-per-tenant output: workers scatter into their own index, the
   // ParallelFor join publishes the writes, and the returned order is the
   // registration order no matter which worker finished first.
+  //
+  // The degradation machinery brackets the fan-out on the caller thread:
+  // breaker gates (which read/write health state and draw jitter) run
+  // before, outcome bookkeeping after the join, both in registration order
+  // — so the health state machine is deterministic under any worker count.
   std::vector<TenantPlan> plans(tenants_.size());
+  std::vector<std::uint8_t> gated(tenants_.size(), 0);
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    gated[i] = BreakerGate(i, now, &plans[i]) ? 1 : 0;
+  }
   common::ParallelFor(pool_.get(), tenants_.size(), [&](std::size_t i) {
-    Tenant& tenant = *tenants_[i];
-    TenantPlan& plan = plans[i];
-    plan.tenant = tenant.name;
-    const double base = tenant.fresh != nullptr ? tenant.fresh->base : 0.0;
-    auto planned = tenant.scaler.Plan(now - base);
-    if (planned.ok()) {
-      plan.action = std::move(planned).ValueOrDie();
-      if (base != 0.0) {
-        for (double& t : plan.action.creation_times) t += base;
-      }
-    } else {
-      plan.status = planned.status();
-    }
+    if (gated[i] == 0) PlanTenant(i, now, &plans[i]);
   });
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (gated[i] == 0) NotePlanOutcome(i, now, &plans[i]);
+  }
   if (tap_ != nullptr) {
     // After the join, on the caller thread: clocks are quiescent and the
     // batch result is final, so the tap sees exactly what the caller gets.
@@ -696,6 +995,23 @@ FleetSnapshot ScalerFleet::Snapshot() const {
     fleet.actions_retained += snap.actions_retained;
     fleet.planning_workspace_bytes += snap.planning_workspace_bytes;
     fleet.per_tenant.emplace_back(entry->name, std::move(snap));
+    const HealthState& health = entry->health;
+    switch (health.health) {
+      case TenantHealth::kHealthy:
+        ++fleet.tenants_healthy;
+        break;
+      case TenantHealth::kDegraded:
+        ++fleet.tenants_degraded;
+        break;
+      case TenantHealth::kQuarantined:
+        ++fleet.tenants_quarantined;
+        break;
+    }
+    fleet.rejected_observations += health.rejected_observations;
+    fleet.plan_failures += health.plan_failures;
+    fleet.fallbacks_served += health.fallbacks_served;
+    fleet.breaker_opens += health.breaker_opens;
+    fleet.per_tenant_health.emplace_back(entry->name, ProjectHealth(health));
   }
   return fleet;
 }
@@ -726,6 +1042,32 @@ Status ScalerFleet::WriteTenantRecord(persist::Writer* writer,
     writer->WriteDouble(fresh.last_swap_time);
     fresh.detector.Serialize(writer);
     fresh.session.Serialize(writer);
+    writer->EndSection();
+  }
+  {
+    // Health rides along so a restored fleet resumes its degradation state
+    // machine mid-backoff instead of amnesically re-probing everything.
+    // probe_inflight and last_error are transient within one boundary /
+    // diagnostic-only and are deliberately not persisted; RobustnessPolicy
+    // is runtime configuration (like worker_threads) and is re-applied by
+    // the operator after LoadFleet.
+    const HealthState& health = tenant.health;
+    writer->BeginSection(persist::kTagHealth);
+    writer->WriteU32(kHealthVersion);
+    writer->WriteU8(static_cast<std::uint8_t>(health.health));
+    writer->WriteU64(health.consecutive_plan_failures);
+    writer->WriteU64(health.plan_failures);
+    writer->WriteU64(health.fallbacks_served);
+    writer->WriteU64(health.rejected_observations);
+    writer->WriteU64(health.breaker_opens);
+    writer->WriteU64(health.probes);
+    writer->WriteU64(health.deadline_overruns);
+    writer->WriteU64(health.consecutive_retrain_failures);
+    writer->WriteU64(health.open_count);
+    writer->WriteU64(health.freshness_errors);
+    writer->WriteDouble(health.retry_at);
+    writer->WriteDouble(health.retrain_retry_at);
+    writer->WriteU64(health.jitter_rng);
     writer->EndSection();
   }
   writer->EndSection();
@@ -786,6 +1128,40 @@ Result<std::unique_ptr<ScalerFleet::Tenant>> ScalerFleet::ReadTenantRecord(
       tenant->fresh = std::move(fresh);
     }
   }
+  if (reader->remaining() > 0) {
+    auto tag = reader->PeekSectionTag();
+    if (tag.ok() && tag.ValueOrDie() == persist::kTagHealth) {
+      RS_RETURN_NOT_OK(reader->EnterSection(persist::kTagHealth));
+      RS_ASSIGN_OR_RETURN(const std::uint32_t version, reader->ReadU32());
+      if (version == 0 || version > kHealthVersion) {
+        return Status::Invalid("tenant snapshot health version " +
+                               std::to_string(version) +
+                               " is newer than this build understands");
+      }
+      HealthState& health = tenant->health;
+      RS_ASSIGN_OR_RETURN(const std::uint8_t state, reader->ReadU8());
+      if (state > static_cast<std::uint8_t>(TenantHealth::kQuarantined)) {
+        return Status::Invalid("tenant snapshot carries unknown health state " +
+                               std::to_string(state));
+      }
+      health.health = static_cast<TenantHealth>(state);
+      RS_ASSIGN_OR_RETURN(health.consecutive_plan_failures, reader->ReadU64());
+      RS_ASSIGN_OR_RETURN(health.plan_failures, reader->ReadU64());
+      RS_ASSIGN_OR_RETURN(health.fallbacks_served, reader->ReadU64());
+      RS_ASSIGN_OR_RETURN(health.rejected_observations, reader->ReadU64());
+      RS_ASSIGN_OR_RETURN(health.breaker_opens, reader->ReadU64());
+      RS_ASSIGN_OR_RETURN(health.probes, reader->ReadU64());
+      RS_ASSIGN_OR_RETURN(health.deadline_overruns, reader->ReadU64());
+      RS_ASSIGN_OR_RETURN(health.consecutive_retrain_failures,
+                          reader->ReadU64());
+      RS_ASSIGN_OR_RETURN(health.open_count, reader->ReadU64());
+      RS_ASSIGN_OR_RETURN(health.freshness_errors, reader->ReadU64());
+      RS_ASSIGN_OR_RETURN(health.retry_at, reader->ReadDouble());
+      RS_ASSIGN_OR_RETURN(health.retrain_retry_at, reader->ReadDouble());
+      RS_ASSIGN_OR_RETURN(health.jitter_rng, reader->ReadU64());
+      RS_RETURN_NOT_OK(reader->ExitSection());
+    }
+  }
   RS_RETURN_NOT_OK(reader->ExitSection());
   return tenant;
 }
@@ -829,6 +1205,15 @@ Status ScalerFleet::SaveFleet(std::ostream& out) const {
   return writer.Finish(out);
 }
 
+Status ScalerFleet::SaveFleetToFile(const std::string& path) const {
+  // Encode fully in memory first (Writer buffers anyway), then hand the
+  // bytes to the atomic temp-write + rename: a crash or failure at any
+  // point leaves the previous snapshot at `path` loadable.
+  std::ostringstream buffer(std::ios::binary);
+  RS_RETURN_NOT_OK(SaveFleet(buffer));
+  return persist::AtomicWriteFile(path, buffer.str());
+}
+
 Result<ScalerFleet> ScalerFleet::LoadFleet(std::istream& in,
                                            const FleetRestoreOptions& options) {
   RS_ASSIGN_OR_RETURN(persist::Reader reader, persist::Reader::FromStream(in));
@@ -860,6 +1245,16 @@ Result<ScalerFleet> ScalerFleet::LoadFleet(std::istream& in,
   }
   RS_RETURN_NOT_OK(reader.ExitSection());
   return fleet;
+}
+
+Result<ScalerFleet> ScalerFleet::LoadFleetFromFile(
+    const std::string& path, const FleetRestoreOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("ScalerFleet::LoadFleetFromFile: cannot open " +
+                           path);
+  }
+  return LoadFleet(in, options);
 }
 
 Status ScalerFleet::MigrateTenant(const std::string& tenant,

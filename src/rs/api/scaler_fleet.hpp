@@ -26,8 +26,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -46,6 +48,76 @@ namespace rs::api {
 
 class ServingTap;
 struct TapClockMark;
+
+/// Degradation state of one tenant (see docs/ARCHITECTURE.md, "Graceful
+/// degradation"): HEALTHY serves normally; DEGRADED has recent plan
+/// failures and is serving last-good fallback at failed boundaries;
+/// QUARANTINED has a tripped circuit breaker — the tenant's scaler is not
+/// planned at all until a backoff-timed half-open probe succeeds.
+enum class TenantHealth : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kQuarantined = 2,
+};
+
+/// "healthy" / "degraded" / "quarantined" (for logs and the inspector).
+const char* TenantHealthToString(TenantHealth health);
+
+/// \brief Per-tenant degradation policy (ScalerFleet::ConfigureRobustness).
+///
+/// The defaults are faults-off no-ops: with no injected faults the only
+/// plan failure mode is a caller bug (regressive clock → kInvalidArgument),
+/// which propagates as an error and never feeds the breaker, so a fleet
+/// that never fails behaves — byte for byte — as if this machinery did not
+/// exist.
+struct RobustnessPolicy {
+  /// Consecutive non-Invalid plan failures that trip the breaker
+  /// (HEALTHY/DEGRADED → QUARANTINED).
+  std::size_t breaker_threshold = 3;
+  /// Quarantine backoff: the k-th consecutive open waits
+  /// min(backoff_max, backoff_base * 2^(k-1)) serving seconds, stretched
+  /// by a deterministic per-tenant jitter in [0, backoff_jitter] so a
+  /// correlated failure does not un-quarantine the whole fleet at one
+  /// boundary (thundering-herd probes).
+  double backoff_base = 60.0;
+  double backoff_max = 3600.0;
+  double backoff_jitter = 0.1;
+  /// Seed of the per-tenant jitter streams (mixed with the tenant name, so
+  /// replay across worker counts and fleet rebuilds is deterministic).
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+  /// Wall-clock budget for one tenant's share of a plan boundary; an
+  /// overrun discards the (late) action and serves fallback instead. This
+  /// is the one knob that is *not* deterministic — it reads the machine
+  /// clock — so it defaults to off (infinity) and parity tests leave it
+  /// there.
+  double plan_deadline = std::numeric_limits<double>::infinity();
+  /// Backoff between failed background retrains of one tenant, in serving
+  /// seconds: min(retrain_backoff_max, retrain_backoff_base * 2^(k-1))
+  /// after the k-th consecutive failure. 0 retries at the next eligible
+  /// boundary (the pre-existing behavior).
+  double retrain_backoff_base = 0.0;
+  double retrain_backoff_max = 3600.0;
+};
+
+/// Public view of one tenant's degradation state (ScalerFleet::Health).
+struct TenantHealthInfo {
+  TenantHealth health = TenantHealth::kHealthy;
+  std::uint64_t consecutive_plan_failures = 0;
+  std::uint64_t plan_failures = 0;       ///< Lifetime failed plan boundaries.
+  std::uint64_t fallbacks_served = 0;    ///< Boundaries served by fallback.
+  std::uint64_t rejected_observations = 0;  ///< Bad Observe inputs refused.
+  std::uint64_t breaker_opens = 0;       ///< Lifetime breaker trips.
+  std::uint64_t probes = 0;              ///< Half-open probes attempted.
+  std::uint64_t deadline_overruns = 0;   ///< Plans discarded for lateness.
+  std::uint64_t consecutive_retrain_failures = 0;
+  std::uint64_t freshness_errors = 0;    ///< Session bookkeeping failures.
+  /// Serving time the quarantine backoff expires (-inf when not
+  /// quarantined).
+  double retry_at = -std::numeric_limits<double>::infinity();
+  /// Serving time the retrain backoff expires (-inf when none pending).
+  double retrain_retry_at = -std::numeric_limits<double>::infinity();
+  Status last_error;  ///< Most recent plan/observe/retrain failure.
+};
 
 /// Aggregated view of every tenant's serving state. The sums follow
 /// ServingSnapshot's retained-vs-total split: `queries_observed` /
@@ -75,8 +147,19 @@ struct FleetSnapshot {
   /// so retiring or downsizing large tenants releases this memory.
   std::size_t planning_workspace_bytes = 0;
 
+  // -- Degradation health, aggregated across tenants ------------------------
+  std::size_t tenants_healthy = 0;
+  std::size_t tenants_degraded = 0;
+  std::size_t tenants_quarantined = 0;
+  std::uint64_t rejected_observations = 0;
+  std::uint64_t plan_failures = 0;
+  std::uint64_t fallbacks_served = 0;
+  std::uint64_t breaker_opens = 0;
+
   /// Per-tenant snapshots in registration order.
   std::vector<std::pair<std::string, ServingSnapshot>> per_tenant;
+  /// Per-tenant health in the same (registration) order as `per_tenant`.
+  std::vector<std::pair<std::string, TenantHealthInfo>> per_tenant_health;
 };
 
 /// Per-tenant restore knobs (ScalerFleet::RestoreTenant / MigrateTenant).
@@ -275,14 +358,47 @@ class ScalerFleet {
 
   ServingTap* tap() const { return tap_; }
 
+  // -- Graceful degradation -------------------------------------------------
+  //
+  // Every tenant carries a health state machine (HEALTHY → DEGRADED →
+  // QUARANTINED → probed back to HEALTHY). A plan boundary that fails with
+  // anything but kInvalidArgument — an injected fault, a thrown exception,
+  // a deadline overrun — is served by *fallback*: the tenant's last-good
+  // plan stays in effect (the boundary returns OK with an empty action and
+  // `degraded = true`), the failure is counted, and after
+  // `breaker_threshold` consecutive failures the breaker opens: the
+  // tenant's scaler is skipped entirely until a jittered exponential
+  // backoff expires and a half-open probe plan succeeds. Invalid inputs
+  // (regressive clocks, non-finite times) are caller bugs and still
+  // propagate as errors — they never trip the breaker, which keeps
+  // faults-off fleets byte-identical to a fleet without this machinery.
+  // All breaker bookkeeping runs on the caller thread in registration
+  // order, so the state machine is deterministic under any worker count.
+
+  /// Replaces the degradation policy (re-seeds the per-tenant jitter
+  /// streams from `policy.jitter_seed`). Not persisted by SaveFleet —
+  /// like worker_threads, it is runtime configuration the operator
+  /// re-applies after LoadFleet.
+  void ConfigureRobustness(const RobustnessPolicy& policy);
+
+  const RobustnessPolicy& robustness() const { return robustness_; }
+
+  /// One tenant's degradation state and counters.
+  Result<TenantHealthInfo> Health(const std::string& tenant) const;
+
   // -- Serving --------------------------------------------------------------
 
   /// Reports one arrival for `tenant` (its own serving clock; clocks are
-  /// per-tenant and independent).
+  /// per-tenant and independent). Malformed arrivals — NaN, ±inf,
+  /// regressive times — are rejected with kInvalidArgument *before* the
+  /// serving mirror is touched (counted in Health().rejected_observations);
+  /// one bad input can never poison a tenant's planning state.
   Result<Scaler::ObserveOutcome> Observe(const std::string& tenant,
                                          double arrival_time);
 
   /// Advances one tenant's planning to `now` and drains its actions.
+  /// Subject to the same degradation machinery as PlanAll: a failed
+  /// boundary returns OK with an empty action (fallback; see Health()).
   Result<sim::ScalingAction> Plan(const std::string& tenant, double now);
 
   /// One tenant's share of a PlanAll batch.
@@ -290,6 +406,9 @@ class ScalerFleet {
     std::string tenant;
     Status status;              ///< Per-tenant; one failure stops no one else.
     sim::ScalingAction action;  ///< Empty unless status.ok().
+    /// True when this boundary was served by fallback (the underlying plan
+    /// failed or the breaker is open; the last-good plan stays in effect).
+    bool degraded = false;
   };
 
   /// Advances every tenant's planning to `now` across the worker pool and
@@ -324,10 +443,21 @@ class ScalerFleet {
   /// Writes every tenant's durable state, in registration order.
   Status SaveFleet(std::ostream& out) const;
 
+  /// SaveFleet to a file, crash-safely: the snapshot is encoded in memory,
+  /// written to `path + ".tmp"`, and renamed over `path`
+  /// (persist::AtomicWriteFile, with retry) — a failure leaves the
+  /// previous snapshot at `path` intact, never a torn file.
+  Status SaveFleetToFile(const std::string& path) const;
+
   /// Rebuilds a whole fleet from a SaveFleet stream; tenants come back in
   /// their original registration order.
   static Result<ScalerFleet> LoadFleet(std::istream& in,
                                        const FleetRestoreOptions& options = {});
+
+  /// LoadFleet from a file written by SaveFleetToFile (or any SaveFleet
+  /// bytes on disk).
+  static Result<ScalerFleet> LoadFleetFromFile(
+      const std::string& path, const FleetRestoreOptions& options = {});
 
   /// \brief Moves one tenant to another live fleet: snapshot → restore into
   ///        `target` → retire here. The tenant's action sequence continues
@@ -346,10 +476,40 @@ class ScalerFleet {
   /// rebase, counters, the in-flight job, a pending deferred replacement.
   struct FreshState;
 
+  /// The full (private) per-tenant degradation record; TenantHealthInfo is
+  /// its public projection. Mutated only on the caller thread (BreakerGate
+  /// before the fan-out, NotePlanOutcome after the join) except for
+  /// deadline_overruns, which the owning worker bumps — per-tenant safe.
+  struct HealthState {
+    TenantHealth health = TenantHealth::kHealthy;
+    std::uint64_t consecutive_plan_failures = 0;
+    std::uint64_t plan_failures = 0;
+    std::uint64_t fallbacks_served = 0;
+    std::uint64_t rejected_observations = 0;
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t deadline_overruns = 0;
+    std::uint64_t consecutive_retrain_failures = 0;
+    /// Consecutive breaker opens without an intervening success (drives the
+    /// exponential backoff).
+    std::uint64_t open_count = 0;
+    std::uint64_t freshness_errors = 0;
+    double retry_at = -std::numeric_limits<double>::infinity();
+    double retrain_retry_at = -std::numeric_limits<double>::infinity();
+    /// Per-tenant SplitMix64 stream for backoff jitter (seeded from
+    /// RobustnessPolicy::jitter_seed mixed with the tenant name).
+    std::uint64_t jitter_rng = 0;
+    /// A half-open probe is in flight this boundary: its outcome decides
+    /// recovery vs. re-open.
+    bool probe_inflight = false;
+    Status last_error;
+  };
+
   struct Tenant {
     std::string name;
     Scaler scaler;
     std::unique_ptr<FreshState> fresh;  ///< Null until freshness attaches.
+    HealthState health;
     // Out of line: FreshState is complete only in scaler_fleet.cpp.
     Tenant(std::string n, Scaler s);
     ~Tenant();
@@ -375,6 +535,18 @@ class ScalerFleet {
   void FreshnessPrePlan(std::size_t i, double now);
   void MaybeApplySwap(std::size_t i, double now);
   void MaybeEnqueueRetrain(std::size_t i, double now, bool forced);
+
+  // The plan-boundary degradation machinery, split so PlanAll stays
+  // deterministic: BreakerGate runs on the caller thread *before* the
+  // fan-out (returns true when quarantine says skip planning — `plan` is
+  // then already the fallback answer), PlanTenant is the worker-side body
+  // (fault point, the actual scaler plan, exception → Status, deadline),
+  // and NotePlanOutcome runs on the caller thread *after* the join, in
+  // registration order, doing all breaker/counter bookkeeping and turning
+  // failures into fallback answers.
+  bool BreakerGate(std::size_t i, double now, TenantPlan* plan);
+  void PlanTenant(std::size_t i, double now, TenantPlan* plan);
+  void NotePlanOutcome(std::size_t i, double now, TenantPlan* plan);
 
   /// Installs `replacement` for tenant `i` with the ReplaceModel carry and
   /// rebases the tenant's serving clock to `new_base`; `now` stamps the
@@ -416,6 +588,7 @@ class ScalerFleet {
   std::unordered_map<std::string, std::size_t> index_;
   std::unique_ptr<common::ThreadPool> pool_;
   bool intra_plan_sharding_ = true;
+  RobustnessPolicy robustness_;
   std::optional<FreshnessPolicy> policy_;
   /// Dedicated retrain pool (policy_.retrain_workers threads); planning
   /// never waits on it.

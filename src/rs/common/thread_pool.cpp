@@ -57,7 +57,14 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // A throwing task must not unwind the worker thread (std::terminate)
+    // or starve the queue: swallow, count, keep serving. Fallible work is
+    // expected to report through captured Status objects instead.
+    try {
+      task();
+    } catch (...) {
+      tasks_failed_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -65,7 +72,18 @@ void ParallelFor(ThreadPool* pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (pool == nullptr || pool->threads() == 0 || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    // Same exception contract as the pooled path below: every index runs,
+    // the first exception is rethrown afterwards. A throw must not change
+    // which indices execute depending on the worker count.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
     return;
   }
   // Work-conquering fan-out: indices are claimed from a shared counter by
@@ -78,17 +96,30 @@ void ParallelFor(ThreadPool* pool, std::size_t n,
     explicit SharedState(std::size_t count) : done(count) {}
     std::atomic<std::size_t> next{0};
     Latch done;
+    std::mutex error_mu;
+    std::exception_ptr first_error;
   };
   auto state = std::make_shared<SharedState>(n);
   // Capturing `fn` by reference is safe: a helper only dereferences it
   // after claiming an index < n, and the latch cannot reach zero (so Wait
   // cannot return and `fn` cannot die) until that index finishes. Late
   // helpers that claim >= n touch only their own shared_ptr copy.
+  //
+  // A throwing fn(i) must still count its index down (otherwise the caller
+  // deadlocks in Wait) and must not abandon the remaining indices; the
+  // first exception is kept and rethrown on the calling thread after the
+  // join, preserving the "every index ran, writes published" contract for
+  // the indices that succeeded.
   const auto work = [state, &fn, n] {
     for (;;) {
       const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
-      fn(i);
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mu);
+        if (!state->first_error) state->first_error = std::current_exception();
+      }
       state->done.CountDown();
     }
   };
@@ -96,6 +127,8 @@ void ParallelFor(ThreadPool* pool, std::size_t n,
   for (std::size_t h = 0; h < helpers; ++h) pool->Submit(work);
   work();
   state->done.Wait();
+  // The join published every helper's writes, so no lock is needed here.
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 void ParallelForChunks(

@@ -4,10 +4,15 @@
 ///        per-tenant planning across workers and joins before returning).
 ///
 /// Deliberately small: a mutex/condvar task queue, no futures, no work
-/// stealing. Tasks must not throw — fallible work reports through Status
-/// objects captured by the closure, like everything else in this codebase.
+/// stealing. Fallible work should report through Status objects captured
+/// by the closure, like everything else in this codebase — but a task that
+/// *does* throw never kills the pool: the worker catches the exception,
+/// counts it (tasks_failed()), and keeps serving the queue, and a
+/// ParallelFor whose fn throws still joins cleanly and rethrows the first
+/// exception on the calling thread (no deadlock, no lost indices).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -65,7 +70,16 @@ class ThreadPool {
 
   /// Enqueues `task` (runs it inline when threads() == 0). Safe to call
   /// from multiple threads; must not be called after destruction begins.
+  /// A worker-run task that throws is swallowed (counted in
+  /// tasks_failed()); an inline-run task's exception propagates to the
+  /// caller, who is on the stack to handle it.
   void Submit(std::function<void()> task);
+
+  /// Tasks whose exception a worker swallowed (0 in a healthy fleet; the
+  /// chaos suite asserts the pool outlives a storm of these).
+  std::size_t tasks_failed() const {
+    return tasks_failed_.load(std::memory_order_relaxed);
+  }
 
  private:
   void WorkerLoop();
@@ -75,6 +89,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  std::atomic<std::size_t> tasks_failed_{0};
 };
 
 /// \brief Runs fn(0), ..., fn(n-1) across `pool` and blocks until all
@@ -90,6 +105,11 @@ class ThreadPool {
 /// one shared pool deadlock-free: an outer task that fans out again always
 /// progresses on its own indices, so one work queue can serve both
 /// fleet-level tenant batching and intra-plan Monte Carlo shards.
+///
+/// A throwing fn(i) does not deadlock the join or lose other indices: the
+/// failed index still counts down, the remaining indices still run, and
+/// the first exception is rethrown on the calling thread after all calls
+/// completed (later exceptions are dropped).
 void ParallelFor(ThreadPool* pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn);
 

@@ -1,0 +1,185 @@
+#include "rs/fault/fault.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "rs/common/logging.hpp"
+
+namespace rs::fault {
+
+namespace {
+
+/// SplitMix64: tiny, seedable, and good enough to roll storm schedules.
+/// Deliberately self-contained so the fault layer depends only on common.
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double NextUnit(std::uint64_t* state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const std::vector<SiteInfo>& RegisteredSites() {
+  // The instrumented surface. Keep in sync with docs/ARCHITECTURE.md's
+  // fault-site catalogue; fault_test cross-checks every entry fires.
+  static const std::vector<SiteInfo> kSites = {
+      {"fleet.observe",
+       "ScalerFleet::Observe input path (scope: tenant) — a malformed or "
+       "dropped arrival, rejected before the serving mirror is touched",
+       false},
+      {"fleet.plan",
+       "per-tenant plan boundary (scope: tenant), fired before the scaler "
+       "mirror advances — the degraded tenant serves its last-good plan",
+       true},
+      {"train.refit",
+       "background retrain pool task (scope: tenant), before the fit — the "
+       "last-good model keeps serving and the retry backs off",
+       true},
+      {"persist.write",
+       "AtomicWriteFile temp-file write — a short/failed snapshot write, "
+       "retried without clobbering the last good snapshot",
+       false},
+      {"persist.rename",
+       "AtomicWriteFile commit rename — the snapshot swap itself fails; the "
+       "previous file stays intact",
+       false},
+  };
+  return kSites;
+}
+
+struct ScopedFaultInjection::Injector {
+  explicit Injector(FaultPlan p) : plan(std::move(p)) {
+    for (const FaultRule& rule : plan.rules) {
+      rules_by_site[rule.site].push_back(&rule);
+    }
+  }
+
+  Status OnHit(const char* site, std::string_view scope) {
+    const Fault* fired = nullptr;
+    const FaultRule* rule_fired = nullptr;
+    std::uint64_t count = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      count = ++counters[std::make_pair(std::string(site),
+                                        std::string(scope))];
+      SiteStats& site_stats = stats[site];
+      ++site_stats.hits;
+      const auto it = rules_by_site.find(site);
+      if (it != rules_by_site.end()) {
+        for (const FaultRule* rule : it->second) {
+          if (!rule->scope.empty() && rule->scope != scope) continue;
+          const bool match =
+              count == rule->hit ||
+              (rule->period > 0 && count > rule->hit &&
+               (count - rule->hit) % rule->period == 0);
+          if (!match) continue;
+          ++site_stats.fired;
+          ++fired_total;
+          fired = &rule->fault;
+          rule_fired = rule;
+          break;
+        }
+      }
+    }
+    if (fired == nullptr) return Status::OK();
+    std::string message = fired->message;
+    if (message.empty()) {
+      std::ostringstream msg;
+      msg << "injected fault at " << site;
+      if (!scope.empty()) msg << " [" << scope << ']';
+      msg << ", hit " << count;
+      if (rule_fired->period > 0) msg << " (period " << rule_fired->period
+                                      << ')';
+      message = msg.str();
+    }
+    if (fired->kind == FaultKind::kThrow) throw InjectedFault(message);
+    return Status(fired->code, std::move(message));
+  }
+
+  const FaultPlan plan;
+  std::map<std::string, std::vector<const FaultRule*>> rules_by_site;
+
+  mutable std::mutex mu;
+  std::map<std::pair<std::string, std::string>, std::uint64_t> counters;
+  std::map<std::string, SiteStats> stats;
+  std::uint64_t fired_total = 0;
+};
+
+namespace {
+
+/// The one installed injector (null = injection disarmed). Acquire pairs
+/// with the release store in ScopedFaultInjection's constructor so pool
+/// workers hitting a site see the fully built plan.
+std::atomic<ScopedFaultInjection::Injector*> g_injector{nullptr};
+
+}  // namespace
+
+bool InjectionActive() {
+  return g_injector.load(std::memory_order_relaxed) != nullptr;
+}
+
+Status Hit(const char* site) { return Hit(site, std::string_view()); }
+
+Status Hit(const char* site, std::string_view scope) {
+  ScopedFaultInjection::Injector* injector =
+      g_injector.load(std::memory_order_acquire);
+  if (injector == nullptr) return Status::OK();
+  return injector->OnHit(site, scope);
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultPlan plan)
+    : injector_(std::make_unique<Injector>(std::move(plan))) {
+  Injector* expected = nullptr;
+  RS_CHECK(g_injector.compare_exchange_strong(expected, injector_.get(),
+                                              std::memory_order_release))
+      << "ScopedFaultInjection: another injection is already installed "
+         "(one at a time)";
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  g_injector.store(nullptr, std::memory_order_release);
+}
+
+std::map<std::string, SiteStats> ScopedFaultInjection::Stats() const {
+  std::lock_guard<std::mutex> lock(injector_->mu);
+  return injector_->stats;
+}
+
+std::uint64_t ScopedFaultInjection::total_fired() const {
+  std::lock_guard<std::mutex> lock(injector_->mu);
+  return injector_->fired_total;
+}
+
+FaultPlan MakeStormPlan(std::uint64_t seed, const StormOptions& options) {
+  // Mix the seed so storms 0, 1, 2, ... are unrelated schedules.
+  std::uint64_t state = seed * 0x9e3779b97f4a7c15ull + 0x85ebca6b'c2b2ae35ull;
+  static const StatusCode kCodes[] = {StatusCode::kIoError,
+                                      StatusCode::kRuntimeError,
+                                      StatusCode::kNotConverged};
+  FaultPlan plan;
+  for (const SiteInfo& site : RegisteredSites()) {
+    for (std::uint64_t hit = 1; hit <= options.horizon_hits; ++hit) {
+      if (NextUnit(&state) >= options.fire_probability) continue;
+      FaultRule rule;
+      rule.site = site.name;
+      rule.hit = hit;
+      const std::uint64_t roll = SplitMix64(&state);
+      if (options.include_throws && site.may_throw && (roll & 3u) == 0) {
+        rule.fault.kind = FaultKind::kThrow;
+      } else {
+        rule.fault.code = kCodes[roll % (sizeof(kCodes) / sizeof(kCodes[0]))];
+      }
+      plan.rules.push_back(std::move(rule));
+    }
+  }
+  return plan;
+}
+
+}  // namespace rs::fault

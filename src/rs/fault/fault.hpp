@@ -1,0 +1,179 @@
+/// \file fault.hpp
+/// \brief Deterministic, seedable fault injection — the rs::fault subsystem.
+///
+/// Production components fail: disks fill mid-snapshot, retrains throw,
+/// callers feed garbage timestamps. This layer lets tests and chaos benches
+/// inject those failures at *named sites* in the serving/persist/train
+/// paths, on an exactly replayable schedule:
+///
+///   - Code under test declares injection sites with RS_FAULT_POINT("name")
+///     (or the _SCOPED variant, which keys the hit counter by an extra
+///     scope string — the tenant name at per-tenant sites). With no
+///     injection installed the site costs one relaxed atomic load; compiled
+///     with -DRS_NO_FAULT_INJECTION the macros expand to nothing at all.
+///
+///   - A FaultPlan maps (site, scope, hit index) to a Fault. Hit counters
+///     are kept per (site, scope) pair, and every instrumented site is
+///     either driven from the fleet's single caller thread or scoped by
+///     tenant (per-tenant operations are sequential), so a fixed plan fires
+///     at exactly the same operations regardless of worker-pool size —
+///     chaos runs replay byte-identically across worker counts {0, 1, 8}.
+///
+///   - MakeStormPlan(seed) rolls a random plan over the whole site
+///     catalogue, so "the chaos run that failed" is reproducible from one
+///     integer.
+///
+/// Installation is RAII and process-global (one injection active at a
+/// time): construct a ScopedFaultInjection with the plan, run the scenario,
+/// read back per-site statistics, destroy to disarm. The injector is safe
+/// to hit from pool workers; installation/teardown must not race live
+/// traffic (install before serving, destroy after).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rs/common/status.hpp"
+
+namespace rs::fault {
+
+/// How a firing site reports the failure to its caller.
+enum class FaultKind : std::uint8_t {
+  /// The site returns this Status to its caller (the common case: the
+  /// degradation machinery must turn it into fallback, never a crash).
+  kStatusError = 0,
+  /// The site throws InjectedFault — only meaningful at sites marked
+  /// `may_throw` in the catalogue (pool tasks, plan closures), where an
+  /// exception handler exists by contract. At other sites the exception
+  /// propagates to the caller of the instrumented function.
+  kThrow = 1,
+};
+
+/// The exception thrown by FaultKind::kThrow sites.
+struct InjectedFault : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// One injectable failure.
+struct Fault {
+  FaultKind kind = FaultKind::kStatusError;
+  StatusCode code = StatusCode::kIoError;  ///< kStatusError payload.
+  std::string message;  ///< Empty: a default naming site/scope/hit.
+};
+
+/// \brief One schedule entry: fire `fault` at the `hit`-th execution of
+///        `site` (1-based, counted per (site, scope) pair).
+///
+/// An empty `scope` matches every scope *independently* — the rule fires at
+/// hit `hit` of each tenant's own counter, which is what keeps storm plans
+/// deterministic under any worker count. `period > 0` re-fires every
+/// `period` further hits (hit, hit+period, hit+2*period, ...); 0 fires
+/// exactly once per matching scope.
+struct FaultRule {
+  std::string site;
+  std::string scope;
+  std::uint64_t hit = 1;
+  std::uint64_t period = 0;
+  Fault fault;
+};
+
+/// A complete, replayable fault schedule.
+struct FaultPlan {
+  std::vector<FaultRule> rules;
+};
+
+/// Catalogue entry for one registered injection site.
+struct SiteInfo {
+  const char* name;
+  const char* description;
+  /// True at sites running inside an exception handler (pool tasks, plan
+  /// closures) where FaultKind::kThrow is safe to schedule.
+  bool may_throw;
+};
+
+/// The registered injection sites, the instrumented surface MakeStormPlan
+/// storms over (documented in docs/ARCHITECTURE.md).
+const std::vector<SiteInfo>& RegisteredSites();
+
+/// Per-site execution statistics of one injection session.
+struct SiteStats {
+  std::uint64_t hits = 0;   ///< Times the site executed.
+  std::uint64_t fired = 0;  ///< Times a rule matched and a fault fired.
+};
+
+/// True while a ScopedFaultInjection is installed.
+bool InjectionActive();
+
+/// \brief The macro target: consults the installed plan (if any) for
+///        `site` at the current hit count and returns/throws the scheduled
+///        fault. OK — and nearly free — when no injection is installed.
+Status Hit(const char* site);
+Status Hit(const char* site, std::string_view scope);
+
+/// \brief RAII installation of a FaultPlan (process-global, one at a time;
+///        constructing while another is installed aborts — programmer
+///        error).
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultPlan plan);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  /// Per-site statistics so far (keyed by site name; scopes are folded).
+  std::map<std::string, SiteStats> Stats() const;
+
+  /// Total faults fired across all sites so far.
+  std::uint64_t total_fired() const;
+
+  /// Opaque implementation record (public only so the file-local Hit()
+  /// dispatch can name the type; defined in fault.cpp).
+  struct Injector;
+
+ private:
+  std::unique_ptr<Injector> injector_;
+};
+
+/// Knobs for MakeStormPlan.
+struct StormOptions {
+  /// Per-hit firing probability at each site (rolled independently per
+  /// hit index up to `horizon_hits`).
+  double fire_probability = 0.02;
+  /// Hit indices 1..horizon_hits are rolled per site; later hits never
+  /// fire. Keep >= the longest per-scope operation count of the scenario.
+  std::uint64_t horizon_hits = 256;
+  /// Schedule FaultKind::kThrow (at may_throw sites only) for a quarter of
+  /// the fired hits; off makes every fault a Status error.
+  bool include_throws = true;
+};
+
+/// \brief Rolls a seeded random FaultPlan over every registered site:
+///        the chaos storm. Same seed + options → identical plan, so a
+///        failing storm reproduces from one integer.
+FaultPlan MakeStormPlan(std::uint64_t seed, const StormOptions& options = {});
+
+}  // namespace rs::fault
+
+// -- Injection-site macros ----------------------------------------------------
+//
+// Use inside functions returning Status (or Result<T>): the macro returns
+// the injected error to the caller. Sites that must retry or translate the
+// fault call rs::fault::Hit() directly instead.
+#if defined(RS_NO_FAULT_INJECTION)
+#define RS_FAULT_POINT(site) \
+  do {                       \
+  } while (false)
+#define RS_FAULT_POINT_SCOPED(site, scope) \
+  do {                                     \
+  } while (false)
+#else
+#define RS_FAULT_POINT(site) RS_RETURN_NOT_OK(::rs::fault::Hit(site))
+#define RS_FAULT_POINT_SCOPED(site, scope) \
+  RS_RETURN_NOT_OK(::rs::fault::Hit(site, scope))
+#endif

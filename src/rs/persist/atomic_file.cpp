@@ -1,0 +1,56 @@
+#include "rs/persist/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "rs/fault/fault.hpp"
+
+namespace rs::persist {
+
+namespace {
+
+Status WriteAttempt(const std::string& path, const std::string& tmp,
+                    const std::string& bytes) {
+  // Direct Hit() calls rather than RS_FAULT_POINT: the macro would return
+  // out of the retry loop's caller; here the injected error must feed the
+  // retry logic exactly like a real short write / failed rename.
+  RS_RETURN_NOT_OK(rs::fault::Hit("persist.write"));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("AtomicWriteFile: cannot open temp file " + tmp);
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      return Status::IoError("AtomicWriteFile: short write to " + tmp);
+    }
+  }
+  RS_RETURN_NOT_OK(rs::fault::Hit("persist.rename"));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("AtomicWriteFile: rename " + tmp + " -> " + path +
+                           " failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, const std::string& bytes,
+                       const AtomicWriteOptions& options) {
+  const std::string tmp = path + ".tmp";
+  Status last = Status::IoError("AtomicWriteFile: max_attempts < 1");
+  const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    last = WriteAttempt(path, tmp, bytes);
+    if (last.ok()) return last;
+  }
+  // Best-effort cleanup; the previous snapshot at `path` is still intact.
+  std::remove(tmp.c_str());
+  std::ostringstream msg;
+  msg << last.message() << " (after " << attempts << " attempts)";
+  return Status(last.code(), msg.str());
+}
+
+}  // namespace rs::persist

@@ -1,0 +1,34 @@
+/// \file atomic_file.hpp
+/// \brief Crash-safe snapshot file replacement: write-temp-then-rename.
+///
+/// A snapshot overwritten in place can be torn by a crash or a full disk,
+/// leaving *no* loadable state. AtomicWriteFile instead writes the bytes to
+/// `path + ".tmp"`, then renames over `path` — the rename is the commit
+/// point, so a reader at any moment sees either the old complete file or
+/// the new complete file, never a prefix. Failed attempts are retried (the
+/// persist.write / persist.rename fault sites inject exactly these
+/// failures in the chaos suite) and the temp file is cleaned up on the way
+/// out; the previous snapshot at `path` is untouched until the rename
+/// succeeds.
+#pragma once
+
+#include <string>
+
+#include "rs/common/status.hpp"
+
+namespace rs::persist {
+
+struct AtomicWriteOptions {
+  /// Write+rename attempts before giving up and returning the last error.
+  int max_attempts = 3;
+};
+
+/// \brief Atomically replaces the file at `path` with `bytes` (temp write +
+///        rename), retrying transient failures up to `max_attempts` times.
+///
+/// On failure the previous contents of `path` are intact and the temp file
+/// has been removed (best effort).
+Status AtomicWriteFile(const std::string& path, const std::string& bytes,
+                       const AtomicWriteOptions& options = {});
+
+}  // namespace rs::persist

@@ -74,6 +74,8 @@ inline constexpr std::uint32_t kTagFreshnessPolicy = MakeTag('F', 'P', 'O', 'L')
 inline constexpr std::uint32_t kTagFreshness = MakeTag('F', 'R', 'S', 'H');
 inline constexpr std::uint32_t kTagDriftDetector = MakeTag('D', 'R', 'F', 'T');
 inline constexpr std::uint32_t kTagTrainSession = MakeTag('T', 'S', 'E', 'S');
+// Per-tenant degradation health (breaker state + counters), fleet layer v3+.
+inline constexpr std::uint32_t kTagHealth = MakeTag('H', 'L', 'T', 'H');
 // rs::trace serving captures (docs/TRACE_FORMAT.md is the normative spec).
 inline constexpr std::uint32_t kTagTraceCapture = MakeTag('T', 'R', 'C', 'E');
 inline constexpr std::uint32_t kTagTraceMeta = MakeTag('T', 'M', 'E', 'T');

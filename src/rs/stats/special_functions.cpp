@@ -117,7 +117,7 @@ Result<double> GammaQuantile(double shape, double scale, double p) {
     } else {
       lo = x;
     }
-    const double log_pdf = (a - 1.0) * std::log(x) - x - std::lgamma(a);
+    const double log_pdf = (a - 1.0) * std::log(x) - x - LogGamma(a);
     const double pdf = std::exp(log_pdf);
     double next = x;
     if (pdf > 0.0 && std::isfinite(pdf)) next = x - f / pdf;

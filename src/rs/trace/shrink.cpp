@@ -61,10 +61,93 @@ bool IsIdentifier(const std::string& name) {
   return true;
 }
 
+/// Renders `s` as a C++ string literal (quotes included).
+std::string CppStringLiteral(const std::string& s) {
+  std::ostringstream out;
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        if (std::isprint(static_cast<unsigned char>(c))) {
+          out << c;
+        } else {
+          out << "\\x" << std::hex << std::setw(2) << std::setfill('0')
+              << static_cast<unsigned>(static_cast<unsigned char>(c))
+              << std::dec;
+        }
+    }
+  }
+  out << '"';
+  return out.str();
+}
+
+const char* StatusCodeEnumerator(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "StatusCode::kOk";
+    case StatusCode::kInvalidArgument:
+      return "StatusCode::kInvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "StatusCode::kOutOfRange";
+    case StatusCode::kNotImplemented:
+      return "StatusCode::kNotImplemented";
+    case StatusCode::kRuntimeError:
+      return "StatusCode::kRuntimeError";
+    case StatusCode::kIoError:
+      return "StatusCode::kIoError";
+    case StatusCode::kNotConverged:
+      return "StatusCode::kNotConverged";
+    case StatusCode::kInfeasible:
+      return "StatusCode::kInfeasible";
+  }
+  return "StatusCode::kRuntimeError";
+}
+
+/// Emits a function reconstructing `plan` rule by rule.
+void EmitFaultPlanBuilder(const fault::FaultPlan& plan, std::ostream& out) {
+  out << "fault::FaultPlan CapturedFaultPlan() {\n"
+      << "  fault::FaultPlan plan;\n"
+      << "  plan.rules.reserve(" << plan.rules.size() << ");\n";
+  for (const fault::FaultRule& rule : plan.rules) {
+    out << "  {\n"
+        << "    fault::FaultRule rule;\n"
+        << "    rule.site = " << CppStringLiteral(rule.site) << ";\n";
+    if (!rule.scope.empty()) {
+      out << "    rule.scope = " << CppStringLiteral(rule.scope) << ";\n";
+    }
+    out << "    rule.hit = " << rule.hit << ";\n";
+    if (rule.period != 0) {
+      out << "    rule.period = " << rule.period << ";\n";
+    }
+    if (rule.fault.kind == fault::FaultKind::kThrow) {
+      out << "    rule.fault.kind = fault::FaultKind::kThrow;\n";
+    }
+    out << "    rule.fault.code = " << StatusCodeEnumerator(rule.fault.code)
+        << ";\n";
+    if (!rule.fault.message.empty()) {
+      out << "    rule.fault.message = " << CppStringLiteral(rule.fault.message)
+          << ";\n";
+    }
+    out << "    plan.rules.push_back(std::move(rule));\n"
+        << "  }\n";
+  }
+  out << "  return plan;\n"
+      << "}\n";
+}
+
 }  // namespace
 
 Status EmitRegressionTest(const Capture& capture, const std::string& test_name,
-                          std::ostream& out) {
+                          std::ostream& out, const EmitOptions& options) {
   if (!IsIdentifier(test_name)) {
     return Status::Invalid("EmitRegressionTest: \"" + test_name +
                            "\" is not a valid C++ identifier");
@@ -73,9 +156,13 @@ Status EmitRegressionTest(const Capture& capture, const std::string& test_name,
   // original decision clock's script. Probe once so captures that need an
   // injected clock are refused here, with the replayer's message, instead of
   // failing cryptically inside CI. Divergence is fine (that is the point of
-  // a regression test); only hard errors block emission.
+  // a regression test); only hard errors block emission. The probe runs
+  // faults-off even when a fault plan will be embedded: the injected faults
+  // change replay *behavior*, never its well-formedness.
   RS_ASSIGN_OR_RETURN(const ReplayReport probe, Replay(capture));
   (void)probe;
+  const bool with_faults = options.fault_plan.has_value();
+
   RS_ASSIGN_OR_RETURN(const std::string bytes, capture.ToBytes());
 
   out << "// GENERATED by rs::trace::EmitRegressionTest — do not edit.\n"
@@ -85,18 +172,36 @@ Status EmitRegressionTest(const Capture& capture, const std::string& test_name,
       + "\"")
       << ") against the current build and fails on the\n"
       << "// first byte-level divergence from the recorded actions. See\n"
-      << "// docs/TRACE_FORMAT.md and src/rs/trace/trace.hpp.\n"
-      << "#include <gtest/gtest.h>\n"
+      << "// docs/TRACE_FORMAT.md and src/rs/trace/trace.hpp.\n";
+  if (with_faults) {
+    out << "//\n"
+        << "// The capture was recorded under deterministic fault injection: "
+           "the\n"
+        << "// embedded fault plan below is re-installed around every replay "
+           "so the\n"
+        << "// recorded fallback boundaries reproduce. Replayed faults-off, "
+           "this\n"
+        << "// capture diverges at the first injected fault by construction "
+           "—\n"
+        << "// which is exactly what the original failing session did.\n";
+  }
+  out << "#include <gtest/gtest.h>\n"
       << "\n"
       << "#include <cstddef>\n"
-      << "#include <string>\n"
-      << "\n"
-      << "#include \"rs/trace/trace.hpp\"\n"
+      << "#include <string>\n";
+  if (with_faults) out << "#include <utility>\n";
+  out << "\n";
+  if (with_faults) out << "#include \"rs/fault/fault.hpp\"\n";
+  out << "#include \"rs/trace/trace.hpp\"\n"
       << "\n"
       << "namespace rs::trace {\n"
       << "namespace {\n"
-      << "\n"
-      << "const unsigned char kCaptureBytes[] = {";
+      << "\n";
+  if (with_faults) {
+    EmitFaultPlanBuilder(*options.fault_plan, out);
+    out << "\n";
+  }
+  out << "const unsigned char kCaptureBytes[] = {";
   out << std::hex << std::setfill('0');
   for (std::size_t i = 0; i < bytes.size(); ++i) {
     if (i % 12 == 0) out << "\n    ";
@@ -112,8 +217,13 @@ Status EmitRegressionTest(const Capture& capture, const std::string& test_name,
       << "  auto capture = Capture::FromBytes(bytes);\n"
       << "  ASSERT_TRUE(capture.ok()) << capture.status().message();\n"
       << "  for (const std::size_t workers : {std::size_t{0}, std::size_t{1},\n"
-      << "                                    std::size_t{8}}) {\n"
-      << "    ReplayOptions options;\n"
+      << "                                    std::size_t{8}}) {\n";
+  if (with_faults) {
+    out << "    // Fresh installation per worker count: the plan's hit\n"
+        << "    // counters must restart for each replay.\n"
+        << "    fault::ScopedFaultInjection inject(CapturedFaultPlan());\n";
+  }
+  out << "    ReplayOptions options;\n"
       << "    options.worker_threads = workers;\n"
       << "    auto report = Replay(capture.ValueOrDie(), options);\n"
       << "    ASSERT_TRUE(report.ok()) << report.status().message();\n"

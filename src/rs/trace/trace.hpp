@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +48,7 @@
 #include "rs/api/scaler_fleet.hpp"
 #include "rs/api/serving_tap.hpp"
 #include "rs/common/status.hpp"
+#include "rs/fault/fault.hpp"
 #include "rs/simulator/autoscaler.hpp"
 #include "rs/simulator/decision_clock.hpp"
 
@@ -251,6 +253,18 @@ struct ShrinkResult {
 Result<ShrinkResult> Shrink(const Capture& capture,
                             const ReplayOptions& options = {});
 
+/// Knobs for EmitRegressionTest.
+struct EmitOptions {
+  /// Setup prelude: reconstruct this fault plan in the generated test and
+  /// install it (a fresh fault::ScopedFaultInjection per replay, so hit
+  /// counters restart each worker count) around every Replay() call.
+  /// Required for captures recorded under fault injection — the recorded
+  /// stream contains fallback boundaries that only reproduce when the
+  /// replayed fleet fails at the same hits; replayed faults-off, such a
+  /// capture diverges at the first injected fault by construction.
+  std::optional<fault::FaultPlan> fault_plan;
+};
+
 /// \brief Renders `capture` into a self-contained C++ GTest regression test
 ///        (for tests/generated/): the capture bytes are embedded as a byte
 ///        array and replayed under fleet worker counts {0, 1, 8}, failing
@@ -262,6 +276,6 @@ Result<ShrinkResult> Shrink(const Capture& capture,
 /// script; keep such captures as .rstrace artifacts driven by a custom
 /// harness instead.
 Status EmitRegressionTest(const Capture& capture, const std::string& test_name,
-                          std::ostream& out);
+                          std::ostream& out, const EmitOptions& options = {});
 
 }  // namespace rs::trace

@@ -26,7 +26,13 @@ the machine out and collapse only when the optimization itself regresses:
   replay         : per-threads `tap_overhead` (the trace Recorder's serving
                    tax), `replay_vs_live` (trace::Replay wall time over the
                    tap-on session it verifies), and `bytes_per_event`
-                   (capture size — moves only when the wire format changes).
+                   (capture size — moves only when the wire format changes);
+  chaos          : per-threads `availability` and `recovered_fraction` (must
+                   not drop) and `fallback_fraction` (must not grow) under
+                   the seeded fault storm — all deterministic given the
+                   storm seed, so drift means the degradation machinery
+                   changed (torn plans and cross-worker parity are gated
+                   inside bench_chaos itself, which aborts on violation).
 
 fleet_scaling also trend-gates `snapshot_ms` and `snapshot_bytes` once the
 committed baseline carries them (rows or baselines without the fields stay
@@ -287,12 +293,55 @@ def gate_replay(baseline, current, gate, gate_absolute):
     return regressions
 
 
+def gate_chaos(baseline, current, gate, gate_absolute):
+    regressions = 0
+    base_rows = index_rows(baseline.get("results", []), ("threads",))
+    cur_rows = index_rows(current.get("results", []), ("threads",))
+    for key, base in base_rows.items():
+        cur = cur_rows.get(key)
+        if cur is None:
+            regressions += gate.missing(key)
+            continue
+        # All gated chaos metrics are deterministic given the storm seed
+        # (the bench aborts on cross-worker divergence before writing
+        # JSON), so any drift here means the degradation machinery itself
+        # changed: availability and recovered_fraction must not drop,
+        # fallback_fraction must not grow (more of the fleet running
+        # degraded for the same storm).
+        regressions += gate.compare(key, "availability",
+                                    base.get("availability"),
+                                    cur.get("availability"), gated=True)
+        regressions += gate.compare(key, "recovered_fraction",
+                                    base.get("recovered_fraction"),
+                                    cur.get("recovered_fraction"),
+                                    gated=True)
+        regressions += gate.compare(key, "fallback_fraction",
+                                    base.get("fallback_fraction"),
+                                    cur.get("fallback_fraction"), gated=True,
+                                    higher_is_better=False)
+        regressions += gate.compare(key, "arrivals_per_s",
+                                    base.get("arrivals_per_s"),
+                                    cur.get("arrivals_per_s"),
+                                    gated=gate_absolute)
+        # torn_plans is gated inside the bench itself (it aborts on any),
+        # so here it is reporting only.
+        print(f"bench_gate: {fmt_key(key)}: "
+              f"availability {100 * cur.get('availability', 0):.2f}%, "
+              f"fallback {100 * cur.get('fallback_fraction', 0):.2f}% "
+              f"(baseline {100 * base.get('fallback_fraction', 0):.2f}%), "
+              f"recovered {100 * cur.get('recovered_fraction', 0):.0f}%, "
+              f"{cur.get('faults_fired', 0)} faults fired, "
+              f"{cur.get('torn_plans', 0)} torn plans")
+    return regressions
+
+
 GATES = {
     "plan_hot_path": gate_plan,
     "fleet_scaling": gate_fleet,
     "training_time": gate_training,
     "freshness": gate_freshness,
     "replay": gate_replay,
+    "chaos": gate_chaos,
 }
 
 

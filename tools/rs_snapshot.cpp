@@ -244,15 +244,60 @@ Status PrintFreshness(Reader* reader, int depth) {
   return reader->ExitSection();
 }
 
+// Per-tenant degradation health (fleet layer version >= 3): breaker state,
+// failure counters, backoff clocks.
+Status PrintHealth(Reader* reader, int depth) {
+  RS_RETURN_NOT_OK(reader->EnterSection(rs::persist::kTagHealth));
+  RS_ASSIGN_OR_RETURN(const std::uint32_t version, reader->ReadU32());
+  RS_ASSIGN_OR_RETURN(const std::uint8_t state, reader->ReadU8());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t consecutive, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t plan_failures, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t fallbacks, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t rejected, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t opens, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t probes, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t overruns, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t retrain_fails, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t open_count, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t freshness_errors, reader->ReadU64());
+  RS_ASSIGN_OR_RETURN(const double retry_at, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(const double retrain_retry_at, reader->ReadDouble());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t jitter_rng, reader->ReadU64());
+  static const char* const kNames[] = {"healthy", "degraded", "quarantined"};
+  const char* health_name = state < 3 ? kNames[state] : "unknown";
+  std::cout << Indent(depth) << "HLTH health (version " << version
+            << "): " << health_name << '\n'
+            << Indent(depth + 1) << "plan failures = " << plan_failures
+            << " (" << consecutive << " consecutive), fallbacks served = "
+            << fallbacks << ", rejected observations = " << rejected << '\n'
+            << Indent(depth + 1) << "breaker: opens = " << opens
+            << " (streak " << open_count << "), probes = " << probes
+            << ", retry at " << retry_at << " s\n"
+            << Indent(depth + 1) << "deadline overruns = " << overruns
+            << ", retrain failure streak = " << retrain_fails
+            << " (retry at " << retrain_retry_at << " s), freshness errors = "
+            << freshness_errors << ", jitter rng = 0x" << std::hex
+            << jitter_rng << std::dec << '\n';
+  return reader->ExitSection();
+}
+
 Status PrintTenant(Reader* reader, int depth) {
   RS_RETURN_NOT_OK(reader->EnterSection(rs::persist::kTagTenant));
   RS_ASSIGN_OR_RETURN(const std::string name, reader->ReadString());
   std::cout << Indent(depth) << "TENT tenant \"" << name << "\":\n";
   RS_RETURN_NOT_OK(PrintScaler(reader, depth + 1));
+  // Optional trailing sections, in fixed order: FRSH (freshness loop state,
+  // layer v2+), then HLTH (degradation health, layer v3+).
   if (reader->remaining() > 0) {
     RS_ASSIGN_OR_RETURN(const std::uint32_t tag, reader->PeekSectionTag());
     if (tag == rs::persist::kTagFreshness) {
       RS_RETURN_NOT_OK(PrintFreshness(reader, depth + 1));
+    }
+  }
+  if (reader->remaining() > 0) {
+    RS_ASSIGN_OR_RETURN(const std::uint32_t tag, reader->PeekSectionTag());
+    if (tag == rs::persist::kTagHealth) {
+      RS_RETURN_NOT_OK(PrintHealth(reader, depth + 1));
     }
   }
   return reader->ExitSection();

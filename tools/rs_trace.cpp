@@ -16,10 +16,18 @@
 ///   rs_trace gen-test <file.rstrace> <TestName>
 ///                                          print a self-contained regression
 ///                                          test (tests/generated/) to stdout
+///   rs_trace chaos-test <TestName>         record the demo session under a
+///                                          fixed fault plan, verify the
+///                                          capture diverges replayed
+///                                          faults-off, Shrink() it to the
+///                                          minimal failing prefix, and print
+///                                          a regression test that re-installs
+///                                          the plan around every replay
 ///
-/// `demo` and `tiny` are seeded end to end, so they write byte-identical
-/// files on every run — the committed artifacts under tests/data/ and the
-/// worked hexdump in docs/TRACE_FORMAT.md come from them.
+/// `demo`, `tiny`, and `chaos-test` are seeded end to end, so they write
+/// byte-identical output on every run — the committed artifacts under
+/// tests/data/ and tests/generated/ and the worked hexdump in
+/// docs/TRACE_FORMAT.md come from them.
 
 #include <cmath>
 #include <cstdint>
@@ -29,6 +37,7 @@
 #include <vector>
 
 #include "rs/api/api.hpp"
+#include "rs/fault/fault.hpp"
 #include "rs/stats/rng.hpp"
 #include "rs/trace/trace.hpp"
 
@@ -50,7 +59,8 @@ int Usage() {
             << "       rs_trace info <file.rstrace>\n"
             << "       rs_trace replay <file.rstrace> [workers...]\n"
             << "       rs_trace shrink <in.rstrace> <out.rstrace>\n"
-            << "       rs_trace gen-test <file.rstrace> <TestName>\n";
+            << "       rs_trace gen-test <file.rstrace> <TestName>\n"
+            << "       rs_trace chaos-test <TestName>\n";
   return 2;
 }
 
@@ -87,7 +97,8 @@ rs::Result<rs::api::Scaler> BuildDemoScaler(const rs::workload::Trace& train,
       .Build();
 }
 
-rs::Result<Capture> RecordDemoSession() {
+rs::Result<Capture> RecordDemoSession(
+    const std::string& label = "rs_trace demo session (seed 2026)") {
   const double period_s = 600.0, dt = 30.0;
   const double horizon = 6.0 * period_s;
   std::vector<double> rates;
@@ -107,7 +118,7 @@ rs::Result<Capture> RecordDemoSession() {
   auto [train, serve] = trace.SplitAt(horizon - 2.0 * period_s);
 
   rs::api::ScalerFleet fleet(0);
-  rs::trace::Recorder recorder("rs_trace demo session (seed 2026)");
+  rs::trace::Recorder recorder(label);
   RS_RETURN_NOT_OK(recorder.Attach(&fleet));
   RS_ASSIGN_OR_RETURN(
       auto hp, BuildDemoScaler(train, serve.horizon(), "robust_hp:target=0.9"));
@@ -230,6 +241,58 @@ int ShrinkFile(const std::string& in_path, const std::string& out_path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// chaos-test: capture-with-faults → faults-off divergence → Shrink →
+// regression test with the fault plan re-installed around every replay.
+// ---------------------------------------------------------------------------
+
+/// The fixed fault plan the chaos demo session is recorded under: one
+/// status-error boundary and one thrown boundary, so the generated test
+/// exercises both fallback paths. Must match between recording and the
+/// emitted prelude — the whole point is that the same plan makes the same
+/// session happen again.
+rs::fault::FaultPlan ChaosDemoPlan() {
+  rs::fault::FaultPlan plan;
+  rs::fault::FaultRule checkout;
+  checkout.site = "fleet.plan";
+  checkout.scope = "checkout";
+  checkout.hit = 3;
+  checkout.fault.code = rs::StatusCode::kIoError;
+  plan.rules.push_back(std::move(checkout));
+  rs::fault::FaultRule thumbnails;
+  thumbnails.site = "fleet.plan";
+  thumbnails.scope = "thumbnails";
+  thumbnails.hit = 4;
+  thumbnails.fault.kind = rs::fault::FaultKind::kThrow;
+  plan.rules.push_back(std::move(thumbnails));
+  return plan;
+}
+
+int ChaosTest(const std::string& test_name) {
+  auto capture = [] {
+    rs::fault::ScopedFaultInjection inject(ChaosDemoPlan());
+    return RecordDemoSession("rs_trace chaos demo session (seed 2026)");
+  }();
+  if (!capture.ok()) return Fail(capture.status());
+
+  // The recorded stream contains fallback boundaries, so a faults-off
+  // replay MUST diverge at the first injected fault — that divergence is
+  // what Shrink() minimizes and what the generated test guards against.
+  auto shrunk = rs::trace::Shrink(capture.ValueOrDie());
+  if (!shrunk.ok()) return Fail(shrunk.status());
+  std::cerr << "chaos capture: " << capture->events.size()
+            << " events; faults-off replay diverges ("
+            << shrunk->report.detail << "); shrunk to "
+            << shrunk->minimal_events << " events\n";
+
+  rs::trace::EmitOptions options;
+  options.fault_plan = ChaosDemoPlan();
+  const Status st = rs::trace::EmitRegressionTest(shrunk->capture, test_name,
+                                                  std::cout, options);
+  if (!st.ok()) return Fail(st);
+  return 0;
+}
+
 int GenTest(const std::string& path, const std::string& test_name) {
   auto capture = LoadFile(path);
   if (!capture.ok()) return Fail(capture.status());
@@ -271,5 +334,6 @@ int main(int argc, char** argv) {
   }
   if (command == "shrink" && argc == 4) return ShrinkFile(argv[2], argv[3]);
   if (command == "gen-test" && argc == 4) return GenTest(argv[2], argv[3]);
+  if (command == "chaos-test" && argc == 3) return ChaosTest(argv[2]);
   return Usage();
 }

@@ -44,15 +44,18 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "rs/common/stopwatch.hpp"
 #include "rs/fault/fault.hpp"
+#include "rs/wal/wal.hpp"
 
 namespace {
 
@@ -381,6 +384,51 @@ RunResult RunOnce(const Options& options,
     }
     plan_batch(&fleet, &run, horizon);
     run.serve_s = watch.ElapsedSeconds();
+    // Journal side-channel: the storm catalogue includes the wal.* sites,
+    // which the main fleet cannot hit (EnableFreshness and the journal tap
+    // are mutually exclusive). A tiny journaled fleet runs inside the storm
+    // scope instead — single-threaded, re-run from a fresh directory until
+    // every wal site has been exercised — so the fault-schedule draws are
+    // identical under every worker count and faults_fired parity holds.
+    {
+      namespace fs = std::filesystem;
+      const fs::path wal_dir = options.state_out + ".walside";
+      for (std::size_t session = 0; session < 50; ++session) {
+        std::error_code ec;
+        fs::remove_all(wal_dir, ec);
+        wal::FleetJournal journal;
+        wal::JournalPolicy policy;
+        policy.fsync = wal::FsyncPolicy::kEveryRecord;
+        policy.segment_bytes = 256;  // Rotate every couple of records.
+        if (!journal.Open(wal_dir.string(), policy).ok()) continue;
+        api::ScalerFleet side(0);
+        for (std::size_t i = 0; i < 2; ++i) {
+          std::istringstream in(buffers[i % buffers.size()]);
+          auto scaler = api::ScalerBuilder::RestoreState(in);
+          RS_CHECK(scaler.ok()) << scaler.status().ToString();
+          RS_CHECK(side.Register("wal-" + std::to_string(i),
+                                 std::move(scaler).ValueOrDie())
+                       .ok());
+        }
+        if (!wal::EnableJournal(&side, &journal).ok()) continue;
+        for (std::size_t step = 1; step <= 8 && journal.status().ok();
+             ++step) {
+          const double t = kTrainS + static_cast<double>(step);
+          (void)side.Observe("wal-0", t - 0.5);
+          (void)side.Observe("wal-1", t - 0.25);
+          (void)side.PlanAll(t);
+        }
+        journal.Detach();
+        const auto side_stats = inject.Stats();
+        const auto hit = [&side_stats](const char* site) {
+          const auto it = side_stats.find(site);
+          return it != side_stats.end() && it->second.hits > 0;
+        };
+        if (hit("wal.append") && hit("wal.fsync") && hit("wal.rotate")) break;
+      }
+      std::error_code ec;
+      fs::remove_all(wal_dir, ec);
+    }
     run.faults_fired = inject.total_fired();
     // The storm must actually roll over the whole catalogue: a site with
     // zero hits means the scenario stopped exercising that path.

@@ -1191,17 +1191,22 @@ Status ScalerFleet::RestoreTenant(std::istream& in,
   return RegisterTenant(std::move(tenant));
 }
 
+Status ScalerFleet::SaveFleetSection(persist::Writer* writer) const {
+  writer->BeginSection(persist::kTagFleet);
+  writer->WriteU32(kFleetLayerVersion);
+  writer->WriteBool(policy_.has_value());
+  if (policy_.has_value()) WritePolicy(writer, *policy_);
+  writer->WriteU64(tenants_.size());
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    RS_RETURN_NOT_OK(WriteTenantRecord(writer, i));
+  }
+  writer->EndSection();
+  return Status::OK();
+}
+
 Status ScalerFleet::SaveFleet(std::ostream& out) const {
   persist::Writer writer;
-  writer.BeginSection(persist::kTagFleet);
-  writer.WriteU32(kFleetLayerVersion);
-  writer.WriteBool(policy_.has_value());
-  if (policy_.has_value()) WritePolicy(&writer, *policy_);
-  writer.WriteU64(tenants_.size());
-  for (std::size_t i = 0; i < tenants_.size(); ++i) {
-    RS_RETURN_NOT_OK(WriteTenantRecord(&writer, i));
-  }
-  writer.EndSection();
+  RS_RETURN_NOT_OK(SaveFleetSection(&writer));
   return writer.Finish(out);
 }
 
@@ -1214,11 +1219,10 @@ Status ScalerFleet::SaveFleetToFile(const std::string& path) const {
   return persist::AtomicWriteFile(path, buffer.str());
 }
 
-Result<ScalerFleet> ScalerFleet::LoadFleet(std::istream& in,
-                                           const FleetRestoreOptions& options) {
-  RS_ASSIGN_OR_RETURN(persist::Reader reader, persist::Reader::FromStream(in));
-  RS_RETURN_NOT_OK(reader.EnterSection(persist::kTagFleet));
-  RS_ASSIGN_OR_RETURN(const std::uint32_t layer_version, reader.ReadU32());
+Result<ScalerFleet> ScalerFleet::LoadFleetSection(
+    persist::Reader* reader, const FleetRestoreOptions& options) {
+  RS_RETURN_NOT_OK(reader->EnterSection(persist::kTagFleet));
+  RS_ASSIGN_OR_RETURN(const std::uint32_t layer_version, reader->ReadU32());
   if (layer_version == 0 || layer_version > kFleetLayerVersion) {
     return Status::Invalid("fleet snapshot record version " +
                            std::to_string(layer_version) +
@@ -1226,25 +1230,31 @@ Result<ScalerFleet> ScalerFleet::LoadFleet(std::istream& in,
   }
   ScalerFleet fleet(options.worker_threads);
   if (layer_version >= 2) {
-    RS_ASSIGN_OR_RETURN(const bool has_freshness, reader.ReadBool());
+    RS_ASSIGN_OR_RETURN(const bool has_freshness, reader->ReadBool());
     if (has_freshness) {
-      RS_ASSIGN_OR_RETURN(FreshnessPolicy policy, ReadPolicy(&reader));
+      RS_ASSIGN_OR_RETURN(FreshnessPolicy policy, ReadPolicy(reader));
       // Enable before registering, so every restored tenant's loop state
       // binds to the policy as it lands.
       RS_RETURN_NOT_OK(fleet.EnableFreshness(policy));
     }
   }
-  RS_ASSIGN_OR_RETURN(const std::uint64_t count, reader.ReadU64());
+  RS_ASSIGN_OR_RETURN(const std::uint64_t count, reader->ReadU64());
   for (std::uint64_t i = 0; i < count; ++i) {
     RS_ASSIGN_OR_RETURN(
         auto tenant,
-        ReadTenantRecord(&reader, options.decision_clock_for,
+        ReadTenantRecord(reader, options.decision_clock_for,
                          fleet.policy_.has_value() ? &*fleet.policy_
                                                    : nullptr));
     RS_RETURN_NOT_OK(fleet.RegisterTenant(std::move(tenant)));
   }
-  RS_RETURN_NOT_OK(reader.ExitSection());
+  RS_RETURN_NOT_OK(reader->ExitSection());
   return fleet;
+}
+
+Result<ScalerFleet> ScalerFleet::LoadFleet(std::istream& in,
+                                           const FleetRestoreOptions& options) {
+  RS_ASSIGN_OR_RETURN(persist::Reader reader, persist::Reader::FromStream(in));
+  return LoadFleetSection(&reader, options);
 }
 
 Result<ScalerFleet> ScalerFleet::LoadFleetFromFile(

@@ -459,6 +459,14 @@ class ScalerFleet {
   static Result<ScalerFleet> LoadFleetFromFile(
       const std::string& path, const FleetRestoreOptions& options = {});
 
+  /// Section-level codec, for embedding the fleet record in larger
+  /// containers (the rs::wal checkpoint ties one to a journal LSN).
+  /// SaveFleetSection writes the FLET section into an open writer;
+  /// LoadFleetSection decodes one from an open reader positioned at it.
+  Status SaveFleetSection(persist::Writer* writer) const;
+  static Result<ScalerFleet> LoadFleetSection(
+      persist::Reader* reader, const FleetRestoreOptions& options = {});
+
   /// \brief Moves one tenant to another live fleet: snapshot → restore into
   ///        `target` → retire here. The tenant's action sequence continues
   ///        byte-identically across the cut (same guarantee as

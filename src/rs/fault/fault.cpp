@@ -50,6 +50,19 @@ const std::vector<SiteInfo>& RegisteredSites() {
        "AtomicWriteFile commit rename — the snapshot swap itself fails; the "
        "previous file stays intact",
        false},
+      {"wal.append",
+       "journal record append — a failed/short write to the active segment; "
+       "retried, then the journal fail-stops (serving continues unjournaled "
+       "and recovery still replays the durable prefix)",
+       false},
+      {"wal.fsync",
+       "journal fsync at a policy-mandated durability point — the flush "
+       "fails; retried, then the journal fail-stops",
+       false},
+      {"wal.rotate",
+       "journal segment rotation — creating/switching to the next segment "
+       "file fails; retried, then the journal fail-stops",
+       false},
   };
   return kSites;
 }

@@ -144,6 +144,14 @@ Result<Reader> Reader::FromStream(std::istream& in) {
 }
 
 Result<Reader> Reader::FromBytes(std::string bytes) {
+  if (bytes.empty()) {
+    // Zero bytes is its own failure mode (an empty file from `touch`, a
+    // crash before any write, a truncated-to-nothing journal segment);
+    // name it instead of folding it into the generic truncation message.
+    return Status::Invalid(
+        "snapshot is empty (0 bytes): no header, no payload, no CRC — "
+        "the file was never written or was truncated to nothing");
+  }
   if (bytes.size() < kHeaderBytes + kTrailerBytes) {
     return Status::Invalid(Cat("snapshot truncated: ", bytes.size(),
                                " bytes is smaller than the ",

@@ -80,6 +80,8 @@ inline constexpr std::uint32_t kTagHealth = MakeTag('H', 'L', 'T', 'H');
 inline constexpr std::uint32_t kTagTraceCapture = MakeTag('T', 'R', 'C', 'E');
 inline constexpr std::uint32_t kTagTraceMeta = MakeTag('T', 'M', 'E', 'T');
 inline constexpr std::uint32_t kTagTraceEvents = MakeTag('T', 'E', 'V', 'T');
+// rs::wal journal checkpoint container (docs/WAL_FORMAT.md).
+inline constexpr std::uint32_t kTagWalCheckpoint = MakeTag('W', 'C', 'K', 'P');
 
 /// CRC-32 (IEEE reflected, poly 0xEDB88320) over `n` bytes; chainable via
 /// `seed`. Exposed for the snapshot inspector and corruption tests.

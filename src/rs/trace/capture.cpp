@@ -45,7 +45,9 @@ Status ReadAction(persist::Reader* reader, sim::ScalingAction* action) {
   return Status::OK();
 }
 
-void WriteEvent(persist::Writer* writer, const Event& event) {
+}  // namespace
+
+void EncodeEvent(persist::Writer* writer, const Event& event) {
   writer->WriteU8(static_cast<std::uint8_t>(event.kind));
   switch (event.kind) {
     case EventKind::kRegister:
@@ -86,7 +88,7 @@ void WriteEvent(persist::Writer* writer, const Event& event) {
   }
 }
 
-Status ReadEvent(persist::Reader* reader, Event* event) {
+Status DecodeEvent(persist::Reader* reader, Event* event) {
   RS_ASSIGN_OR_RETURN(const std::uint8_t kind, reader->ReadU8());
   if (kind < 1 || kind > 6) {
     return Status::Invalid("trace capture carries unknown event kind " +
@@ -160,8 +162,6 @@ Status ReadEvent(persist::Reader* reader, Event* event) {
   return Status::OK();
 }
 
-}  // namespace
-
 const char* EventKindName(EventKind kind) {
   switch (kind) {
     case EventKind::kRegister:
@@ -191,7 +191,7 @@ Status Capture::SaveSection(persist::Writer* writer) const {
 
   writer->BeginSection(persist::kTagTraceEvents);
   writer->WriteU64(events.size());
-  for (const Event& event : events) WriteEvent(writer, event);
+  for (const Event& event : events) EncodeEvent(writer, event);
   writer->EndSection();
 
   writer->EndSection();
@@ -225,7 +225,7 @@ Result<Capture> Capture::LoadSection(persist::Reader* reader) {
   }
   capture.events.resize(static_cast<std::size_t>(count));
   for (Event& event : capture.events) {
-    RS_RETURN_NOT_OK(ReadEvent(reader, &event));
+    RS_RETURN_NOT_OK(DecodeEvent(reader, &event));
   }
   RS_RETURN_NOT_OK(reader->ExitSection());
 

@@ -213,8 +213,13 @@ Result<api::Scaler> RestoreEmbedded(const Event& event,
 
 Result<ReplayReport> Replay(const Capture& capture,
                             const ReplayOptions& options) {
-  api::ScalerFleet fleet(options.worker_threads);
-  std::unordered_map<std::uint32_t, std::string> names;
+  // Recovery replays into an existing fleet (restored from a checkpoint,
+  // with the checkpoint's intern table seeding `names`); the default builds
+  // a fresh one from the capture's embedded snapshots.
+  api::ScalerFleet own_fleet(options.into != nullptr ? 0
+                                                     : options.worker_threads);
+  api::ScalerFleet& fleet = options.into != nullptr ? *options.into : own_fleet;
+  std::unordered_map<std::uint32_t, std::string> names = options.tenant_names;
   Verifier verifier;
   verifier.SetNames(&names);
   RS_RETURN_NOT_OK(fleet.AttachTap(&verifier));

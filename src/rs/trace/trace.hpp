@@ -131,6 +131,18 @@ struct Capture {
   static Result<Capture> LoadSection(persist::Reader* reader);
 };
 
+/// \brief Event-record codec, exposed for containers that embed individual
+///        trace events outside a TEVT section (the rs::wal journal frames
+///        one encoded event per journal record; docs/WAL_FORMAT.md).
+///
+/// The byte grammar is exactly the TEVT per-event encoding from
+/// docs/TRACE_FORMAT.md — one wire format shared by capture and journal.
+/// DecodeEvent applies the same validation as capture loading (unknown
+/// kinds, empty register names, corrupt outcome bits) and never reads past
+/// the reader's remaining bytes.
+void EncodeEvent(persist::Writer* writer, const Event& event);
+Status DecodeEvent(persist::Reader* reader, Event* event);
+
 /// \brief ServingTap that records a live fleet's session into a Capture.
 ///
 /// Usage:
@@ -209,6 +221,16 @@ struct ReplayOptions {
       decision_clock_for;
   /// Replay only the first `max_events` events (0 = the whole capture).
   std::size_t max_events = 0;
+  /// Replay into this existing live fleet instead of constructing a fresh
+  /// one (crash recovery: the fleet was just restored from a checkpoint and
+  /// the journal tail is re-driven on top). The fleet must not have a tap
+  /// attached; `worker_threads` is ignored. Null: build a fresh fleet.
+  api::ScalerFleet* into = nullptr;
+  /// Seed tenant-id interning for events that reference tenants registered
+  /// before the capture/journal-tail begins (recovery: the checkpoint's
+  /// intern table). Ids in the stream resolve through this map first;
+  /// kRegister events extend it as usual.
+  std::unordered_map<std::uint32_t, std::string> tenant_names;
 };
 
 /// Replay outcome. `diverged` distinguishes a *behavioral* mismatch (the

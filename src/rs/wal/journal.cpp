@@ -1,0 +1,724 @@
+/// \file journal.cpp
+/// \brief FleetJournal write path: open/repair, append with CRC framing and
+///        fsync policy, segment rotation, checkpointing, and the ServingTap
+///        callbacks that feed it. docs/WAL_FORMAT.md is the normative
+///        on-disk spec; recovery lives in recover.cpp.
+#include <fcntl.h>
+
+#include <filesystem>
+#include <system_error>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "rs/fault/fault.hpp"
+#include "rs/persist/atomic_file.hpp"
+#include "rs/persist/persist.hpp"
+#include "rs/wal/internal.hpp"
+#include "rs/wal/wal.hpp"
+
+namespace rs::wal {
+
+namespace {
+
+/// Append/fsync/rotate attempts before the journal fail-stops.
+constexpr int kAttempts = 3;
+
+CrashPointHook g_crash_hook = nullptr;
+void* g_crash_hook_arg = nullptr;
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, const char* data, std::size_t size,
+                const std::string& what) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno(what);
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteFileDurable(const std::string& path, const std::string& bytes) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("cannot open " + path);
+  Status written = WriteAll(fd, bytes.data(), bytes.size(), "write " + path);
+  if (written.ok() && ::fsync(fd) != 0) {
+    written = Errno("fsync " + path);
+  }
+  ::close(fd);
+  return written;
+}
+
+/// One journal-record payload is a complete rs::persist container holding a
+/// single trace event — the reader revalidates magic/version/CRC for free.
+Result<std::string> EncodePayload(const trace::Event& event) {
+  persist::Writer writer;
+  trace::EncodeEvent(&writer, event);
+  std::ostringstream out(std::ios::binary);
+  RS_RETURN_NOT_OK(writer.Finish(out));
+  return std::move(out).str();
+}
+
+Status DecodePayload(std::string_view payload, trace::Event* event) {
+  RS_ASSIGN_OR_RETURN(persist::Reader reader,
+                      persist::Reader::FromBytes(std::string(payload)));
+  RS_RETURN_NOT_OK(trace::DecodeEvent(&reader, event));
+  if (reader.remaining() != 0) {
+    return Status::Invalid("journal record payload carries " +
+                           std::to_string(reader.remaining()) +
+                           " trailing bytes after the event");
+  }
+  return Status::OK();
+}
+
+/// Segment filenames are wal-<16 hex digits of first LSN>.rswal so a
+/// lexicographic sort is an LSN sort.
+bool ParseSegmentName(const std::string& name, std::uint64_t* first_lsn) {
+  constexpr const char kPrefix[] = "wal-";
+  constexpr const char kSuffix[] = ".rswal";
+  if (name.size() != 4 + 16 + 6) return false;
+  if (name.compare(0, 4, kPrefix) != 0) return false;
+  if (name.compare(20, 6, kSuffix) != 0) return false;
+  std::uint64_t value = 0;
+  for (std::size_t i = 4; i < 20; ++i) {
+    const char c = name[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  *first_lsn = value;
+  return true;
+}
+
+}  // namespace
+
+void SetCrashPointHook(CrashPointHook hook, void* arg) {
+  g_crash_hook = hook;
+  g_crash_hook_arg = arg;
+}
+
+void CrashPoint(const char* point) {
+  if (g_crash_hook != nullptr) g_crash_hook(g_crash_hook_arg, point);
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kEveryRecord:
+      return "every-record";
+    case FsyncPolicy::kEveryN:
+      return "every-n";
+    case FsyncPolicy::kEveryT:
+      return "every-t";
+    case FsyncPolicy::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
+FleetJournal::~FleetJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string FleetJournal::SegmentPath(std::uint64_t first_lsn) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%016llx.rswal",
+                static_cast<unsigned long long>(first_lsn));
+  return dir_ + "/" + name;
+}
+
+std::uint32_t FleetJournal::InternId(const std::string& tenant) const {
+  const auto it = ids_.find(tenant);
+  // The fleet only fires callbacks for tenants it holds, and every way a
+  // tenant can land in the fleet fires OnRegister first, so the lookup
+  // cannot miss; 0 (never a valid id) keeps a corrupted stream decodable.
+  return it == ids_.end() ? 0 : it->second;
+}
+
+Status FleetJournal::Open(const std::string& dir,
+                          const JournalPolicy& policy) {
+  if (opened_) {
+    return Status::Invalid("FleetJournal::Open: already open (one journal "
+                           "object drives one directory)");
+  }
+  dir_ = dir;
+  policy_ = policy;
+  {
+    // create_directories: journal dirs are often nested under a state root
+    // that may not exist yet (bench/crashtest scratch trees).
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+      return Status::IoError(
+          "FleetJournal::Open: cannot create journal directory " + dir_ +
+          ": " + ec.message());
+    }
+  }
+  open_report_ = OpenReport{};
+  // A crash between checkpoint temp-write and rename strands a `.tmp`; the
+  // committed checkpoint (if any) is intact, so the orphan is pure litter.
+  open_report_.removed_tmp_files = persist::RemoveStaleTempFiles(dir_);
+
+  const std::string checkpoint_path = dir_ + "/checkpoint.rsnp";
+  if (std::ifstream(checkpoint_path, std::ios::binary).good()) {
+    RS_RETURN_NOT_OK(LoadCheckpointMeta(checkpoint_path));
+    open_report_.had_checkpoint = true;
+    open_report_.checkpoint_lsn = checkpoint_lsn_;
+  }
+
+  std::vector<std::string> names;
+  {
+    DIR* d = ::opendir(dir_.c_str());
+    if (d == nullptr) {
+      return Errno("FleetJournal::Open: cannot list " + dir_);
+    }
+    while (const dirent* entry = ::readdir(d)) {
+      std::uint64_t ignored = 0;
+      if (ParseSegmentName(entry->d_name, &ignored)) {
+        names.emplace_back(entry->d_name);
+      }
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+  }
+
+  // A crash mid-rotation can leave a trailing segment with a missing or
+  // partial header (no records can exist past a torn header). Drop those
+  // from the back; a bad header *before* the journal's end is corruption
+  // and fails below.
+  while (!names.empty()) {
+    const std::string path = dir_ + "/" + names.back();
+    std::string bytes;
+    RS_RETURN_NOT_OK(internal::ReadFileBytes(path, &bytes));
+    if (bytes.size() >= internal::kSegmentHeaderBytes &&
+        internal::ReadU32Le(bytes.data()) == internal::kSegmentMagic) {
+      break;
+    }
+    std::remove(path.c_str());
+    ++open_report_.dropped_segments;
+    names.pop_back();
+  }
+
+  segments_.clear();
+  tail_.clear();
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string path = dir_ + "/" + names[i];
+    std::string bytes;
+    RS_RETURN_NOT_OK(internal::ReadFileBytes(path, &bytes));
+    const bool last = i + 1 == names.size();
+    const auto on_record = [this](std::uint64_t lsn,
+                                  std::string_view payload) -> Status {
+      if (lsn <= checkpoint_lsn_) return Status::OK();  // snapshot covers it
+      trace::Event event;
+      RS_RETURN_NOT_OK(DecodePayload(payload, &event));
+      // The journal tail extends the checkpoint's intern table exactly the
+      // way live appends built it.
+      if (event.kind == trace::EventKind::kRegister) {
+        names_[event.id] = event.name;
+        ids_[event.name] = event.id;
+        if (event.id >= next_id_) next_id_ = event.id + 1;
+      } else if (event.kind == trace::EventKind::kRetire) {
+        const auto named = names_.find(event.id);
+        if (named != names_.end()) {
+          const auto live = ids_.find(named->second);
+          if (live != ids_.end() && live->second == event.id) {
+            ids_.erase(live);
+          }
+        }
+      }
+      tail_.push_back(std::move(event));
+      return Status::OK();
+    };
+    auto scan = internal::ScanSegmentBytes(bytes, /*allow_torn_tail=*/last,
+                                           expected, on_record);
+    if (!scan.ok()) {
+      return Status(scan.status().code(),
+                    "journal segment " + names[i] + ": " +
+                        scan.status().message());
+    }
+    std::uint64_t file_lsn = 0;
+    ParseSegmentName(names[i], &file_lsn);
+    if (file_lsn != scan->first_lsn) {
+      return Status::Invalid("journal segment " + names[i] +
+                             " is named for LSN " + std::to_string(file_lsn) +
+                             " but its header claims LSN " +
+                             std::to_string(scan->first_lsn) +
+                             "; the file was renamed or spliced");
+    }
+    if (i == 0) {
+      const bool gap = open_report_.had_checkpoint
+                           ? scan->first_lsn > checkpoint_lsn_ + 1
+                           : scan->first_lsn != 1;
+      if (gap) {
+        return Status::Invalid(
+            "journal begins at LSN " + std::to_string(scan->first_lsn) +
+            " but nothing covers LSN " +
+            std::to_string(checkpoint_lsn_ + 1) +
+            " onward (retired segments were removed without a covering "
+            "checkpoint, or the checkpoint was rolled back)");
+      }
+    }
+    if (scan->torn_bytes > 0) {
+      // Torn tail from a crash mid-append: cut the file back to the last
+      // intact record boundary, durably.
+      const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+      if (fd < 0) {
+        return Errno("FleetJournal::Open: cannot reopen " + path +
+                     " to truncate its torn tail");
+      }
+      if (::ftruncate(fd, static_cast<off_t>(scan->valid_bytes)) != 0) {
+        const Status error =
+            Errno("FleetJournal::Open: cannot truncate torn tail of " + path);
+        ::close(fd);
+        return error;
+      }
+      ::fsync(fd);
+      ::close(fd);
+      open_report_.truncated_bytes += scan->torn_bytes;
+    }
+    segments_.emplace_back(scan->first_lsn, path);
+    expected = scan->records > 0 ? scan->last_lsn + 1 : scan->first_lsn;
+    if (last) {
+      active_size_ = scan->valid_bytes;
+      active_records_ = scan->records;
+    }
+  }
+
+  next_lsn_ = segments_.empty() ? checkpoint_lsn_ + 1 : expected;
+  if (last_lsn() < checkpoint_lsn_) {
+    return Status::Invalid(
+        "journal ends at LSN " + std::to_string(last_lsn()) +
+        " but the checkpoint claims LSN " + std::to_string(checkpoint_lsn_) +
+        ": stale snapshot with a lost journal suffix — the journal was "
+        "truncated below its own checkpoint, which no crash can do");
+  }
+
+  if (segments_.empty()) {
+    const std::string path = SegmentPath(next_lsn_);
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return Errno("FleetJournal::Open: cannot create first segment " + path);
+    }
+    const std::string header = internal::BuildSegmentHeader(next_lsn_);
+    Status written =
+        WriteAll(fd, header.data(), header.size(), "write header of " + path);
+    if (written.ok() && ::fsync(fd) != 0) {
+      written = Errno("fsync " + path);
+    }
+    if (!written.ok()) {
+      ::close(fd);
+      return written;
+    }
+    RS_RETURN_NOT_OK(persist::FsyncParentDir(path));
+    fd_ = fd;
+    active_path_ = path;
+    active_size_ = internal::kSegmentHeaderBytes;
+    active_records_ = 0;
+    segments_.emplace_back(next_lsn_, path);
+  } else {
+    active_path_ = segments_.back().second;
+    fd_ = ::open(active_path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd_ < 0) {
+      return Errno("FleetJournal::Open: cannot open active segment " +
+                   active_path_);
+    }
+  }
+
+  records_since_fsync_ = 0;
+  last_fsync_ = std::chrono::steady_clock::now();
+  status_ = Status::OK();
+  opened_ = true;
+  open_report_.segments = segments_.size();
+  open_report_.last_lsn = last_lsn();
+  open_report_.tail_events = tail_.size();
+  return Status::OK();
+}
+
+Status FleetJournal::AppendAttempt(const std::string& frame) {
+  // Direct Hit() rather than RS_FAULT_POINT: the injected error must feed
+  // the retry loop like a real short write.
+  RS_RETURN_NOT_OK(fault::Hit("wal.append"));
+  CrashPoint("wal.append.head");
+  Status written = WriteAll(fd_, frame.data(), internal::kFrameHeaderBytes,
+                            "append to " + active_path_);
+  if (written.ok()) {
+    // Two write() calls so a crash at the window between them leaves a
+    // genuinely torn record (frame header, no payload) for recovery to cut.
+    CrashPoint("wal.append.torn");
+    written = WriteAll(fd_, frame.data() + internal::kFrameHeaderBytes,
+                       frame.size() - internal::kFrameHeaderBytes,
+                       "append to " + active_path_);
+  }
+  if (!written.ok()) {
+    // A partial record may be on disk; cut back to the record boundary so a
+    // retry never produces a half-frame followed by a fresh frame.
+    (void)::ftruncate(fd_, static_cast<off_t>(active_size_));
+    return written;
+  }
+  CrashPoint("wal.append.done");
+  return Status::OK();
+}
+
+Status FleetJournal::FsyncActive() {
+  Status last;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    last = fault::Hit("wal.fsync");
+    if (!last.ok()) continue;
+    CrashPoint("wal.fsync.before");
+    if (::fsync(fd_) != 0) {
+      last = Errno("fsync " + active_path_);
+      continue;
+    }
+    CrashPoint("wal.fsync.after");
+    ++fsyncs_;
+    records_since_fsync_ = 0;
+    last_fsync_ = std::chrono::steady_clock::now();
+    return Status::OK();
+  }
+  return last;
+}
+
+Status FleetJournal::MaybeFsync() {
+  switch (policy_.fsync) {
+    case FsyncPolicy::kEveryRecord:
+      return FsyncActive();
+    case FsyncPolicy::kEveryN:
+      return records_since_fsync_ >= policy_.fsync_every_n ? FsyncActive()
+                                                           : Status::OK();
+    case FsyncPolicy::kEveryT: {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - last_fsync_;
+      return elapsed.count() >= policy_.fsync_every_s ? FsyncActive()
+                                                      : Status::OK();
+    }
+    case FsyncPolicy::kNone:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status FleetJournal::Rotate() {
+  CrashPoint("wal.rotate.begin");
+  // The outgoing segment must be fully durable before the journal moves
+  // on — rotation is rare, so this syncs under every policy.
+  RS_RETURN_NOT_OK(FsyncActive());
+  const std::string path = SegmentPath(next_lsn_);
+  const std::string header = internal::BuildSegmentHeader(next_lsn_);
+  Status last;
+  int new_fd = -1;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    last = fault::Hit("wal.rotate");
+    if (!last.ok()) continue;
+    // O_TRUNC: a previous crashed rotation attempt may have left a partial
+    // file here; restart it cleanly.
+    new_fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (new_fd < 0) {
+      last = Errno("FleetJournal::Rotate: cannot create " + path);
+      continue;
+    }
+    last = WriteAll(new_fd, header.data(), header.size(),
+                    "write header of " + path);
+    if (last.ok() && ::fsync(new_fd) != 0) {
+      last = Errno("fsync " + path);
+    }
+    if (last.ok()) break;
+    ::close(new_fd);
+    new_fd = -1;
+  }
+  RS_RETURN_NOT_OK(last);
+  CrashPoint("wal.rotate.created");
+  {
+    const Status synced = persist::FsyncParentDir(path);
+    if (!synced.ok()) {
+      ::close(new_fd);
+      return synced;
+    }
+  }
+  ::close(fd_);
+  fd_ = new_fd;
+  active_path_ = path;
+  active_size_ = internal::kSegmentHeaderBytes;
+  active_records_ = 0;
+  segments_.emplace_back(next_lsn_, path);
+  CrashPoint("wal.rotate.done");
+  return Status::OK();
+}
+
+void FleetJournal::Append(const trace::Event& event) {
+  if (!opened_ || !status_.ok()) return;
+  auto payload = EncodePayload(event);
+  if (!payload.ok()) {
+    status_ = payload.status();
+    return;
+  }
+  const std::string frame = internal::BuildFrame(next_lsn_, *payload);
+  if (active_records_ > 0 &&
+      active_size_ + frame.size() > policy_.segment_bytes) {
+    const Status rotated = Rotate();
+    if (!rotated.ok()) {
+      status_ = Status(rotated.code(),
+                       "journal fail-stop at LSN " +
+                           std::to_string(next_lsn_) +
+                           " (rotation): " + rotated.message());
+      return;
+    }
+  }
+  Status appended;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    appended = AppendAttempt(frame);
+    if (appended.ok()) break;
+  }
+  if (!appended.ok()) {
+    status_ = Status(appended.code(),
+                     "journal fail-stop at LSN " + std::to_string(next_lsn_) +
+                         " (append): " + appended.message());
+    return;
+  }
+  active_size_ += frame.size();
+  ++active_records_;
+  ++next_lsn_;
+  ++records_since_fsync_;
+  const Status synced = MaybeFsync();
+  if (!synced.ok()) {
+    status_ = Status(synced.code(), "journal fail-stop at LSN " +
+                                        std::to_string(last_lsn()) +
+                                        " (fsync): " + synced.message());
+  }
+}
+
+Status FleetJournal::Sync() {
+  if (!opened_) {
+    return Status::Invalid("FleetJournal::Sync: journal is not open");
+  }
+  RS_RETURN_NOT_OK(status_);
+  const Status synced = FsyncActive();
+  if (!synced.ok()) {
+    status_ = Status(synced.code(),
+                     "journal fail-stop (sync): " + synced.message());
+  }
+  return synced;
+}
+
+Status FleetJournal::Attach(api::ScalerFleet* fleet) {
+  if (fleet == nullptr) {
+    return Status::Invalid("FleetJournal::Attach: fleet is null");
+  }
+  if (!opened_) {
+    return Status::Invalid("FleetJournal::Attach: Open the journal first");
+  }
+  if (fleet_ != nullptr) {
+    return Status::Invalid(
+        "FleetJournal::Attach: already attached (Detach first; one journal "
+        "records one fleet at a time)");
+  }
+  RS_RETURN_NOT_OK(fleet->AttachTap(this));
+  fleet_ = fleet;
+  // Journal a registration (with full scaler snapshot) for every fleet
+  // tenant the journal has not seen: a fresh fleet journals everything, a
+  // fleet Recover() just rebuilt journals nothing twice.
+  for (const std::string& tenant : fleet->Tenants()) {
+    if (ids_.count(tenant) != 0) continue;
+    const api::Scaler* scaler = fleet->Find(tenant);
+    std::ostringstream state(std::ios::binary);
+    const Status saved = scaler->SaveState(state);
+    if (!saved.ok()) {
+      Detach();
+      return Status(saved.code(), "FleetJournal::Attach: tenant \"" + tenant +
+                                      "\" cannot be snapshotted: " +
+                                      saved.message());
+    }
+    trace::Event event;
+    event.kind = trace::EventKind::kRegister;
+    event.id = next_id_++;
+    event.name = tenant;
+    event.state = std::move(state).str();
+    ids_[tenant] = event.id;
+    names_[event.id] = tenant;
+    Append(event);
+  }
+  return Status::OK();
+}
+
+void FleetJournal::Detach() {
+  if (fleet_ == nullptr) return;
+  fleet_->DetachTap();
+  fleet_ = nullptr;
+}
+
+Status FleetJournal::Checkpoint(const std::string& user_meta) {
+  if (!opened_) {
+    return Status::Invalid("FleetJournal::Checkpoint: journal is not open");
+  }
+  if (fleet_ == nullptr) {
+    return Status::Invalid(
+        "FleetJournal::Checkpoint: no fleet attached (the checkpoint embeds "
+        "the attached fleet's state)");
+  }
+  RS_RETURN_NOT_OK(status_);
+  // WAL rule: the checkpoint LSN must never lead the durable journal, so
+  // the journal is synced first under every fsync policy.
+  RS_RETURN_NOT_OK(Sync());
+  CrashPoint("wal.checkpoint.begin");
+  const std::uint64_t lsn = last_lsn();
+
+  persist::Writer writer;
+  writer.BeginSection(persist::kTagWalCheckpoint);
+  writer.WriteU32(internal::kWalLayerVersion);
+  writer.WriteU64(lsn);
+  writer.WriteU64(next_id_);
+  // Intern table sorted by id: a deterministic encoding, and recovery
+  // learns dead ids (live=false) without replaying pre-checkpoint events.
+  std::vector<std::pair<std::uint32_t, std::string>> entries(names_.begin(),
+                                                             names_.end());
+  std::sort(entries.begin(), entries.end());
+  writer.WriteU64(entries.size());
+  for (const auto& [id, name] : entries) {
+    writer.WriteU32(id);
+    writer.WriteString(name);
+    const auto live = ids_.find(name);
+    writer.WriteBool(live != ids_.end() && live->second == id);
+  }
+  writer.WriteString(user_meta);
+  RS_RETURN_NOT_OK(fleet_->SaveFleetSection(&writer));
+  writer.EndSection();
+  std::ostringstream encoded(std::ios::binary);
+  RS_RETURN_NOT_OK(writer.Finish(encoded));
+
+  // Durable temp-write + rename by hand (not AtomicWriteFile) so the crash
+  // windows between the steps are injectable; same persist.* fault sites.
+  const std::string path = dir_ + "/checkpoint.rsnp";
+  const std::string tmp = path + ".tmp";
+  RS_RETURN_NOT_OK(fault::Hit("persist.write"));
+  RS_RETURN_NOT_OK(WriteFileDurable(tmp, encoded.str()));
+  CrashPoint("wal.checkpoint.tmp");
+  RS_RETURN_NOT_OK(fault::Hit("persist.rename"));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("FleetJournal::Checkpoint: rename " + tmp + " -> " + path);
+  }
+  CrashPoint("wal.checkpoint.renamed");
+  RS_RETURN_NOT_OK(persist::FsyncParentDir(path));
+  CrashPoint("wal.checkpoint.done");
+  checkpoint_lsn_ = lsn;
+  checkpoint_meta_ = user_meta;
+
+  // Retire segments fully covered by the checkpoint. The active segment is
+  // always kept, which preserves the journal-end >= checkpoint invariant.
+  if (policy_.remove_retired_segments) {
+    bool removed = false;
+    while (segments_.size() >= 2 &&
+           segments_[1].first <= checkpoint_lsn_ + 1) {
+      std::remove(segments_.front().second.c_str());
+      segments_.erase(segments_.begin());
+      removed = true;
+    }
+    if (removed) {
+      RS_RETURN_NOT_OK(persist::FsyncParentDir(path));
+    }
+  }
+  return Status::OK();
+}
+
+// -- ServingTap -------------------------------------------------------------
+
+void FleetJournal::OnRegister(const std::string& tenant,
+                              const api::Scaler& scaler) {
+  trace::Event event;
+  event.kind = trace::EventKind::kRegister;
+  event.id = next_id_++;
+  event.name = tenant;
+  std::ostringstream state(std::ios::binary);
+  // A scaler that cannot serialize journals an empty state, which recovery
+  // rejects with a descriptive error rather than silently dropping the
+  // tenant (same contract as trace::Recorder).
+  if (scaler.SaveState(state).ok()) event.state = std::move(state).str();
+  ids_[tenant] = event.id;
+  names_[event.id] = tenant;
+  Append(event);
+}
+
+void FleetJournal::OnRetire(const std::string& tenant) {
+  trace::Event event;
+  event.kind = trace::EventKind::kRetire;
+  event.id = InternId(tenant);
+  ids_.erase(tenant);
+  Append(event);
+}
+
+void FleetJournal::OnReplaceModel(const std::string& tenant,
+                                  const api::Scaler& incoming,
+                                  bool at_next_plan) {
+  trace::Event event;
+  event.kind = trace::EventKind::kReplaceModel;
+  event.id = InternId(tenant);
+  event.at_next_plan = at_next_plan;
+  std::ostringstream state(std::ios::binary);
+  if (incoming.SaveState(state).ok()) event.state = std::move(state).str();
+  Append(event);
+}
+
+void FleetJournal::OnObserve(const std::string& tenant, double arrival_time,
+                             const api::Scaler::ObserveOutcome& outcome) {
+  trace::Event event;
+  event.kind = trace::EventKind::kObserve;
+  event.id = InternId(tenant);
+  event.time = arrival_time;
+  event.cold_start = outcome.cold_start;
+  event.cancel_earliest = outcome.cancel_earliest_scheduled;
+  Append(event);
+}
+
+void FleetJournal::OnPlan(const std::string& tenant, double now,
+                          const sim::ScalingAction& action,
+                          const api::TapClockMark& clock) {
+  trace::Event event;
+  event.kind = trace::EventKind::kPlan;
+  event.id = InternId(tenant);
+  event.time = now;
+  event.clock = clock;
+  event.action = action;
+  Append(event);
+}
+
+void FleetJournal::OnPlanAll(
+    double now, const std::vector<api::ScalerFleet::TenantPlan>& plans,
+    const std::vector<api::TapClockMark>& clocks) {
+  trace::Event event;
+  event.kind = trace::EventKind::kPlanAll;
+  event.time = now;
+  event.plans.reserve(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    trace::PlannedTenant plan;
+    plan.id = InternId(plans[i].tenant);
+    plan.ok = plans[i].status.ok();
+    plan.clock = i < clocks.size() ? clocks[i] : api::TapClockMark{};
+    if (plan.ok) plan.action = plans[i].action;
+    event.plans.push_back(std::move(plan));
+  }
+  Append(event);
+}
+
+}  // namespace rs::wal

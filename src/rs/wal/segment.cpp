@@ -1,0 +1,160 @@
+/// \file segment.cpp
+/// \brief Segment frame codec + scanner (shared by Open repair and
+///        InspectSegmentFile). docs/WAL_FORMAT.md is the normative spec.
+#include <fstream>
+#include <sstream>
+
+#include "rs/persist/persist.hpp"
+#include "rs/wal/internal.hpp"
+
+namespace rs::wal::internal {
+
+std::uint32_t ReadU32Le(const char* p) {
+  std::uint32_t value = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t ReadU64Le(const char* p) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+void AppendU32Le(std::string* out, std::uint32_t value) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xffu));
+  }
+}
+
+void AppendU64Le(std::string* out, std::uint64_t value) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xffu));
+  }
+}
+
+std::string BuildFrame(std::uint64_t lsn, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  AppendU64Le(&frame, lsn);
+  AppendU32Le(&frame, static_cast<std::uint32_t>(payload.size()));
+  std::uint32_t crc = persist::Crc32(frame.data(), 12);
+  crc = persist::Crc32(payload.data(), payload.size(), crc);
+  AppendU32Le(&frame, crc);
+  frame.append(payload);
+  return frame;
+}
+
+std::string BuildSegmentHeader(std::uint64_t first_lsn) {
+  std::string header;
+  header.reserve(kSegmentHeaderBytes);
+  AppendU32Le(&header, kSegmentMagic);
+  AppendU32Le(&header, kWalLayerVersion);
+  AppendU64Le(&header, first_lsn);
+  return header;
+}
+
+Result<SegmentScan> ScanSegmentBytes(
+    std::string_view bytes, bool allow_torn_tail,
+    std::uint64_t expected_first_lsn,
+    const std::function<Status(std::uint64_t lsn, std::string_view payload)>&
+        on_record) {
+  if (bytes.size() < kSegmentHeaderBytes) {
+    std::ostringstream msg;
+    msg << "journal segment is " << bytes.size() << " bytes, smaller than the "
+        << kSegmentHeaderBytes << "-byte header";
+    return Status::Invalid(msg.str());
+  }
+  const std::uint32_t magic = ReadU32Le(bytes.data());
+  if (magic != kSegmentMagic) {
+    std::ostringstream msg;
+    msg << "not a journal segment: bad magic 0x" << std::hex << magic
+        << " (expected \"RSWJ\")";
+    return Status::Invalid(msg.str());
+  }
+  const std::uint32_t version = ReadU32Le(bytes.data() + 4);
+  if (version == 0 || version > kWalLayerVersion) {
+    std::ostringstream msg;
+    msg << "journal segment layout version " << version
+        << " is newer than this build understands (reads 1.."
+        << kWalLayerVersion << "); upgrade the reader";
+    return Status::Invalid(msg.str());
+  }
+  SegmentScan scan;
+  scan.first_lsn = ReadU64Le(bytes.data() + 8);
+  if (expected_first_lsn != 0 && scan.first_lsn != expected_first_lsn) {
+    std::ostringstream msg;
+    msg << "journal segment header claims first LSN " << scan.first_lsn
+        << " but LSN " << expected_first_lsn
+        << " is expected here (LSN gap: a segment is missing or reordered)";
+    return Status::Invalid(msg.str());
+  }
+
+  std::uint64_t expected = scan.first_lsn;
+  std::size_t offset = kSegmentHeaderBytes;
+  // The first invalid record ends the log: a crash can only tear the final
+  // write, so nothing past the break is trustworthy framing.
+  const auto broken = [&](const char* why) -> Result<SegmentScan> {
+    if (allow_torn_tail) {
+      scan.valid_bytes = offset;
+      scan.torn_bytes = bytes.size() - offset;
+      return scan;
+    }
+    std::ostringstream msg;
+    msg << "journal segment corrupt at byte offset " << offset << ": " << why
+        << " (not the journal's last segment, so this cannot be a torn "
+           "tail left by a crash)";
+    return Status::Invalid(msg.str());
+  };
+
+  while (offset < bytes.size()) {
+    const std::size_t remaining = bytes.size() - offset;
+    if (remaining < kFrameHeaderBytes) {
+      return broken("truncated record frame header");
+    }
+    const std::uint64_t lsn = ReadU64Le(bytes.data() + offset);
+    const std::uint32_t len = ReadU32Le(bytes.data() + offset + 8);
+    const std::uint32_t stored_crc = ReadU32Le(bytes.data() + offset + 12);
+    if (lsn != expected) {
+      return broken("record LSN breaks the contiguous sequence");
+    }
+    if (len < kMinPayloadBytes || len > remaining - kFrameHeaderBytes) {
+      return broken("record length field exceeds the segment");
+    }
+    std::uint32_t crc = persist::Crc32(bytes.data() + offset, 12);
+    crc = persist::Crc32(bytes.data() + offset + kFrameHeaderBytes, len, crc);
+    if (crc != stored_crc) {
+      return broken("record CRC mismatch");
+    }
+    RS_RETURN_NOT_OK(
+        on_record(lsn, bytes.substr(offset + kFrameHeaderBytes, len)));
+    ++scan.records;
+    scan.last_lsn = lsn;
+    expected = lsn + 1;
+    offset += kFrameHeaderBytes + len;
+  }
+  scan.valid_bytes = offset;
+  return scan;
+}
+
+Status ReadFileBytes(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("failed to read " + path);
+  }
+  *out = std::move(buffer).str();
+  return Status::OK();
+}
+
+}  // namespace rs::wal::internal

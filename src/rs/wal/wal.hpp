@@ -1,0 +1,286 @@
+/// \file wal.hpp
+/// \brief Write-ahead event journal + crash-consistent recovery — the
+///        rs::wal subsystem.
+///
+/// PR 6 made serving state durable via snapshots; everything between two
+/// snapshots was still volatile. This layer closes the gap the way
+/// production systems do (ARIES-style write-ahead logging): every serving
+/// event the fleet emits — register, retire, replace-model, observe, plan
+/// boundaries — is appended to an on-disk journal *as it happens*, each
+/// record CRC-framed and LSN-stamped, so a kill -9 at any instruction
+/// boundary loses nothing that a caller already saw succeed:
+///
+///   recovery = load the last checkpoint (a fleet snapshot tied to a
+///   journal LSN) + replay the journal tail through rs::trace::Replay
+///   into the restored fleet, verifying every replayed action
+///   byte-for-byte against what the journal recorded.
+///
+/// The journal *is* the trace: records carry the exact rs::trace event
+/// encoding (one wire format shared by capture and journal —
+/// trace::EncodeEvent/DecodeEvent), and FleetJournal is an api::ServingTap
+/// attached through the same hook as trace::Recorder. The tap runs on the
+/// caller thread after the operation applies, so a crash between apply and
+/// append can only lose results the caller never received — never an
+/// acknowledged one once the fsync policy's durability point has passed.
+///
+/// Layering note: ISSUE 10 sketches `ScalerFleet::EnableJournal`; the api
+/// layer sits *below* trace/wal in the strictly-downward link graph, so a
+/// member function would invert the dependency. The same wiring ships as
+/// wal::EnableJournal(fleet, journal) — one call, same semantics, no cycle.
+///
+/// Failure semantics mirror the rest of the repo: append/fsync/rotate
+/// failures (fault sites wal.append / wal.fsync / wal.rotate, stormed by
+/// MakeStormPlan) are retried, then the journal fail-stops — status()
+/// turns sticky-broken, serving continues unjournaled, and recovery still
+/// replays the durable prefix. docs/WAL_FORMAT.md is the normative on-disk
+/// spec (machine-checked by tools/trace_spec_check.py);
+/// docs/ARCHITECTURE.md describes the recovery state machine.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rs/api/scaler_fleet.hpp"
+#include "rs/api/serving_tap.hpp"
+#include "rs/common/status.hpp"
+#include "rs/trace/trace.hpp"
+
+namespace rs::wal {
+
+/// When appended records are pushed to stable storage.
+enum class FsyncPolicy : std::uint8_t {
+  kEveryRecord,  ///< fsync after every append: zero-loss through power cut.
+  kEveryN,       ///< fsync every `fsync_every_n` records.
+  kEveryT,       ///< fsync when `fsync_every_s` elapsed since the last one.
+  kNone,         ///< Never fsync on append: zero-loss through kill -9 only
+                 ///< (the OS page cache survives the process), not power
+                 ///< loss. Rotation and checkpoint still sync.
+};
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+struct JournalPolicy {
+  FsyncPolicy fsync = FsyncPolicy::kEveryRecord;
+  std::uint64_t fsync_every_n = 64;  ///< FsyncPolicy::kEveryN knob.
+  double fsync_every_s = 0.05;       ///< FsyncPolicy::kEveryT knob (steady
+                                     ///< clock — avoid in parity tests).
+  /// Rotate to a fresh segment once the active one exceeds this (a record
+  /// never spans segments; tests shrink it to force rotation windows).
+  std::uint64_t segment_bytes = 4ull << 20;
+  /// Checkpoint() deletes segments fully covered by the checkpoint LSN
+  /// (the active segment is always kept, preserving the invariant that
+  /// the journal end never trails the checkpoint).
+  bool remove_retired_segments = true;
+};
+
+/// What Open() found and repaired on disk.
+struct OpenReport {
+  std::size_t segments = 0;          ///< Segment files after the scan.
+  std::uint64_t last_lsn = 0;        ///< Highest durable LSN (0: none).
+  bool had_checkpoint = false;
+  std::uint64_t checkpoint_lsn = 0;
+  std::size_t tail_events = 0;       ///< Decoded events past the checkpoint.
+  std::size_t truncated_bytes = 0;   ///< Torn tail dropped from the last
+                                     ///< segment (crash mid-append).
+  std::size_t dropped_segments = 0;  ///< Header-only/torn trailing segments
+                                     ///< dropped (crash mid-rotation).
+  std::size_t removed_tmp_files = 0; ///< Orphaned `*.tmp` swept.
+};
+
+/// Knobs for FleetJournal::Recover.
+struct RecoverOptions {
+  /// Worker-pool size of the recovered fleet.
+  std::size_t worker_threads = 0;
+  /// Decision-clock factory for restored snapshots taken under an injected
+  /// clock (same contract as trace::ReplayOptions::decision_clock_for).
+  std::function<sim::DecisionClock*(const std::string& tenant)>
+      decision_clock_for;
+};
+
+struct RecoveryReport {
+  bool had_checkpoint = false;
+  std::uint64_t checkpoint_lsn = 0;
+  std::size_t events_replayed = 0;  ///< Journal-tail events re-driven.
+};
+
+/// One segment file's verification summary (rs_snapshot --verify).
+struct SegmentReport {
+  std::uint64_t first_lsn = 0;
+  std::uint64_t last_lsn = 0;        ///< 0 when the segment holds no records.
+  std::size_t records = 0;
+  std::size_t bytes = 0;             ///< File size.
+  std::size_t torn_tail_bytes = 0;   ///< Trailing torn record (legal: a
+                                     ///< crash mid-append leaves one).
+};
+
+/// \brief Verifies one journal segment file: header magic/version, per-
+///        record CRC + length framing, and LSN contiguity. A torn tail is
+///        reported, not an error (recovery truncates it); corruption
+///        *before* the tail is an error.
+Result<SegmentReport> InspectSegmentFile(const std::string& path);
+
+/// \brief Test-only crash-point hook: called at every named crash window
+///        (wal.append.head, wal.append.torn, wal.fsync.before, ...) so a
+///        kill-point harness can _Exit mid-operation. Null disarms.
+///        Not for production use; costs one branch per window when unset.
+using CrashPointHook = void (*)(void* arg, const char* point);
+void SetCrashPointHook(CrashPointHook hook, void* arg);
+
+/// Fires the installed crash-point hook (no-op when unset). Exposed so
+/// harnesses can interleave their own points (e.g. "serve.step") with the
+/// journal's on one counter.
+void CrashPoint(const char* point);
+
+/// \brief The write-ahead journal for one fleet's serving events.
+///
+/// Lifecycle:
+///   wal::FleetJournal journal;
+///   RS_RETURN_NOT_OK(journal.Open(dir, policy));      // scan + repair
+///   RS_ASSIGN_OR_RETURN(auto fleet, journal.Recover()); // checkpoint+tail
+///   RS_RETURN_NOT_OK(journal.Attach(&fleet));         // resume journaling
+///   ... serve ...
+///   RS_RETURN_NOT_OK(journal.Checkpoint("label"));    // snapshot @ LSN
+///   journal.Detach();
+///
+/// A fresh directory skips Recover (or calls it and gets an empty fleet).
+/// Single caller thread, like the fleet itself; the journal must outlive
+/// its attachment. Incompatible with the freshness loop (the tap hook
+/// refuses the combination) — journaled fleets retrain synchronously.
+class FleetJournal final : public api::ServingTap {
+ public:
+  FleetJournal() = default;
+  ~FleetJournal() override;
+
+  FleetJournal(const FleetJournal&) = delete;
+  FleetJournal& operator=(const FleetJournal&) = delete;
+
+  /// \brief Opens (creating if needed) the journal directory: sweeps
+  ///        orphaned temp files, loads the checkpoint's LSN + tenant-id
+  ///        intern table, walks every segment validating CRC/framing/LSN
+  ///        contiguity, truncates a torn tail, decodes the event tail past
+  ///        the checkpoint, and positions for appending.
+  ///
+  /// Corruption *before* the journal end (mid-file CRC mismatch, LSN gap,
+  /// checkpoint LSN past the journal end) fails with a descriptive Status —
+  /// those are never left by a crash, only by tampering or disk rot.
+  Status Open(const std::string& dir, const JournalPolicy& policy = {});
+
+  const OpenReport& open_report() const { return open_report_; }
+
+  /// \brief Rebuilds the fleet this journal describes: restores the
+  ///        checkpoint snapshot (an empty fleet when none exists) and
+  ///        re-drives the journal tail through trace::Replay, verifying
+  ///        every replayed action byte-identically against the journal.
+  ///        A divergence means the journal does not describe this build's
+  ///        deterministic serving — corruption — and fails.
+  Result<api::ScalerFleet> Recover(const RecoverOptions& options = {},
+                                   RecoveryReport* report = nullptr);
+
+  /// \brief Attaches to `fleet` as its serving tap and journals a
+  ///        kRegister (with full scaler snapshot) for every fleet tenant
+  ///        not already in the journal's intern table — so attaching a
+  ///        fresh fleet journals everything, and re-attaching the fleet
+  ///        Recover() just rebuilt journals nothing twice.
+  Status Attach(api::ScalerFleet* fleet);
+
+  /// Detaches from the attached fleet (no-op when detached).
+  void Detach();
+
+  /// \brief Writes a checkpoint: fsyncs the journal, then durably writes
+  ///        (temp + fsync + rename + dir fsync) a snapshot container tying
+  ///        the attached fleet's full state and the journal's tenant-id
+  ///        intern table to the current LSN, then retires fully-covered
+  ///        segments. Recovery needs only the checkpoint + later records.
+  Status Checkpoint(const std::string& user_meta = "");
+
+  /// fsyncs the active segment now, regardless of policy.
+  Status Sync();
+
+  /// \brief Sticky journal health. OK until an append/fsync/rotate exhausts
+  ///        its retries; then the journal fail-stops (drops later events,
+  ///        keeps serving) and this returns the first error. The durable
+  ///        prefix stays recoverable.
+  const Status& status() const { return status_; }
+
+  std::uint64_t last_lsn() const { return next_lsn_ - 1; }
+  /// Active-segment fsyncs since Open (policy + rotation + checkpoint
+  /// syncs; bench_wal reports it per fsync policy).
+  std::uint64_t fsyncs() const { return fsyncs_; }
+  std::uint64_t checkpoint_lsn() const { return checkpoint_lsn_; }
+  const std::string& checkpoint_meta() const { return checkpoint_meta_; }
+  const std::string& directory() const { return dir_; }
+  /// Journal-tail events decoded by Open() (what Recover re-drives).
+  const std::vector<trace::Event>& tail() const { return tail_; }
+  /// Tenant-id intern table (checkpoint table + tail registrations).
+  const std::unordered_map<std::uint32_t, std::string>& tenant_names() const {
+    return names_;
+  }
+
+  // -- ServingTap (appends one journal record per successful operation) ------
+  void OnRegister(const std::string& tenant,
+                  const api::Scaler& scaler) override;
+  void OnRetire(const std::string& tenant) override;
+  void OnReplaceModel(const std::string& tenant, const api::Scaler& incoming,
+                      bool at_next_plan) override;
+  void OnObserve(const std::string& tenant, double arrival_time,
+                 const api::Scaler::ObserveOutcome& outcome) override;
+  void OnPlan(const std::string& tenant, double now,
+              const sim::ScalingAction& action,
+              const api::TapClockMark& clock) override;
+  void OnPlanAll(double now,
+                 const std::vector<api::ScalerFleet::TenantPlan>& plans,
+                 const std::vector<api::TapClockMark>& clocks) override;
+
+ private:
+  std::uint32_t InternId(const std::string& tenant) const;
+  /// Encodes + frames + appends one event; on exhausted retries flips
+  /// status_ to broken. The journal's single write path.
+  void Append(const trace::Event& event);
+  Status AppendAttempt(const std::string& frame);
+  Status Rotate();
+  Status MaybeFsync();
+  Status FsyncActive();
+  Status LoadCheckpointMeta(const std::string& path);
+  std::string SegmentPath(std::uint64_t first_lsn) const;
+
+  std::string dir_;
+  JournalPolicy policy_;
+  bool opened_ = false;
+  int fd_ = -1;                   ///< Active segment, O_APPEND.
+  std::string active_path_;
+  std::uint64_t active_size_ = 0; ///< Active segment size on disk.
+  std::uint64_t active_records_ = 0;
+  std::uint64_t next_lsn_ = 1;
+  std::uint64_t fsyncs_ = 0;
+  std::uint64_t records_since_fsync_ = 0;
+  std::chrono::steady_clock::time_point last_fsync_{};
+  Status status_ = Status::OK();
+  OpenReport open_report_;
+  std::uint64_t checkpoint_lsn_ = 0;
+  std::string checkpoint_meta_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::unordered_map<std::uint32_t, std::string> names_;
+  std::vector<trace::Event> tail_;
+  /// (first_lsn, path) per segment, ascending; back() is active.
+  std::vector<std::pair<std::uint64_t, std::string>> segments_;
+  api::ScalerFleet* fleet_ = nullptr;
+};
+
+/// \brief One-call journaling enablement (the EnableJournal of ISSUE 10,
+///        homed in wal to keep the link graph downward): Open must have
+///        succeeded; attaches `journal` to `fleet`.
+inline Status EnableJournal(api::ScalerFleet* fleet, FleetJournal* journal) {
+  if (journal == nullptr) {
+    return Status::Invalid("EnableJournal: journal is null");
+  }
+  return journal->Attach(fleet);
+}
+
+}  // namespace rs::wal

@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -100,9 +101,10 @@ TEST(FaultPlanTest, SiteCatalogueCoversTheInstrumentedSurface) {
   // fault::Hit call sites; the chaos storm rolls over exactly these.
   std::vector<std::string> names;
   for (const auto& site : fault::RegisteredSites()) names.push_back(site.name);
-  EXPECT_EQ(names, (std::vector<std::string>{"fleet.observe", "fleet.plan",
-                                             "train.refit", "persist.write",
-                                             "persist.rename"}));
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "fleet.observe", "fleet.plan", "train.refit",
+                       "persist.write", "persist.rename", "wal.append",
+                       "wal.fsync", "wal.rotate"}));
 }
 
 TEST(FaultPlanTest, RuleFiresAtExactHitAndThenEveryPeriod) {
@@ -653,6 +655,31 @@ TEST(AtomicFileTest, ExhaustedRetriesLeaveThePreviousFileIntact) {
   EXPECT_EQ(Slurp(path), "precious") << "the old snapshot must survive";
   EXPECT_TRUE(Slurp(path + ".tmp").empty()) << "temp file cleaned up";
   std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, DurabilityKnobOffStillCommitsAtomically) {
+  const std::string path = TempPath("durability_off.bin");
+  persist::AtomicWriteOptions options;
+  options.durability = persist::Durability::kNone;
+  ASSERT_TRUE(persist::AtomicWriteFile(path, "v1", options).ok());
+  ASSERT_TRUE(persist::AtomicWriteFile(path, "v2", options).ok());
+  EXPECT_EQ(Slurp(path), "v2");
+  EXPECT_TRUE(Slurp(path + ".tmp").empty());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, RemoveStaleTempFilesSweepsOnlyOrphans) {
+  const std::string dir = ::testing::TempDir() + "rs_fault_test_tmpsweep";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(persist::AtomicWriteFile(dir + "/keep.bin", "keep").ok());
+  // Strand two orphans the way a crash between temp-write and rename does.
+  std::ofstream(dir + "/a.bin.tmp") << "orphan";
+  std::ofstream(dir + "/b.bin.tmp") << "orphan";
+  EXPECT_EQ(persist::RemoveStaleTempFiles(dir), 2u);
+  EXPECT_EQ(Slurp(dir + "/keep.bin"), "keep") << "committed files survive";
+  EXPECT_TRUE(Slurp(dir + "/a.bin.tmp").empty());
+  EXPECT_EQ(persist::RemoveStaleTempFiles(dir), 0u) << "sweep is idempotent";
+  std::remove((dir + "/keep.bin").c_str());
 }
 
 TEST(FleetDegradationTest, HealthStateSurvivesSaveAndLoad) {

@@ -199,6 +199,28 @@ TEST(PersistCorruptionTest, EveryTruncationFailsCleanly) {
   }
 }
 
+TEST(PersistCorruptionTest, ZeroByteSnapshotFailsWithItsOwnMessage) {
+  // `touch`, a crash before any write, or a truncated-to-nothing file: its
+  // own failure mode, named as such — not the generic truncation message.
+  auto reader = persist::Reader::FromBytes("");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("empty (0 bytes)"),
+            std::string::npos)
+      << reader.status().ToString();
+}
+
+TEST(PersistCorruptionTest, SubHeaderSizedSnapshotsFailDescriptively) {
+  // Every length smaller than header + CRC trailer (1..11 bytes) must fail
+  // before any field decode — there is nothing to bounds-check against yet.
+  const std::string bytes = MakeValidSnapshotBytes();
+  for (std::size_t n = 1; n < 12; ++n) {
+    auto reader = persist::Reader::FromBytes(bytes.substr(0, n));
+    ASSERT_FALSE(reader.ok()) << n << " bytes";
+    EXPECT_NE(reader.status().message().find("truncated"), std::string::npos)
+        << n << " bytes: " << reader.status().ToString();
+  }
+}
+
 TEST(PersistCorruptionTest, EverySingleBitFlipFailsCleanly) {
   // The CRC trailer catches any single-bit flip anywhere in the container
   // (including inside the trailer itself).

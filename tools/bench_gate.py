@@ -32,7 +32,15 @@ the machine out and collapse only when the optimization itself regresses:
                    the seeded fault storm — all deterministic given the
                    storm seed, so drift means the degradation machinery
                    changed (torn plans and cross-worker parity are gated
-                   inside bench_chaos itself, which aborts on violation).
+                   inside bench_chaos itself, which aborts on violation);
+  wal            : `append_overhead` (the journal's whole serving tax, a
+                   within-run ratio over the same run's journal-off
+                   control) gates for the page-cache-only "none" policy;
+                   the fsync-heavy policies' overhead tracks device sync
+                   latency and is reported ungated — their deterministic
+                   `fsyncs` count gates instead. `bytes_per_event` (on-disk
+                   framing cost — moves only when the wire format changes)
+                   gates for every journaled row.
 
 fleet_scaling also trend-gates `snapshot_ms` and `snapshot_bytes` once the
 committed baseline carries them (rows or baselines without the fields stay
@@ -335,6 +343,51 @@ def gate_chaos(baseline, current, gate, gate_absolute):
     return regressions
 
 
+def gate_wal(baseline, current, gate, gate_absolute):
+    regressions = 0
+    base_rows = index_rows(baseline.get("results", []), ("policy",))
+    cur_rows = index_rows(current.get("results", []), ("policy",))
+    for key, base in base_rows.items():
+        cur = cur_rows.get(key)
+        if cur is None:
+            regressions += gate.missing(key)
+            continue
+        # append_overhead is the journal's whole serving tax as a
+        # within-run ratio (journaled serve time over the same run's
+        # journal-off serve time). For the fsync-heavy policies that ratio
+        # tracks the runner's device sync latency — even same-machine
+        # reruns drift past 60% — so only the page-cache-only "none" row
+        # gates it; the fsync-heavy rows are reported ungated, and their
+        # deterministic *fsync count* (policy × schedule) gates instead.
+        # bytes_per_event is the on-disk framing cost, deterministic given
+        # the bench config, gated for every journaled row.
+        policy = dict(key).get("policy")
+        journaled = policy != "off"
+        regressions += gate.compare(key, "append_overhead",
+                                    base.get("append_overhead"),
+                                    cur.get("append_overhead"),
+                                    gated=(policy == "none"),
+                                    higher_is_better=False)
+        regressions += gate.compare(key, "bytes_per_event",
+                                    base.get("bytes_per_event"),
+                                    cur.get("bytes_per_event"),
+                                    gated=journaled, higher_is_better=False)
+        regressions += gate.compare(key, "fsyncs",
+                                    base.get("fsyncs"), cur.get("fsyncs"),
+                                    gated=journaled, higher_is_better=False)
+        regressions += gate.compare(key, "events_per_s",
+                                    base.get("events_per_s"),
+                                    cur.get("events_per_s"),
+                                    gated=gate_absolute)
+        print(f"bench_gate: {fmt_key(key)}: "
+              f"overhead {cur.get('append_overhead', 0):.2f}x "
+              f"(baseline {base.get('append_overhead', 0):.2f}x), "
+              f"{cur.get('bytes_per_event', 0):.1f} B/event "
+              f"(baseline {base.get('bytes_per_event', 0):.1f}), "
+              f"{cur.get('fsyncs', 0)} fsyncs")
+    return regressions
+
+
 GATES = {
     "plan_hot_path": gate_plan,
     "fleet_scaling": gate_fleet,
@@ -342,6 +395,7 @@ GATES = {
     "freshness": gate_freshness,
     "replay": gate_replay,
     "chaos": gate_chaos,
+    "wal": gate_wal,
 }
 
 

@@ -1,14 +1,21 @@
 #!/usr/bin/env python3
-"""Independent decoder for rs::trace capture files, written from
-docs/TRACE_FORMAT.md alone — it deliberately shares no code with the C++
-implementation. CI runs it against the committed example captures; if this
-decoder and the C++ writer ever disagree, either the spec or the code
-drifted, and the job fails.
+"""Independent decoder for rs::trace capture files and rs::wal journal
+segments, written from docs/TRACE_FORMAT.md and docs/WAL_FORMAT.md alone —
+it deliberately shares no code with the C++ implementation. CI runs it
+against the committed example artifacts; if this decoder and the C++
+writer ever disagree, either the spec or the code drifted, and the job
+fails.
 
-Usage: trace_spec_check.py <capture.rstrace> [more...]
+Usage: trace_spec_check.py <capture.rstrace|segment.rswal> [more...]
 
-Exit status 0 iff every file decodes: container magic/version/CRC valid,
-every section consumed exactly, every event well-formed.
+Files are dispatched on their leading magic: "RSNP" containers get the
+capture walk, "RSWJ" files get the journal-segment walk (header, then
+per-record LSN/length/CRC framing with each payload decoded as a
+single-event container; a torn tail — the first invalid record — ends the
+scan, per the spec's crash rule).
+
+Exit status 0 iff every file decodes: magic/version/CRC valid, every
+section consumed exactly, every event well-formed.
 """
 
 import struct
@@ -18,6 +25,11 @@ import zlib
 MAGIC = 0x504E5352  # "RSNP" little-endian
 CONTAINER_VERSION = 1
 TRACE_LAYER_VERSION = 1
+WAL_MAGIC = int.from_bytes(b"RSWJ", "little")
+WAL_LAYER_VERSION = 1
+WAL_SEGMENT_HEADER = 16  # magic u32 + version u32 + first_lsn u64
+WAL_FRAME_HEADER = 16    # lsn u64 + payload_len u32 + crc u32
+WAL_MIN_PAYLOAD = 12     # container header (8) + CRC trailer (4)
 
 # Section tags are fourCCs stored little-endian: tag('T','R','C','E')
 # compares equal to the bytes b"TRCE" read as a LE u32.
@@ -156,9 +168,83 @@ def read_event(cur):
     return kind
 
 
+def check_event_payload(blob, what):
+    """One journal-record payload: a complete RSNP container holding
+    exactly one trace event (no section wrapper — the journal's framing
+    replaces it)."""
+    if len(blob) < WAL_MIN_PAYLOAD:
+        raise SpecError(f"{what}: payload shorter than header + trailer")
+    (crc,) = struct.unpack("<I", blob[-4:])
+    if crc != zlib.crc32(blob[:-4]) & 0xFFFFFFFF:
+        raise SpecError(f"{what}: payload container CRC mismatch")
+    cur = Cursor(blob, 0, len(blob) - 4, what)
+    if cur.u32() != MAGIC:
+        raise SpecError(f"{what}: payload is not an rs::persist container")
+    version = cur.u32()
+    if version != CONTAINER_VERSION:
+        raise SpecError(f"{what}: payload container version {version}")
+    kind = read_event(cur)
+    if cur.remaining() != 0:
+        raise SpecError(
+            f"{what}: {cur.remaining()} stray bytes after the event")
+    return kind
+
+
+def check_wal_segment(path, blob):
+    if len(blob) < WAL_SEGMENT_HEADER:
+        raise SpecError("segment shorter than its 16-byte header")
+    magic, version, first_lsn = struct.unpack("<IIQ",
+                                              blob[:WAL_SEGMENT_HEADER])
+    if magic != WAL_MAGIC:
+        raise SpecError("bad segment magic (not an rs::wal segment)")
+    if version != WAL_LAYER_VERSION:
+        raise SpecError(f"segment layer version {version}, this checker "
+                        f"reads {WAL_LAYER_VERSION}")
+    pos = WAL_SEGMENT_HEADER
+    expected = first_lsn
+    records = 0
+    histogram = {}
+    torn = 0
+    while pos < len(blob):
+        remaining = len(blob) - pos
+        if remaining < WAL_FRAME_HEADER:
+            torn = remaining  # truncated frame header: a crash mid-append
+            break
+        lsn, length, crc = struct.unpack("<QII", blob[pos:pos + 16])
+        if length < WAL_MIN_PAYLOAD or length > remaining - WAL_FRAME_HEADER:
+            torn = remaining
+            break
+        actual = zlib.crc32(blob[pos:pos + 12])
+        actual = zlib.crc32(blob[pos + 16:pos + 16 + length],
+                            actual) & 0xFFFFFFFF
+        if actual != crc:
+            torn = remaining
+            break
+        if lsn != expected:
+            # A CRC-valid record that breaks the contiguous LSN sequence is
+            # never left by a crash — that's corruption, not a torn tail.
+            raise SpecError(f"record at offset {pos} carries LSN {lsn}, "
+                            f"expected {expected}")
+        kind = check_event_payload(blob[pos + 16:pos + 16 + length],
+                                   f"record LSN {lsn}")
+        histogram[kind] = histogram.get(kind, 0) + 1
+        pos += WAL_FRAME_HEADER + length
+        expected += 1
+        records += 1
+    summary = ", ".join(f"{EVENT_NAMES[k]}={n}"
+                        for k, n in sorted(histogram.items()))
+    tail = f"; torn tail {torn} bytes" if torn else ""
+    print(f"{path}: OK (journal segment, {records} records, LSN "
+          f"{first_lsn}..{first_lsn + records - 1}: {summary or 'none'}"
+          f"{tail})")
+
+
 def check(path):
     with open(path, "rb") as fh:
         blob = fh.read()
+    if len(blob) >= 4 and blob[:4] == b"RSWJ":
+        check_wal_segment(path, blob)
+        return
     if len(blob) < 12:
         raise SpecError("file shorter than header + CRC trailer")
     (crc,) = struct.unpack("<I", blob[-4:])

@@ -294,7 +294,13 @@ Status FleetJournal::Open(const std::string& dir,
         ::close(fd);
         return error;
       }
-      ::fsync(fd);
+      if (::fsync(fd) != 0) {
+        const Status error =
+            Errno("FleetJournal::Open: cannot fsync " + path +
+                  " after truncating its torn tail");
+        ::close(fd);
+        return error;
+      }
       ::close(fd);
       open_report_.truncated_bytes += scan->torn_bytes;
     }
@@ -317,8 +323,12 @@ Status FleetJournal::Open(const std::string& dir,
 
   if (segments_.empty()) {
     const std::string path = SegmentPath(next_lsn_);
-    const int fd =
-        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    // O_APPEND like every segment fd: writes land at EOF regardless of the
+    // file offset, so the post-failure ftruncate in AppendAttempt never
+    // leaves a zero-filled hole under a retried frame.
+    const int fd = ::open(path.c_str(),
+                          O_WRONLY | O_APPEND | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
     if (fd < 0) {
       return Errno("FleetJournal::Open: cannot create first segment " + path);
     }
@@ -349,6 +359,7 @@ Status FleetJournal::Open(const std::string& dir,
 
   records_since_fsync_ = 0;
   last_fsync_ = std::chrono::steady_clock::now();
+  lsn_at_open_ = next_lsn_;
   status_ = Status::OK();
   opened_ = true;
   open_report_.segments = segments_.size();
@@ -357,7 +368,9 @@ Status FleetJournal::Open(const std::string& dir,
   return Status::OK();
 }
 
-Status FleetJournal::AppendAttempt(const std::string& frame) {
+Status FleetJournal::AppendAttempt(const std::string& frame,
+                                   bool* retryable) {
+  *retryable = true;
   // Direct Hit() rather than RS_FAULT_POINT: the injected error must feed
   // the retry loop like a real short write.
   RS_RETURN_NOT_OK(fault::Hit("wal.append"));
@@ -374,8 +387,22 @@ Status FleetJournal::AppendAttempt(const std::string& frame) {
   }
   if (!written.ok()) {
     // A partial record may be on disk; cut back to the record boundary so a
-    // retry never produces a half-frame followed by a fresh frame.
-    (void)::ftruncate(fd_, static_cast<off_t>(active_size_));
+    // retry (fd_ is O_APPEND — the next write lands at the truncated end,
+    // not the stale offset) never produces a half-frame followed by a
+    // fresh frame. If the cut itself fails the half-frame is stuck
+    // mid-file and any retry would bury it under a new record, corrupting
+    // the journal where recovery cannot repair it: unretryable.
+    int rc;
+    do {
+      rc = ::ftruncate(fd_, static_cast<off_t>(active_size_));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      *retryable = false;
+      return Status(written.code(),
+                    written.message() + "; and the partial record cannot be "
+                                        "cut back (ftruncate: " +
+                        std::strerror(errno) + ")");
+    }
     return written;
   }
   CrashPoint("wal.append.done");
@@ -386,11 +413,16 @@ Status FleetJournal::FsyncActive() {
   Status last;
   for (int attempt = 0; attempt < kAttempts; ++attempt) {
     last = fault::Hit("wal.fsync");
-    if (!last.ok()) continue;
+    if (!last.ok()) continue;  // Injected: no bytes were touched, retryable.
     CrashPoint("wal.fsync.before");
     if (::fsync(fd_) != 0) {
-      last = Errno("fsync " + active_path_);
-      continue;
+      // A failed fsync may mark the dirty pages clean without writing them
+      // (Linux "fsyncgate"), so retrying on the same fd can return 0 while
+      // the records never reached disk — falsely advancing the durability
+      // point. A real fsync failure is therefore immediately fatal; every
+      // caller turns it into the sticky fail-stop status_.
+      return Errno("fsync " + active_path_ +
+                   " (unretryable: a failed fsync may drop dirty pages)");
     }
     CrashPoint("wal.fsync.after");
     ++fsyncs_;
@@ -433,9 +465,11 @@ Status FleetJournal::Rotate() {
     last = fault::Hit("wal.rotate");
     if (!last.ok()) continue;
     // O_TRUNC: a previous crashed rotation attempt may have left a partial
-    // file here; restart it cleanly.
-    new_fd =
-        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    // file here; restart it cleanly. O_APPEND for the same reason as every
+    // segment fd (see Open): append retries must not write past a hole.
+    new_fd = ::open(path.c_str(),
+                    O_WRONLY | O_APPEND | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
     if (new_fd < 0) {
       last = Errno("FleetJournal::Rotate: cannot create " + path);
       continue;
@@ -488,9 +522,10 @@ void FleetJournal::Append(const trace::Event& event) {
     }
   }
   Status appended;
+  bool retryable = true;
   for (int attempt = 0; attempt < kAttempts; ++attempt) {
-    appended = AppendAttempt(frame);
-    if (appended.ok()) break;
+    appended = AppendAttempt(frame, &retryable);
+    if (appended.ok() || !retryable) break;
   }
   if (!appended.ok()) {
     status_ = Status(appended.code(),
@@ -543,6 +578,12 @@ Status FleetJournal::Attach(api::ScalerFleet* fleet) {
   for (const std::string& tenant : fleet->Tenants()) {
     if (ids_.count(tenant) != 0) continue;
     const api::Scaler* scaler = fleet->Find(tenant);
+    if (scaler == nullptr) {
+      Detach();
+      return Status::Invalid("FleetJournal::Attach: fleet lists tenant \"" +
+                             tenant +
+                             "\" but Find() returns no scaler for it");
+    }
     std::ostringstream state(std::ios::binary);
     const Status saved = scaler->SaveState(state);
     if (!saved.ok()) {

@@ -103,6 +103,16 @@ Result<api::ScalerFleet> FleetJournal::Recover(const RecoverOptions& options,
         "FleetJournal::Recover: a live fleet is attached; Recover rebuilds "
         "from disk and would race it — Detach first");
   }
+  if (next_lsn_ != lsn_at_open_) {
+    // The replayable tail is frozen at Open() time; recovering after
+    // appends would silently drop every event journaled since. The durable
+    // stream is intact on disk — a fresh journal object sees all of it.
+    return Status::Invalid(
+        "FleetJournal::Recover: " + std::to_string(next_lsn_ - lsn_at_open_) +
+        " record(s) were appended since Open, and Recover replays only the "
+        "tail scanned at Open time — Open a fresh FleetJournal on this "
+        "directory to recover the full stream");
+  }
   RecoveryReport local;
   local.had_checkpoint = open_report_.had_checkpoint;
   local.checkpoint_lsn = checkpoint_lsn_;

@@ -32,7 +32,11 @@
 /// failures (fault sites wal.append / wal.fsync / wal.rotate, stormed by
 /// MakeStormPlan) are retried, then the journal fail-stops — status()
 /// turns sticky-broken, serving continues unjournaled, and recovery still
-/// replays the durable prefix. docs/WAL_FORMAT.md is the normative on-disk
+/// replays the durable prefix. Two failures skip the retries and fail-stop
+/// at once, because retrying would lie: a real fsync() error (Linux may
+/// drop the dirty pages, so a later fsync returning 0 proves nothing —
+/// "fsyncgate") and a partial append whose cut-back ftruncate failed
+/// (retrying would bury the half-frame mid-file). docs/WAL_FORMAT.md is the normative on-disk
 /// spec (machine-checked by tools/trace_spec_check.py);
 /// docs/ARCHITECTURE.md describes the recovery state machine.
 #pragma once
@@ -179,6 +183,10 @@ class FleetJournal final : public api::ServingTap {
   ///        every replayed action byte-identically against the journal.
   ///        A divergence means the journal does not describe this build's
   ///        deterministic serving — corruption — and fails.
+  ///
+  /// The replayable tail is frozen at Open() time, so Recover refuses (with
+  /// a descriptive Status) once this journal has appended records — Open a
+  /// fresh FleetJournal on the directory to recover the full stream.
   Result<api::ScalerFleet> Recover(const RecoverOptions& options = {},
                                    RecoveryReport* report = nullptr);
 
@@ -242,7 +250,10 @@ class FleetJournal final : public api::ServingTap {
   /// Encodes + frames + appends one event; on exhausted retries flips
   /// status_ to broken. The journal's single write path.
   void Append(const trace::Event& event);
-  Status AppendAttempt(const std::string& frame);
+  /// One framed write. `*retryable` comes back false when a failed attempt
+  /// could not be cut back to the record boundary (retrying would corrupt
+  /// the journal mid-file).
+  Status AppendAttempt(const std::string& frame, bool* retryable);
   Status Rotate();
   Status MaybeFsync();
   Status FsyncActive();
@@ -257,6 +268,9 @@ class FleetJournal final : public api::ServingTap {
   std::uint64_t active_size_ = 0; ///< Active segment size on disk.
   std::uint64_t active_records_ = 0;
   std::uint64_t next_lsn_ = 1;
+  /// next_lsn_ as Open() left it; Recover refuses once appends outrun the
+  /// tail it scanned (tail_ is frozen at Open time).
+  std::uint64_t lsn_at_open_ = 1;
   std::uint64_t fsyncs_ = 0;
   std::uint64_t records_since_fsync_ = 0;
   std::chrono::steady_clock::time_point last_fsync_{};

@@ -9,7 +9,8 @@
 //  * every fsync policy recovers (kill -9 semantics: the page cache lives);
 //  * recovery edge cases: empty journal, exactly one torn record, checkpoint
 //    LSN past the journal end (stale snapshot + lost journal), and
-//    double-recovery idempotence;
+//    double-recovery idempotence, and the refusal to Recover through a
+//    journal object that has appended since Open (its tail is stale);
 //  * fail-stop degradation under injected wal.append / wal.fsync / wal.rotate
 //    faults: status() goes sticky-broken, serving continues, and the durable
 //    prefix still recovers;
@@ -406,6 +407,36 @@ TEST(WalRecoveryTest, DoubleRecoveryIsIdempotent) {
     EXPECT_GT(report.events_replayed, 0u);
     EXPECT_EQ(ServeSteps(&*fleet, 9, 14), first);
   }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalRecoveryTest, RecoverAfterAppendsIsRefusedUntilReopen) {
+  const std::string dir = TempDir("recover_after_append");
+  FleetJournal journal;
+  ASSERT_TRUE(journal.Open(dir).ok());
+  {
+    ScalerFleet fleet(0);
+    RegisterTenants(&fleet);
+    ASSERT_TRUE(EnableJournal(&fleet, &journal).ok());
+    ServeSteps(&fleet, 1, 4);
+    ASSERT_TRUE(journal.status().ok()) << journal.status().ToString();
+    journal.Detach();
+  }
+  // The tail Recover replays was frozen at Open() time; recovering through
+  // this object now would silently drop every event appended above, so the
+  // journal must refuse rather than return a fleet missing durable events.
+  auto stale = journal.Recover();
+  ASSERT_FALSE(stale.ok());
+  EXPECT_NE(stale.status().message().find("appended since Open"),
+            std::string::npos)
+      << stale.status().ToString();
+  // A fresh journal object scans the directory anew and sees everything.
+  FleetJournal fresh;
+  ASSERT_TRUE(fresh.Open(dir).ok());
+  RecoveryReport report;
+  auto fleet = fresh.Recover({}, &report);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  EXPECT_GT(report.events_replayed, 0u);
   std::filesystem::remove_all(dir);
 }
 
